@@ -1,0 +1,190 @@
+package brace
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (each wraps the corresponding experiment runner at
+// reduced scale), plus engine micro-benchmarks. Regenerate everything
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// The full-scale experiment sweeps (paper problem sizes) run via
+// cmd/experiments -full.
+
+import (
+	"testing"
+
+	"github.com/bigreddata/brace/internal/experiments"
+)
+
+func benchScale() experiments.Scale {
+	return experiments.Scale{Factor: 0.06, Ticks: 10, WarmupTicks: 2, Seed: 42}
+}
+
+func runExperiment(b *testing.B, f func(experiments.Scale) (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := f(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r == nil {
+			b.Fatal("nil result")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (traffic validation RMSPE).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, experiments.Table2) }
+
+// BenchmarkFig3 regenerates Figure 3 (traffic: indexing vs segment length).
+func BenchmarkFig3(b *testing.B) { runExperiment(b, experiments.Fig3) }
+
+// BenchmarkFig4 regenerates Figure 4 (fish: indexing vs visibility).
+func BenchmarkFig4(b *testing.B) { runExperiment(b, experiments.Fig4) }
+
+// BenchmarkFig5 regenerates Figure 5 (predator: effect inversion).
+func BenchmarkFig5(b *testing.B) { runExperiment(b, experiments.Fig5) }
+
+// BenchmarkFig6 regenerates Figure 6 (traffic scale-up).
+func BenchmarkFig6(b *testing.B) { runExperiment(b, experiments.Fig6) }
+
+// BenchmarkFig7 regenerates Figure 7 (fish scale-up, LB on/off).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, experiments.Fig7) }
+
+// BenchmarkFig8 regenerates Figure 8 (fish epoch time, LB on/off).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, experiments.Fig8) }
+
+// ---- Engine micro-benchmarks ----
+
+// BenchmarkFishTickSequential measures raw single-node tick cost of the
+// fish model with the KD-tree index.
+func BenchmarkFishTickSequential(b *testing.B) {
+	m := NewFishModel(DefaultFishParams())
+	sim, err := New(m, m.NewPopulation(2000, 1), Config{Sequential: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sim.Metrics().AgentTicks)/b.Elapsed().Seconds(), "agent-ticks/s")
+}
+
+// BenchmarkFishTickDistributed8 measures the distributed engine with 8
+// workers on the same workload.
+func BenchmarkFishTickDistributed8(b *testing.B) {
+	m := NewFishModel(DefaultFishParams())
+	sim, err := New(m, m.NewPopulation(2000, 1), Config{Workers: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sim.Metrics().AgentTicks)/b.Elapsed().Seconds(), "agent-ticks/s")
+}
+
+// BenchmarkTrafficTickIndexed measures the traffic model (KD index) on a
+// segment past the index crossover (cf. Fig. 3).
+func BenchmarkTrafficTickIndexed(b *testing.B) {
+	m := NewTrafficModel(DefaultTrafficParams(16000))
+	sim, err := New(m, m.NewPopulation(1), Config{Sequential: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrafficTickScan measures the same workload with indexing off —
+// the Fig. 3 contrast in microcosm.
+func BenchmarkTrafficTickScan(b *testing.B) {
+	m := NewTrafficModel(DefaultTrafficParams(16000))
+	sim, err := New(m, m.NewPopulation(1), Config{Sequential: true, Index: IndexScan, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMITSIMTick measures the hand-coded comparator.
+func BenchmarkMITSIMTick(b *testing.B) {
+	mit := NewMITSIM(DefaultTrafficParams(16000), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mit.RunTicks(1)
+	}
+}
+
+// BenchmarkBRASILCompile measures compiler throughput.
+func BenchmarkBRASILCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileBRASIL(quickFishSrc, CompileOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBRASILQueryOverhead compares a compiled script tick against the
+// hand-coded fish model tick (the §5.2 parity claim in microcosm).
+func BenchmarkBRASILQueryOverhead(b *testing.B) {
+	prog, err := CompileBRASIL(quickFishSrc, CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := New(prog, SeedPopulation(prog.Schema(), 1000, 1, 200), Config{Sequential: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredatorNonLocalVsInverted reports the two dataflow variants
+// back to back (Fig. 5's mechanism at micro scale).
+func BenchmarkPredatorNonLocal(b *testing.B) {
+	m := NewPredatorModel(DefaultPredatorParams(), false)
+	sim, err := New(m, m.NewPopulation(1500, 1), Config{Workers: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredatorInverted(b *testing.B) {
+	m := NewPredatorModel(DefaultPredatorParams(), true)
+	sim, err := New(m, m.NewPopulation(1500, 1), Config{Workers: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

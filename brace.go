@@ -1,0 +1,297 @@
+// Package brace is BRACE — the Big Red Agent-based Computation Engine — a
+// Go reproduction of "Behavioral Simulations in MapReduce" (Wang et al.,
+// VLDB 2010).
+//
+// BRACE treats a behavioral (agent-based) simulation as an iterated
+// spatial join and executes it on a shared-nothing, main-memory MapReduce
+// runtime: every tick, each agent's *query phase* joins it with the agents
+// in its visible region (reducers over spatially partitioned, replicated
+// data), and its *update phase* advances its own state (collocated map
+// tasks). Effect fields with commutative combinators make the query phase
+// order-independent, so the same simulation runs bit-identically on one
+// worker or many.
+//
+// Two ways to define behavior:
+//
+//   - implement Model in Go (see the models returned by NewFishModel,
+//     NewTrafficModel, NewPredatorModel), or
+//   - write a BRASIL script and CompileBRASIL it; the compiler enforces
+//     the state-effect pattern and applies automatic index selection and
+//     effect inversion.
+//
+// Quickstart:
+//
+//	model, _ := brace.CompileBRASIL(src, brace.CompileOptions{})
+//	pop := brace.SeedPopulation(model.Schema(), 1000, seed, area)
+//	sim, _ := brace.New(model, pop, brace.Config{Workers: 8})
+//	_ = sim.Run(1000)
+//	fmt.Println(sim.Metrics())
+package brace
+
+import (
+	"fmt"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/brasil"
+	"github.com/bigreddata/brace/internal/cluster"
+	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/geom"
+	"github.com/bigreddata/brace/internal/partition"
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+// Re-exported core types; see the respective internal packages for full
+// documentation.
+type (
+	// Agent is one simulated individual: ⟨oid, state, effects⟩.
+	Agent = agent.Agent
+	// ID identifies an agent for its lifetime.
+	ID = agent.ID
+	// Schema declares an agent class's state/effect fields and spatial
+	// constraints.
+	Schema = agent.Schema
+	// Combinator folds effect assignments (commutative + associative).
+	Combinator = agent.Combinator
+	// Model is agent behavior under the state-effect pattern.
+	Model = engine.Model
+	// Env is the query phase's view of the visible region.
+	Env = engine.Env
+	// UpdateCtx carries update-phase randomness and lifecycle operations.
+	UpdateCtx = engine.UpdateCtx
+	// Vec is a 2-D point.
+	Vec = geom.Vec
+	// CompileOptions selects BRASIL optimizer passes.
+	CompileOptions = brasil.CompileOptions
+	// Program is a compiled BRASIL script (implements Model).
+	Program = brasil.Program
+)
+
+// Builtin effect combinators.
+var (
+	Sum = agent.Sum
+	Min = agent.Min
+	Max = agent.Max
+	Mul = agent.Mul
+	Or  = agent.Or
+	And = agent.And
+)
+
+// NewSchema starts declaring an agent class.
+func NewSchema(name string) *Schema { return agent.NewSchema(name) }
+
+// NewAgent allocates an agent of the given schema.
+func NewAgent(s *Schema, id ID) *Agent { return agent.New(s, id) }
+
+// V constructs a Vec.
+func V(x, y float64) Vec { return geom.V(x, y) }
+
+// IndexKind selects the reducer-side spatial index.
+type IndexKind int
+
+const (
+	// IndexKD is the default KD-tree index (the paper's choice).
+	IndexKD IndexKind = iota
+	// IndexScan disables indexing (the "no indexing" baselines).
+	IndexScan
+	// IndexGrid uses a uniform bucket grid.
+	IndexGrid
+)
+
+func (k IndexKind) spatial() spatial.Kind {
+	switch k {
+	case IndexScan:
+		return spatial.KindScan
+	case IndexGrid:
+		return spatial.KindGrid
+	default:
+		return spatial.KindKDTree
+	}
+}
+
+// Config tunes a Simulation.
+type Config struct {
+	// Workers is the number of simulated worker nodes (≥1). Zero means 1.
+	Workers int
+	// Index selects the spatial index (default KD-tree).
+	Index IndexKind
+	// Seed drives all simulation randomness.
+	Seed uint64
+	// EpochTicks is the master coordination interval (default 10).
+	EpochTicks int
+	// Checkpoint enables coordinated checkpoints every N epochs (0 off).
+	Checkpoint int
+	// LoadBalance enables the 1-D load balancer at epoch boundaries
+	// (strip partitioning only).
+	LoadBalance bool
+	// TwoDPartition partitions space by 2-D median splits (App. A's
+	// quadtree-style alternative) computed from the initial population,
+	// instead of 1-D strips. Incompatible with LoadBalance.
+	TwoDPartition bool
+	// VirtualTime enables the calibrated cluster cost model, making
+	// Metrics report virtual-time throughput alongside wall time.
+	VirtualTime bool
+	// Sequential uses the single-loop reference engine instead of the
+	// distributed runtime (Workers is then ignored).
+	Sequential bool
+}
+
+// Simulation is a running BRACE simulation over either engine.
+type Simulation struct {
+	dist *engine.Distributed
+	seq  *engine.Sequential
+}
+
+// New builds a simulation with the given model and initial population.
+func New(m Model, pop []*Agent, cfg Config) (*Simulation, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Sequential {
+		seq, err := engine.NewSequential(m, pop, cfg.Index.spatial(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Simulation{seq: seq}, nil
+	}
+	opts := engine.Options{
+		Workers:               cfg.Workers,
+		Index:                 cfg.Index.spatial(),
+		Seed:                  cfg.Seed,
+		EpochTicks:            cfg.EpochTicks,
+		CheckpointEveryEpochs: cfg.Checkpoint,
+		LoadBalance:           cfg.LoadBalance,
+	}
+	if cfg.TwoDPartition {
+		s := m.Schema()
+		pts := make([]geom.Vec, len(pop))
+		for i, a := range pop {
+			pts[i] = a.Pos(s)
+		}
+		opts.InitialPartition = partition.NewKD2D(pts, cfg.Workers)
+	}
+	if cfg.VirtualTime {
+		cm := cluster.DefaultCostModel()
+		opts.CostModel = &cm
+	}
+	dist, err := engine.NewDistributed(m, pop, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{dist: dist}, nil
+}
+
+// Run advances the simulation n full ticks (query + update each).
+func (s *Simulation) Run(n int) error {
+	if s.seq != nil {
+		return s.seq.RunTicks(n)
+	}
+	return s.dist.RunTicks(n)
+}
+
+// Agents returns the live population, sorted by ID.
+func (s *Simulation) Agents() []*Agent {
+	if s.seq != nil {
+		return s.seq.Agents()
+	}
+	return s.dist.Agents()
+}
+
+// Tick returns completed ticks.
+func (s *Simulation) Tick() uint64 {
+	if s.seq != nil {
+		return s.seq.Tick()
+	}
+	return s.dist.Tick()
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	Ticks          uint64
+	Agents         int
+	AgentTicks     int64
+	CandidatesSeen int64
+	WallSeconds    float64
+	// VirtualSeconds and ThroughputVirtual are zero unless VirtualTime
+	// accounting is enabled.
+	VirtualSeconds    float64
+	ThroughputWall    float64
+	ThroughputVirtual float64
+	// NetworkBytes / LocalBytes meter the simulated cluster traffic
+	// (distributed engine only).
+	NetworkBytes int64
+	LocalBytes   int64
+}
+
+// Metrics reports run statistics.
+func (s *Simulation) Metrics() Metrics {
+	if s.seq != nil {
+		return Metrics{
+			Ticks:          s.seq.Tick(),
+			Agents:         len(s.seq.Agents()),
+			AgentTicks:     s.seq.AgentTicks(),
+			CandidatesSeen: s.seq.Visited(),
+			WallSeconds:    s.seq.WallSeconds(),
+			ThroughputWall: s.seq.ThroughputWall(),
+		}
+	}
+	t := s.dist.Runtime().Transport().Metrics().Totals()
+	return Metrics{
+		Ticks:             s.dist.Tick(),
+		Agents:            len(s.dist.Agents()),
+		AgentTicks:        s.dist.AgentTicks(),
+		CandidatesSeen:    s.dist.Visited(),
+		WallSeconds:       s.dist.WallSeconds(),
+		VirtualSeconds:    s.dist.VirtualSeconds(),
+		ThroughputWall:    s.dist.ThroughputWall(),
+		ThroughputVirtual: s.dist.ThroughputVirtual(),
+		NetworkBytes:      t.SentBytes,
+		LocalBytes:        t.LocalBytes,
+	}
+}
+
+// String implements fmt.Stringer.
+func (m Metrics) String() string {
+	s := fmt.Sprintf("ticks=%d agents=%d agent-ticks=%d wall=%.3fs tput=%.3g at/s",
+		m.Ticks, m.Agents, m.AgentTicks, m.WallSeconds, m.ThroughputWall)
+	if m.VirtualSeconds > 0 {
+		s += fmt.Sprintf(" virtual=%.3fs vtput=%.3g at/s", m.VirtualSeconds, m.ThroughputVirtual)
+	}
+	if m.NetworkBytes > 0 || m.LocalBytes > 0 {
+		s += fmt.Sprintf(" net=%dB local=%dB", m.NetworkBytes, m.LocalBytes)
+	}
+	return s
+}
+
+// EpochStat is one epoch's record from the distributed engine: virtual
+// time consumed, per-worker owned-agent counts, load imbalance (max/mean)
+// and whether the load balancer repartitioned.
+type EpochStat = engine.EpochStat
+
+// EpochStats returns per-epoch statistics (distributed engine only; nil
+// for the sequential engine).
+func (s *Simulation) EpochStats() []EpochStat {
+	if s.dist == nil {
+		return nil
+	}
+	return s.dist.Epochs()
+}
+
+// CompileBRASIL compiles a BRASIL script into a Model.
+func CompileBRASIL(src string, opt CompileOptions) (*Program, error) {
+	return brasil.Compile(src, opt)
+}
+
+// SeedPopulation scatters n agents of the given schema uniformly over the
+// rectangle [0,span]×[0,span] with zeroed non-position state — a
+// convenience for quickstarts; real workloads build their own populations.
+func SeedPopulation(s *Schema, n int, seed uint64, span float64) []*Agent {
+	pop := make([]*Agent, n)
+	for i := range pop {
+		id := agent.ID(i + 1)
+		rng := agent.NewRNG(seed, 0, id)
+		a := agent.New(s, id)
+		a.SetPos(s, geom.V(rng.Float64()*span, rng.Float64()*span))
+		pop[i] = a
+	}
+	return pop
+}

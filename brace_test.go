@@ -1,0 +1,181 @@
+package brace
+
+import (
+	"strings"
+	"testing"
+)
+
+const quickFishSrc = `
+class Fish {
+  public state float x : x + vx; #range[-5,5];
+  public state float y : y + vy; #range[-5,5];
+  public state float vx : 0.5 * vx + avoidx / max(count, 1);
+  public state float vy : 0.5 * vy + avoidy / max(count, 1);
+  private effect float avoidx : sum;
+  private effect float avoidy : sum;
+  private effect int count : sum;
+  public void run() {
+    foreach (Fish p : Extent<Fish>) {
+      if (p != this) {
+        avoidx <- (x - p.x) / (dist(this, p) + 0.01);
+        avoidy <- (y - p.y) / (dist(this, p) + 0.01);
+        count <- 1;
+      }
+    }
+  }
+}
+`
+
+func TestPublicAPIBRASILRoundTrip(t *testing.T) {
+	prog, err := CompileBRASIL(quickFishSrc, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := SeedPopulation(prog.Schema(), 50, 1, 30)
+	sim, err := New(prog, pop, Config{Workers: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Metrics()
+	if m.Ticks != 10 || m.Agents != 50 || m.AgentTicks != 500 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.CandidatesSeen == 0 || m.WallSeconds <= 0 {
+		t.Errorf("work counters empty: %+v", m)
+	}
+	if !strings.Contains(m.String(), "agent-ticks") {
+		t.Error("Metrics.String format")
+	}
+}
+
+func TestPublicAPISequentialMatchesDistributed(t *testing.T) {
+	prog, err := CompileBRASIL(quickFishSrc, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(sequential bool, workers int) []*Agent {
+		pop := SeedPopulation(prog.Schema(), 40, 2, 25)
+		sim, err := New(prog, pop, Config{Workers: workers, Seed: 9, Sequential: sequential})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(8); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Agents()
+	}
+	a := mk(true, 0)
+	b := mk(false, 5)
+	if len(a) != len(b) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("agent %d diverged across engines", a[i].ID)
+		}
+	}
+}
+
+func TestPublicAPIGoModel(t *testing.T) {
+	m := NewFishModel(DefaultFishParams())
+	pop := m.NewPopulation(80, 3)
+	sim, err := New(m, pop, Config{Workers: 3, Seed: 3, VirtualTime: true, LoadBalance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	mt := sim.Metrics()
+	if mt.VirtualSeconds <= 0 || mt.ThroughputVirtual <= 0 {
+		t.Errorf("virtual accounting missing: %+v", mt)
+	}
+	if mt.LocalBytes == 0 {
+		t.Error("no collocated traffic metered")
+	}
+}
+
+func TestPublicAPIPredatorVariants(t *testing.T) {
+	for _, inverted := range []bool{false, true} {
+		m := NewPredatorModel(DefaultPredatorParams(), inverted)
+		sim, err := New(m, m.NewPopulation(60, 4), Config{Workers: 2, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Run(5); err != nil {
+			t.Fatal(err)
+		}
+		if len(sim.Agents()) == 0 {
+			t.Error("population vanished")
+		}
+	}
+}
+
+func TestPublicAPITrafficAndMITSIM(t *testing.T) {
+	p := DefaultTrafficParams(2000)
+	tm := NewTrafficModel(p)
+	sim, err := New(tm, tm.NewPopulation(5), Config{Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	mit := NewMITSIM(p, 5)
+	mit.RunTicks(5)
+	if mit.Cars() == 0 || len(sim.Agents()) == 0 {
+		t.Error("traffic sims empty")
+	}
+}
+
+func TestTwoDPartitionConfig(t *testing.T) {
+	m := NewFishModel(DefaultFishParams())
+	pop := m.NewPopulation(60, 8)
+	ref := make([]*Agent, len(pop))
+	for i, a := range pop {
+		ref[i] = a.Clone()
+	}
+	twoD, err := New(m, pop, Config{Workers: 4, Seed: 8, TwoDPartition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strips, err := New(m, ref, Config{Workers: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twoD.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := strips.Run(8); err != nil {
+		t.Fatal(err)
+	}
+	a, b := twoD.Agents(), strips.Agents()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("partitioning changed semantics at agent %d", a[i].ID)
+		}
+	}
+	// LB + 2-D partitioning is rejected.
+	if _, err := New(m, m.NewPopulation(10, 9), Config{
+		Workers: 2, TwoDPartition: true, LoadBalance: true,
+	}); err == nil {
+		t.Error("LB over 2-D partitioning accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	m := NewFishModel(DefaultFishParams())
+	sim, err := New(m, m.NewPopulation(10, 6), Config{}) // zero config
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Tick() != 2 {
+		t.Error("Tick")
+	}
+}

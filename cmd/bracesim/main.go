@@ -1,0 +1,103 @@
+// Command bracesim runs a behavioral simulation on the BRACE engine from
+// the command line: one of the built-in models (fish, traffic, predator)
+// or a BRASIL script.
+//
+// Usage:
+//
+//	bracesim -model fish -agents 10000 -ticks 500 -workers 8 -lb
+//	bracesim -script school.brasil -agents 5000 -ticks 200 -workers 4
+//
+// It prints a metrics summary (and per-epoch load statistics with -v).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bigreddata/brace"
+)
+
+func main() {
+	model := flag.String("model", "fish", "built-in model: fish, traffic, predator, predator-inv")
+	script := flag.String("script", "", "path to a BRASIL script (overrides -model)")
+	agents := flag.Int("agents", 5000, "number of agents (fish/predator/BRASIL)")
+	length := flag.Float64("length", 20000, "segment length (traffic)")
+	ticks := flag.Int("ticks", 100, "ticks to simulate")
+	workers := flag.Int("workers", 4, "worker nodes")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	index := flag.String("index", "kd", "spatial index: kd, scan, grid")
+	lb := flag.Bool("lb", false, "enable load balancing")
+	vt := flag.Bool("vtime", false, "enable virtual-time cluster accounting")
+	seq := flag.Bool("seq", false, "use the sequential reference engine")
+	invert := flag.Bool("invert", false, "apply effect inversion to the BRASIL script")
+	span := flag.Float64("span", 100, "initial placement span for BRASIL agents")
+	verbose := flag.Bool("v", false, "verbose output")
+	flag.Parse()
+
+	cfg := brace.Config{
+		Workers:     *workers,
+		Seed:        *seed,
+		LoadBalance: *lb,
+		VirtualTime: *vt,
+		Sequential:  *seq,
+	}
+	switch *index {
+	case "kd":
+		cfg.Index = brace.IndexKD
+	case "scan":
+		cfg.Index = brace.IndexScan
+	case "grid":
+		cfg.Index = brace.IndexGrid
+	default:
+		fatal(fmt.Errorf("unknown index %q", *index))
+	}
+
+	var m brace.Model
+	var pop []*brace.Agent
+	switch {
+	case *script != "":
+		src, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := brace.CompileBRASIL(string(src), brace.CompileOptions{Invert: *invert})
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Printf("compiled %s: non-local=%v inverted=%v\n",
+				*script, prog.HasNonLocalEffects(), prog.Inverted())
+		}
+		m = prog
+		pop = brace.SeedPopulation(prog.Schema(), *agents, *seed, *span)
+	case *model == "fish":
+		fm := brace.NewFishModel(brace.DefaultFishParams())
+		m = fm
+		pop = fm.NewPopulation(*agents, *seed)
+	case *model == "traffic":
+		tm := brace.NewTrafficModel(brace.DefaultTrafficParams(*length))
+		m = tm
+		pop = tm.NewPopulation(*seed)
+	case *model == "predator" || *model == "predator-inv":
+		pm := brace.NewPredatorModel(brace.DefaultPredatorParams(), *model == "predator-inv")
+		m = pm
+		pop = pm.NewPopulation(*agents, *seed)
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	sim, err := brace.New(m, pop, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sim.Run(*ticks); err != nil {
+		fatal(err)
+	}
+	fmt.Println(sim.Metrics())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bracesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command brasilc is the BRASIL compiler front end: it checks scripts,
+// reports the analysis (field layout, visibility/reach, non-local effect
+// classification), and shows what the optimizer does — including the
+// effect-inverted form of a script and its monad-algebra translation.
+//
+// Usage:
+//
+//	brasilc school.brasil                 # check + describe
+//	brasilc -invert school.brasil         # show inversion outcome
+//	brasilc -monad school.brasil          # print the algebra translation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bigreddata/brace/internal/brasil"
+	"github.com/bigreddata/brace/internal/monad"
+)
+
+func main() {
+	invert := flag.Bool("invert", false, "apply effect inversion and re-describe")
+	showMonad := flag.Bool("monad", false, "print the monad-algebra translation of run()")
+	rewrite := flag.Bool("rewrite", false, "with -monad: print the rewritten (optimized) plan too")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: brasilc [-invert] [-monad [-rewrite]] <script.brasil>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	cl, err := brasil.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	ck, err := brasil.Check(cl)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ck.Describe())
+
+	wasNonLocal := ck.HasNonLocal
+	if *invert {
+		if !wasNonLocal {
+			fmt.Println("script has only local effects; inversion is a no-op")
+		} else {
+			inv, err := brasil.Invert(ck)
+			if err != nil {
+				fatal(fmt.Errorf("not invertible: %w", err))
+			}
+			ck2, err := brasil.Check(inv)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print("after inversion: ", ck2.Describe())
+			fmt.Println("inverted source:")
+			fmt.Print(brasil.Format(inv))
+			ck = ck2
+		}
+	}
+
+	// Always confirm the script compiles to an executable plan.
+	prog, err := brasil.Compile(string(src), brasil.CompileOptions{Invert: *invert && wasNonLocal})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compiles OK: schema %s, dataflow %s\n",
+		prog.Schema().Name, dataflow(prog))
+
+	if *showMonad {
+		tr := monad.NewTranslator(ck)
+		expr, err := tr.TranslateRun()
+		if err != nil {
+			fatal(fmt.Errorf("monad translation: %w", err))
+		}
+		fmt.Println("monad algebra translation of run():")
+		fmt.Println(" ", expr)
+		if *rewrite {
+			fmt.Println("after algebraic rewriting:")
+			fmt.Println(" ", monad.Rewrite(expr))
+		}
+	}
+}
+
+func dataflow(p *brasil.Program) string {
+	if p.HasNonLocalEffects() {
+		return "map-reduce-reduce (non-local effects)"
+	}
+	if p.Inverted() {
+		return "map-reduce (effect-inverted)"
+	}
+	return "map-reduce (local effects)"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "brasilc:", err)
+	os.Exit(1)
+}

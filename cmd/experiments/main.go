@@ -1,0 +1,58 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Table 2, Figures 3–8) and prints them in the harness's standard text
+// format.
+//
+// Usage:
+//
+//	experiments [-exp all|table2|fig3|...|fig8] [-full] [-seed N]
+//
+// The default quick scale finishes in seconds; -full approximates the
+// paper's problem sizes (minutes). Run it alone on an idle machine — the
+// single-node figures measure wall-clock time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bigreddata/brace/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table2, fig3..fig8")
+	full := flag.Bool("full", false, "use paper-scale problem sizes (slow)")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Full()
+	}
+	scale.Seed = *seed
+
+	if *exp == "all" {
+		results, err := experiments.All(scale)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		return
+	}
+	run, err := experiments.ByName(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := run(scale)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

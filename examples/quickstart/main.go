@@ -1,0 +1,82 @@
+// Quickstart: compile the paper's Fig. 2 fish script with BRASIL, run it
+// distributed across four simulated workers, and watch the repulsion
+// forces spread the school out.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/bigreddata/brace"
+)
+
+// The simple fish behavior of Fig. 2: every fish repels every visible
+// fish with a force inversely proportional to their distance.
+const fishSrc = `
+class Fish {
+  public state float x : x + vx; #range[-5,5];
+  public state float y : y + vy; #range[-5,5];
+  public state float vx : 0.5 * vx + avoidx / max(count, 1);
+  public state float vy : 0.5 * vy + avoidy / max(count, 1);
+  private effect float avoidx : sum;
+  private effect float avoidy : sum;
+  private effect int count : sum;
+
+  public void run() {
+    foreach (Fish p : Extent<Fish>) {
+      if (p != this) {
+        avoidx <- (x - p.x) / (dist(this, p) + 0.01);
+        avoidy <- (y - p.y) / (dist(this, p) + 0.01);
+        count <- 1;
+      }
+    }
+  }
+}
+`
+
+func main() {
+	prog, err := brace.CompileBRASIL(fishSrc, brace.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled class %s (visibility %g, reach %g)\n",
+		prog.Schema().Name, prog.Schema().Visibility, prog.Schema().Reach)
+
+	// 500 fish crowded into a 20x20 box.
+	pop := brace.SeedPopulation(prog.Schema(), 500, 7, 20)
+
+	sim, err := brace.New(prog, pop, brace.Config{Workers: 4, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("tick %3d: spread %.1f\n", 0, spread(sim, prog.Schema()))
+	for i := 0; i < 5; i++ {
+		if err := sim.Run(20); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tick %3d: spread %.1f\n", sim.Tick(), spread(sim, prog.Schema()))
+	}
+	fmt.Println(sim.Metrics())
+}
+
+// spread returns the root-mean-square distance from the school's center.
+func spread(sim *brace.Simulation, s *brace.Schema) float64 {
+	agents := sim.Agents()
+	var cx, cy float64
+	for _, a := range agents {
+		p := a.Pos(s)
+		cx += p.X
+		cy += p.Y
+	}
+	n := float64(len(agents))
+	cx /= n
+	cy /= n
+	var sum float64
+	for _, a := range agents {
+		p := a.Pos(s)
+		sum += (p.X-cx)*(p.X-cx) + (p.Y-cy)*(p.Y-cy)
+	}
+	return math.Sqrt(sum / n)
+}

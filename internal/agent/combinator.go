@@ -1,0 +1,143 @@
+// Package agent implements the state-effect pattern of the paper (§2.1):
+// agents whose attributes are split into public *state* fields, updated only
+// at tick boundaries, and *effect* fields, write-only accumulators combined
+// by decomposable, order-independent combinator functions during the query
+// phase. Order independence is what lets BRACE process effect assignments
+// in any order — and on any node — without synchronization.
+package agent
+
+import (
+	"fmt"
+	"math"
+)
+
+// Combinator folds effect assignments into an accumulator. Implementations
+// must be commutative and associative with the declared identity, so that
+// assignments can be partially aggregated at one reducer and globally merged
+// at another (the ⊕ operator of Appendix A). CheckLaws verifies this and
+// the package tests enforce it with testing/quick.
+type Combinator interface {
+	// Name returns the BRASIL-level name of the combinator ("sum", "min"...).
+	Name() string
+	// Identity returns the idempotent initial value θ the effect field is
+	// reset to at the start of every tick.
+	Identity() float64
+	// Combine folds a newly assigned value into the accumulator.
+	Combine(acc, v float64) float64
+}
+
+type sumComb struct{}
+
+func (sumComb) Name() string                  { return "sum" }
+func (sumComb) Identity() float64             { return 0 }
+func (sumComb) Combine(acc, v float64) float64 { return acc + v }
+
+type minComb struct{}
+
+func (minComb) Name() string                  { return "min" }
+func (minComb) Identity() float64             { return math.Inf(1) }
+func (minComb) Combine(acc, v float64) float64 { return math.Min(acc, v) }
+
+type maxComb struct{}
+
+func (maxComb) Name() string                  { return "max" }
+func (maxComb) Identity() float64             { return math.Inf(-1) }
+func (maxComb) Combine(acc, v float64) float64 { return math.Max(acc, v) }
+
+type mulComb struct{}
+
+func (mulComb) Name() string                  { return "mul" }
+func (mulComb) Identity() float64             { return 1 }
+func (mulComb) Combine(acc, v float64) float64 { return acc * v }
+
+// orComb treats values as booleans (non-zero = true) and ORs them; it is
+// how BRASIL scripts accumulate "was I attacked this tick" style flags.
+type orComb struct{}
+
+func (orComb) Name() string      { return "or" }
+func (orComb) Identity() float64 { return 0 }
+func (orComb) Combine(acc, v float64) float64 {
+	if acc != 0 || v != 0 {
+		return 1
+	}
+	return 0
+}
+
+type andComb struct{}
+
+func (andComb) Name() string      { return "and" }
+func (andComb) Identity() float64 { return 1 }
+func (andComb) Combine(acc, v float64) float64 {
+	if acc != 0 && v != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Exported combinator singletons.
+var (
+	Sum Combinator = sumComb{}
+	Min Combinator = minComb{}
+	Max Combinator = maxComb{}
+	Mul Combinator = mulComb{}
+	Or  Combinator = orComb{}
+	And Combinator = andComb{}
+)
+
+var combinators = map[string]Combinator{
+	"sum": Sum, "min": Min, "max": Max, "mul": Mul, "or": Or, "and": And,
+	// "count" is the paper's idiom `count <- 1` with a sum combinator
+	// (Fig. 2 declares `effect int count : sum`); accept it as an alias.
+	"count": Sum,
+}
+
+// CombinatorByName resolves a BRASIL combinator name.
+func CombinatorByName(name string) (Combinator, error) {
+	c, ok := combinators[name]
+	if !ok {
+		return nil, fmt.Errorf("agent: unknown effect combinator %q", name)
+	}
+	return c, nil
+}
+
+// CheckLaws verifies commutativity, associativity and the identity law of c
+// on the given sample values, returning a descriptive error on the first
+// violation. The engine calls this when registering schemas in debug mode.
+func CheckLaws(c Combinator, samples []float64) error {
+	const tol = 1e-9
+	eq := func(a, b float64) bool {
+		if math.IsInf(a, 1) && math.IsInf(b, 1) || math.IsInf(a, -1) && math.IsInf(b, -1) {
+			return true
+		}
+		return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+	}
+	id := c.Identity()
+	boolean := c.Name() == "or" || c.Name() == "and"
+	for _, v := range samples {
+		if boolean {
+			// Boolean combinators normalize values into {0,1}; the identity
+			// law only holds on that domain, which the loop below covers via
+			// commutativity/associativity.
+			continue
+		}
+		if got := c.Combine(id, v); !eq(got, v) {
+			return fmt.Errorf("agent: %s violates left identity on %v: got %v", c.Name(), v, got)
+		}
+		if got := c.Combine(v, id); !eq(got, v) {
+			return fmt.Errorf("agent: %s violates right identity on %v: got %v", c.Name(), v, got)
+		}
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			if !eq(c.Combine(a, b), c.Combine(b, a)) {
+				return fmt.Errorf("agent: %s not commutative on (%v,%v)", c.Name(), a, b)
+			}
+			for _, d := range samples {
+				if !eq(c.Combine(c.Combine(a, b), d), c.Combine(a, c.Combine(b, d))) {
+					return fmt.Errorf("agent: %s not associative on (%v,%v,%v)", c.Name(), a, b, d)
+				}
+			}
+		}
+	}
+	return nil
+}

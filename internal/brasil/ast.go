@@ -1,0 +1,153 @@
+package brasil
+
+// The BRASIL abstract syntax tree. One source file declares one agent
+// class (multiple classes are a straightforward extension the paper also
+// defers: "we assume that our simulation has only one class of agents",
+// App. B.1).
+
+// Class is a parsed BRASIL class.
+type Class struct {
+	Name   string
+	Fields []*FieldDecl
+	Run    *MethodDecl // the query-phase script
+	Pos    Token
+}
+
+// FieldDecl declares a state or effect field.
+type FieldDecl struct {
+	Name    string
+	Public  bool
+	IsState bool
+	Type    string // "float", "int", "bool"
+	// Update is the state field's update rule (nil for effects).
+	Update Expr
+	// Comb is the effect field's combinator name (empty for states).
+	Comb string
+	// Range holds the #range[lo,hi] constraint when present.
+	Range    *RangeTag
+	Pos      Token
+}
+
+// RangeTag is the visibility/reachability constraint of §4.1: the tagged
+// spatial state field may be inspected and moved within [Lo, Hi] relative
+// to the agent per tick.
+type RangeTag struct {
+	Lo, Hi float64
+}
+
+// MethodDecl is a method; only run() has meaning to the compiler.
+type MethodDecl struct {
+	Name   string
+	Public bool
+	Body   []Stmt
+	Pos    Token
+}
+
+// Stmt is a statement in run().
+type Stmt interface{ stmtNode() }
+
+// VarDecl declares a local constant: `const float d = expr;` (the `const`
+// keyword is optional, matching the paper's examples which use both).
+type VarDecl struct {
+	Name string
+	Type string
+	Init Expr
+	Pos  Token
+}
+
+// AssignEffect is an effect assignment `target <- expr;`. Target names an
+// effect field of the acting agent (local) or of another agent via a
+// reference `p.f <- expr` (non-local).
+type AssignEffect struct {
+	// On is nil for a local assignment to this agent, or the agent-typed
+	// expression being assigned through (the foreach variable).
+	On    Expr
+	Field string
+	Value Expr
+	Pos   Token
+}
+
+// If is a conditional.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Pos  Token
+}
+
+// Foreach iterates the class extent: `foreach (Fish p : Extent<Fish>)`.
+// Iteration is always visibility-bounded (§4.1: the loop "will therefore
+// only be able to affect fish within this range").
+type Foreach struct {
+	VarName string
+	VarType string
+	Body    []Stmt
+	Pos     Token
+
+	// Radius, when non-nil, restricts iteration to agents within the given
+	// distance — installed by the optimizer's index-selection pass when it
+	// recognizes a distance guard, never written by the parser.
+	Radius Expr
+}
+
+func (*VarDecl) stmtNode()      {}
+func (*AssignEffect) stmtNode() {}
+func (*If) stmtNode()           {}
+func (*Foreach) stmtNode()      {}
+
+// Expr is an expression.
+type Expr interface{ exprNode() }
+
+// Num is a numeric literal (bools lower to 0/1).
+type Num struct {
+	Val float64
+	Pos Token
+}
+
+// Ref reads a field or local: bare `x` resolves (in order) to a local
+// variable, then a field of the acting agent. `This` refers to the acting
+// agent itself (agent-typed).
+type Ref struct {
+	Name string
+	Pos  Token
+}
+
+// FieldRef reads a field through an agent expression: `p.x`, `this.x`.
+type FieldRef struct {
+	On    Expr
+	Field string
+	Pos   Token
+}
+
+// This is the acting agent reference.
+type This struct{ Pos Token }
+
+// Unary is -x or !x.
+type Unary struct {
+	Op string
+	X  Expr
+	Pos Token
+}
+
+// Binary is a binary operation; comparisons yield 0/1.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Pos  Token
+}
+
+// Call invokes a builtin: abs, sqrt, min, max, floor, exp, log, sin, cos,
+// pow, rand (update rules only), dist (agent, agent).
+type Call struct {
+	Name string
+	Args []Expr
+	Pos  Token
+}
+
+func (*Num) exprNode()      {}
+func (*Ref) exprNode()      {}
+func (*FieldRef) exprNode() {}
+func (*This) exprNode()     {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Call) exprNode()     {}

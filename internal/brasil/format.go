@@ -1,0 +1,110 @@
+package brasil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a Class back to BRASIL source. It is used by brasilc to
+// show the result of compiler transformations (notably effect inversion),
+// and round-trips: Parse(Format(c)) is structurally identical to c (the
+// format_test suite checks Format∘Parse∘Format is a fixpoint).
+func Format(cl *Class) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "class %s {\n", cl.Name)
+	for _, f := range cl.Fields {
+		b.WriteString("  ")
+		b.WriteString(visibility(f.Public))
+		if f.IsState {
+			fmt.Fprintf(&b, " state %s %s : %s;", f.Type, f.Name, FormatExpr(f.Update))
+		} else {
+			fmt.Fprintf(&b, " effect %s %s : %s;", f.Type, f.Name, f.Comb)
+		}
+		if f.Range != nil {
+			fmt.Fprintf(&b, " #range[%s,%s];", num(f.Range.Lo), num(f.Range.Hi))
+		}
+		b.WriteByte('\n')
+	}
+	if cl.Run != nil {
+		fmt.Fprintf(&b, "  %s void run() {\n", visibility(cl.Run.Public))
+		writeStmts(&b, cl.Run.Body, "    ")
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func visibility(public bool) string {
+	if public {
+		return "public"
+	}
+	return "private"
+}
+
+func writeStmts(b *strings.Builder, stmts []Stmt, indent string) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *VarDecl:
+			fmt.Fprintf(b, "%sconst %s %s = %s;\n", indent, st.Type, st.Name, FormatExpr(st.Init))
+		case *AssignEffect:
+			if st.On != nil {
+				fmt.Fprintf(b, "%s%s.%s <- %s;\n", indent, FormatExpr(st.On), st.Field, FormatExpr(st.Value))
+			} else {
+				fmt.Fprintf(b, "%s%s <- %s;\n", indent, st.Field, FormatExpr(st.Value))
+			}
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", indent, FormatExpr(st.Cond))
+			writeStmts(b, st.Then, indent+"  ")
+			if len(st.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				writeStmts(b, st.Else, indent+"  ")
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case *Foreach:
+			fmt.Fprintf(b, "%sforeach (%s %s : Extent<%s>) {\n", indent, st.VarType, st.VarName, st.VarType)
+			writeStmts(b, st.Body, indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+		}
+	}
+}
+
+// FormatExpr renders an expression. Parenthesization is conservative
+// (every binary operation is wrapped), which keeps the printer simple and
+// the round-trip exact.
+func FormatExpr(e Expr) string {
+	switch ex := e.(type) {
+	case *Num:
+		return num(ex.Val)
+	case *Ref:
+		return ex.Name
+	case *This:
+		return "this"
+	case *FieldRef:
+		return FormatExpr(ex.On) + "." + ex.Field
+	case *Unary:
+		return ex.Op + parenthesize(ex.X)
+	case *Binary:
+		return "(" + FormatExpr(ex.L) + " " + ex.Op + " " + FormatExpr(ex.R) + ")"
+	case *Call:
+		args := make([]string, len(ex.Args))
+		for i, a := range ex.Args {
+			args[i] = FormatExpr(a)
+		}
+		return ex.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}
+
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *Num, *Ref, *This, *Call, *FieldRef:
+		return FormatExpr(e)
+	default:
+		return "(" + FormatExpr(e) + ")"
+	}
+}
+
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,283 @@
+package brasil
+
+import "fmt"
+
+// Invert implements the effect-inversion optimization of §4.2 and
+// Theorems 2–3 (App. B.2): it rewrites a script with non-local effect
+// assignments into an equivalent script with only local assignments, so
+// the engine can process each tick with one MapReduce pass instead of two.
+//
+// The transformation follows the proof of Theorem 2: the acting agent
+// simulates, for every visible agent p, the assignments p would have made
+// *to the acting agent*, by swapping the roles of `this` and the loop
+// variable in the assignment's value and in every enclosing condition. A
+// non-local assignment is invertible here when every expression involved
+// references only the pair {this, loop variable} — the case where a
+// visibility radius of R already suffices (the general Theorem 3 bound of
+// 2R is needed only when values route information through third agents;
+// the monad package exercises that bound formally).
+//
+// When the original script has a distance-bound visibility constraint,
+// the swapped statements are wrapped in an explicit `if (dist(this,p) <=
+// R)` guard so that the inverted script assigns exactly the effects the
+// original's visibility semantics permitted (Theorem 1 equivalence).
+//
+// Invert returns a new Class; the input is not modified.
+func Invert(ck *Checked) (*Class, error) {
+	cl := ck.Class
+	out := &Class{Name: cl.Name, Fields: cl.Fields, Pos: cl.Pos}
+	run := &MethodDecl{Name: "run", Public: cl.Run.Public, Pos: cl.Run.Pos}
+	for _, s := range cl.Run.Body {
+		switch st := s.(type) {
+		case *Foreach:
+			inv, err := invertForeach(ck, st)
+			if err != nil {
+				return nil, err
+			}
+			run.Body = append(run.Body, inv)
+		default:
+			if containsNonLocal(ck, []Stmt{s}) {
+				return nil, fmt.Errorf("brasil: non-local assignment outside a foreach loop cannot be inverted")
+			}
+			run.Body = append(run.Body, s)
+		}
+	}
+	out.Run = run
+	return out, nil
+}
+
+func invertForeach(ck *Checked, fe *Foreach) (*Foreach, error) {
+	if !containsNonLocal(ck, fe.Body) {
+		return fe, nil
+	}
+	inv := &Foreach{VarName: fe.VarName, VarType: fe.VarType, Pos: fe.Pos}
+	sw := &swapper{ck: ck, loopVar: fe.VarName}
+
+	// Keep the local halves verbatim; append the swapped non-local halves.
+	local, err := stripNonLocal(ck, fe.Body, fe.VarName)
+	if err != nil {
+		return nil, err
+	}
+	swapped, err := sw.stmts(onlyNonLocal(ck, fe.Body, fe.VarName))
+	if err != nil {
+		return nil, err
+	}
+	if ck.Visibility > 0 {
+		// Re-impose the original visibility bound explicitly (see doc).
+		swapped = []Stmt{&If{
+			Cond: &Binary{
+				Op: "<=",
+				L:  &Call{Name: "dist", Args: []Expr{&This{}, &Ref{Name: fe.VarName}}},
+				R:  &Num{Val: ck.Visibility},
+			},
+			Then: swapped,
+			Pos:  fe.Pos,
+		}}
+	}
+	inv.Body = append(append([]Stmt{}, local...), swapped...)
+	return inv, nil
+}
+
+// containsNonLocal reports whether any statement performs a non-local
+// effect assignment.
+func containsNonLocal(ck *Checked, stmts []Stmt) bool {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignEffect:
+			if st.On != nil {
+				if _, isThis := st.On.(*This); !isThis {
+					return true
+				}
+			}
+		case *If:
+			if containsNonLocal(ck, st.Then) || containsNonLocal(ck, st.Else) {
+				return true
+			}
+		case *Foreach:
+			if containsNonLocal(ck, st.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stripNonLocal returns the statements with non-local assignments removed
+// (keeping local assignments, declarations and control flow intact, and
+// dropping conditionals that become empty).
+func stripNonLocal(ck *Checked, stmts []Stmt, loopVar string) ([]Stmt, error) {
+	var out []Stmt
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignEffect:
+			if st.On != nil {
+				if _, isThis := st.On.(*This); !isThis {
+					continue
+				}
+			}
+			out = append(out, st)
+		case *If:
+			then, err := stripNonLocal(ck, st.Then, loopVar)
+			if err != nil {
+				return nil, err
+			}
+			els, err := stripNonLocal(ck, st.Else, loopVar)
+			if err != nil {
+				return nil, err
+			}
+			if len(then)+len(els) > 0 {
+				out = append(out, &If{Cond: st.Cond, Then: then, Else: els, Pos: st.Pos})
+			}
+		case *Foreach:
+			return nil, fmt.Errorf("brasil: cannot invert nested foreach loops")
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// onlyNonLocal returns the statements with only the non-local assignments
+// retained (under their guarding conditionals).
+func onlyNonLocal(ck *Checked, stmts []Stmt, loopVar string) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *AssignEffect:
+			if st.On != nil {
+				if _, isThis := st.On.(*This); !isThis {
+					out = append(out, st)
+				}
+			}
+		case *If:
+			then := onlyNonLocal(ck, st.Then, loopVar)
+			els := onlyNonLocal(ck, st.Else, loopVar)
+			if len(then)+len(els) > 0 {
+				out = append(out, &If{Cond: st.Cond, Then: then, Else: els, Pos: st.Pos})
+			}
+		}
+	}
+	return out
+}
+
+// swapper rewrites expressions with the roles of `this` and the loop
+// variable exchanged.
+type swapper struct {
+	ck      *Checked
+	loopVar string
+}
+
+func (s *swapper) stmts(in []Stmt) ([]Stmt, error) {
+	var out []Stmt
+	for _, st := range in {
+		switch x := st.(type) {
+		case *AssignEffect:
+			// Non-local p.f <- E becomes local f <- swap(E). The target
+			// must be the loop variable itself; anything else cannot be
+			// expressed as a pairwise swap.
+			if r, ok := x.On.(*Ref); !ok || r.Name != s.loopVar {
+				return nil, fmt.Errorf("brasil: non-local assignment through %v is not invertible", x.On)
+			}
+			v, err := s.expr(x.Value)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &AssignEffect{Field: x.Field, Value: v, Pos: x.Pos})
+		case *If:
+			cond, err := s.expr(x.Cond)
+			if err != nil {
+				return nil, err
+			}
+			then, err := s.stmts(x.Then)
+			if err != nil {
+				return nil, err
+			}
+			els, err := s.stmts(x.Else)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &If{Cond: cond, Then: then, Else: els, Pos: x.Pos})
+		default:
+			return nil, fmt.Errorf("brasil: statement %T is not invertible", st)
+		}
+	}
+	return out, nil
+}
+
+// expr returns e with this ↔ loopVar swapped. Locals and effect reads are
+// rejected: their values depend on the acting agent's private computation,
+// which the swapped perspective cannot reproduce pairwise.
+func (s *swapper) expr(e Expr) (Expr, error) {
+	switch ex := e.(type) {
+	case *Num:
+		return ex, nil
+
+	case *This:
+		return &Ref{Name: s.loopVar, Pos: ex.Pos}, nil
+
+	case *Ref:
+		ri, ok := s.ck.Refs[ex]
+		if !ok {
+			return nil, fmt.Errorf("brasil: unresolved %q during inversion", ex.Name)
+		}
+		switch ri.kind {
+		case refAgent:
+			if ex.Name == s.loopVar {
+				return &This{Pos: ex.Pos}, nil
+			}
+			return nil, fmt.Errorf("brasil: foreign loop variable %q is not invertible", ex.Name)
+		case refState:
+			// Bare state read of this → the loop variable's field.
+			return &FieldRef{On: &Ref{Name: s.loopVar, Pos: ex.Pos}, Field: ex.Name, Pos: ex.Pos}, nil
+		case refLocal:
+			return nil, fmt.Errorf("brasil: local %q in a non-local assignment prevents inversion (declare it inside the loop from pair state only)", ex.Name)
+		default:
+			return nil, fmt.Errorf("brasil: effect read %q in a non-local assignment prevents inversion", ex.Name)
+		}
+
+	case *FieldRef:
+		switch on := ex.On.(type) {
+		case *This:
+			return &FieldRef{On: &Ref{Name: s.loopVar, Pos: ex.Pos}, Field: ex.Field, Pos: ex.Pos}, nil
+		case *Ref:
+			ri, ok := s.ck.Refs[on]
+			if ok && ri.kind == refAgent && on.Name == s.loopVar {
+				// p.f → this's bare field.
+				return &Ref{Name: ex.Field, Pos: ex.Pos}, nil
+			}
+			return nil, fmt.Errorf("brasil: field access through %q is not invertible", on.Name)
+		default:
+			return nil, fmt.Errorf("brasil: field access through %T is not invertible", ex.On)
+		}
+
+	case *Unary:
+		x, err := s.expr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: ex.Op, X: x, Pos: ex.Pos}, nil
+
+	case *Binary:
+		l, err := s.expr(ex.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.expr(ex.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: ex.Op, L: l, R: r, Pos: ex.Pos}, nil
+
+	case *Call:
+		args := make([]Expr, len(ex.Args))
+		for i, a := range ex.Args {
+			v, err := s.expr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return &Call{Name: ex.Name, Args: args, Pos: ex.Pos}, nil
+	}
+	return nil, fmt.Errorf("brasil: expression %T is not invertible", e)
+}

@@ -1,0 +1,189 @@
+package brasil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer turns BRASIL source into tokens. It supports //-line and /* */
+// block comments, decimal and scientific number literals, and the #range
+// constraint tag syntax of §4.1.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+	toks []Token
+}
+
+// Lex tokenizes a whole source file.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: []rune(src), line: 1, col: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.Kind == TokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := Token{Line: l.line, Col: l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errAt(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-char operators, longest first.
+var multiOps = []string{"<-", "<=", ">=", "==", "!=", "&&", "||"}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	t := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		t.Kind = TokEOF
+		return t, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '#':
+		l.advance()
+		var b strings.Builder
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek())) {
+			b.WriteRune(l.advance())
+		}
+		if b.Len() == 0 {
+			return Token{}, errAt(t, "stray '#'")
+		}
+		t.Kind = TokHashTag
+		t.Text = "#" + b.String()
+		return t, nil
+
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			b.WriteRune(l.advance())
+		}
+		t.Text = b.String()
+		if keywords[t.Text] {
+			t.Kind = TokKeyword
+		} else {
+			t.Kind = TokIdent
+		}
+		return t, nil
+
+	case unicode.IsDigit(r) || (r == '.' && unicode.IsDigit(l.peek2())):
+		var b strings.Builder
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			c := l.peek()
+			switch {
+			case unicode.IsDigit(c):
+				b.WriteRune(l.advance())
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				b.WriteRune(l.advance())
+			case (c == 'e' || c == 'E') && !seenExp && b.Len() > 0:
+				seenExp = true
+				b.WriteRune(l.advance())
+				if l.peek() == '+' || l.peek() == '-' {
+					b.WriteRune(l.advance())
+				}
+			default:
+				goto doneNum
+			}
+		}
+	doneNum:
+		t.Kind = TokNumber
+		t.Text = b.String()
+		return t, nil
+
+	default:
+		// Multi-char operators first.
+		rest := string(l.src[l.pos:min(l.pos+2, len(l.src))])
+		for _, op := range multiOps {
+			if strings.HasPrefix(rest, op) {
+				l.advance()
+				l.advance()
+				t.Kind = TokPunct
+				t.Text = op
+				return t, nil
+			}
+		}
+		switch r {
+		case '{', '}', '(', ')', '[', ']', ';', ':', ',', '.',
+			'+', '-', '*', '/', '%', '<', '>', '=', '!':
+			l.advance()
+			t.Kind = TokPunct
+			t.Text = string(r)
+			return t, nil
+		}
+		return Token{}, errAt(t, "unexpected character %q", string(r))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

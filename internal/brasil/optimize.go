@@ -1,0 +1,260 @@
+package brasil
+
+import "math"
+
+// This file implements the algebraic optimizations of §4.2 that operate
+// directly on the AST: constant folding (a representative of the standard
+// relational/monad-algebra rewrites) and automatic index selection, which
+// turns a distance-guarded foreach into an orthogonal range probe — the
+// optimization behind Fig. 3's log-linear curve.
+
+// foldClass folds constants in every expression of the class, in place.
+func foldClass(cl *Class) {
+	for _, f := range cl.Fields {
+		if f.Update != nil {
+			f.Update = fold(f.Update)
+		}
+	}
+	if cl.Run != nil {
+		foldStmts(cl.Run.Body)
+	}
+}
+
+func foldStmts(stmts []Stmt) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *VarDecl:
+			st.Init = fold(st.Init)
+		case *AssignEffect:
+			st.Value = fold(st.Value)
+		case *If:
+			st.Cond = fold(st.Cond)
+			foldStmts(st.Then)
+			foldStmts(st.Else)
+		case *Foreach:
+			foldStmts(st.Body)
+		}
+	}
+}
+
+// fold performs bottom-up constant folding. rand() is never folded; all
+// other builtins are pure.
+func fold(e Expr) Expr {
+	switch ex := e.(type) {
+	case *Unary:
+		ex.X = fold(ex.X)
+		if n, ok := ex.X.(*Num); ok {
+			switch ex.Op {
+			case "-":
+				return &Num{Val: -n.Val, Pos: ex.Pos}
+			case "!":
+				return &Num{Val: b2f(n.Val == 0), Pos: ex.Pos}
+			}
+		}
+		return ex
+
+	case *Binary:
+		ex.L = fold(ex.L)
+		ex.R = fold(ex.R)
+		l, lok := ex.L.(*Num)
+		r, rok := ex.R.(*Num)
+		if lok && rok {
+			if v, ok := evalConstBinary(ex.Op, l.Val, r.Val); ok {
+				return &Num{Val: v, Pos: ex.Pos}
+			}
+		}
+		// Algebraic identities: x+0, x*1, x*0, 0/x keep the tree small.
+		if rok {
+			switch {
+			case ex.Op == "+" && r.Val == 0,
+				ex.Op == "-" && r.Val == 0,
+				ex.Op == "*" && r.Val == 1,
+				ex.Op == "/" && r.Val == 1:
+				return ex.L
+			}
+		}
+		if lok {
+			switch {
+			case ex.Op == "+" && l.Val == 0:
+				return ex.R
+			case ex.Op == "*" && l.Val == 1:
+				return ex.R
+			}
+		}
+		return ex
+
+	case *Call:
+		for i := range ex.Args {
+			ex.Args[i] = fold(ex.Args[i])
+		}
+		if ex.Name == "rand" || ex.Name == "dist" {
+			return ex
+		}
+		vals := make([]float64, len(ex.Args))
+		for i, a := range ex.Args {
+			n, ok := a.(*Num)
+			if !ok {
+				return ex
+			}
+			vals[i] = n.Val
+		}
+		if v, ok := evalConstCall(ex.Name, vals); ok {
+			return &Num{Val: v, Pos: ex.Pos}
+		}
+		return ex
+
+	case *FieldRef:
+		ex.On = fold(ex.On)
+		return ex
+	}
+	return e
+}
+
+func evalConstBinary(op string, l, r float64) (float64, bool) {
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		return l / r, true
+	case "%":
+		return math.Mod(l, r), true
+	case "<":
+		return b2f(l < r), true
+	case "<=":
+		return b2f(l <= r), true
+	case ">":
+		return b2f(l > r), true
+	case ">=":
+		return b2f(l >= r), true
+	case "==":
+		return b2f(l == r), true
+	case "!=":
+		return b2f(l != r), true
+	case "&&":
+		return b2f(l != 0 && r != 0), true
+	case "||":
+		return b2f(l != 0 || r != 0), true
+	}
+	return 0, false
+}
+
+func evalConstCall(name string, v []float64) (float64, bool) {
+	switch name {
+	case "abs":
+		return math.Abs(v[0]), true
+	case "sqrt":
+		return math.Sqrt(v[0]), true
+	case "floor":
+		return math.Floor(v[0]), true
+	case "exp":
+		return math.Exp(v[0]), true
+	case "log":
+		return math.Log(v[0]), true
+	case "sin":
+		return math.Sin(v[0]), true
+	case "cos":
+		return math.Cos(v[0]), true
+	case "min":
+		return math.Min(v[0], v[1]), true
+	case "max":
+		return math.Max(v[0], v[1]), true
+	case "pow":
+		return math.Pow(v[0], v[1]), true
+	case "cond":
+		if v[0] != 0 {
+			return v[1], true
+		}
+		return v[2], true
+	}
+	return 0, false
+}
+
+// selectIndexes installs Radius hints on foreach loops whose body is a
+// single distance guard `if (dist(this, p) < R) {...}` (or dist(p, this),
+// or <=) where R does not depend on the loop variable. The guard stays in
+// place — the index probe is an over-approximation and the residual filter
+// preserves exact semantics — but the engine now visits O(k) candidates
+// instead of the whole visible set.
+func selectIndexes(ck *Checked) {
+	var walk func(stmts []Stmt)
+	walk = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *If:
+				walk(st.Then)
+				walk(st.Else)
+			case *Foreach:
+				tryIndexForeach(ck, st)
+				walk(st.Body)
+			}
+		}
+	}
+	walk(ck.Class.Run.Body)
+}
+
+func tryIndexForeach(ck *Checked, fe *Foreach) {
+	if fe.Radius != nil || len(fe.Body) != 1 {
+		return
+	}
+	guard, ok := fe.Body[0].(*If)
+	if !ok || guard.Else != nil {
+		return
+	}
+	bin, ok := guard.Cond.(*Binary)
+	if !ok || (bin.Op != "<" && bin.Op != "<=") {
+		return
+	}
+	call, ok := bin.L.(*Call)
+	if !ok || call.Name != "dist" || len(call.Args) != 2 {
+		return
+	}
+	if !distMentions(ck, call, fe.VarName) {
+		return
+	}
+	if mentionsVar(ck, bin.R, fe.VarName) {
+		return
+	}
+	fe.Radius = bin.R
+}
+
+// distMentions reports whether the dist() call is between this and the
+// loop variable (in either order).
+func distMentions(ck *Checked, call *Call, loopVar string) bool {
+	isThis := func(e Expr) bool { _, ok := e.(*This); return ok }
+	isVar := func(e Expr) bool {
+		r, ok := e.(*Ref)
+		if !ok {
+			return false
+		}
+		ri, ok := ck.Refs[r]
+		return ok && ri.kind == refAgent && r.Name == loopVar
+	}
+	a, b := call.Args[0], call.Args[1]
+	return isThis(a) && isVar(b) || isVar(a) && isThis(b)
+}
+
+// mentionsVar reports whether e references the loop variable.
+func mentionsVar(ck *Checked, e Expr, name string) bool {
+	switch ex := e.(type) {
+	case *Ref:
+		ri, ok := ck.Refs[ex]
+		return ok && ri.kind == refAgent && ex.Name == name
+	case *FieldRef:
+		return mentionsVar(ck, ex.On, name)
+	case *Unary:
+		return mentionsVar(ck, ex.X, name)
+	case *Binary:
+		return mentionsVar(ck, ex.L, name) || mentionsVar(ck, ex.R, name)
+	case *Call:
+		for _, a := range ex.Args {
+			if mentionsVar(ck, a, name) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,545 @@
+package brasil
+
+import "strconv"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses one BRASIL class file.
+func Parse(src string) (*Class, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	c, err := p.parseClass()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, errAt(p.cur(), "trailing input after class declaration")
+	}
+	return c, nil
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[TokKind]string{TokIdent: "identifier", TokNumber: "number"}[kind]
+	}
+	return Token{}, errAt(p.cur(), "expected %s, found %s", want, p.cur())
+}
+
+func (p *parser) parseClass() (*Class, error) {
+	start, err := p.expect(TokKeyword, "class")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	c := &Class{Name: name.Text, Pos: start}
+	for !p.at(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, errAt(p.cur(), "unterminated class body")
+		}
+		if err := p.parseMember(c); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	if c.Run == nil {
+		return nil, errAt(start, "class %s has no run() method", c.Name)
+	}
+	return c, nil
+}
+
+func (p *parser) parseMember(c *Class) error {
+	public := true
+	switch {
+	case p.accept(TokKeyword, "public"):
+	case p.accept(TokKeyword, "private"):
+		public = false
+	}
+	switch {
+	case p.at(TokKeyword, "state") || p.at(TokKeyword, "effect"):
+		f, err := p.parseField(public)
+		if err != nil {
+			return err
+		}
+		c.Fields = append(c.Fields, f)
+		return nil
+	case p.at(TokKeyword, "void"):
+		m, err := p.parseMethod(public)
+		if err != nil {
+			return err
+		}
+		if m.Name == "run" {
+			if c.Run != nil {
+				return errAt(m.Pos, "duplicate run() method")
+			}
+			c.Run = m
+		} else {
+			return errAt(m.Pos, "only run() is supported; found method %q", m.Name)
+		}
+		return nil
+	default:
+		return errAt(p.cur(), "expected field or method declaration, found %s", p.cur())
+	}
+}
+
+func (p *parser) parseField(public bool) (*FieldDecl, error) {
+	kindTok := p.next() // state | effect
+	isState := kindTok.Text == "state"
+	typTok := p.cur()
+	if !p.accept(TokKeyword, "float") && !p.accept(TokKeyword, "int") && !p.accept(TokKeyword, "bool") {
+		return nil, errAt(typTok, "expected field type (float/int/bool), found %s", typTok)
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	f := &FieldDecl{
+		Name: name.Text, Public: public, IsState: isState,
+		Type: typTok.Text, Pos: kindTok,
+	}
+	if _, err := p.expect(TokPunct, ":"); err != nil {
+		return nil, err
+	}
+	if isState {
+		// Update rule expression.
+		f.Update, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		comb, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, errAt(p.cur(), "effect %s needs a combinator name", f.Name)
+		}
+		f.Comb = comb.Text
+	}
+	// Optional constraint tags before the terminating semicolon, in the
+	// paper's Fig. 2 style: `...: (x+vx); #range[-1,1];`. Accept the tag
+	// either before or after the first semicolon.
+	if err := p.parseTags(f); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if err := p.parseTags(f); err != nil {
+		return nil, err
+	}
+	if f.Range != nil {
+		p.accept(TokPunct, ";")
+	}
+	return f, nil
+}
+
+func (p *parser) parseTags(f *FieldDecl) error {
+	for p.at(TokHashTag, "") {
+		tag := p.next()
+		switch tag.Text {
+		case "#range":
+			if _, err := p.expect(TokPunct, "["); err != nil {
+				return err
+			}
+			lo, err := p.parseSignedNumber()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(TokPunct, ","); err != nil {
+				return err
+			}
+			hi, err := p.parseSignedNumber()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return err
+			}
+			if hi < lo {
+				return errAt(tag, "#range bounds inverted: [%g,%g]", lo, hi)
+			}
+			f.Range = &RangeTag{Lo: lo, Hi: hi}
+		default:
+			return errAt(tag, "unknown constraint tag %s", tag.Text)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseSignedNumber() (float64, error) {
+	neg := p.accept(TokPunct, "-")
+	t, err := p.expect(TokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(t.Text, 64)
+	if err != nil {
+		return 0, errAt(t, "bad number %q", t.Text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) parseMethod(public bool) (*MethodDecl, error) {
+	start := p.next() // void
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &MethodDecl{Name: name.Text, Public: public, Body: body, Pos: start}, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at(TokPunct, "}") {
+		if p.at(TokEOF, "") {
+			return nil, errAt(p.cur(), "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	switch {
+	case p.accept(TokPunct, ";"):
+		return nil, nil
+
+	case p.at(TokKeyword, "if"):
+		start := p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(TokKeyword, "else") {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els, Pos: start}, nil
+
+	case p.at(TokKeyword, "foreach"):
+		start := p.next()
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		typ, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ":"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "Extent"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "<"); err != nil {
+			return nil, err
+		}
+		ext, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if ext.Text != typ.Text {
+			return nil, errAt(ext, "extent class %s does not match loop type %s", ext.Text, typ.Text)
+		}
+		if _, err := p.expect(TokPunct, ">"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &Foreach{VarName: name.Text, VarType: typ.Text, Body: body, Pos: start}, nil
+
+	case p.accept(TokKeyword, "const") ||
+		p.at(TokKeyword, "float") || p.at(TokKeyword, "int") || p.at(TokKeyword, "bool"):
+		typTok := p.cur()
+		if !p.accept(TokKeyword, "float") && !p.accept(TokKeyword, "int") && !p.accept(TokKeyword, "bool") {
+			return nil, errAt(typTok, "expected type after const")
+		}
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name.Text, Type: typTok.Text, Init: init, Pos: typTok}, nil
+
+	default:
+		// Effect assignment: `name <- expr;` or `agentExpr.name <- expr;`.
+		start := p.cur()
+		lhs, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "<-"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		switch l := lhs.(type) {
+		case *Ref:
+			return &AssignEffect{Field: l.Name, Value: val, Pos: start}, nil
+		case *FieldRef:
+			if _, isThis := l.On.(*This); isThis {
+				return &AssignEffect{Field: l.Field, Value: val, Pos: start}, nil
+			}
+			return &AssignEffect{On: l.On, Field: l.Field, Value: val, Pos: start}, nil
+		default:
+			return nil, errAt(start, "invalid effect assignment target")
+		}
+	}
+}
+
+// Expression grammar, precedence climbing.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPunct, "||") {
+		op := p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r, Pos: op}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPunct, "&&") {
+		op := p.next()
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&&", L: l, R: r, Pos: op}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]bool{"<": true, ">": true, "<=": true, ">=": true, "==": true, "!=": true}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokPunct && cmpOps[p.cur().Text] {
+		op := p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: op.Text, L: l, R: r, Pos: op}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPunct, "+") || p.at(TokPunct, "-") {
+		op := p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Text, L: l, R: r, Pos: op}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPunct, "*") || p.at(TokPunct, "/") || p.at(TokPunct, "%") {
+		op := p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op.Text, L: l, R: r, Pos: op}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.at(TokPunct, "-") || p.at(TokPunct, "!") {
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op.Text, X: x, Pos: op}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPunct, ".") {
+		dot := p.next()
+		f, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		e = &FieldRef{On: e, Field: f.Text, Pos: dot}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errAt(t, "bad number %q", t.Text)
+		}
+		return &Num{Val: v, Pos: t}, nil
+
+	case p.accept(TokKeyword, "true"):
+		return &Num{Val: 1, Pos: t}, nil
+	case p.accept(TokKeyword, "false"):
+		return &Num{Val: 0, Pos: t}, nil
+	case p.accept(TokKeyword, "this"):
+		return &This{Pos: t}, nil
+
+	case t.Kind == TokIdent:
+		p.next()
+		if p.accept(TokPunct, "(") {
+			var args []Expr
+			if !p.at(TokPunct, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.Text, Args: args, Pos: t}, nil
+		}
+		return &Ref{Name: t.Text, Pos: t}, nil
+
+	case p.accept(TokPunct, "("):
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errAt(t, "expected expression, found %s", t)
+}

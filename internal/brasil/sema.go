@@ -1,0 +1,403 @@
+package brasil
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/bigreddata/brace/internal/agent"
+)
+
+// refKind classifies a resolved name.
+type refKind int
+
+const (
+	refLocal refKind = iota
+	refState
+	refEffect
+	refAgent // a foreach loop variable
+)
+
+// refInfo is the resolution of one reference: its kind and either a local
+// slot, a field index, or an agent-variable depth.
+type refInfo struct {
+	kind  refKind
+	index int
+}
+
+// typ is BRASIL's two-type universe: numbers (float/int/bool collapse to
+// float64) and agent references.
+type typ int
+
+const (
+	typNum typ = iota
+	typAgent
+)
+
+// Checked is the semantic-analysis result: the AST plus resolution tables
+// and the classifications the compiler and optimizer need.
+type Checked struct {
+	Class *Class
+
+	Fields    map[string]*FieldDecl
+	StateIdx  map[string]int // state field name → State vector index
+	EffectIdx map[string]int // effect field name → Effect vector index
+
+	Refs    map[*Ref]refInfo
+	FieldOf map[*FieldRef]refInfo
+	Agents  map[*Foreach]int // loop nesting depth (agent slot)
+	Locals  map[*VarDecl]int // local slot
+
+	NLocals int
+	NAgents int
+
+	// HasNonLocal reports whether run() contains a non-local effect
+	// assignment, forcing the two-reduce dataflow unless inverted.
+	HasNonLocal bool
+	// ReadsEffects reports whether run() reads any effect field (only
+	// legal outside foreach loops, and incompatible with non-local
+	// assignments whose aggregates are not yet final at read time).
+	ReadsEffects bool
+
+	// Visibility and Reach derive from the #range tags on the spatial
+	// fields x and y (0 = unbounded).
+	Visibility, Reach float64
+}
+
+type checker struct {
+	c      *Checked
+	errs   []error
+	scopes []map[string]refInfo // lexical scopes for locals/agent vars
+	depth  int                  // current foreach nesting
+}
+
+// Check performs semantic analysis on a parsed class.
+func Check(cl *Class) (*Checked, error) {
+	c := &Checked{
+		Class:     cl,
+		Fields:    map[string]*FieldDecl{},
+		StateIdx:  map[string]int{},
+		EffectIdx: map[string]int{},
+		Refs:      map[*Ref]refInfo{},
+		FieldOf:   map[*FieldRef]refInfo{},
+		Agents:    map[*Foreach]int{},
+		Locals:    map[*VarDecl]int{},
+	}
+	ck := &checker{c: c}
+
+	// Field table.
+	for _, f := range cl.Fields {
+		if _, dup := c.Fields[f.Name]; dup {
+			ck.errorf(f.Pos, "duplicate field %q", f.Name)
+			continue
+		}
+		c.Fields[f.Name] = f
+		if f.IsState {
+			c.StateIdx[f.Name] = len(c.StateIdx)
+		} else {
+			if _, err := agent.CombinatorByName(f.Comb); err != nil {
+				ck.errorf(f.Pos, "effect %q: unknown combinator %q", f.Name, f.Comb)
+			}
+			c.EffectIdx[f.Name] = len(c.EffectIdx)
+		}
+	}
+
+	// Spatial convention: state fields x and y are the agent position.
+	for _, name := range []string{"x", "y"} {
+		f, ok := c.Fields[name]
+		if !ok || !f.IsState {
+			ck.errorf(cl.Pos, "class %s needs state fields x and y for its spatial position", cl.Name)
+		}
+	}
+	// Visibility/reach from #range tags on the spatial fields (§4.1: the
+	// tagged interval bounds both inspection and movement on that axis).
+	// Visibility takes the largest tagged bound. Reach is only bounded
+	// when *both* axes carry tags: an untagged axis means unbounded
+	// movement there (e.g. a ring road wrapping x), and the engine's
+	// square crop must not clamp it — per-axis #range crops still apply
+	// individually in the update rules.
+	tagged := 0
+	for _, name := range []string{"x", "y"} {
+		if f, ok := c.Fields[name]; ok && f.Range != nil {
+			r := math.Max(math.Abs(f.Range.Lo), math.Abs(f.Range.Hi))
+			c.Visibility = math.Max(c.Visibility, r)
+			c.Reach = math.Max(c.Reach, r)
+			tagged++
+		}
+	}
+	if tagged < 2 {
+		c.Reach = 0
+	}
+
+	// Update rules.
+	for _, f := range cl.Fields {
+		if !f.IsState {
+			continue
+		}
+		if f.Update == nil {
+			ck.errorf(f.Pos, "state %q has no update rule", f.Name)
+			continue
+		}
+		ck.checkUpdateExpr(f.Update)
+	}
+
+	// Query script.
+	if cl.Run != nil {
+		ck.pushScope()
+		ck.checkStmts(cl.Run.Body)
+		ck.popScope()
+	}
+
+	if c.HasNonLocal && c.ReadsEffects {
+		ck.errorf(cl.Run.Pos,
+			"run() both assigns non-local effects and reads effect fields; partial aggregates are not final at read time")
+	}
+	if len(ck.errs) > 0 {
+		return nil, ck.errs[0]
+	}
+	return c, nil
+}
+
+func (ck *checker) errorf(t Token, format string, args ...any) {
+	ck.errs = append(ck.errs, errAt(t, format, args...))
+}
+
+func (ck *checker) pushScope() { ck.scopes = append(ck.scopes, map[string]refInfo{}) }
+func (ck *checker) popScope()  { ck.scopes = ck.scopes[:len(ck.scopes)-1] }
+
+func (ck *checker) lookup(name string) (refInfo, bool) {
+	for i := len(ck.scopes) - 1; i >= 0; i-- {
+		if ri, ok := ck.scopes[i][name]; ok {
+			return ri, true
+		}
+	}
+	return refInfo{}, false
+}
+
+func (ck *checker) checkStmts(stmts []Stmt) {
+	for _, s := range stmts {
+		ck.checkStmt(s)
+	}
+}
+
+func (ck *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *VarDecl:
+		t := ck.checkExpr(st.Init, false)
+		if t != typNum {
+			ck.errorf(st.Pos, "local %q must be numeric", st.Name)
+		}
+		slot := ck.c.NLocals
+		ck.c.NLocals++
+		ck.c.Locals[st] = slot
+		ck.scopes[len(ck.scopes)-1][st.Name] = refInfo{kind: refLocal, index: slot}
+
+	case *AssignEffect:
+		f, ok := ck.c.Fields[st.Field]
+		if !ok || f.IsState {
+			ck.errorf(st.Pos, "effect assignment target %q is not an effect field", st.Field)
+			return
+		}
+		if st.On != nil {
+			t := ck.checkExpr(st.On, false)
+			if t != typAgent {
+				ck.errorf(st.Pos, "assignment through a non-agent expression")
+			}
+			if _, isThis := st.On.(*This); !isThis {
+				ck.c.HasNonLocal = true
+			}
+		}
+		if ck.checkExpr(st.Value, false) != typNum {
+			ck.errorf(st.Pos, "effect value must be numeric")
+		}
+
+	case *If:
+		if ck.checkExpr(st.Cond, false) != typNum {
+			ck.errorf(st.Pos, "if condition must be boolean/numeric")
+		}
+		ck.pushScope()
+		ck.checkStmts(st.Then)
+		ck.popScope()
+		ck.pushScope()
+		ck.checkStmts(st.Else)
+		ck.popScope()
+
+	case *Foreach:
+		if st.VarType != ck.c.Class.Name {
+			ck.errorf(st.Pos, "foreach over %s, but only Extent<%s> exists", st.VarType, ck.c.Class.Name)
+		}
+		depth := ck.depth
+		ck.c.Agents[st] = depth
+		if depth+1 > ck.c.NAgents {
+			ck.c.NAgents = depth + 1
+		}
+		ck.pushScope()
+		ck.scopes[len(ck.scopes)-1][st.VarName] = refInfo{kind: refAgent, index: depth}
+		ck.depth++
+		ck.checkStmts(st.Body)
+		ck.depth--
+		ck.popScope()
+	}
+}
+
+// checkExpr type-checks an expression in the query script. inUpdate
+// selects the update-rule discipline instead.
+func (ck *checker) checkExpr(e Expr, inUpdate bool) typ {
+	switch ex := e.(type) {
+	case *Num:
+		return typNum
+
+	case *This:
+		if inUpdate {
+			ck.errorf(ex.Pos, "update rules cannot reference agents")
+		}
+		return typAgent
+
+	case *Ref:
+		if ri, ok := ck.lookup(ex.Name); ok && !inUpdate {
+			ck.c.Refs[ex] = ri
+			if ri.kind == refAgent {
+				return typAgent
+			}
+			return typNum
+		}
+		f, ok := ck.c.Fields[ex.Name]
+		if !ok {
+			ck.errorf(ex.Pos, "undefined name %q", ex.Name)
+			return typNum
+		}
+		if f.IsState {
+			ck.c.Refs[ex] = refInfo{kind: refState, index: ck.c.StateIdx[ex.Name]}
+			return typNum
+		}
+		// Effect read.
+		if !inUpdate {
+			if ck.depth > 0 {
+				ck.errorf(ex.Pos, "effect %q read inside a foreach loop (effects are write-only there)", ex.Name)
+			}
+			ck.c.ReadsEffects = true
+		}
+		ck.c.Refs[ex] = refInfo{kind: refEffect, index: ck.c.EffectIdx[ex.Name]}
+		return typNum
+
+	case *FieldRef:
+		if inUpdate {
+			ck.errorf(ex.Pos, "update rules read only the agent's own bare fields")
+			return typNum
+		}
+		if ck.checkExpr(ex.On, inUpdate) != typAgent {
+			ck.errorf(ex.Pos, "field access through a non-agent expression")
+			return typNum
+		}
+		f, ok := ck.c.Fields[ex.Field]
+		if !ok {
+			ck.errorf(ex.Pos, "undefined field %q", ex.Field)
+			return typNum
+		}
+		if f.IsState {
+			ck.c.FieldOf[ex] = refInfo{kind: refState, index: ck.c.StateIdx[ex.Field]}
+		} else {
+			// Reading another agent's effects is never legal; reading
+			// this.effect follows the same rule as a bare effect read.
+			if _, isThis := ex.On.(*This); !isThis {
+				ck.errorf(ex.Pos, "effect %q of another agent is not readable", ex.Field)
+			} else if ck.depth > 0 {
+				ck.errorf(ex.Pos, "effect %q read inside a foreach loop", ex.Field)
+			} else {
+				ck.c.ReadsEffects = true
+			}
+			ck.c.FieldOf[ex] = refInfo{kind: refEffect, index: ck.c.EffectIdx[ex.Field]}
+		}
+		return typNum
+
+	case *Unary:
+		if ck.checkExpr(ex.X, inUpdate) != typNum {
+			ck.errorf(ex.Pos, "unary %s needs a numeric operand", ex.Op)
+		}
+		return typNum
+
+	case *Binary:
+		lt := ck.checkExpr(ex.L, inUpdate)
+		rt := ck.checkExpr(ex.R, inUpdate)
+		if ex.Op == "==" || ex.Op == "!=" {
+			if lt != rt {
+				ck.errorf(ex.Pos, "cannot compare agent with number")
+			}
+			return typNum
+		}
+		if lt == typAgent || rt == typAgent {
+			ck.errorf(ex.Pos, "agent references only support == and !=")
+		}
+		return typNum
+
+	case *Call:
+		return ck.checkCall(ex, inUpdate)
+	}
+	return typNum
+}
+
+var numericBuiltins = map[string]int{
+	"abs": 1, "sqrt": 1, "floor": 1, "exp": 1, "log": 1,
+	"sin": 1, "cos": 1, "min": 2, "max": 2, "pow": 2,
+	// cond(c, a, b) is the eager ternary: a when c ≠ 0, else b. Both arms
+	// evaluate (no short-circuit), keeping rand() stream alignment trivial.
+	"cond": 3,
+}
+
+func (ck *checker) checkCall(ex *Call, inUpdate bool) typ {
+	switch ex.Name {
+	case "rand":
+		if !inUpdate {
+			ck.errorf(ex.Pos, "rand() is only available in update rules (query phases must be order-independent)")
+		}
+		if len(ex.Args) != 0 {
+			ck.errorf(ex.Pos, "rand() takes no arguments")
+		}
+		return typNum
+	case "dist":
+		if inUpdate {
+			ck.errorf(ex.Pos, "dist() is not available in update rules")
+			return typNum
+		}
+		if len(ex.Args) != 2 {
+			ck.errorf(ex.Pos, "dist() takes two agent arguments")
+			return typNum
+		}
+		for _, a := range ex.Args {
+			if ck.checkExpr(a, inUpdate) != typAgent {
+				ck.errorf(ex.Pos, "dist() arguments must be agents")
+			}
+		}
+		return typNum
+	default:
+		n, ok := numericBuiltins[ex.Name]
+		if !ok {
+			ck.errorf(ex.Pos, "unknown function %q", ex.Name)
+			return typNum
+		}
+		if len(ex.Args) != n {
+			ck.errorf(ex.Pos, "%s() takes %d argument(s), got %d", ex.Name, n, len(ex.Args))
+		}
+		for _, a := range ex.Args {
+			if ck.checkExpr(a, inUpdate) != typNum {
+				ck.errorf(ex.Pos, "%s() arguments must be numeric", ex.Name)
+			}
+		}
+		return typNum
+	}
+}
+
+// checkUpdateExpr applies the update-rule discipline: only the agent's own
+// state and effect fields plus numeric builtins and rand().
+func (ck *checker) checkUpdateExpr(e Expr) {
+	t := ck.checkExpr(e, true)
+	if t != typNum {
+		ck.errorf(ck.c.Class.Pos, "update rule must be numeric")
+	}
+}
+
+// Fprint formats a resolved field table for brasilc's -describe output.
+func (c *Checked) Describe() string {
+	s := fmt.Sprintf("class %s: %d state, %d effect fields; visibility %g, reach %g; non-local effects: %v\n",
+		c.Class.Name, len(c.StateIdx), len(c.EffectIdx), c.Visibility, c.Reach, c.HasNonLocal)
+	return s
+}

@@ -1,0 +1,65 @@
+// Package brasil implements BRASIL, the Big Red Agent SImulation Language
+// (paper §4): an object-oriented scripting language for agent behavior with
+// explicit support for the state-effect pattern. Scripts compile to an
+// executable dataflow plan that runs on the BRACE engine; the compiler
+// enforces the pattern's read/write restrictions and applies the algebraic
+// optimizations of §4.2 — automatic spatial-index selection and effect
+// inversion (Theorems 2 and 3).
+package brasil
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokPunct   // single/multi-char punctuation and operators
+	TokKeyword // reserved words
+	TokHashTag // #range and friends
+)
+
+// Token is one lexical unit with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"class": true, "public": true, "private": true,
+	"state": true, "effect": true, "const": true,
+	"float": true, "int": true, "bool": true, "void": true,
+	"if": true, "else": true, "foreach": true, "this": true,
+	"true": true, "false": true,
+	// Extent is contextual but reserving it avoids shadowing confusion.
+	"Extent": true,
+}
+
+// Error is a positioned compilation error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("brasil:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(t Token, format string, args ...any) *Error {
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}

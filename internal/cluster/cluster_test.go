@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTransportSendDrain(t *testing.T) {
+	tr := NewTransport(3)
+	if tr.N() != 3 {
+		t.Fatalf("N = %d", tr.N())
+	}
+	if err := tr.Send(Message{From: 0, To: 1, Tag: 7, Payload: "a", Bytes: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{From: 2, To: 1, Tag: 7, Payload: "b", Bytes: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pending(1) != 2 {
+		t.Errorf("Pending = %d", tr.Pending(1))
+	}
+	msgs := tr.Drain(1)
+	if len(msgs) != 2 {
+		t.Fatalf("Drain len = %d", len(msgs))
+	}
+	if tr.Pending(1) != 0 || len(tr.Drain(1)) != 0 {
+		t.Error("Drain did not clear inbox")
+	}
+	if err := tr.Send(Message{From: 0, To: 9}); err == nil {
+		t.Error("send to unknown node accepted")
+	}
+}
+
+func TestTransportLocalVsNetworkMetering(t *testing.T) {
+	tr := NewTransport(2)
+	tr.Send(Message{From: 0, To: 0, Bytes: 100}) // collocated
+	tr.Send(Message{From: 0, To: 1, Bytes: 300}) // network
+	m := tr.Metrics().Totals()
+	if m.LocalBytes != 100 || m.LocalMsgs != 1 {
+		t.Errorf("local = %+v", m)
+	}
+	if m.SentBytes != 300 || m.SentMsgs != 1 || m.RecvBytes != 300 {
+		t.Errorf("network = %+v", m)
+	}
+	frac := tr.Metrics().NetworkFraction()
+	if math.Abs(frac-0.75) > 1e-12 {
+		t.Errorf("NetworkFraction = %v, want 0.75", frac)
+	}
+	n0 := tr.Metrics().Node(0)
+	if n0.SentBytes != 300 || n0.LocalBytes != 100 {
+		t.Errorf("node0 = %+v", n0)
+	}
+	if !strings.Contains(tr.Metrics().String(), "net:") {
+		t.Error("Metrics.String format")
+	}
+}
+
+func TestTransportConcurrentSends(t *testing.T) {
+	tr := NewTransport(4)
+	var wg sync.WaitGroup
+	const per = 500
+	for from := 0; from < 4; from++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Send(Message{From: NodeID(f), To: NodeID((f + 1) % 4), Bytes: 1})
+			}
+		}(from)
+	}
+	wg.Wait()
+	total := 0
+	for n := 0; n < 4; n++ {
+		total += len(tr.Drain(NodeID(n)))
+	}
+	if total != 4*per {
+		t.Errorf("delivered %d, want %d", total, 4*per)
+	}
+}
+
+func TestTransportFailure(t *testing.T) {
+	tr := NewTransport(2)
+	tr.Send(Message{From: 0, To: 1, Bytes: 5})
+	tr.Fail(1)
+	if !tr.Failed(1) {
+		t.Error("Failed not reported")
+	}
+	if tr.Pending(1) != 0 {
+		t.Error("failure should discard queued messages")
+	}
+	tr.Send(Message{From: 0, To: 1, Bytes: 5}) // dropped
+	tr.Send(Message{From: 1, To: 0, Bytes: 5}) // dropped (from failed node)
+	if tr.Pending(1) != 0 || tr.Pending(0) != 0 {
+		t.Error("messages to/from failed node delivered")
+	}
+	tr.Recover(1)
+	if tr.Failed(1) {
+		t.Error("Recover did not clear failure")
+	}
+	tr.Send(Message{From: 0, To: 1, Bytes: 5})
+	if tr.Pending(1) != 1 {
+		t.Error("recovered node should receive")
+	}
+}
+
+func TestVClockBarrierTakesMax(t *testing.T) {
+	c := NewVClock(3, CostModel{SecPerVisit: 1}) // zero barrier cost for exactness
+	c.Charge(0, 1.0)
+	c.Charge(1, 2.5)
+	c.Charge(2, 0.5)
+	if got := c.PeekNode(1); got != 2.5 {
+		t.Errorf("PeekNode = %v", got)
+	}
+	d := c.Barrier()
+	if d != 2.5 {
+		t.Errorf("Barrier = %v, want max 2.5", d)
+	}
+	if c.Now() != 2.5 {
+		t.Errorf("Now = %v", c.Now())
+	}
+	// Accumulators reset.
+	if c.Barrier() != 0 {
+		t.Error("second barrier should be zero")
+	}
+	// Negative / zero charges ignored.
+	c.Charge(0, -5)
+	if c.Barrier() != 0 {
+		t.Error("negative charge affected clock")
+	}
+}
+
+func TestVClockChargeHelpers(t *testing.T) {
+	m := CostModel{SecPerVisit: 1, SecPerAgent: 10, SecPerByte: 100, SecPerMsg: 1000}
+	c := NewVClock(1, m)
+	c.ChargeCompute(0, 3, 2) // 3*1 + 2*10 = 23
+	c.ChargeNetwork(0, 2, 5) // 5*100 + 2*1000 = 2500
+	if d := c.Barrier(); d != 2523 {
+		t.Errorf("Barrier = %v, want 2523", d)
+	}
+	if c.Model() != m {
+		t.Error("Model accessor")
+	}
+}
+
+func TestVClockLoadImbalanceCostsTime(t *testing.T) {
+	// Balanced: 4 nodes × 1s work each per superstep → 1s per superstep.
+	// Imbalanced: all 4s of work on one node → 4s per superstep.
+	zero := CostModel{SecPerVisit: 1}
+	bal := NewVClock(4, zero)
+	imb := NewVClock(4, zero)
+	for i := 0; i < 10; i++ {
+		for n := 0; n < 4; n++ {
+			bal.Charge(NodeID(n), 1)
+		}
+		imb.Charge(0, 4)
+		bal.Barrier()
+		imb.Barrier()
+	}
+	if bal.Now() >= imb.Now() {
+		t.Errorf("balanced %v should beat imbalanced %v", bal.Now(), imb.Now())
+	}
+	if math.Abs(imb.Now()/bal.Now()-4) > 1e-9 {
+		t.Errorf("imbalance ratio = %v, want 4", imb.Now()/bal.Now())
+	}
+}
+
+func TestVClockConcurrentCharges(t *testing.T) {
+	c := NewVClock(8, CostModel{SecPerVisit: 1})
+	var wg sync.WaitGroup
+	for n := 0; n < 8; n++ {
+		wg.Add(1)
+		go func(id NodeID) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Charge(id, 0.001)
+			}
+		}(NodeID(n))
+	}
+	wg.Wait()
+	if d := c.Barrier(); math.Abs(d-1.0) > 1e-9 {
+		t.Errorf("Barrier = %v, want 1.0", d)
+	}
+}
+
+func TestFailurePlan(t *testing.T) {
+	p := NewFailurePlan().CrashAt(5, 2).CrashAt(5, 3).CrashAt(9, 0)
+	if p.Empty() {
+		t.Error("plan with events reported empty")
+	}
+	if got := p.At(4); got != nil {
+		t.Errorf("At(4) = %v", got)
+	}
+	got := p.At(5)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("At(5) = %v", got)
+	}
+	// Consumed: re-executing tick 5 after recovery must not crash again.
+	if got := p.At(5); got != nil {
+		t.Errorf("At(5) second call = %v", got)
+	}
+	p.At(9)
+	if !p.Empty() {
+		t.Error("plan should be empty after all events consumed")
+	}
+	var nilPlan *FailurePlan
+	if nilPlan.At(1) != nil || !nilPlan.Empty() {
+		t.Error("nil plan should be a no-op")
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	m := DefaultCostModel()
+	if m.SecPerVisit <= 0 || m.SecPerAgent <= 0 || m.SecPerByte <= 0 || m.SecPerMsg <= 0 || m.SecPerBarrier <= 0 {
+		t.Error("cost model must have positive coefficients")
+	}
+	// A barrier must cost real but sub-millisecond time.
+	if m.SecPerBarrier < 10e-6 || m.SecPerBarrier > 1e-3 {
+		t.Errorf("barrier cost %v implausible", m.SecPerBarrier)
+	}
+	// 1 GbE: a 1 MB transfer should cost around 8 ms.
+	sec := 1e6 * m.SecPerByte
+	if sec < 1e-3 || sec > 0.1 {
+		t.Errorf("1MB transfer = %v s, implausible for 1GbE", sec)
+	}
+}

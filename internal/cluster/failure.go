@@ -1,0 +1,36 @@
+package cluster
+
+// FailurePlan schedules worker crashes for fault-tolerance tests and the
+// checkpointing ablation: node Node crashes at the start of tick Tick
+// (0-based). The paper's prototype omitted checkpointing because failures
+// were unlikely at 60-node scale (§5.1); we implement and exercise the
+// design of §3.3 — coordinated epoch checkpoints, recovery by re-execution.
+type FailurePlan struct {
+	events map[uint64][]NodeID
+}
+
+// NewFailurePlan returns an empty plan (no failures).
+func NewFailurePlan() *FailurePlan {
+	return &FailurePlan{events: make(map[uint64][]NodeID)}
+}
+
+// CrashAt schedules node n to crash at the given tick.
+func (p *FailurePlan) CrashAt(tick uint64, n NodeID) *FailurePlan {
+	p.events[tick] = append(p.events[tick], n)
+	return p
+}
+
+// At returns the nodes scheduled to crash at tick, and removes them from
+// the plan so a re-executed tick (after recovery) does not crash again —
+// matching the usual "fail once, recover, continue" test discipline.
+func (p *FailurePlan) At(tick uint64) []NodeID {
+	if p == nil || p.events == nil {
+		return nil
+	}
+	ns := p.events[tick]
+	delete(p.events, tick)
+	return ns
+}
+
+// Empty reports whether no failures remain scheduled.
+func (p *FailurePlan) Empty() bool { return p == nil || len(p.events) == 0 }

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is one payload in flight between tasks. Payloads stay in memory
+// (this is a simulated network); Bytes carries the size the payload would
+// occupy on the wire, supplied by the sender (schemas know their encoded
+// size), so the cost model can charge transfer time without serializing.
+type Message struct {
+	From, To NodeID
+	Tag      int // phase tag, lets a receiver sanity-check routing
+	Payload  any
+	Bytes    int
+}
+
+// Transport delivers messages between nodes of the simulated cluster and
+// meters every delivery.
+//
+// The BRACE runtime is bulk-synchronous: a phase's sends all complete
+// before any receiver drains its inbox, so Transport exposes phase-oriented
+// Send/Drain rather than streaming channels. Send is safe for concurrent
+// use by many sending nodes; Drain(n) must not race with sends to n (the
+// runtime's barrier guarantees this).
+type Transport struct {
+	mu      sync.Mutex
+	inbox   [][]Message
+	metrics *Metrics
+	failed  []bool
+}
+
+// NewTransport creates a transport connecting n nodes.
+func NewTransport(n int) *Transport {
+	return &Transport{
+		inbox:   make([][]Message, n),
+		metrics: NewMetrics(n),
+		failed:  make([]bool, n),
+	}
+}
+
+// N returns the number of nodes.
+func (t *Transport) N() int { return len(t.inbox) }
+
+// Send enqueues a message for the destination node. Sends to or from a
+// failed node are dropped, mimicking a crashed worker; the runtime notices
+// the failure at the next barrier.
+func (t *Transport) Send(m Message) error {
+	if m.To < 0 || int(m.To) >= len(t.inbox) {
+		return fmt.Errorf("cluster: send to unknown node %d", m.To)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed[m.From] || t.failed[m.To] {
+		return nil // silently lost, like a dead TCP peer
+	}
+	t.inbox[m.To] = append(t.inbox[m.To], m)
+	t.metrics.recordSend(m.From, m.To, m.Bytes)
+	return nil
+}
+
+// Drain removes and returns all messages queued for node n, in arrival
+// order. Arrival order is deliberately *not* part of the runtime's
+// semantics (the state-effect pattern makes reducers order-independent);
+// tests shuffle drained batches to enforce that.
+func (t *Transport) Drain(n NodeID) []Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	msgs := t.inbox[n]
+	t.inbox[n] = nil
+	return msgs
+}
+
+// Pending returns the number of queued messages for node n without
+// removing them.
+func (t *Transport) Pending(n NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.inbox[n])
+}
+
+// Fail marks a node as crashed: its queued messages are discarded and all
+// future traffic involving it is dropped until Recover.
+func (t *Transport) Fail(n NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failed[n] = true
+	t.inbox[n] = nil
+}
+
+// Recover clears a node's failed status (after the master restores its
+// state from a checkpoint).
+func (t *Transport) Recover(n NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failed[n] = false
+}
+
+// Failed reports whether node n is currently marked crashed.
+func (t *Transport) Failed(n NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed[n]
+}
+
+// Metrics returns the transport's traffic counters.
+func (t *Transport) Metrics() *Metrics { return t.metrics }

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/geom"
+	"github.com/bigreddata/brace/internal/mapreduce"
+	"github.com/bigreddata/brace/internal/partition"
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+// The engine's envelopes are gob-registered, so a distributed simulation
+// can checkpoint its worker memories to disk and resume in a fresh
+// process-equivalent runtime, continuing bit-identically.
+func TestEngineDiskCheckpointResume(t *testing.T) {
+	m := newFlockModel(6)
+	base := makePop(m.s, 60, 30, 21)
+
+	// Reference: uninterrupted run.
+	ref, err := NewDistributed(m, clonePop(base), Options{Workers: 3, Index: spatial.KindKDTree, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.RunTicks(14); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: 6 ticks, save, load into a fresh engine, 8 more.
+	first, err := NewDistributed(m, clonePop(base), Options{Workers: 3, Index: spatial.KindKDTree, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.RunTicks(6); err != nil {
+		t.Fatal(err)
+	}
+	d := mapreduce.DiskCheckpoint[*Envelope]{Dir: t.TempDir()}
+	if err := d.Save(first.Runtime()); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := NewDistributed(m, nil, Options{
+		Workers: 3, Index: spatial.KindKDTree, Seed: 8,
+		// Partitioning is part of engine state; restore the same cuts.
+		InitialPartition: first.Partition(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick, err := d.Load(second.Runtime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick != 6 {
+		t.Fatalf("restored tick = %d", tick)
+	}
+	if err := second.RunTicks(8); err != nil {
+		t.Fatal(err)
+	}
+	popsExactlyEqual(t, "disk checkpoint resume", ref.Agents(), second.Agents())
+}
+
+// Epoch statistics must account for every agent: owned counts sum to the
+// live population at each epoch.
+func TestEpochOwnedCountsConsistent(t *testing.T) {
+	m := newFlockModel(6)
+	e, err := NewDistributed(m, makePop(m.s, 90, 45, 22), Options{
+		Workers: 4, Index: spatial.KindKDTree, Seed: 5, EpochTicks: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunTicks(12); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range e.Epochs() {
+		total := 0
+		for _, c := range ep.OwnedCounts {
+			total += c
+		}
+		if total != 90 {
+			t.Fatalf("epoch %d owned counts sum to %d, want 90", ep.Tick, total)
+		}
+		if ep.Imbalance < 1 {
+			t.Fatalf("epoch %d imbalance %v < 1", ep.Tick, ep.Imbalance)
+		}
+	}
+}
+
+// Load balancing is itself deterministic: two identically configured runs
+// with LB on rebalance identically and end in the same state.
+func TestLoadBalancerDeterministic(t *testing.T) {
+	m := newFlockModel(4)
+	mkrun := func() (agent.Population, []float64) {
+		pop := makePop(m.s, 120, 20, 23)
+		for i := 100; i < 120; i++ {
+			pop[i].SetPos(m.s, geom.V(60+float64(i), 0))
+		}
+		e, err := NewDistributed(m, pop, Options{
+			Workers: 4, Index: spatial.KindKDTree, Seed: 6,
+			LoadBalance: true, EpochTicks: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RunTicks(16); err != nil {
+			t.Fatal(err)
+		}
+		return e.Agents(), e.Partition().(*partition.Strips).Cuts()
+	}
+	a1, c1 := mkrun()
+	a2, c2 := mkrun()
+	popsExactlyEqual(t, "lb determinism", a1, a2)
+	if len(c1) != len(c2) {
+		t.Fatal("cut counts differ")
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("cut %d differs: %v vs %v", i, c1[i], c2[i])
+		}
+	}
+}

@@ -1,0 +1,496 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/cluster"
+	"github.com/bigreddata/brace/internal/geom"
+	"github.com/bigreddata/brace/internal/mapreduce"
+	"github.com/bigreddata/brace/internal/partition"
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+// Options configures a Distributed engine.
+type Options struct {
+	// Workers is the number of worker nodes (= spatial partitions).
+	Workers int
+	// Index selects the spatial index used by reducers; KindScan is the
+	// "no indexing" configuration of Figs. 3–4.
+	Index spatial.Kind
+	// Seed drives all simulation randomness.
+	Seed uint64
+	// EpochTicks is the master interaction interval (default 10).
+	EpochTicks int
+	// CheckpointEveryEpochs enables coordinated checkpoints (0 = off; an
+	// initial rollback point is still kept).
+	CheckpointEveryEpochs int
+	// LoadBalance enables the one-dimensional load balancer at epoch
+	// boundaries.
+	LoadBalance bool
+	// Balancer tunes load balancing; zero value means DefaultBalancer.
+	Balancer partition.Balancer
+	// Failures optionally schedules worker crashes.
+	Failures *cluster.FailurePlan
+	// CostModel, when non-nil, enables virtual-time accounting (see
+	// internal/cluster): required for the scale-up experiments.
+	CostModel *cluster.CostModel
+	// Sequential runs worker tasks one at a time (debugging/determinism).
+	Sequential bool
+	// InitialPartition overrides the automatic quantile strip
+	// partitioning with any partitioning function (e.g. partition.KD2D
+	// for 2-D median splits). Load balancing applies only when the
+	// function is a *partition.Strips.
+	InitialPartition partition.Func
+}
+
+// EpochStat records one epoch for the Fig. 8 style series.
+type EpochStat struct {
+	Tick        uint64
+	VirtualSec  float64 // virtual time consumed by this epoch's ticks
+	WallSec     float64
+	OwnedCounts []int
+	Imbalance   float64 // max/mean of owned counts
+	Rebalanced  bool
+}
+
+// Distributed is the BRACE engine: a Model executed as an iterated spatial
+// join on the MapReduce runtime.
+type Distributed struct {
+	model    Model
+	schema   *agent.Schema
+	combs    []agent.Combinator
+	opts     Options
+	nonLocal bool
+
+	part   partition.Func
+	rt     *mapreduce.Runtime[*Envelope]
+	vclock *cluster.VClock
+
+	// Per-worker tick counters; each worker writes only its own slot
+	// during a phase and the master reads after the phase barrier.
+	wOwned   []int64
+	wVisited []int64
+
+	// Reusable per-worker machinery.
+	ixs  []spatial.Index
+	envs []queryEnv
+
+	agentTicks   int64
+	visitedTotal int64
+	epochs       []EpochStat
+	lastEpochV   float64
+	lastEpochT   uint64
+	lastWall     time.Time
+	wallTotal    time.Duration
+	virtStart    float64
+}
+
+// NewDistributed builds the engine and loads the initial population.
+func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, error) {
+	if err := validateModel(m); err != nil {
+		return nil, err
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("engine: Workers must be ≥ 1, got %d", opts.Workers)
+	}
+	if opts.EpochTicks <= 0 {
+		opts.EpochTicks = 10
+	}
+	if opts.Balancer == (partition.Balancer{}) {
+		opts.Balancer = partition.DefaultBalancer()
+	}
+	s := m.Schema()
+	e := &Distributed{
+		model:    m,
+		schema:   s,
+		combs:    effectCombs(s),
+		opts:     opts,
+		nonLocal: modelNonLocal(m),
+		wOwned:   make([]int64, opts.Workers),
+		wVisited: make([]int64, opts.Workers),
+		ixs:      make([]spatial.Index, opts.Workers),
+		envs:     make([]queryEnv, opts.Workers),
+	}
+	for i := range e.ixs {
+		e.ixs[i] = spatial.New(opts.Index, indexCell(s))
+		e.envs[i] = queryEnv{schema: s, combs: e.combs, nonLocal: e.nonLocal}
+	}
+
+	// Initial partitioning: equal-count quantiles of the initial agent x
+	// positions (§3.3: "the master computes a partitioning function based
+	// on the visible regions of the agents and then broadcasts [it]").
+	if opts.InitialPartition != nil {
+		e.part = opts.InitialPartition
+	} else {
+		xs := make([]float64, len(pop))
+		for i, a := range pop {
+			xs[i] = a.Pos(s).X
+		}
+		e.part = partition.InitialStrips(xs, opts.Workers)
+	}
+	if e.part.N() != opts.Workers {
+		return nil, fmt.Errorf("engine: partitioning has %d regions, want %d workers", e.part.N(), opts.Workers)
+	}
+	if _, isStrips := e.part.(*partition.Strips); opts.LoadBalance && !isStrips {
+		return nil, fmt.Errorf("engine: load balancing requires a strip partitioning (the paper's 1-D balancer)")
+	}
+
+	if opts.CostModel != nil {
+		e.vclock = cluster.NewVClock(opts.Workers, *opts.CostModel)
+	}
+
+	job := mapreduce.Job[*Envelope]{
+		Name:    s.Name,
+		Map:     e.mapPhase,
+		Reduce1: e.reduce1,
+		SizeOf:  func(*Envelope) int { return s.ByteSize() },
+		Clone:   cloneEnvelope,
+	}
+	if e.nonLocal {
+		job.Reduce2 = e.reduce2
+	}
+	cfg := mapreduce.Config{
+		Workers:               opts.Workers,
+		EpochTicks:            opts.EpochTicks,
+		CheckpointEveryEpochs: opts.CheckpointEveryEpochs,
+		Failures:              opts.Failures,
+		Sequential:            opts.Sequential,
+		OnEpoch:               e.onEpoch,
+		SnapshotMaster: func() any {
+			if s, ok := e.part.(*partition.Strips); ok {
+				return s.Cuts()
+			}
+			return nil // static partitionings never change; nothing to save
+		},
+		RestoreMaster: func(v any) {
+			if v == nil {
+				return
+			}
+			p, err := partition.NewStripsFromCuts(v.([]float64))
+			if err != nil {
+				panic(err) // snapshots are produced by us; invalid means a bug
+			}
+			e.part = p
+		},
+	}
+	if e.vclock != nil {
+		cfg.VClock = e.vclock
+	}
+	e.rt = mapreduce.New(job, cfg)
+
+	// Place initial owned copies.
+	sorted := append(agent.Population(nil), pop...)
+	sort.Sort(sorted)
+	for _, a := range sorted {
+		p := e.part.Locate(a.Pos(s))
+		e.rt.Load(p, []*Envelope{{A: a, SrcPart: int32(p)}})
+	}
+	return e, nil
+}
+
+// indexCell picks a grid-index cell size near the visibility bound.
+func indexCell(s *agent.Schema) float64 {
+	if s.Visibility > 0 {
+		return s.Visibility
+	}
+	return 1
+}
+
+// mapPhase is mapᵗ₁: distribute and replicate (Table 1; update has already
+// run at the end of the previous tick's final reduce, which is collocated
+// with this map on the same worker).
+func (e *Distributed) mapPhase(ctx *mapreduce.Ctx, env *Envelope, emit mapreduce.Emit[*Envelope]) {
+	if env.Replica || env.A.Dead {
+		return
+	}
+	pos := env.A.Pos(e.schema)
+	owner := e.part.Locate(pos)
+	env.SrcPart = int32(owner)
+	emit(owner, env)
+	var scratch [64]int
+	for _, q := range partition.ReplicaTargets(e.part, pos, e.schema.Visibility, scratch[:0]) {
+		if q == owner {
+			continue
+		}
+		emit(q, &Envelope{A: env.A.Clone(), Replica: true, SrcPart: int32(owner)})
+	}
+}
+
+// reduce1 is reduceᵗ₁. In local mode it runs the full query phase and the
+// update phase for owned agents. In non-local mode it runs the query phase
+// (assigning effects to local copies) and ships partial aggregates to the
+// owners for reduce₂.
+func (e *Distributed) reduce1(ctx *mapreduce.Ctx, envs []*Envelope, emit mapreduce.Emit[*Envelope]) {
+	w := ctx.Worker
+	copies, owned := e.prepare(w, envs)
+	q := &e.envs[w]
+	q.copies = copies
+	q.ix = e.ixs[w]
+
+	before := q.ix.Stats().Visited
+	for _, oe := range owned {
+		q.self = oe.A
+		e.model.Query(oe.A, q)
+	}
+	visited := q.ix.Stats().Visited - before
+	e.wVisited[w] += visited
+	e.wOwned[w] += int64(len(owned))
+	if e.vclock != nil {
+		e.vclock.ChargeCompute(cluster.NodeID(w), visited, int64(len(owned)))
+	}
+
+	if !e.nonLocal {
+		for _, oe := range owned {
+			e.updateAndEmit(ctx, oe, emit)
+		}
+		return
+	}
+
+	// Non-local: route every touched copy to its owner for global ⊕.
+	for _, env := range envs {
+		if !env.Replica {
+			env.SrcPart = int32(w)
+			emit(int(ownerOf(e.part, e.schema, env)), env)
+			continue
+		}
+		if effectsAreIdentity(e.combs, env.A.Effect) {
+			continue // untouched replica: nothing to aggregate
+		}
+		env.SrcPart = int32(w)
+		emit(int(ownerOf(e.part, e.schema, env)), env)
+	}
+}
+
+func ownerOf(p partition.Func, s *agent.Schema, env *Envelope) int32 {
+	return int32(p.Locate(env.A.Pos(s)))
+}
+
+// reduce2 is reduceᵗ₂: global effect aggregation ⊕ followed by the update
+// phase (folded in here; the identity mapᵗ₂ is eliminated, §3.2).
+func (e *Distributed) reduce2(ctx *mapreduce.Ctx, envs []*Envelope, emit mapreduce.Emit[*Envelope]) {
+	w := ctx.Worker
+	// Group by agent; fold partials in ascending SrcPart order so the ⊕
+	// fold order is a function of the partitioning alone.
+	sort.Slice(envs, func(i, j int) bool {
+		if envs[i].A.ID != envs[j].A.ID {
+			return envs[i].A.ID < envs[j].A.ID
+		}
+		if envs[i].Replica != envs[j].Replica {
+			return !envs[i].Replica // owned copy first
+		}
+		return envs[i].SrcPart < envs[j].SrcPart
+	})
+	i := 0
+	for i < len(envs) {
+		j := i
+		for j < len(envs) && envs[j].A.ID == envs[i].A.ID {
+			j++
+		}
+		oe := envs[i]
+		if oe.Replica {
+			// Partials for an agent that died or was lost: drop.
+			i = j
+			continue
+		}
+		for _, pe := range envs[i+1 : j] {
+			agent.CombineEffects(e.schema, oe.A.Effect, pe.A.Effect)
+		}
+		e.updateAndEmit(ctx, oe, emit)
+		i = j
+	}
+	if e.vclock != nil {
+		e.vclock.ChargeCompute(cluster.NodeID(w), 0, int64(len(envs)))
+	}
+}
+
+// updateAndEmit runs the update phase for one owned agent, applies the
+// reachability crop, handles death and spawning, resets effects to θ, and
+// emits the owned copy to its (possibly new) owner partition.
+func (e *Distributed) updateAndEmit(ctx *mapreduce.Ctx, oe *Envelope, emit mapreduce.Emit[*Envelope]) {
+	a := oe.A
+	u := UpdateCtx{
+		Tick:   ctx.Tick,
+		RNG:    agent.NewRNG(e.opts.Seed, ctx.Tick, a.ID),
+		schema: e.schema,
+		self:   a.ID,
+	}
+	oldPos := a.Pos(e.schema)
+	e.model.Update(a, &u)
+	if r := e.schema.Reach; r > 0 {
+		// Reachability crop (§4.1): the update may move the agent at most
+		// r along each axis.
+		a.SetPos(e.schema, a.Pos(e.schema).Clamp(geom.Square(oldPos, r)))
+	}
+	e.schema.ResetEffects(a.Effect)
+	if !a.Dead {
+		owner := e.part.Locate(a.Pos(e.schema))
+		oe.Replica = false
+		oe.SrcPart = int32(owner)
+		emit(owner, oe)
+	}
+	for _, sp := range u.spawns {
+		owner := e.part.Locate(sp.Pos(e.schema))
+		emit(owner, &Envelope{A: sp, SrcPart: int32(owner)})
+	}
+}
+
+// prepare sorts this reducer's copies by agent ID, rebuilds the spatial
+// index over them, and returns the ID-sorted copies (as agents) plus the
+// owned envelopes.
+func (e *Distributed) prepare(w int, envs []*Envelope) (copies []*agent.Agent, owned []*Envelope) {
+	sort.Slice(envs, func(i, j int) bool { return envs[i].A.ID < envs[j].A.ID })
+	pts := make([]spatial.Point, len(envs))
+	copies = make([]*agent.Agent, len(envs))
+	for i, env := range envs {
+		copies[i] = env.A
+		pts[i] = spatial.Point{Pos: env.A.Pos(e.schema), ID: int32(i)}
+		if !env.Replica {
+			owned = append(owned, env)
+		}
+	}
+	e.ixs[w].Build(pts)
+	return copies, owned
+}
+
+// RunTicks advances the simulation n full ticks (query + update each).
+func (e *Distributed) RunTicks(n int) error {
+	e.lastWall = time.Now()
+	if e.vclock != nil && e.rt.Tick() == 0 {
+		e.virtStart = e.vclock.Now()
+	}
+	err := e.rt.RunTicks(n)
+	e.wallTotal += time.Since(e.lastWall)
+	return err
+}
+
+// onEpoch runs on the master at epoch boundaries: record statistics and,
+// when enabled, rebalance partitions.
+func (e *Distributed) onEpoch(tick uint64, v mapreduce.EpochView) {
+	counts := v.OwnedCounts()
+	loads := make([]float64, len(counts))
+	for i, c := range counts {
+		loads[i] = float64(c)
+	}
+	st := EpochStat{
+		Tick:        tick,
+		OwnedCounts: counts,
+		Imbalance:   partition.Imbalance(loads),
+	}
+	if e.vclock != nil {
+		now := e.vclock.Now()
+		st.VirtualSec = now - e.lastEpochV
+		e.lastEpochV = now
+	}
+
+	var owned, visited int64
+	for w := range e.wOwned {
+		owned += e.wOwned[w]
+		visited += e.wVisited[w]
+	}
+	e.agentTicks = owned
+	e.visitedTotal = visited
+
+	if e.opts.LoadBalance && tick > e.lastEpochT {
+		st.Rebalanced = e.rebalance()
+	}
+	e.lastEpochT = tick
+	e.epochs = append(e.epochs, st)
+}
+
+// rebalance gathers agent positions and per-partition cost estimates and
+// applies the balancer's plan when beneficial.
+func (e *Distributed) rebalance() bool {
+	strips, ok := e.part.(*partition.Strips)
+	if !ok {
+		return false // the 1-D balancer only adjusts strip cuts
+	}
+	var xs, costs []float64
+	for w := 0; w < e.opts.Workers; w++ {
+		vals := e.rt.Values(w)
+		perAgent := 1.0
+		if n := len(vals); n > 0 {
+			// Cost proxy: index candidates visited per owned agent in
+			// this epoch, plus fixed per-agent work.
+			perAgent = float64(e.wVisited[w])/float64(n) + 1
+		}
+		for _, env := range vals {
+			xs = append(xs, env.A.Pos(e.schema).X)
+			costs = append(costs, perAgent)
+		}
+	}
+	d := e.opts.Balancer.Plan(strips, xs, costs)
+	if !d.Apply {
+		return false
+	}
+	p, err := partition.NewStripsFromCuts(d.NewCuts)
+	if err != nil {
+		return false
+	}
+	e.part = p
+	return true
+}
+
+
+// Agents returns the current population, ID-sorted (owned copies only).
+func (e *Distributed) Agents() agent.Population {
+	var pop agent.Population
+	for _, env := range e.rt.AllValues() {
+		if !env.Replica && !env.A.Dead {
+			pop = append(pop, env.A)
+		}
+	}
+	sort.Sort(pop)
+	return pop
+}
+
+// Tick returns completed ticks.
+func (e *Distributed) Tick() uint64 { return e.rt.Tick() }
+
+// Partition returns the current partitioning function.
+func (e *Distributed) Partition() partition.Func { return e.part }
+
+// Runtime exposes the underlying MapReduce runtime (metrics, transport).
+func (e *Distributed) Runtime() *mapreduce.Runtime[*Envelope] { return e.rt }
+
+// Epochs returns per-epoch statistics recorded so far.
+func (e *Distributed) Epochs() []EpochStat { return e.epochs }
+
+// AgentTicks returns the total owned-agent query phases processed.
+func (e *Distributed) AgentTicks() int64 { return e.agentTicks }
+
+// Visited returns total index candidates examined across all reducers.
+func (e *Distributed) Visited() int64 { return e.visitedTotal }
+
+// VirtualSeconds returns virtual time consumed since construction (0 when
+// virtual accounting is disabled).
+func (e *Distributed) VirtualSeconds() float64 {
+	if e.vclock == nil {
+		return 0
+	}
+	return e.vclock.Now() - e.virtStart
+}
+
+// WallSeconds returns wall-clock time spent inside RunTicks.
+func (e *Distributed) WallSeconds() float64 { return e.wallTotal.Seconds() }
+
+// ThroughputVirtual returns agent-ticks per virtual second, the Fig. 5–7
+// metric.
+func (e *Distributed) ThroughputVirtual() float64 {
+	v := e.VirtualSeconds()
+	if v <= 0 {
+		return 0
+	}
+	return float64(e.agentTicks) / v
+}
+
+// ThroughputWall returns agent-ticks per wall second.
+func (e *Distributed) ThroughputWall() float64 {
+	w := e.WallSeconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(e.agentTicks) / w
+}

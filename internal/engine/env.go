@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+// queryEnv implements Env over one reducer's local copies (owned agents +
+// replicas). The copies slice is sorted by agent ID; iteration therefore
+// yields visible agents in ascending ID order no matter which index
+// implementation found them, making query phases deterministic across
+// index kinds and partition layouts (and giving the BRASIL weak-reference
+// visibility semantics of Theorem 1: agents outside the bound simply do
+// not appear).
+type queryEnv struct {
+	schema   *agent.Schema
+	combs    []agent.Combinator
+	nonLocal bool
+
+	copies []*agent.Agent // ID-sorted candidate set
+	ix     spatial.Index  // built over copies (Point.ID = index into copies)
+
+	self    *agent.Agent
+	scratch []int32
+	nnbuf   []spatial.Point
+}
+
+var _ Env = (*queryEnv)(nil)
+
+// Self implements Env.
+func (q *queryEnv) Self() *agent.Agent { return q.self }
+
+// ForEachVisible implements Env.
+func (q *queryEnv) ForEachVisible(fn func(*agent.Agent)) {
+	vis := q.schema.Visibility
+	if vis <= 0 {
+		for _, a := range q.copies {
+			fn(a)
+		}
+		return
+	}
+	q.rangeSorted(vis, fn)
+}
+
+// Nearby implements Env.
+func (q *queryEnv) Nearby(radius float64, fn func(*agent.Agent)) {
+	vis := q.schema.Visibility
+	if vis > 0 && radius > vis {
+		radius = vis
+	}
+	q.rangeSorted(radius, fn)
+}
+
+func (q *queryEnv) rangeSorted(radius float64, fn func(*agent.Agent)) {
+	q.scratch = q.scratch[:0]
+	q.ix.RangeCircle(q.self.Pos(q.schema), radius, func(p spatial.Point) {
+		q.scratch = append(q.scratch, p.ID)
+	})
+	// copies is ID-sorted, so sorting candidate slice positions sorts by
+	// agent ID. slices.Sort on int32 keeps this far cheaper than the
+	// query work itself.
+	slices.Sort(q.scratch)
+	for _, i := range q.scratch {
+		fn(q.copies[i])
+	}
+}
+
+// Nearest implements Env.
+func (q *queryEnv) Nearest(k int, buf []*agent.Agent) []*agent.Agent {
+	if k <= 0 {
+		return buf
+	}
+	pos := q.self.Pos(q.schema)
+	q.nnbuf = q.ix.Nearest(pos, k+1, q.nnbuf[:0])
+	vis := q.schema.Visibility
+	cand := q.scratch[:0]
+	for _, p := range q.nnbuf {
+		a := q.copies[p.ID]
+		if a.ID == q.self.ID {
+			continue
+		}
+		if vis > 0 && p.Pos.Dist2(pos) > vis*vis {
+			continue
+		}
+		cand = append(cand, p.ID)
+	}
+	// Canonical order: (distance, agent ID).
+	sort.Slice(cand, func(i, j int) bool {
+		di := q.copies[cand[i]].Pos(q.schema).Dist2(pos)
+		dj := q.copies[cand[j]].Pos(q.schema).Dist2(pos)
+		if di != dj {
+			return di < dj
+		}
+		return q.copies[cand[i]].ID < q.copies[cand[j]].ID
+	})
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	for _, i := range cand {
+		buf = append(buf, q.copies[i])
+	}
+	q.scratch = cand[:0]
+	return buf
+}
+
+// Assign implements Env.
+func (q *queryEnv) Assign(target *agent.Agent, effectIndex int, value float64) {
+	if !q.nonLocal && target.ID != q.self.ID {
+		panic(fmt.Sprintf(
+			"engine: non-local effect assignment (agent %d -> agent %d) in a local-effects model; implement NonLocalModel",
+			q.self.ID, target.ID))
+	}
+	c := q.combs[effectIndex]
+	target.Effect[effectIndex] = c.Combine(target.Effect[effectIndex], value)
+}
+
+// effectCombs caches the per-index combinators of a schema.
+func effectCombs(s *agent.Schema) []agent.Combinator {
+	combs := make([]agent.Combinator, s.NumEffect())
+	for _, f := range s.Fields() {
+		if f.Kind == agent.Effect {
+			combs[f.Index] = f.Comb
+		}
+	}
+	return combs
+}
+
+// effectsAreIdentity reports whether eff equals the identity vector θ; the
+// non-local reduce₁ only ships replicas whose effects were actually touched
+// (App. A: "∀i s.t. fᵗᵢ ≠ θ").
+func effectsAreIdentity(combs []agent.Combinator, eff []float64) bool {
+	for i, c := range combs {
+		if eff[i] != c.Identity() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"encoding/gob"
+
+	"github.com/bigreddata/brace/internal/agent"
+)
+
+// Envelope is the value flowing through the MapReduce dataflow: an agent
+// copy plus routing metadata. Between ticks only owned copies exist; during
+// a tick the map task adds replicas for every partition whose visible
+// region contains the agent (App. A).
+type Envelope struct {
+	A *agent.Agent
+	// Replica marks copies distributed for reading (and, in non-local
+	// mode, for collecting partial effect aggregates); the one non-replica
+	// copy per agent carries the authoritative state.
+	Replica bool
+	// SrcPart is the partition that produced this record. reduce₂ folds
+	// partial aggregates in ascending SrcPart order, making the global ⊕
+	// deterministic for a fixed partitioning.
+	SrcPart int32
+}
+
+func init() {
+	gob.Register(&Envelope{})
+}
+
+func cloneEnvelope(e *Envelope) *Envelope {
+	return &Envelope{A: e.A.Clone(), Replica: e.Replica, SrcPart: e.SrcPart}
+}

@@ -1,0 +1,118 @@
+// Package engine implements BRACE's core contribution: processing a
+// behavioral simulation as an *iterated spatial join* on a shared-nothing,
+// main-memory MapReduce runtime (paper §3).
+//
+// Each tick joins every agent with the agents in its visible region (the
+// query phase, run by reducers over replicated partitions) and then lets
+// every agent update its own state (the update phase). Simulations with
+// only local effect assignments use a single reduce per tick; simulations
+// with non-local assignments use the map-reduce-reduce model of §3.2 with a
+// second reduce that globally aggregates effect values at each agent's
+// owner partition.
+//
+// Two engines share the same Model interface: Distributed (the BRACE
+// runtime over internal/mapreduce) and Sequential (a single-loop reference
+// used for validation and as the single-node baseline).
+package engine
+
+import (
+	"fmt"
+
+	"github.com/bigreddata/brace/internal/agent"
+)
+
+// Model is the behavior of one agent class under the state-effect pattern.
+// Implementations must follow the pattern's read/write discipline (which
+// the BRASIL compiler enforces mechanically for scripted models):
+//
+//   - Query may read any visible agent's State, but writes only Effect
+//     fields, and only through Env.Assign;
+//   - Update may read and write only the agent's own fields;
+//   - Query must be insensitive to neighbor *iteration order* beyond what
+//     commutative effect combinators absorb. Env iterates visible agents
+//     in ascending agent-ID order, so any residual order dependence is at
+//     least deterministic.
+type Model interface {
+	// Schema describes the agent class.
+	Schema() *agent.Schema
+	// Query runs the query phase for self against its visible region.
+	Query(self *agent.Agent, env Env)
+	// Update runs the update phase: compute tick t+1 state from tick t
+	// state and aggregated effects.
+	Update(self *agent.Agent, u *UpdateCtx)
+}
+
+// NonLocalModel is implemented by models whose Query assigns effects to
+// agents other than self. The engine then uses the two-reduce dataflow.
+// Models without this method (or returning false) are run with the cheaper
+// single-reduce dataflow, and any non-local Assign panics — silently
+// dropping it would corrupt the simulation.
+type NonLocalModel interface {
+	HasNonLocalEffects() bool
+}
+
+// Env is the query phase's window onto the visible region. All iteration
+// respects the schema's visibility bound and runs in ascending agent-ID
+// order (see Model).
+type Env interface {
+	// Self returns the agent whose query phase is running.
+	Self() *agent.Agent
+	// ForEachVisible calls fn for every agent within the visibility bound
+	// of self's position, including self (BRASIL's Extent<Class>; scripts
+	// guard with p != this when needed).
+	ForEachVisible(fn func(*agent.Agent))
+	// Nearby is ForEachVisible restricted to the given radius (cropped to
+	// the visibility bound).
+	Nearby(radius float64, fn func(*agent.Agent))
+	// Nearest appends to buf up to k visible agents closest to self,
+	// excluding self, ordered by (distance, agent ID).
+	Nearest(k int, buf []*agent.Agent) []*agent.Agent
+	// Assign folds value into target's effect field using the schema's
+	// combinator. Assigning to an agent other than Self is a non-local
+	// effect and requires the model to declare HasNonLocalEffects.
+	Assign(target *agent.Agent, effectIndex int, value float64)
+}
+
+// UpdateCtx carries the update phase's context: deterministic per-agent
+// randomness and agent lifecycle operations (used by the predator model).
+type UpdateCtx struct {
+	// Tick is the tick being completed (0-based).
+	Tick uint64
+	// RNG is seeded from (simulation seed, tick, agent ID) so results do
+	// not depend on partitioning or scheduling.
+	RNG *agent.RNG
+
+	schema *agent.Schema
+	self   agent.ID
+	spawns []*agent.Agent
+	nspawn int
+}
+
+// Spawn allocates a new agent that joins the simulation next tick. The
+// caller must set its state (including position) before Update returns.
+// IDs are derived from (parent, tick, sequence) so spawning is
+// deterministic under any distribution.
+func (u *UpdateCtx) Spawn() *agent.Agent {
+	a := agent.New(u.schema, agent.HashID(u.self, u.Tick, u.nspawn))
+	u.nspawn++
+	u.spawns = append(u.spawns, a)
+	return a
+}
+
+// Kill marks the updating agent dead; it is removed at the tick boundary.
+func (u *UpdateCtx) Kill(self *agent.Agent) { self.Dead = true }
+
+func modelNonLocal(m Model) bool {
+	if nl, ok := m.(NonLocalModel); ok {
+		return nl.HasNonLocalEffects()
+	}
+	return false
+}
+
+func validateModel(m Model) error {
+	s := m.Schema()
+	if s == nil {
+		return fmt.Errorf("engine: model has nil schema")
+	}
+	return s.Validate()
+}

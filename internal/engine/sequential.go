@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"sort"
+	"time"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/geom"
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+// Sequential is the single-node reference engine: the same Model executed
+// by a plain loop over all agents, with the same canonical orderings and
+// the same per-(seed, tick, agent) randomness as Distributed. It serves
+// three roles: the correctness oracle for the distributed engine, the
+// "BRACE single node" configuration of the Fig. 3–4 experiments (with
+// Index selecting indexed vs non-indexed), and the substrate the
+// hand-coded-simulator comparisons run against.
+//
+// For models with only local effect assignments, Sequential and
+// Distributed agree bit-for-bit: the visible set of each agent is
+// identical and effects fold in ascending neighbor-ID order in both. For
+// non-local models the distributed engine folds partial aggregates per
+// partition before the global ⊕, so results agree only up to
+// floating-point reassociation; tests compare those with a tolerance.
+type Sequential struct {
+	model  Model
+	schema *agent.Schema
+	combs  []agent.Combinator
+	seed   uint64
+	tick   uint64
+
+	agents agent.Population // ID-sorted
+	ix     spatial.Index
+	env    queryEnv
+
+	agentTicks   int64
+	visitedTotal int64
+	wallTotal    time.Duration
+}
+
+// NewSequential builds a sequential engine over the given population.
+func NewSequential(m Model, pop []*agent.Agent, index spatial.Kind, seed uint64) (*Sequential, error) {
+	if err := validateModel(m); err != nil {
+		return nil, err
+	}
+	s := m.Schema()
+	agents := append(agent.Population(nil), pop...)
+	sort.Sort(agents)
+	e := &Sequential{
+		model:  m,
+		schema: s,
+		combs:  effectCombs(s),
+		seed:   seed,
+		agents: agents,
+		ix:     spatial.New(index, indexCell(s)),
+	}
+	e.env = queryEnv{schema: s, combs: e.combs, nonLocal: modelNonLocal(m)}
+	return e, nil
+}
+
+// RunTicks advances the simulation n full ticks.
+func (e *Sequential) RunTicks(n int) error {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		e.runTick()
+		e.tick++
+	}
+	e.wallTotal += time.Since(start)
+	return nil
+}
+
+func (e *Sequential) runTick() {
+	// Query phase over the whole world.
+	pts := make([]spatial.Point, len(e.agents))
+	copies := make([]*agent.Agent, len(e.agents))
+	for i, a := range e.agents {
+		pts[i] = spatial.Point{Pos: a.Pos(e.schema), ID: int32(i)}
+		copies[i] = a
+	}
+	e.ix.Build(pts)
+	e.env.copies = copies
+	e.env.ix = e.ix
+	before := e.ix.Stats().Visited
+	for _, a := range e.agents {
+		e.env.self = a
+		e.model.Query(a, &e.env)
+	}
+	e.visitedTotal += e.ix.Stats().Visited - before
+	e.agentTicks += int64(len(e.agents))
+
+	// Update phase.
+	var spawned agent.Population
+	alive := e.agents[:0]
+	for _, a := range e.agents {
+		u := UpdateCtx{
+			Tick:   e.tick,
+			RNG:    agent.NewRNG(e.seed, e.tick, a.ID),
+			schema: e.schema,
+			self:   a.ID,
+		}
+		oldPos := a.Pos(e.schema)
+		e.model.Update(a, &u)
+		if r := e.schema.Reach; r > 0 {
+			a.SetPos(e.schema, a.Pos(e.schema).Clamp(geom.Square(oldPos, r)))
+		}
+		e.schema.ResetEffects(a.Effect)
+		if !a.Dead {
+			alive = append(alive, a)
+		}
+		spawned = append(spawned, u.spawns...)
+	}
+	e.agents = append(alive, spawned...)
+	sort.Sort(e.agents)
+}
+
+// Agents returns the current ID-sorted population.
+func (e *Sequential) Agents() agent.Population { return e.agents }
+
+// Tick returns completed ticks.
+func (e *Sequential) Tick() uint64 { return e.tick }
+
+// AgentTicks returns total agent query phases processed.
+func (e *Sequential) AgentTicks() int64 { return e.agentTicks }
+
+// Visited returns total index candidates examined across all ticks (the
+// per-tick index rebuild resets the index's own counters; this accumulates
+// them).
+func (e *Sequential) Visited() int64 { return e.visitedTotal }
+
+// WallSeconds returns wall time spent in RunTicks.
+func (e *Sequential) WallSeconds() float64 { return e.wallTotal.Seconds() }
+
+// ThroughputWall returns agent-ticks per wall second.
+func (e *Sequential) ThroughputWall() float64 {
+	w := e.WallSeconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(e.agentTicks) / w
+}

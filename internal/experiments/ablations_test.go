@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+func TestAblationCollocationShape(t *testing.T) {
+	r, err := AblationCollocation(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := r.Series[0]
+	// One worker: everything is collocated, nothing crosses the network.
+	if frac.Y[0] != 0 {
+		t.Errorf("network fraction at 1 worker = %v, want 0", frac.Y[0])
+	}
+	// More workers → more boundary → larger (but never total) network
+	// share. The last point must exceed the first and stay below 1.
+	last := frac.Y[len(frac.Y)-1]
+	if last <= 0 || last >= 1 {
+		t.Errorf("network fraction at max workers = %v, want in (0,1)", last)
+	}
+	// Collocation must keep a meaningful share local even at max workers:
+	// this is the point of §3.3.
+	if last > 0.9 {
+		t.Errorf("collocation saves almost nothing: %v", last)
+	}
+}
+
+func TestAblationCheckpointIntervalShape(t *testing.T) {
+	r, err := AblationCheckpointInterval(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, reexec := r.Series[0], r.Series[1]
+	if len(cost.Y) < 3 {
+		t.Fatalf("too few interval points")
+	}
+	// Re-executed work grows with the checkpoint interval (rolling back
+	// farther after the crash).
+	first, last := reexec.Y[0], reexec.Y[len(reexec.Y)-1]
+	if last <= first {
+		t.Errorf("re-executed ticks did not grow with interval: %v -> %v", first, last)
+	}
+	// The cost curve is not monotone in either direction alone — the Daly
+	// trade-off means neither endpoint should be the unique minimum of
+	// everything: check the curve actually varies.
+	min, max := cost.Y[0], cost.Y[0]
+	for _, y := range cost.Y {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	if max <= min {
+		t.Errorf("cost curve is flat: %v", cost.Y)
+	}
+}
+
+func TestAblationInversionPassShape(t *testing.T) {
+	r, err := AblationInversionPass(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := r.Series[0].Y
+	if len(y) != 2 {
+		t.Fatalf("variants = %d", len(y))
+	}
+	// The inverted (one-reduce) compile must beat the as-written
+	// (two-reduce) compile.
+	if y[1] <= y[0] {
+		t.Errorf("inversion pass did not pay: as-written %v vs inverted %v", y[0], y[1])
+	}
+}

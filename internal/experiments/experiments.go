@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5): Table 2 and Figures 3–8. Each runner returns a Result
+// with the same rows/series the paper reports; cmd/experiments prints them
+// and bench_test.go wraps each in a testing.B benchmark.
+//
+// Substitution note (see DESIGN.md §4): the paper's cluster experiments
+// (Figs. 5–8) ran on 60 physical nodes; here worker nodes are simulated
+// and *virtual-time* throughput is reported, driven by the calibrated cost
+// model in internal/cluster. Single-node experiments (Table 2, Figs. 3–4)
+// use real wall-clock time, as in the paper.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bigreddata/brace/internal/stats"
+	"github.com/bigreddata/brace/internal/sim/traffic"
+)
+
+// Scale shrinks experiments so they run in seconds on a laptop while
+// preserving the shapes the paper reports. Scale 1.0 approximates the
+// paper's problem sizes.
+type Scale struct {
+	// Factor scales problem sizes (segment lengths, fish counts).
+	Factor float64
+	// Ticks is the measured tick count per configuration.
+	Ticks int
+	// WarmupTicks are run and discarded first ("we eliminate start-up
+	// transients by discarding initial ticks", §5.1).
+	WarmupTicks int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Quick returns the scale used by tests and the default CLI run.
+func Quick() Scale { return Scale{Factor: 0.12, Ticks: 30, WarmupTicks: 5, Seed: 42} }
+
+// Full approximates the paper's sizes (minutes of runtime).
+func Full() Scale { return Scale{Factor: 1.0, Ticks: 100, WarmupTicks: 20, Seed: 42} }
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the paper artifact ("Table 2", "Figure 3", ...).
+	ID string
+	// Title restates what is measured.
+	Title string
+	// XName labels the x axis for series results.
+	XName string
+	// Series holds one labeled curve per engine configuration.
+	Series []*stats.Series
+	// Work holds deterministic work-counter curves (index candidates
+	// examined) for the single-node figures: the mechanism behind the
+	// wall-clock curves, and what the tests assert on since it is immune
+	// to timer noise.
+	Work []*stats.Series
+	// Rows holds Table 2's RMSPE rows (nil for figures).
+	Rows []traffic.Row
+	// PaperClaim summarizes what the paper reports for this artifact.
+	PaperClaim string
+	// Notes records scale factors and substitutions for the report.
+	Notes string
+}
+
+// String renders the result as the harness's standard text block.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "notes: %s\n", r.Notes)
+	}
+	if len(r.Rows) > 0 {
+		fmt.Fprintf(&b, "%-6s %18s %14s %14s\n", "Lane", "ChangeFreq RMSPE", "Density RMSPE", "Velocity RMSPE")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "L%-5d %17.2f%% %13.2f%% %13.4f%%\n",
+				row.Lane, row.ChangeFreq*100, row.Density*100, row.MeanV*100)
+		}
+	}
+	if len(r.Series) > 0 {
+		b.WriteString(stats.Table(r.Title, r.XName, r.Series...))
+	}
+	if len(r.Work) > 0 {
+		b.WriteString(stats.Table(r.Title+" — candidates examined", r.XName, r.Work...))
+	}
+	return b.String()
+}
+
+// All runs every experiment at the given scale: the paper's artifacts
+// first, then the ablations this reproduction adds.
+func All(s Scale) ([]*Result, error) {
+	runners := []func(Scale) (*Result, error){
+		Table2, Fig3, Fig4, Fig5, Fig6, Fig7, Fig8,
+		AblationCollocation, AblationCheckpointInterval, AblationInversionPass,
+	}
+	out := make([]*Result, 0, len(runners))
+	for _, run := range runners {
+		r, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ByName resolves an experiment id like "table2" or "fig5".
+func ByName(name string) (func(Scale) (*Result, error), error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "table2", "t2":
+		return Table2, nil
+	case "fig3", "figure3":
+		return Fig3, nil
+	case "fig4", "figure4":
+		return Fig4, nil
+	case "fig5", "figure5":
+		return Fig5, nil
+	case "fig6", "figure6":
+		return Fig6, nil
+	case "fig7", "figure7":
+		return Fig7, nil
+	case "fig8", "figure8":
+		return Fig8, nil
+	case "a1", "collocation":
+		return AblationCollocation, nil
+	case "a2", "checkpoint":
+		return AblationCheckpointInterval, nil
+	case "a3", "inversion":
+		return AblationInversionPass, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (want table2, fig3..fig8, a1..a3)", name)
+}

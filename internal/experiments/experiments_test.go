@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/stats"
+)
+
+// tiny returns a scale small enough for unit tests; the *shapes* asserted
+// below are the paper's claims, which must hold even at reduced size.
+func tiny() Scale { return Scale{Factor: 0.06, Ticks: 12, WarmupTicks: 3, Seed: 7} }
+
+func TestTable2ShowsStrongAgreement(t *testing.T) {
+	r, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Velocity agreement is the paper's headline (0.007%); allow a
+		// loose ceiling at test scale but catch divergence.
+		if row.MeanV > 0.15 {
+			t.Errorf("lane %d velocity RMSPE %.3f too large", row.Lane, row.MeanV)
+		}
+		if row.Density > 1.0 {
+			t.Errorf("lane %d density RMSPE %.3f too large", row.Lane, row.Density)
+		}
+	}
+	if !strings.Contains(r.String(), "Table 2") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	r, err := Fig3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	var mitsim, noidx, idx *stats.Series
+	for _, s := range r.Series {
+		switch s.Label {
+		case "MITSIM":
+			mitsim = s
+		case "BRACE - no indexing":
+			noidx = s
+		case "BRACE - indexing":
+			idx = s
+		}
+	}
+	// Wall-clock numbers are reported but not asserted: test binaries run
+	// concurrently on shared cores and the timer noise swamps the signal
+	// (cmd/experiments runs serially and shows the expected ordering).
+	// Sanity: every configuration produced positive timings.
+	last := len(noidx.Y) - 1
+	for _, srs := range []*stats.Series{mitsim, noidx, idx} {
+		for _, y := range srs.Y {
+			if y <= 0 {
+				t.Fatalf("%s produced non-positive timing %v", srs.Label, y)
+			}
+		}
+	}
+	_ = last
+	// The mechanism, asserted on deterministic work counters: candidates
+	// examined grow quadratically without the index (every vehicle
+	// enumerates every other vehicle) and far slower with it.
+	var noW, idxW *stats.Series
+	for _, s := range r.Work {
+		if s.Label == "no indexing" {
+			noW = s
+		} else {
+			idxW = s
+		}
+	}
+	kScan, err := stats.GrowthExponent(noW.X, noW.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kIdx, err := stats.GrowthExponent(idxW.X, idxW.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kScan < 1.8 {
+		t.Errorf("no-index work exponent %.2f, want ~2 (quadratic)", kScan)
+	}
+	if kIdx > kScan-0.4 {
+		t.Errorf("index work exponent %.2f not clearly below quadratic %.2f", kIdx, kScan)
+	}
+	for i := range noW.Y {
+		if idxW.Y[i] >= noW.Y[i] {
+			t.Errorf("at segment %v index examined %v ≥ scan %v", noW.X[i], idxW.Y[i], noW.Y[i])
+		}
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	r, err := Fig4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noidx, idx := r.Series[0], r.Series[1]
+	// Wall clock is reported, not asserted (shared-core timer noise);
+	// sanity-check positivity only.
+	for _, srs := range []*stats.Series{noidx, idx} {
+		for _, y := range srs.Y {
+			if y <= 0 {
+				t.Fatalf("%s produced non-positive timing %v", srs.Label, y)
+			}
+		}
+	}
+	// Mechanism on deterministic counters: the index examines strictly
+	// fewer candidates at every visibility, and its advantage narrows as
+	// the radius grows (more of the school matches each probe).
+	var noW, idxW *stats.Series
+	for _, s := range r.Work {
+		if s.Label == "no indexing" {
+			noW = s
+		} else {
+			idxW = s
+		}
+	}
+	for i := range idxW.Y {
+		if idxW.Y[i] >= noW.Y[i] {
+			t.Errorf("at visibility %v index examined %v ≥ scan %v", idxW.X[i], idxW.Y[i], noW.Y[i])
+		}
+	}
+	s0 := noW.Y[0] / idxW.Y[0]
+	sLast := noW.Y[len(idxW.Y)-1] / idxW.Y[len(idxW.Y)-1]
+	if sLast >= s0 {
+		t.Errorf("index advantage should narrow with visibility: %.2fx -> %.2fx", s0, sLast)
+	}
+	if s0 < 3 {
+		t.Errorf("index should dominate at small visibility: only %.2fx", s0)
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	r, err := Fig5(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := r.Series[0].Y // [No-Opt, Idx-Only, Inv-Only, Idx+Inv]
+	if len(y) != 4 {
+		t.Fatalf("configs = %d", len(y))
+	}
+	noOpt, idxOnly, invOnly, idxInv := y[0], y[1], y[2], y[3]
+	if invOnly <= noOpt {
+		t.Errorf("inversion alone should beat No-Opt: %v vs %v", invOnly, noOpt)
+	}
+	if idxInv <= idxOnly {
+		t.Errorf("inversion should beat Idx-Only with indexing on: %v vs %v", idxInv, idxOnly)
+	}
+	if idxOnly <= noOpt {
+		t.Errorf("indexing should beat No-Opt: %v vs %v", idxOnly, noOpt)
+	}
+	if idxInv <= noOpt {
+		t.Errorf("both optimizations should beat none: %v vs %v", idxInv, noOpt)
+	}
+	// The paper reports >20% from inversion in each index setting; allow
+	// ≥10% at test scale.
+	if invOnly/noOpt < 1.10 {
+		t.Errorf("inversion gain too small without index: %.2fx", invOnly/noOpt)
+	}
+	if idxInv/idxOnly < 1.10 {
+		t.Errorf("inversion gain too small with index: %.2fx", idxInv/idxOnly)
+	}
+}
+
+func TestFig6LinearScaleUp(t *testing.T) {
+	r, err := Fig6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := r.Series[0].Y
+	x := r.Series[0].X
+	if !stats.MonotoneIncreasing(y, 0.15) {
+		t.Errorf("traffic throughput not monotone: %v", y)
+	}
+	// Scale-up efficiency: throughput at 36 workers should be a large
+	// multiple of 1 worker (linear in the paper).
+	gain := y[len(y)-1] / y[0]
+	workers := x[len(x)-1] / x[0]
+	if gain < workers*0.5 {
+		t.Errorf("scale-up efficiency too low: %vx throughput over %vx workers", gain, workers)
+	}
+}
+
+func TestFig7LoadBalancingScaleUp(t *testing.T) {
+	r, err := Fig7(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withLB, noLB *stats.Series
+	for _, s := range r.Series {
+		if strings.Contains(s.Label, "No LB") {
+			noLB = s
+		} else {
+			withLB = s
+		}
+	}
+	last := len(withLB.Y) - 1
+	// LB must win at scale.
+	if withLB.Y[last] <= noLB.Y[last] {
+		t.Errorf("LB (%v) should beat no-LB (%v) at %v workers",
+			withLB.Y[last], noLB.Y[last], withLB.X[last])
+	}
+	// LB-enabled series keeps growing.
+	if !stats.MonotoneIncreasing(withLB.Y, 0.2) {
+		t.Errorf("LB throughput not monotone: %v", withLB.Y)
+	}
+	// Without LB, scale-up efficiency collapses relative to LB.
+	gainLB := withLB.Y[last] / withLB.Y[0]
+	gainNo := noLB.Y[last] / noLB.Y[0]
+	if gainNo >= gainLB {
+		t.Errorf("no-LB efficiency (%vx) should trail LB (%vx)", gainNo, gainLB)
+	}
+}
+
+func TestFig8EpochTimes(t *testing.T) {
+	r, err := Fig8(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withLB, noLB *stats.Series
+	for _, s := range r.Series {
+		if strings.Contains(s.Label, "no LB") {
+			noLB = s
+		} else {
+			withLB = s
+		}
+	}
+	if len(withLB.Y) < 5 || len(noLB.Y) < 5 {
+		t.Fatalf("too few epochs: %d/%d", len(withLB.Y), len(noLB.Y))
+	}
+	// Late-run epochs without LB cost more than with LB.
+	tailLB := mean(withLB.Y[len(withLB.Y)/2:])
+	tailNo := mean(noLB.Y[len(noLB.Y)/2:])
+	if tailNo <= tailLB {
+		t.Errorf("late epochs: no-LB (%v) should cost more than LB (%v)", tailNo, tailLB)
+	}
+	// The no-LB epoch time rises over the run.
+	headNo := mean(noLB.Y[:len(noLB.Y)/2])
+	if tailNo <= headNo {
+		t.Errorf("no-LB epoch time did not rise: %v -> %v", headNo, tailNo)
+	}
+}
+
+func TestAllAndByName(t *testing.T) {
+	if _, err := ByName("fig5"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("table2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,126 @@
+// Package mapreduce implements BRACE's special-purpose MapReduce runtime
+// (paper §3.3): an iterated, main-memory, shared-nothing map → reduce
+// (→ reduce₂) engine. It differs from a conventional MapReduce (Hadoop)
+// runtime exactly where the paper says it must:
+//
+//   - ticks are short, so everything stays in main memory and the output of
+//     one tick's final reduce feeds the next tick's map directly;
+//   - map and reduce tasks for a partition are collocated on one worker, so
+//     same-partition traffic bypasses the network (metered as "local");
+//   - the optional second reduce implements the map-reduce-reduce model for
+//     non-local effect assignments (Table 1, Appendix A, Fig. 10);
+//   - the master interacts with workers only at epoch boundaries, where it
+//     triggers coordinated checkpoints, detects failures (recovering by
+//     rollback + re-execution), and lets the application rebalance
+//     partitions.
+//
+// The runtime is generic over the value type V; the engine package
+// instantiates it with agent envelopes.
+package mapreduce
+
+import "github.com/bigreddata/brace/internal/cluster"
+
+// Ctx carries per-invocation context into user functions.
+type Ctx struct {
+	// Tick is the current tick number (0-based).
+	Tick uint64
+	// Worker is the node executing this call. Partitions and workers are
+	// 1:1 in BRACE — partition p's map/reduce tasks run on worker p.
+	Worker int
+}
+
+// Emit routes a value to the partition part; the runtime delivers it to the
+// task of the next phase on the worker owning that partition.
+type Emit[V any] func(part int, v V)
+
+// Job defines one iterated map-reduce(-reduce) computation.
+type Job[V any] struct {
+	// Name labels the job in errors and checkpoints.
+	Name string
+
+	// Map is invoked once per value held by a worker at the start of a
+	// tick. For BRACE this is the update phase of tick t−1 followed by
+	// distribution/replication (mapᵗ₁ of Table 1). Emissions are grouped
+	// by destination partition and delivered to Reduce1.
+	Map func(ctx *Ctx, v V, emit Emit[V])
+
+	// Reduce1 receives every value emitted to this worker's partition and
+	// runs the query phase (reduceᵗ₁). With no Reduce2, its emissions
+	// become next tick's values at their destination partitions. With a
+	// Reduce2, its emissions are the partially aggregated effect values
+	// routed to owning partitions.
+	Reduce1 func(ctx *Ctx, values []V, emit Emit[V])
+
+	// Reduce2, when non-nil, performs the global effect aggregation ⊕
+	// (reduceᵗ₂). Its emissions become next tick's values. The identity
+	// second map of the formal model (mapᵗ₂) "does not perform any
+	// computation and can be eliminated in an implementation" — it is
+	// eliminated here.
+	Reduce2 func(ctx *Ctx, values []V, emit Emit[V])
+
+	// SizeOf estimates the wire size of one value in bytes for the
+	// transport meter and network cost model. Nil means size 0.
+	SizeOf func(v V) int
+
+	// Clone deep-copies a value; required for checkpointing. Nil disables
+	// checkpoint support.
+	Clone func(v V) V
+}
+
+// Config tunes the runtime.
+type Config struct {
+	// Workers is the number of worker nodes (= partitions). Must be ≥ 1.
+	Workers int
+
+	// EpochTicks is the number of ticks between master/worker
+	// interactions (checkpoints, failure detection, rebalancing). The
+	// paper amortizes coordination overhead across an epoch. Default 10.
+	EpochTicks int
+
+	// CheckpointEveryEpochs triggers a coordinated checkpoint every k
+	// epochs; 0 disables periodic checkpoints (an initial checkpoint is
+	// still taken when Clone is available, so recovery can always rewind
+	// to tick 0).
+	CheckpointEveryEpochs int
+
+	// Failures optionally schedules worker crashes (for tests/ablations).
+	Failures *cluster.FailurePlan
+
+	// VClock, when non-nil, accounts virtual time: the runtime charges
+	// network costs per message batch and calls Barrier after each
+	// communication phase. Compute costs are charged by the application
+	// inside Map/Reduce (it knows its work counters).
+	VClock *cluster.VClock
+
+	// Sequential forces phases to run workers one at a time on the
+	// calling goroutine. Used by determinism tests; the default runs
+	// workers concurrently.
+	Sequential bool
+
+	// OnEpoch, when non-nil, runs on the master at each epoch boundary
+	// after the epoch's ticks complete. BRACE hooks load balancing here.
+	OnEpoch func(tick uint64, r EpochView)
+
+	// SnapshotMaster/RestoreMaster capture application master state (e.g.
+	// the current partitioning function) inside checkpoints so recovery
+	// restores a consistent view. Optional.
+	SnapshotMaster func() any
+	RestoreMaster  func(any)
+}
+
+// EpochView is the read-only interface OnEpoch receives.
+type EpochView interface {
+	// OwnedCounts returns the number of values held per worker.
+	OwnedCounts() []int
+	// Tick returns the current tick.
+	Tick() uint64
+	// Transport exposes traffic metrics.
+	Transport() *cluster.Transport
+}
+
+// phase tags for transport messages.
+const (
+	tagMapOut = iota + 1
+	tagReduce1Out
+	tagReduce2Out
+)

@@ -1,0 +1,109 @@
+package mapreduce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random partition counts, item counts, routing patterns and
+// tick counts, the runtime conserves every item (nothing is lost or
+// duplicated by the exchange machinery) and parallel execution equals
+// sequential execution.
+func TestQuickConservationAndParallelEquivalence(t *testing.T) {
+	f := func(seed int64, nw, ni, nt uint8) bool {
+		workers := int(nw%6) + 1
+		items := int(ni % 40)
+		ticks := int(nt%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		// Random deterministic routing: each item hops by a per-item
+		// stride derived from its ID.
+		job := Job[rec]{
+			Name: "quick",
+			Map: func(ctx *Ctx, v rec, emit Emit[rec]) {
+				stride := v.ID%workers + 1
+				v.Owner = (v.Owner + stride) % workers
+				emit(v.Owner, v)
+			},
+			Reduce1: func(ctx *Ctx, vs []rec, emit Emit[rec]) {
+				for _, v := range vs {
+					v.Val++
+					emit(v.Owner, v)
+				}
+			},
+			SizeOf: sizeRec,
+			Clone:  cloneRec,
+		}
+		mk := func(sequential bool) *Runtime[rec] {
+			r := New(job, Config{Workers: workers, Sequential: sequential})
+			for i := 0; i < items; i++ {
+				r.Load(rng.Intn(workers), []rec{{ID: i, Owner: i % workers}})
+			}
+			return r
+		}
+		// Reset rng so both runtimes load identically.
+		rng = rand.New(rand.NewSource(seed))
+		par := mk(false)
+		rng = rand.New(rand.NewSource(seed))
+		seq := mk(true)
+
+		if err := par.RunTicks(ticks); err != nil {
+			return false
+		}
+		if err := seq.RunTicks(ticks); err != nil {
+			return false
+		}
+		a, b := sortedItems(par), sortedItems(seq)
+		if len(a) != items || len(b) != items {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+			if a[i].Val != float64(ticks) { // one increment per tick
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: checkpoints are transparent — runs with and without periodic
+// checkpointing (no failures) are identical.
+func TestQuickCheckpointTransparency(t *testing.T) {
+	f := func(nw, ni, nt uint8) bool {
+		workers := int(nw%5) + 1
+		items := int(ni%30) + 1
+		ticks := int(nt%12) + 2
+		mk := func(ck int) *Runtime[rec] {
+			r := New(ringJob(workers), Config{
+				Workers: workers, EpochTicks: 3, CheckpointEveryEpochs: ck,
+			})
+			loadItems(r, items, workers)
+			return r
+		}
+		a := mk(0) // no checkpoints
+		b := mk(1) // checkpoint every epoch
+		if err := a.RunTicks(ticks); err != nil {
+			return false
+		}
+		if err := b.RunTicks(ticks); err != nil {
+			return false
+		}
+		x, y := sortedItems(a), sortedItems(b)
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return len(x) == len(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

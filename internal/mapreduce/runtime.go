@@ -1,0 +1,343 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bigreddata/brace/internal/cluster"
+)
+
+// Runtime executes an iterated Job across simulated worker nodes.
+type Runtime[V any] struct {
+	job Job[V]
+	cfg Config
+
+	tr     *cluster.Transport
+	values [][]V // per-worker owned values (worker main memory)
+	tick   uint64
+
+	ckpt      *checkpoint[V]
+	recovered int // number of recoveries performed (observable in tests)
+}
+
+// New creates a runtime. It panics on structurally invalid configuration —
+// these are programming errors, not runtime conditions.
+func New[V any](job Job[V], cfg Config) *Runtime[V] {
+	if cfg.Workers < 1 {
+		panic("mapreduce: Workers must be ≥ 1")
+	}
+	if job.Map == nil || job.Reduce1 == nil {
+		panic("mapreduce: job needs Map and Reduce1")
+	}
+	if cfg.EpochTicks <= 0 {
+		cfg.EpochTicks = 10
+	}
+	return &Runtime[V]{
+		job:    job,
+		cfg:    cfg,
+		tr:     cluster.NewTransport(cfg.Workers),
+		values: make([][]V, cfg.Workers),
+	}
+}
+
+// Load places initial values at a partition. Call before RunTicks.
+func (r *Runtime[V]) Load(part int, vs []V) {
+	r.values[part] = append(r.values[part], vs...)
+}
+
+// Values returns the values currently owned by a partition. The caller
+// must not mutate concurrently with RunTicks.
+func (r *Runtime[V]) Values(part int) []V { return r.values[part] }
+
+// AllValues returns every worker's values appended in partition order.
+func (r *Runtime[V]) AllValues() []V {
+	var out []V
+	for _, vs := range r.values {
+		out = append(out, vs...)
+	}
+	return out
+}
+
+// Tick returns the number of completed ticks.
+func (r *Runtime[V]) Tick() uint64 { return r.tick }
+
+// Workers returns the worker count.
+func (r *Runtime[V]) Workers() int { return r.cfg.Workers }
+
+// Transport exposes the simulated network (metrics, failure state).
+func (r *Runtime[V]) Transport() *cluster.Transport { return r.tr }
+
+// Recoveries returns how many checkpoint rollbacks have occurred.
+func (r *Runtime[V]) Recoveries() int { return r.recovered }
+
+// OwnedCounts implements EpochView.
+func (r *Runtime[V]) OwnedCounts() []int {
+	counts := make([]int, len(r.values))
+	for i, vs := range r.values {
+		counts[i] = len(vs)
+	}
+	return counts
+}
+
+// RunTicks advances the computation n ticks (running any epoch-boundary
+// work that falls inside). It returns the first unrecoverable error.
+func (r *Runtime[V]) RunTicks(n int) error {
+	// Always hold a tick-0 checkpoint when cloning is possible, so any
+	// failure is recoverable.
+	if r.ckpt == nil && r.job.Clone != nil {
+		r.takeCheckpoint()
+	}
+	target := r.tick + uint64(n)
+	epoch := 0
+	for r.tick < target {
+		// Inject scheduled crashes at tick start.
+		for _, node := range r.cfg.Failures.At(r.tick) {
+			r.tr.Fail(node)
+			r.values[node] = nil // main memory lost
+		}
+
+		if err := r.runTick(); err != nil {
+			return fmt.Errorf("mapreduce %s: tick %d: %w", r.job.Name, r.tick, err)
+		}
+		r.tick++
+
+		if r.tick%uint64(r.cfg.EpochTicks) == 0 || r.tick == target {
+			epoch++
+			if err := r.epochBoundary(epoch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// epochBoundary is the master/worker synchronization point: failure
+// detection + recovery, coordinated checkpoint, application hook.
+func (r *Runtime[V]) epochBoundary(epoch int) error {
+	// Failure detection: the master's epoch heartbeat notices dead
+	// workers; recovery re-executes from the last coordinated checkpoint.
+	anyFailed := false
+	for n := 0; n < r.cfg.Workers; n++ {
+		if r.tr.Failed(cluster.NodeID(n)) {
+			anyFailed = true
+		}
+	}
+	if anyFailed {
+		if err := r.recover(); err != nil {
+			return err
+		}
+		return nil // checkpoint/hooks re-run when re-executed ticks arrive here again
+	}
+	if r.cfg.CheckpointEveryEpochs > 0 && epoch%r.cfg.CheckpointEveryEpochs == 0 {
+		r.takeCheckpoint()
+	}
+	if r.cfg.OnEpoch != nil {
+		r.cfg.OnEpoch(r.tick, r)
+	}
+	return nil
+}
+
+func (r *Runtime[V]) takeCheckpoint() {
+	if r.job.Clone == nil {
+		return
+	}
+	ck := &checkpoint[V]{tick: r.tick, values: make([][]V, len(r.values))}
+	for i, vs := range r.values {
+		cp := make([]V, len(vs))
+		for j, v := range vs {
+			cp[j] = r.job.Clone(v)
+		}
+		ck.values[i] = cp
+	}
+	if r.cfg.SnapshotMaster != nil {
+		ck.master = r.cfg.SnapshotMaster()
+	}
+	r.ckpt = ck
+}
+
+func (r *Runtime[V]) recover() error {
+	if r.ckpt == nil {
+		return fmt.Errorf("mapreduce %s: worker failed with no checkpoint available", r.job.Name)
+	}
+	for n := 0; n < r.cfg.Workers; n++ {
+		id := cluster.NodeID(n)
+		r.tr.Recover(id)
+		r.tr.Drain(id) // discard in-flight messages from the failed epoch
+	}
+	for i, vs := range r.ckpt.values {
+		cp := make([]V, len(vs))
+		for j, v := range vs {
+			cp[j] = r.job.Clone(v)
+		}
+		r.values[i] = cp
+	}
+	if r.cfg.RestoreMaster != nil {
+		r.cfg.RestoreMaster(r.ckpt.master)
+	}
+	r.tick = r.ckpt.tick
+	r.recovered++
+	return nil
+}
+
+// runTick executes one map → reduce1 (→ reduce2) superstep. Each compute
+// phase is followed by a drain phase under its own barrier: all workers
+// must finish sending before any worker collects, otherwise a fast worker's
+// next-phase output could land in a slow worker's not-yet-drained inbox.
+func (r *Runtime[V]) runTick() error {
+	stage := make([][]V, r.cfg.Workers)
+
+	// Phase 1: map (update + distribute).
+	r.eachWorker(func(w int) {
+		if r.tr.Failed(cluster.NodeID(w)) {
+			return
+		}
+		ctx := &Ctx{Tick: r.tick, Worker: w}
+		out := newOutbox[V](r.cfg.Workers)
+		for _, v := range r.values[w] {
+			r.job.Map(ctx, v, out.emit)
+		}
+		r.values[w] = nil // ownership moves through the dataflow
+		r.flush(w, tagMapOut, out)
+	})
+	r.drainAll(stage, tagMapOut)
+	r.barrier()
+
+	// Phase 2: reduce1 (query phase / local effects).
+	finalTag := tagReduce1Out
+	r.eachWorker(func(w int) {
+		if r.tr.Failed(cluster.NodeID(w)) {
+			return
+		}
+		ctx := &Ctx{Tick: r.tick, Worker: w}
+		out := newOutbox[V](r.cfg.Workers)
+		r.job.Reduce1(ctx, stage[w], out.emit)
+		r.flush(w, tagReduce1Out, out)
+	})
+	r.drainAll(stage, tagReduce1Out)
+	r.barrier()
+
+	// Phase 3: optional reduce2 (global effect aggregation).
+	if r.job.Reduce2 != nil {
+		finalTag = tagReduce2Out
+		r.eachWorker(func(w int) {
+			if r.tr.Failed(cluster.NodeID(w)) {
+				return
+			}
+			ctx := &Ctx{Tick: r.tick, Worker: w}
+			out := newOutbox[V](r.cfg.Workers)
+			r.job.Reduce2(ctx, stage[w], out.emit)
+			r.flush(w, tagReduce2Out, out)
+		})
+		r.drainAll(stage, tagReduce2Out)
+		r.barrier()
+	}
+	_ = finalTag
+
+	// The final phase's drained values become each worker's values for the
+	// next tick ("the final reducer ... sends them to the map task on the
+	// same node", §3.3).
+	r.eachWorker(func(w int) {
+		if r.tr.Failed(cluster.NodeID(w)) {
+			return
+		}
+		r.values[w] = stage[w]
+	})
+	return nil
+}
+
+// drainAll runs a barriered drain phase: every worker empties its inbox of
+// messages with the given tag into stage.
+func (r *Runtime[V]) drainAll(stage [][]V, tag int) {
+	r.eachWorker(func(w int) {
+		if r.tr.Failed(cluster.NodeID(w)) {
+			stage[w] = nil
+			return
+		}
+		stage[w] = r.collect(w, tag)
+	})
+}
+
+// outbox buffers emissions grouped by destination partition so each
+// (sender, receiver, phase) triple costs one message.
+type outbox[V any] struct {
+	byDest [][]V
+}
+
+func newOutbox[V any](n int) *outbox[V] {
+	return &outbox[V]{byDest: make([][]V, n)}
+}
+
+func (o *outbox[V]) emit(part int, v V) {
+	o.byDest[part] = append(o.byDest[part], v)
+}
+
+// flush sends the buffered batches and charges the sender's network time.
+func (r *Runtime[V]) flush(w int, tag int, o *outbox[V]) {
+	for dest, batch := range o.byDest {
+		if len(batch) == 0 {
+			continue
+		}
+		bytes := 0
+		if r.job.SizeOf != nil {
+			for _, v := range batch {
+				bytes += r.job.SizeOf(v)
+			}
+		}
+		_ = r.tr.Send(cluster.Message{
+			From:    cluster.NodeID(w),
+			To:      cluster.NodeID(dest),
+			Tag:     tag,
+			Payload: batch,
+			Bytes:   bytes,
+		})
+		if r.cfg.VClock != nil && dest != w {
+			// Collocated traffic bypasses the network: free.
+			r.cfg.VClock.ChargeNetwork(cluster.NodeID(w), 1, int64(bytes))
+		}
+	}
+}
+
+// collect drains worker w's inbox and concatenates batches with the given
+// phase tag.
+func (r *Runtime[V]) collect(w int, tag int) []V {
+	var out []V
+	for _, m := range r.tr.Drain(cluster.NodeID(w)) {
+		if m.Tag != tag {
+			// A phase mismatch means a routing bug; fail loudly.
+			panic(fmt.Sprintf("mapreduce: worker %d got tag %d during phase %d", w, m.Tag, tag))
+		}
+		out = append(out, m.Payload.([]V)...)
+	}
+	return out
+}
+
+// eachWorker runs fn for every worker, concurrently unless Sequential.
+func (r *Runtime[V]) eachWorker(fn func(w int)) {
+	if r.cfg.Sequential {
+		for w := 0; w < r.cfg.Workers; w++ {
+			fn(w)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (r *Runtime[V]) barrier() {
+	if r.cfg.VClock != nil {
+		r.cfg.VClock.Barrier()
+	}
+}
+
+type checkpoint[V any] struct {
+	tick   uint64
+	values [][]V
+	master any
+}

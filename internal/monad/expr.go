@@ -1,0 +1,485 @@
+package monad
+
+import (
+	"fmt"
+	"math"
+)
+
+// Expr is a monad algebra expression: a function from Value to Value.
+// Composition reads left-to-right as in the paper: Compose(f, g)(x) =
+// g(f(x)).
+type Expr interface {
+	Eval(v Value) Value
+	String() string
+}
+
+// ---- Core operators ----
+
+// ID is the identity.
+type ID struct{}
+
+// Eval implements Expr.
+func (ID) Eval(v Value) Value { return v }
+
+// String implements Expr.
+func (ID) String() string { return "ID" }
+
+// Const ignores its input and returns a fixed value.
+type Const struct{ V Value }
+
+// Eval implements Expr.
+func (c Const) Eval(Value) Value { return Clone(c.V) }
+
+// String implements Expr.
+func (c Const) String() string { return fmt.Sprintf("CONST(%s)", c.V) }
+
+// Proj projects a tuple attribute: π_A. Projection on a nonexistent
+// attribute or a non-tuple is NIL (App. B's relaxed typing).
+type Proj struct{ A string }
+
+// Eval implements Expr.
+func (p Proj) Eval(v Value) Value {
+	t, ok := v.(Tuple)
+	if !ok {
+		return Nil{}
+	}
+	e, ok := t[p.A]
+	if !ok {
+		return Nil{}
+	}
+	return e
+}
+
+// String implements Expr.
+func (p Proj) String() string { return "π" + p.A }
+
+// MkTuple builds a tuple ⟨a₁: f₁, ..., aₙ: fₙ⟩.
+type MkTuple struct{ Fields map[string]Expr }
+
+// Eval implements Expr.
+func (m MkTuple) Eval(v Value) Value {
+	if IsNil(v) {
+		return Nil{}
+	}
+	out := make(Tuple, len(m.Fields))
+	for k, f := range m.Fields {
+		out[k] = f.Eval(v)
+	}
+	return out
+}
+
+// String implements Expr.
+func (m MkTuple) String() string {
+	s := "⟨"
+	first := true
+	for k, f := range m.Fields {
+		if !first {
+			s += ","
+		}
+		first = false
+		s += k + ":" + f.String()
+	}
+	return s + "⟩"
+}
+
+// SNG wraps its input into a singleton set.
+type SNG struct{}
+
+// Eval implements Expr.
+func (SNG) Eval(v Value) Value { return Set{v} }
+
+// String implements Expr.
+func (SNG) String() string { return "SNG" }
+
+// Map applies F to every set element (the MAP primitive that "descends
+// into the components of the nested data model").
+type Map struct{ F Expr }
+
+// Eval implements Expr.
+func (m Map) Eval(v Value) Value {
+	s, ok := v.(Set)
+	if !ok {
+		return Nil{}
+	}
+	out := make(Set, 0, len(s))
+	for _, e := range s {
+		if IsNil(e) {
+			continue // NIL elements in a set are ignored
+		}
+		out = append(out, m.F.Eval(e))
+	}
+	return out
+}
+
+// String implements Expr.
+func (m Map) String() string { return "MAP(" + m.F.String() + ")" }
+
+// FlatMap applies F (which must yield sets) and flattens one level.
+type FlatMap struct{ F Expr }
+
+// Eval implements Expr.
+func (m FlatMap) Eval(v Value) Value {
+	s, ok := v.(Set)
+	if !ok {
+		return Nil{}
+	}
+	var out Set
+	for _, e := range s {
+		if IsNil(e) {
+			continue
+		}
+		r := m.F.Eval(e)
+		rs, ok := r.(Set)
+		if !ok {
+			if IsNil(r) {
+				continue
+			}
+			return Nil{}
+		}
+		out = append(out, rs...)
+	}
+	if out == nil {
+		out = Set{}
+	}
+	return out
+}
+
+// String implements Expr.
+func (m FlatMap) String() string { return "FLATMAP(" + m.F.String() + ")" }
+
+// Flatten unnests a set of sets.
+type Flatten struct{}
+
+// Eval implements Expr.
+func (Flatten) Eval(v Value) Value { return FlatMap{ID{}}.Eval(v) }
+
+// String implements Expr.
+func (Flatten) String() string { return "FLATTEN" }
+
+// PairWith distributes a set-valued attribute over its tuple:
+// PAIRWITH_A(⟨A:{x...}, rest⟩) = {⟨A:x, rest⟩ ...}.
+type PairWith struct{ A string }
+
+// Eval implements Expr.
+func (p PairWith) Eval(v Value) Value {
+	t, ok := v.(Tuple)
+	if !ok {
+		return Nil{}
+	}
+	s, ok := t[p.A].(Set)
+	if !ok {
+		return Nil{}
+	}
+	out := make(Set, 0, len(s))
+	for _, e := range s {
+		nt := make(Tuple, len(t))
+		for k, val := range t {
+			nt[k] = val
+		}
+		nt[p.A] = e
+		out = append(out, nt)
+	}
+	return out
+}
+
+// String implements Expr.
+func (p PairWith) String() string { return "PAIRWITH" + p.A }
+
+// Select filters a set by a boolean-valued predicate (σ). Elements where
+// the predicate is NIL or false are dropped.
+type Select struct{ Pred Expr }
+
+// Eval implements Expr.
+func (s Select) Eval(v Value) Value {
+	set, ok := v.(Set)
+	if !ok {
+		return Nil{}
+	}
+	out := make(Set, 0, len(set))
+	for _, e := range set {
+		if truthy(s.Pred.Eval(e)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String implements Expr.
+func (s Select) String() string { return "σ(" + s.Pred.String() + ")" }
+
+// Union concatenates the set results of L and R (bag union; it is also
+// the effect-merge ⊕ before aggregation).
+type Union struct{ L, R Expr }
+
+// Eval implements Expr.
+func (u Union) Eval(v Value) Value {
+	l, lok := u.L.Eval(v).(Set)
+	r, rok := u.R.Eval(v).(Set)
+	if !lok || !rok {
+		return Nil{}
+	}
+	out := make(Set, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// String implements Expr.
+func (u Union) String() string { return u.L.String() + " ∪ " + u.R.String() }
+
+// Compose is left-to-right composition: (f ◦ g)(x) = g(f(x)).
+type Compose struct{ F, G Expr }
+
+// Eval implements Expr.
+func (c Compose) Eval(v Value) Value { return c.G.Eval(c.F.Eval(v)) }
+
+// String implements Expr.
+func (c Compose) String() string { return c.F.String() + "◦" + c.G.String() }
+
+// Pipe composes a chain left-to-right.
+func Pipe(es ...Expr) Expr {
+	if len(es) == 0 {
+		return ID{}
+	}
+	out := es[0]
+	for _, e := range es[1:] {
+		out = Compose{out, e}
+	}
+	return out
+}
+
+// ---- Aggregates ----
+
+// Agg applies a named aggregate over a set: SUM, COUNT, MIN, MAX, and GET
+// (the App. B function returning the contents of a singleton, NIL
+// otherwise). NIL elements are ignored.
+type Agg struct{ Op string }
+
+// Eval implements Expr.
+func (a Agg) Eval(v Value) Value {
+	s, ok := v.(Set)
+	if !ok {
+		return Nil{}
+	}
+	var elems []Value
+	for _, e := range s {
+		if !IsNil(e) {
+			elems = append(elems, e)
+		}
+	}
+	switch a.Op {
+	case "COUNT":
+		return Num(len(elems))
+	case "GET":
+		if len(elems) == 1 {
+			return elems[0]
+		}
+		return Nil{}
+	case "SUM", "MIN", "MAX":
+		if len(elems) == 0 {
+			if a.Op == "SUM" {
+				return Num(0)
+			}
+			return Nil{}
+		}
+		acc, ok := elems[0].(Num)
+		if !ok {
+			return Nil{}
+		}
+		for _, e := range elems[1:] {
+			n, ok := e.(Num)
+			if !ok {
+				return Nil{}
+			}
+			switch a.Op {
+			case "SUM":
+				acc += n
+			case "MIN":
+				acc = Num(math.Min(float64(acc), float64(n)))
+			case "MAX":
+				acc = Num(math.Max(float64(acc), float64(n)))
+			}
+		}
+		return acc
+	}
+	return Nil{}
+}
+
+// String implements Expr.
+func (a Agg) String() string { return a.Op }
+
+// ---- Scalar operations ----
+
+// BinOp applies an arithmetic/comparison/logical operator to the numeric
+// (or boolean) results of L and R. NIL operands yield NIL ("values
+// combined with NIL are NIL").
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b BinOp) Eval(v Value) Value {
+	l, r := b.L.Eval(v), b.R.Eval(v)
+	if IsNil(l) || IsNil(r) {
+		return Nil{}
+	}
+	switch b.Op {
+	case "&&", "||":
+		lb, rb := truthy(l), truthy(r)
+		if b.Op == "&&" {
+			return Bool(lb && rb)
+		}
+		return Bool(lb || rb)
+	case "==":
+		return Bool(Equal(l, r))
+	case "!=":
+		return Bool(!Equal(l, r))
+	}
+	ln, lok := l.(Num)
+	rn, rok := r.(Num)
+	if !lok || !rok {
+		return Nil{}
+	}
+	switch b.Op {
+	case "+":
+		return ln + rn
+	case "-":
+		return ln - rn
+	case "*":
+		return ln * rn
+	case "/":
+		return Num(float64(ln) / float64(rn))
+	case "<":
+		return Bool(ln < rn)
+	case "<=":
+		return Bool(ln <= rn)
+	case ">":
+		return Bool(ln > rn)
+	case ">=":
+		return Bool(ln >= rn)
+	}
+	return Nil{}
+}
+
+// String implements Expr.
+func (b BinOp) String() string {
+	return "(" + b.L.String() + b.Op + b.R.String() + ")"
+}
+
+// Fn applies a named unary/binary math function.
+type Fn struct {
+	Name string
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (f Fn) Eval(v Value) Value {
+	xs := make([]float64, len(f.Args))
+	for i, a := range f.Args {
+		r := a.Eval(v)
+		n, ok := r.(Num)
+		if !ok {
+			return Nil{}
+		}
+		xs[i] = float64(n)
+	}
+	switch f.Name {
+	case "abs":
+		return Num(math.Abs(xs[0]))
+	case "sqrt":
+		return Num(math.Sqrt(xs[0]))
+	case "floor":
+		return Num(math.Floor(xs[0]))
+	case "exp":
+		return Num(math.Exp(xs[0]))
+	case "log":
+		return Num(math.Log(xs[0]))
+	case "sin":
+		return Num(math.Sin(xs[0]))
+	case "cos":
+		return Num(math.Cos(xs[0]))
+	case "min":
+		return Num(math.Min(xs[0], xs[1]))
+	case "max":
+		return Num(math.Max(xs[0], xs[1]))
+	case "pow":
+		return Num(math.Pow(xs[0], xs[1]))
+	case "cond":
+		if xs[0] != 0 {
+			return Num(xs[1])
+		}
+		return Num(xs[2])
+	case "hypot":
+		return Num(math.Hypot(xs[0], xs[1]))
+	}
+	return Nil{}
+}
+
+// String implements Expr.
+func (f Fn) String() string {
+	s := f.Name + "("
+	for i, a := range f.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+// Cond is the eager conditional; App. B encodes it with σ/GET (see the
+// rewrite tests for the equivalence), the evaluator provides it natively.
+type Cond struct{ If, Then, Else Expr }
+
+// Eval implements Expr.
+func (c Cond) Eval(v Value) Value {
+	if truthy(c.If.Eval(v)) {
+		return c.Then.Eval(v)
+	}
+	return c.Else.Eval(v)
+}
+
+// String implements Expr.
+func (c Cond) String() string {
+	return "IF(" + c.If.String() + ";" + c.Then.String() + ";" + c.Else.String() + ")"
+}
+
+func truthy(v Value) bool {
+	switch x := v.(type) {
+	case Bool:
+		return bool(x)
+	case Num:
+		return x != 0
+	default:
+		return false
+	}
+}
+
+// CondViaSigmaGet is the App. B encoding of a conditional on sets:
+// SNG ◦ σ_pred ◦ GET ◦ then ⊕ SNG ◦ σ_!pred ◦ GET ◦ else, specialized to
+// expressions producing sets. It exists to machine-check that the Cond
+// primitive matches the paper's encoding (see TestCondSigmaGetEncoding).
+func CondViaSigmaGet(pred, then, els Expr) Expr {
+	notPred := BinOp{Op: "==", L: pred, R: Const{Bool(false)}}
+	branch := func(p, body Expr) Expr {
+		return Pipe(SNG{}, Select{p}, Agg{"GET"},
+			condNilGuard{body})
+	}
+	return Union{branch(pred, then), branch(notPred, els)}
+}
+
+// condNilGuard evaluates Body unless the input is NIL, in which case it
+// yields the empty set (a dropped branch).
+type condNilGuard struct{ Body Expr }
+
+// Eval implements Expr.
+func (c condNilGuard) Eval(v Value) Value {
+	if IsNil(v) {
+		return Set{}
+	}
+	return c.Body.Eval(v)
+}
+
+// String implements Expr.
+func (c condNilGuard) String() string { return "GUARD(" + c.Body.String() + ")" }

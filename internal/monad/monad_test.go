@@ -1,0 +1,521 @@
+package monad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/brasil"
+	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+func TestValueStringsCanonical(t *testing.T) {
+	a := Tuple{"b": Num(2), "a": Num(1)}
+	b := Tuple{"a": Num(1), "b": Num(2)}
+	if a.String() != b.String() {
+		t.Error("tuple strings not canonical")
+	}
+	s1 := Set{Num(1), Num(2)}
+	s2 := Set{Num(2), Num(1)}
+	if !Equal(s1, s2) {
+		t.Error("bag equality should ignore order")
+	}
+	if Equal(s1, Set{Num(1)}) {
+		t.Error("different bags equal")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	v := Tuple{"s": Set{Tuple{"x": Num(1)}}}
+	c := Clone(v).(Tuple)
+	c["s"].(Set)[0].(Tuple)["x"] = Num(9)
+	if v["s"].(Set)[0].(Tuple)["x"] != Num(1) {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestCoreOperators(t *testing.T) {
+	in := Tuple{"a": Num(3), "s": Set{Num(1), Num(2), Num(3)}}
+
+	if got := (Proj{"a"}).Eval(in); got != Num(3) {
+		t.Errorf("Proj = %v", got)
+	}
+	if got := (Proj{"zz"}).Eval(in); !IsNil(got) {
+		t.Errorf("Proj missing = %v", got)
+	}
+	if got := (Proj{"a"}).Eval(Num(1)); !IsNil(got) {
+		t.Errorf("Proj on atom = %v", got)
+	}
+
+	mk := MkTuple{map[string]Expr{"x": Proj{"a"}, "y": Const{Num(7)}}}
+	if got := mk.Eval(in); !Equal(got, Tuple{"x": Num(3), "y": Num(7)}) {
+		t.Errorf("MkTuple = %v", got)
+	}
+
+	if got := (SNG{}).Eval(Num(5)); !Equal(got, Set{Num(5)}) {
+		t.Errorf("SNG = %v", got)
+	}
+
+	double := BinOp{Op: "*", L: ID{}, R: Const{Num(2)}}
+	if got := Pipe(Proj{"s"}, Map{double}).Eval(in); !Equal(got, Set{Num(2), Num(4), Num(6)}) {
+		t.Errorf("MAP = %v", got)
+	}
+
+	dup := FlatMap{MkTuple{map[string]Expr{}}} // not a set: NIL
+	if got := dup.Eval(Set{Num(1)}); !IsNil(got) {
+		t.Errorf("FLATMAP non-set body = %v", got)
+	}
+	if got := (Flatten{}).Eval(Set{Set{Num(1)}, Set{Num(2), Num(3)}}); !Equal(got, Set{Num(1), Num(2), Num(3)}) {
+		t.Errorf("FLATTEN = %v", got)
+	}
+
+	pw := PairWith{"s"}
+	got := pw.Eval(Tuple{"s": Set{Num(1), Num(2)}, "k": Num(9)})
+	want := Set{Tuple{"s": Num(1), "k": Num(9)}, Tuple{"s": Num(2), "k": Num(9)}}
+	if !Equal(got, want) {
+		t.Errorf("PAIRWITH = %v", got)
+	}
+
+	pos := Select{BinOp{Op: ">", L: ID{}, R: Const{Num(1)}}}
+	if got := Pipe(Proj{"s"}, pos).Eval(in); !Equal(got, Set{Num(2), Num(3)}) {
+		t.Errorf("SELECT = %v", got)
+	}
+
+	if got := (Union{Const{Set{Num(1)}}, Const{Set{Num(2)}}}).Eval(Nil{}); !Equal(got, Set{Num(1), Num(2)}) {
+		t.Errorf("UNION = %v", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := Set{Num(3), Nil{}, Num(1), Num(2)}
+	cases := map[string]Value{
+		"SUM":   Num(6),
+		"COUNT": Num(3), // NIL ignored
+		"MIN":   Num(1),
+		"MAX":   Num(3),
+	}
+	for op, want := range cases {
+		if got := (Agg{op}).Eval(s); !Equal(got, want) {
+			t.Errorf("%s = %v, want %v", op, got, want)
+		}
+	}
+	if got := (Agg{"GET"}).Eval(Set{Num(7)}); got != Num(7) {
+		t.Errorf("GET singleton = %v", got)
+	}
+	if got := (Agg{"GET"}).Eval(Set{Num(7), Num(8)}); !IsNil(got) {
+		t.Errorf("GET non-singleton = %v", got)
+	}
+	if got := (Agg{"SUM"}).Eval(Set{}); got != Num(0) {
+		t.Errorf("SUM empty = %v", got)
+	}
+	if got := (Agg{"MIN"}).Eval(Set{}); !IsNil(got) {
+		t.Errorf("MIN empty = %v", got)
+	}
+}
+
+func TestNilPropagation(t *testing.T) {
+	if got := (BinOp{Op: "+", L: Const{Nil{}}, R: Const{Num(1)}}).Eval(Nil{}); !IsNil(got) {
+		t.Errorf("NIL + 1 = %v", got)
+	}
+	if got := (MkTuple{map[string]Expr{"a": ID{}}}).Eval(Nil{}); !IsNil(got) {
+		t.Errorf("tuple of NIL input = %v", got)
+	}
+	// NIL elements in a set are ignored by MAP.
+	if got := (Map{ID{}}).Eval(Set{Num(1), Nil{}, Num(2)}); !Equal(got, Set{Num(1), Num(2)}) {
+		t.Errorf("MAP over NILs = %v", got)
+	}
+}
+
+func TestCondSigmaGetEncoding(t *testing.T) {
+	// The App. B encoding of conditionals via σ and GET agrees with the
+	// native Cond on set-producing branches.
+	pred := BinOp{Op: ">", L: Proj{"v"}, R: Const{Num(0)}}
+	then := Const{Set{Num(1)}}
+	els := Const{Set{Num(2)}}
+	native := Cond{If: pred, Then: then, Else: els}
+	encoded := CondViaSigmaGet(pred, then, els)
+	for _, v := range []Value{Tuple{"v": Num(5)}, Tuple{"v": Num(-5)}} {
+		a, b := native.Eval(v), encoded.Eval(v)
+		if !Equal(a, b) {
+			t.Errorf("Cond(%v) = %v, σ/GET = %v", v, a, b)
+		}
+	}
+}
+
+// randomWorldInput builds inputs for rewrite equivalence checks.
+func randomWorldInput(rng *rand.Rand) Value {
+	n := 1 + rng.Intn(5)
+	s := make(Set, n)
+	for i := range s {
+		s[i] = Tuple{"a": Num(rng.Float64() * 10), "b": Num(rng.Float64() * 10)}
+	}
+	return Tuple{"s": s, "k": Num(rng.Float64())}
+}
+
+func TestRewritePreservesSemantics(t *testing.T) {
+	double := BinOp{Op: "*", L: Proj{"a"}, R: Const{Num(2)}}
+	wrap := MkTuple{map[string]Expr{"a": double, "b": Proj{"b"}}}
+	exprs := []Expr{
+		// MAP fusion target.
+		Pipe(Proj{"s"}, Map{wrap}, Map{Proj{"a"}}),
+		// Dead tuple elimination.
+		Pipe(MkTuple{map[string]Expr{"x": Proj{"k"}, "junk": Proj{"s"}}}, Proj{"x"}),
+		// FLATMAP(SNG) identity.
+		Pipe(Proj{"s"}, FlatMap{SNG{}}, Agg{"COUNT"}),
+		// σ(true) identity.
+		Pipe(Proj{"s"}, Select{Const{Bool(true)}}, Agg{"COUNT"}),
+		// Constant folding in scalars.
+		BinOp{Op: "+", L: Const{Num(2)}, R: BinOp{Op: "*", L: Const{Num(3)}, R: Const{Num(4)}}},
+		// Nested composition normalization.
+		Compose{Compose{Proj{"s"}, Map{wrap}}, Agg{"COUNT"}},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i, e := range exprs {
+		r := Rewrite(e)
+		for trial := 0; trial < 50; trial++ {
+			in := randomWorldInput(rng)
+			a, b := e.Eval(Clone(in)), r.Eval(Clone(in))
+			if !Equal(a, b) {
+				t.Fatalf("expr %d: rewrite changed semantics:\n  orig %s = %v\n  new  %s = %v",
+					i, e, a, r, b)
+			}
+		}
+	}
+}
+
+func TestRewriteShrinksPlans(t *testing.T) {
+	wrap := MkTuple{map[string]Expr{"a": Proj{"a"}, "b": Proj{"b"}}}
+	e := Pipe(Proj{"s"}, Map{wrap}, Map{Proj{"a"}}, FlatMap{SNG{}}, Select{Const{Bool(true)}})
+	r := Rewrite(e)
+	if Size(r) >= Size(e) {
+		t.Errorf("rewrite did not shrink: %d -> %d (%s)", Size(e), Size(r), r)
+	}
+	// Specific algebraic facts.
+	if got := Rewrite(Map{ID{}}); got.String() != "ID" {
+		t.Errorf("MAP(ID) = %s", got)
+	}
+	if got := Rewrite(FlatMap{SNG{}}); got.String() != "ID" {
+		t.Errorf("FLATMAP(SNG) = %s", got)
+	}
+	fused := Rewrite(Compose{Map{Proj{"a"}}, Map{Proj{"b"}}})
+	if _, ok := fused.(Map); !ok {
+		t.Errorf("MAP fusion failed: %s", fused)
+	}
+}
+
+// ---- Translation and the theorems ----
+
+const localSrc = `
+class A {
+  public state float x : x; #range[-3,3];
+  public state float y : y; #range[-3,3];
+  public state float acc : near;
+  public effect float near : sum;
+  public void run() {
+    foreach (A p : Extent<A>) {
+      if (p != this) {
+        near <- 1 / (dist(this, p) + 1);
+      }
+    }
+  }
+}
+`
+
+const nonLocalSrc = `
+class B {
+  public state float x : x;
+  public state float y : y;
+  public state float m : m;
+  public effect float push : sum;
+  public void run() {
+    foreach (B p : Extent<B>) {
+      if (p != this) {
+        p.push <- (p.x - x) * m;
+      }
+    }
+  }
+}
+`
+
+const nonLocalVisSrc = `
+class C {
+  public state float x : x; #range[-4,4];
+  public state float y : y; #range[-4,4];
+  public state float m : m;
+  public effect float push : sum;
+  public void run() {
+    foreach (C p : Extent<C>) {
+      if (p != this) {
+        p.push <- (p.x - x) * m;
+      }
+    }
+  }
+}
+`
+
+func checkedOf(t *testing.T, src string) *brasil.Checked {
+	t.Helper()
+	cl, err := brasil.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := brasil.Check(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+func randomWorld(rng *rand.Rand, n int, fields []string, span float64) Set {
+	w := make(Set, n)
+	for i := range w {
+		st := map[string]float64{}
+		for _, f := range fields {
+			st[f] = rng.Float64() * span
+		}
+		w[i] = AgentTuple(float64(i+1), st)
+	}
+	return w
+}
+
+// Theorem 1: the BRASIL weak-reference/visibility semantics (monad
+// translation with σ_V) equals the BRACE implementation (distributed
+// engine with replication and replica filtering). The script copies its
+// aggregated effect into state field acc, which we compare per agent.
+func TestTheorem1MonadMatchesEngine(t *testing.T) {
+	ck := checkedOf(t, localSrc)
+	tr := NewTranslator(ck)
+	script, err := tr.TranslateRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := brasil.Compile(localSrc, brasil.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	// World sorted by ID so both sides fold local sums in the same order.
+	const n = 40
+	world := make(Set, n)
+	pop := make([]*agent.Agent, n)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*12, rng.Float64()*12
+		world[i] = AgentTuple(float64(i+1), map[string]float64{"x": x, "y": y, "acc": 0})
+		a := agent.New(prog.Schema(), agent.ID(i+1))
+		a.State[prog.Schema().StateIndex("x")] = x
+		a.State[prog.Schema().StateIndex("y")] = y
+		pop[i] = a
+	}
+
+	effs, err := RunQuery(script, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := AggregateEffects(ck, effs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := engine.NewDistributed(prog, pop, engine.Options{
+		Workers: 3, Index: spatial.KindKDTree, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunTicks(1); err != nil {
+		t.Fatal(err)
+	}
+	accIdx := prog.Schema().StateIndex("acc")
+	for _, a := range eng.Agents() {
+		want := agg[float64(a.ID)]["near"]
+		got := a.State[accIdx]
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("agent %d: engine acc %v, monad %v", a.ID, got, want)
+		}
+	}
+}
+
+// Theorem 2: with no visibility constraints, effect inversion preserves
+// the script's semantics exactly.
+func TestTheorem2EffectInversion(t *testing.T) {
+	ck := checkedOf(t, nonLocalSrc)
+	if !ck.HasNonLocal {
+		t.Fatal("test script should be non-local")
+	}
+	inv, err := brasil.Invert(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckInv, err := brasil.Check(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckInv.HasNonLocal {
+		t.Fatal("inverted script still non-local")
+	}
+
+	s1, err := NewTranslator(ck).TranslateRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewTranslator(ckInv).TranslateRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		world := randomWorld(rng, 3+rng.Intn(10), []string{"x", "y", "m"}, 10)
+		e1, err := RunQuery(s1, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := RunQuery(s2, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err := AggregateEffects(ck, e1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := AggregateEffects(ckInv, e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aggEqual(a1, a2, 0) {
+			t.Fatalf("trial %d: inversion changed semantics:\n%v\n%v", trial, a1, a2)
+		}
+	}
+}
+
+// Theorem 3: with a distance-bound visibility constraint R, the inverted
+// script evaluated under the enlarged bound (≤ 2R per the theorem; the
+// explicit distance guard the inverter adds re-imposes R) agrees with the
+// original under R.
+func TestTheorem3InversionUnderVisibility(t *testing.T) {
+	ck := checkedOf(t, nonLocalVisSrc)
+	if ck.Visibility != 4 {
+		t.Fatalf("visibility = %v", ck.Visibility)
+	}
+	inv, err := brasil.Invert(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckInv, err := brasil.Check(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trOrig := NewTranslator(ck) // σ_V with R = 4
+	s1, err := trOrig.TranslateRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trInv := NewTranslator(ckInv)
+	trInv.Visibility = 2 * ck.Visibility // V′ of the theorem: 2R
+	s2, err := trInv.TranslateRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		world := randomWorld(rng, 3+rng.Intn(12), []string{"x", "y", "m"}, 12)
+		e1, err := RunQuery(s1, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := RunQuery(s2, world)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err := AggregateEffects(ck, e1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := AggregateEffects(ckInv, e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !aggEqual(a1, a2, 1e-12) {
+			t.Fatalf("trial %d: visibility inversion mismatch:\n%v\n%v", trial, a1, a2)
+		}
+	}
+}
+
+// Theorem 1 corollary exercised algebraically: translating with σ_V over
+// the full world equals translating without σ_V over a pre-filtered world
+// — replica filtering commutes with the query.
+func TestVisibilityFilterCommutes(t *testing.T) {
+	ck := checkedOf(t, localSrc)
+	withV := NewTranslator(ck)
+	s1, err := withV.TranslateRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noV := NewTranslator(ck)
+	noV.Visibility = 0
+	s2, err := noV.TranslateRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	world := randomWorld(rng, 12, []string{"x", "y", "acc"}, 10)
+
+	e1, err := RunQuery(s1, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-filter per active agent, then run the unfiltered script.
+	var e2 Set
+	for _, a := range world {
+		at := a.(Tuple)
+		var vis Set
+		for _, b := range world {
+			bt := b.(Tuple)
+			dx := float64(at["x"].(Num) - bt["x"].(Num))
+			dy := float64(at["y"].(Num) - bt["y"].(Num))
+			if math.Hypot(dx, dy) <= ck.Visibility {
+				vis = append(vis, b)
+			}
+		}
+		in := Tuple{"1": Clone(a), "2": Clone(vis).(Set), "3": Set{}}
+		res := s2.Eval(in).(Tuple)
+		e2 = append(e2, res["3"].(Set)...)
+	}
+	a1, err := AggregateEffects(ck, e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AggregateEffects(ck, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aggEqual(a1, a2, 0) {
+		t.Fatalf("σ_V does not commute with pre-filtering:\n%v\n%v", a1, a2)
+	}
+}
+
+func aggEqual(a, b map[float64]map[string]float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, ma := range a {
+		mb, ok := b[k]
+		if !ok || len(ma) != len(mb) {
+			return false
+		}
+		for f, va := range ma {
+			vb, ok := mb[f]
+			if !ok || math.Abs(va-vb) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

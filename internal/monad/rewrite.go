@@ -1,0 +1,203 @@
+package monad
+
+// Rewrite rules of §4.2 / App. B: "Most of these optimizations are the
+// same as those that would be present in a relational algebra query plan:
+// algebraic rewrites and automatic indexing." Rewrite applies the rules
+// bottom-up to a fixpoint; every rule preserves semantics, which the
+// package tests check on randomized inputs.
+
+// Rewrite normalizes an expression.
+func Rewrite(e Expr) Expr {
+	for {
+		next, changed := rewriteOnce(e)
+		if !changed {
+			return next
+		}
+		e = next
+	}
+}
+
+func rewriteOnce(e Expr) (Expr, bool) {
+	changed := false
+	rec := func(x Expr) Expr {
+		nx, ch := rewriteOnce(x)
+		changed = changed || ch
+		return nx
+	}
+
+	switch ex := e.(type) {
+	case Compose:
+		f := rec(ex.F)
+		g := rec(ex.G)
+		// Identity elimination.
+		if _, ok := f.(ID); ok {
+			return g, true
+		}
+		if _, ok := g.(ID); ok {
+			return f, true
+		}
+		// Associate to the right for pattern matching: (a◦b)◦c → a◦(b◦c).
+		if fc, ok := f.(Compose); ok {
+			return Compose{fc.F, Compose{fc.G, g}}, true
+		}
+		// Dead-tuple elimination: ⟨..., a: h, ...⟩ ◦ π_a → h ("there are
+		// rewrite rules that function like dead-code elimination").
+		if mk, ok := f.(MkTuple); ok {
+			if pr, ok := g.(Proj); ok {
+				if h, ok := mk.Fields[pr.A]; ok {
+					return h, true
+				}
+			}
+			if cg, ok := g.(Compose); ok {
+				if pr, ok := cg.F.(Proj); ok {
+					if h, ok := mk.Fields[pr.A]; ok {
+						return Compose{h, cg.G}, true
+					}
+				}
+			}
+		}
+		// MAP fusion: MAP(f) ◦ MAP(g) = MAP(f◦g).
+		if mf, ok := f.(Map); ok {
+			if mg, ok := g.(Map); ok {
+				return Map{Compose{mf.F, mg.F}}, true
+			}
+			if cg, ok := g.(Compose); ok {
+				if mg, ok := cg.F.(Map); ok {
+					return Compose{Map{Compose{mf.F, mg.F}}, cg.G}, true
+				}
+			}
+			// MAP(f) ◦ FLATMAP(g) = FLATMAP(f◦g).
+			if fg, ok := g.(FlatMap); ok {
+				return FlatMap{Compose{mf.F, fg.F}}, true
+			}
+		}
+		// SNG ◦ FLATMAP(f) = f;  SNG ◦ MAP(f) = f ◦ SNG.
+		if _, ok := f.(SNG); ok {
+			if fg, ok := g.(FlatMap); ok {
+				return fg.F, true
+			}
+			if mg, ok := g.(Map); ok {
+				return Compose{mg.F, SNG{}}, true
+			}
+		}
+		// CONST absorbs whatever precedes it.
+		if c, ok := g.(Const); ok {
+			return c, true
+		}
+		if changed {
+			return Compose{f, g}, true
+		}
+		return Compose{f, g}, false
+
+	case Map:
+		f := rec(ex.F)
+		// MAP(ID) = ID.
+		if _, ok := f.(ID); ok {
+			return ID{}, true
+		}
+		return Map{f}, changed
+
+	case FlatMap:
+		f := rec(ex.F)
+		// FLATMAP(SNG) = ID.
+		if _, ok := f.(SNG); ok {
+			return ID{}, true
+		}
+		return FlatMap{f}, changed
+
+	case Select:
+		p := rec(ex.Pred)
+		// σ(true) = ID.
+		if c, ok := p.(Const); ok {
+			if b, ok := c.V.(Bool); ok && bool(b) {
+				return ID{}, true
+			}
+		}
+		return Select{p}, changed
+
+	case Union:
+		return Union{rec(ex.L), rec(ex.R)}, changed
+
+	case MkTuple:
+		out := make(map[string]Expr, len(ex.Fields))
+		for k, f := range ex.Fields {
+			out[k] = rec(f)
+		}
+		return MkTuple{out}, changed
+
+	case BinOp:
+		l, r := rec(ex.L), rec(ex.R)
+		// Constant folding for closed operands.
+		lc, lok := l.(Const)
+		rc, rok := r.(Const)
+		if lok && rok {
+			return Const{BinOp{ex.Op, lc, rc}.Eval(Nil{})}, true
+		}
+		return BinOp{ex.Op, l, r}, changed
+
+	case Cond:
+		c, t, f := rec(ex.If), rec(ex.Then), rec(ex.Else)
+		if cc, ok := c.(Const); ok {
+			if truthy(cc.V) {
+				return t, true
+			}
+			return f, true
+		}
+		return Cond{c, t, f}, changed
+
+	case Fn:
+		args := make([]Expr, len(ex.Args))
+		allConst := true
+		for i, a := range ex.Args {
+			args[i] = rec(a)
+			if _, ok := args[i].(Const); !ok {
+				allConst = false
+			}
+		}
+		if allConst && ex.Name != "rand" {
+			return Const{Fn{ex.Name, args}.Eval(Nil{})}, true
+		}
+		return Fn{ex.Name, args}, changed
+
+	case Extend:
+		return Extend{Base: rec(ex.Base), A: ex.A, F: rec(ex.F)}, changed
+	}
+	return e, false
+}
+
+// Size counts operator nodes, so tests can assert that rewriting shrinks
+// plans.
+func Size(e Expr) int {
+	switch ex := e.(type) {
+	case Compose:
+		return 1 + Size(ex.F) + Size(ex.G)
+	case Map:
+		return 1 + Size(ex.F)
+	case FlatMap:
+		return 1 + Size(ex.F)
+	case Select:
+		return 1 + Size(ex.Pred)
+	case Union:
+		return 1 + Size(ex.L) + Size(ex.R)
+	case MkTuple:
+		n := 1
+		for _, f := range ex.Fields {
+			n += Size(f)
+		}
+		return n
+	case BinOp:
+		return 1 + Size(ex.L) + Size(ex.R)
+	case Cond:
+		return 1 + Size(ex.If) + Size(ex.Then) + Size(ex.Else)
+	case Fn:
+		n := 1
+		for _, a := range ex.Args {
+			n += Size(a)
+		}
+		return n
+	case Extend:
+		return 1 + Size(ex.Base) + Size(ex.F)
+	default:
+		return 1
+	}
+}

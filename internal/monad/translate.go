@@ -1,0 +1,435 @@
+package monad
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/bigreddata/brace/internal/brasil"
+)
+
+// This file implements the App. B.1 translation of BRASIL query scripts
+// into the monad algebra. The translated expression maps the triple
+//
+//	⟨1: active-agent tuple τ′, 2: {agent tuples}, 3: {effect tuples}⟩
+//
+// to a triple of the same shape, where effect tuples are ⟨k, e, v⟩ —
+// target key, effect field name, value. Agent tuples carry KEY plus one
+// attribute per state field; loop variables and local constants extend the
+// active tuple (τ′ "extends" τ).
+//
+// The translation exists to machine-check Theorems 1–3 against an
+// independent semantics; it supports the query-script subset those
+// theorems quantify over (no effect reads inside run()).
+
+// Extend is the χ_a(f) operator from App. B: extend the Base tuple with
+// attribute A holding F's result (both evaluated on the same input).
+type Extend struct {
+	Base Expr
+	A    string
+	F    Expr
+}
+
+// Eval implements Expr.
+func (x Extend) Eval(v Value) Value {
+	b, ok := x.Base.Eval(v).(Tuple)
+	if !ok {
+		return Nil{}
+	}
+	out := make(Tuple, len(b)+1)
+	for k, e := range b {
+		out[k] = e
+	}
+	out[x.A] = x.F.Eval(v)
+	return out
+}
+
+// String implements Expr.
+func (x Extend) String() string {
+	return "χ" + x.A + "(" + x.Base.String() + ";" + x.F.String() + ")"
+}
+
+// Translator holds per-script context.
+type Translator struct {
+	ck *brasil.Checked
+	// Visibility is the distance bound used for σ_V filtering of foreach
+	// candidates (0 = unbounded). It defaults to the script's own bound
+	// but can be overridden to exercise Theorem 3's 2R construction.
+	Visibility float64
+}
+
+// NewTranslator builds a translator for a checked class.
+func NewTranslator(ck *brasil.Checked) *Translator {
+	return &Translator{ck: ck, Visibility: ck.Visibility}
+}
+
+// scope tracks which names are loop variables or locals during
+// translation (they live as attributes of the active tuple).
+type scope struct {
+	vars map[string]bool
+}
+
+func (s *scope) with(name string) *scope {
+	ns := &scope{vars: map[string]bool{}}
+	for k := range s.vars {
+		ns.vars[k] = true
+	}
+	ns.vars[name] = true
+	return ns
+}
+
+// TranslateRun translates the whole run() body to an Expr over the triple.
+func (tr *Translator) TranslateRun() (Expr, error) {
+	return tr.stmts(tr.ck.Class.Run.Body, &scope{vars: map[string]bool{}})
+}
+
+func (tr *Translator) stmts(body []brasil.Stmt, sc *scope) (Expr, error) {
+	out := Expr(ID{})
+	for _, s := range body {
+		e, err := tr.stmt(s, sc)
+		if err != nil {
+			return nil, err
+		}
+		// Sequencing is composition (left-to-right).
+		out = Compose{out, e}
+		// Variable declarations extend the scope for later statements.
+		if vd, ok := s.(*brasil.VarDecl); ok {
+			sc = sc.with(vd.Name)
+		}
+	}
+	return out, nil
+}
+
+func (tr *Translator) stmt(s brasil.Stmt, sc *scope) (Expr, error) {
+	switch st := s.(type) {
+	case *brasil.VarDecl:
+		init, err := tr.expr(st.Init, sc)
+		if err != nil {
+			return nil, err
+		}
+		// ⟨1: χx([[E]]), 2: π2, 3: π3⟩.
+		return MkTuple{map[string]Expr{
+			"1": Extend{Base: Proj{"1"}, A: st.Name, F: init},
+			"2": Proj{"2"},
+			"3": Proj{"3"},
+		}}, nil
+
+	case *brasil.AssignEffect:
+		val, err := tr.expr(st.Value, sc)
+		if err != nil {
+			return nil, err
+		}
+		target := Expr(Pipe(Proj{"1"}, Proj{"KEY"}))
+		if st.On != nil {
+			on, err := tr.agentExpr(st.On, sc)
+			if err != nil {
+				return nil, err
+			}
+			target = Compose{on, Proj{"KEY"}}
+		}
+		// ⟨1:π1, 2:π2, 3: π3 ⊕ SNG(⟨k, e, v⟩)⟩.
+		eff := MkTuple{map[string]Expr{
+			"k": target,
+			"e": Const{strVal(st.Field)},
+			"v": val,
+		}}
+		return MkTuple{map[string]Expr{
+			"1": Proj{"1"},
+			"2": Proj{"2"},
+			"3": Union{Proj{"3"}, Compose{eff, SNG{}}},
+		}}, nil
+
+	case *brasil.If:
+		cond, err := tr.expr(st.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		then, err := tr.stmts(st.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		els, err := tr.stmts(st.Else, sc)
+		if err != nil {
+			return nil, err
+		}
+		// Effects flow from whichever branch ran; slots 1 and 2 pass
+		// through (locals declared in a branch die with it).
+		return MkTuple{map[string]Expr{
+			"1": Proj{"1"},
+			"2": Proj{"2"},
+			"3": Cond{If: cond, Then: Compose{then, Proj{"3"}}, Else: Compose{els, Proj{"3"}}},
+		}}, nil
+
+	case *brasil.Foreach:
+		body, err := tr.stmts(st.Body, sc.with(st.VarName))
+		if err != nil {
+			return nil, err
+		}
+		// Candidates: ⟨a: π1, w: π2, c: π2⟩ ◦ PAIRWITH_c ◦ σ_V, then for
+		// each candidate run the body on ⟨1: χ_x(a, c), 2: w, 3: {}⟩ and
+		// collect its effect slot; union everything into π3.
+		pair := Pipe(
+			MkTuple{map[string]Expr{"a": Proj{"1"}, "w": Proj{"2"}, "c": Proj{"2"}}},
+			PairWith{"c"},
+		)
+		var filtered Expr = pair
+		if tr.Visibility > 0 {
+			filtered = Compose{pair, Select{tr.visPred()}}
+		}
+		perCandidate := Pipe(
+			MkTuple{map[string]Expr{
+				"1": Extend{Base: Proj{"a"}, A: st.VarName, F: Proj{"c"}},
+				"2": Proj{"w"},
+				"3": Const{Set{}},
+			}},
+			body,
+			Proj{"3"},
+		)
+		loop := Compose{filtered, FlatMap{perCandidate}}
+		return MkTuple{map[string]Expr{
+			"1": Proj{"1"},
+			"2": Proj{"2"},
+			"3": Union{Proj{"3"}, loop},
+		}}, nil
+	}
+	return nil, fmt.Errorf("monad: cannot translate statement %T", s)
+}
+
+// visPred builds V(a, c): dist(a, c) ≤ Visibility over the paired tuple.
+func (tr *Translator) visPred() Expr {
+	dx := BinOp{Op: "-", L: Pipe(Proj{"a"}, Proj{"x"}), R: Pipe(Proj{"c"}, Proj{"x"})}
+	dy := BinOp{Op: "-", L: Pipe(Proj{"a"}, Proj{"y"}), R: Pipe(Proj{"c"}, Proj{"y"})}
+	d := Fn{Name: "hypot", Args: []Expr{dx, dy}}
+	return BinOp{Op: "<=", L: d, R: Const{Num(tr.Visibility)}}
+}
+
+// agentExpr translates an agent-typed expression to one yielding the
+// agent's tuple.
+func (tr *Translator) agentExpr(e brasil.Expr, sc *scope) (Expr, error) {
+	switch ex := e.(type) {
+	case *brasil.This:
+		return Proj{"1"}, nil
+	case *brasil.Ref:
+		if sc.vars[ex.Name] {
+			return Pipe(Proj{"1"}, Proj{ex.Name}), nil
+		}
+		return nil, fmt.Errorf("monad: %q is not an agent variable", ex.Name)
+	}
+	return nil, fmt.Errorf("monad: not an agent expression: %T", e)
+}
+
+// expr translates a numeric BRASIL expression.
+func (tr *Translator) expr(e brasil.Expr, sc *scope) (Expr, error) {
+	switch ex := e.(type) {
+	case *brasil.Num:
+		return Const{Num(ex.Val)}, nil
+
+	case *brasil.Ref:
+		if sc.vars[ex.Name] {
+			// Local constant (numeric) stored on the active tuple. Agent
+			// variables are handled by agentExpr callers.
+			return Pipe(Proj{"1"}, Proj{ex.Name}), nil
+		}
+		if f, ok := tr.ck.Fields[ex.Name]; ok {
+			if !f.IsState {
+				return nil, fmt.Errorf("monad: effect reads are outside the translated subset")
+			}
+			return Pipe(Proj{"1"}, Proj{ex.Name}), nil
+		}
+		return nil, fmt.Errorf("monad: undefined name %q", ex.Name)
+
+	case *brasil.FieldRef:
+		on, err := tr.agentExpr(ex.On, sc)
+		if err != nil {
+			return nil, err
+		}
+		if f, ok := tr.ck.Fields[ex.Field]; !ok || !f.IsState {
+			return nil, fmt.Errorf("monad: field %q is not a readable state field", ex.Field)
+		}
+		return Compose{on, Proj{ex.Field}}, nil
+
+	case *brasil.Unary:
+		x, err := tr.expr(ex.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		if ex.Op == "-" {
+			return BinOp{Op: "-", L: Const{Num(0)}, R: x}, nil
+		}
+		return BinOp{Op: "==", L: x, R: Const{Num(0)}}, nil
+
+	case *brasil.Binary:
+		if ex.Op == "==" || ex.Op == "!=" {
+			la, lerr := tr.agentExpr(ex.L, sc)
+			ra, rerr := tr.agentExpr(ex.R, sc)
+			if lerr == nil && rerr == nil {
+				cmp := BinOp{Op: "==",
+					L: Compose{la, Proj{"KEY"}},
+					R: Compose{ra, Proj{"KEY"}}}
+				if ex.Op == "==" {
+					return cmp, nil
+				}
+				return BinOp{Op: "==", L: cmp, R: Const{Bool(false)}}, nil
+			}
+		}
+		l, err := tr.expr(ex.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := tr.expr(ex.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		return BinOp{Op: ex.Op, L: l, R: r}, nil
+
+	case *brasil.Call:
+		if ex.Name == "dist" {
+			a, err := tr.agentExpr(ex.Args[0], sc)
+			if err != nil {
+				return nil, err
+			}
+			b, err := tr.agentExpr(ex.Args[1], sc)
+			if err != nil {
+				return nil, err
+			}
+			dx := BinOp{Op: "-", L: Compose{a, Proj{"x"}}, R: Compose{b, Proj{"x"}}}
+			dy := BinOp{Op: "-", L: Compose{a, Proj{"y"}}, R: Compose{b, Proj{"y"}}}
+			return Fn{Name: "hypot", Args: []Expr{dx, dy}}, nil
+		}
+		if ex.Name == "rand" {
+			return nil, fmt.Errorf("monad: rand() has no algebraic meaning in the query phase")
+		}
+		args := make([]Expr, len(ex.Args))
+		for i, a := range ex.Args {
+			x, err := tr.expr(a, sc)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return Fn{Name: ex.Name, Args: args}, nil
+
+	case *brasil.This:
+		return nil, fmt.Errorf("monad: this used as a number")
+	}
+	return nil, fmt.Errorf("monad: cannot translate expression %T", e)
+}
+
+// strVal interns field names as one-attribute tuples so Value stays a
+// closed algebra (no string atom needed): the effect id ρ(x).
+func strVal(s string) Value { return Tuple{"id$" + s: Num(1)} }
+
+// EffectFieldOf recovers the field name from an effect tuple's e slot.
+func EffectFieldOf(v Value) (string, bool) {
+	t, ok := v.(Tuple)
+	if !ok {
+		return "", false
+	}
+	for k := range t {
+		if len(k) > 3 && k[:3] == "id$" {
+			return k[3:], true
+		}
+	}
+	return "", false
+}
+
+// AgentTuple converts a flat state map + key into an agent tuple.
+func AgentTuple(key float64, state map[string]float64) Tuple {
+	t := Tuple{"KEY": Num(key)}
+	for k, v := range state {
+		t[k] = Num(v)
+	}
+	return t
+}
+
+// RunQuery evaluates the translated script for every agent in the world
+// and returns the union of all produced effect tuples — the NEST₂/MAP
+// driver of eq. (2), Q(Q).
+func RunQuery(script Expr, world Set) (Set, error) {
+	var out Set
+	for _, a := range world {
+		in := Tuple{"1": Clone(a), "2": Clone(world).(Set), "3": Set{}}
+		res := script.Eval(in)
+		rt, ok := res.(Tuple)
+		if !ok {
+			return nil, fmt.Errorf("monad: script produced %T, want triple", res)
+		}
+		eff, ok := rt["3"].(Set)
+		if !ok {
+			return nil, fmt.Errorf("monad: effect slot is %T", rt["3"])
+		}
+		out = append(out, eff...)
+	}
+	return out, nil
+}
+
+// AggregateEffects folds an effect set into per-(key, field) totals using
+// each effect field's combinator from the schema — the global ⊕ of
+// reduce₂.
+func AggregateEffects(ck *brasil.Checked, effs Set) (map[float64]map[string]float64, error) {
+	out := map[float64]map[string]float64{}
+	for _, e := range effs {
+		t, ok := e.(Tuple)
+		if !ok {
+			return nil, fmt.Errorf("monad: effect %s is not a tuple", e)
+		}
+		k, ok := t["k"].(Num)
+		if !ok {
+			return nil, fmt.Errorf("monad: effect key missing")
+		}
+		field, ok := EffectFieldOf(t["e"])
+		if !ok {
+			return nil, fmt.Errorf("monad: effect id missing")
+		}
+		v, ok := t["v"].(Num)
+		if !ok {
+			return nil, fmt.Errorf("monad: effect value missing")
+		}
+		fd, ok := ck.Fields[field]
+		if !ok || fd.IsState {
+			return nil, fmt.Errorf("monad: unknown effect field %q", field)
+		}
+		m := out[float64(k)]
+		if m == nil {
+			m = map[string]float64{}
+			out[float64(k)] = m
+		}
+		// Fold with the declared combinator, starting from its identity.
+		comb := combinatorFor(fd.Comb)
+		if cur, seen := m[field]; seen {
+			m[field] = comb.fold(cur, float64(v))
+		} else {
+			m[field] = comb.fold(comb.identity, float64(v))
+		}
+	}
+	return out, nil
+}
+
+type simpleComb struct {
+	identity float64
+	fold     func(a, b float64) float64
+}
+
+func combinatorFor(name string) simpleComb {
+	switch name {
+	case "min":
+		return simpleComb{identity: inf(), fold: func(a, b float64) float64 {
+			if b < a {
+				return b
+			}
+			return a
+		}}
+	case "max":
+		return simpleComb{identity: -inf(), fold: func(a, b float64) float64 {
+			if b > a {
+				return b
+			}
+			return a
+		}}
+	case "mul":
+		return simpleComb{identity: 1, fold: func(a, b float64) float64 { return a * b }}
+	default: // sum, count, or/and collapse to sum/bool-ish for tests
+		return simpleComb{identity: 0, fold: func(a, b float64) float64 { return a + b }}
+	}
+}
+
+func inf() float64 { return math.Inf(1) }

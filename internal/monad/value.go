@@ -1,0 +1,114 @@
+// Package monad implements the monad algebra of Appendix B — the
+// theoretical foundation BRASIL compiles into ("the monad algebra ... a
+// much more natural companion to MapReduce than the relational algebra",
+// §4.2) — together with an evaluator, the classic rewrite rules, and the
+// translation of BRASIL query scripts into algebra expressions. The
+// package exists to *machine-check* the paper's claims: Theorem 1
+// (weak-reference visibility ≡ replica-filter visibility) and Theorems 2–3
+// (effect inversion), which the tests verify on randomized worlds.
+//
+// The data model is the standard nested one: numbers, booleans, tuples,
+// sets (bags), plus the special NIL value of App. B ("the result of any
+// query that is undefined on the input data"), which propagates through
+// operations and is skipped by aggregates.
+package monad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a nested value.
+type Value interface {
+	value()
+	String() string
+}
+
+// Num is a numeric atom.
+type Num float64
+
+// Bool is a boolean atom.
+type Bool bool
+
+// Nil is the undefined value: "values combined with NIL are NIL, and NIL
+// elements in a set are ignored by aggregates."
+type Nil struct{}
+
+// Tuple is a record with named attributes.
+type Tuple map[string]Value
+
+// Set is a bag of values.
+type Set []Value
+
+func (Num) value()   {}
+func (Bool) value()  {}
+func (Nil) value()   {}
+func (Tuple) value() {}
+func (Set) value()   {}
+
+// String implements fmt.Stringer.
+func (n Num) String() string { return fmt.Sprintf("%g", float64(n)) }
+
+// String implements fmt.Stringer.
+func (b Bool) String() string { return fmt.Sprintf("%v", bool(b)) }
+
+// String implements fmt.Stringer.
+func (Nil) String() string { return "NIL" }
+
+// String implements fmt.Stringer; attributes print in sorted order so
+// string forms are canonical.
+func (t Tuple) String() string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%s", k, t[k])
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// String implements fmt.Stringer; elements print sorted by their string
+// form, giving a canonical representation for bag comparison.
+func (s Set) String() string {
+	elems := make([]string, len(s))
+	for i, v := range s {
+		elems[i] = v.String()
+	}
+	sort.Strings(elems)
+	return "{" + strings.Join(elems, ";") + "}"
+}
+
+// IsNil reports whether v is NIL.
+func IsNil(v Value) bool { _, ok := v.(Nil); return ok }
+
+// Equal compares two values as bags (set order is irrelevant).
+func Equal(a, b Value) bool { return a.String() == b.String() }
+
+// Clone deep-copies a value.
+func Clone(v Value) Value {
+	switch x := v.(type) {
+	case Tuple:
+		out := make(Tuple, len(x))
+		for k, e := range x {
+			out[k] = Clone(e)
+		}
+		return out
+	case Set:
+		out := make(Set, len(x))
+		for i, e := range x {
+			out[i] = Clone(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,174 @@
+package partition
+
+import (
+	"math"
+	"sort"
+
+	"github.com/bigreddata/brace/internal/geom"
+)
+
+// Balancer is the one-dimensional load balancer of §5.1: it "periodically
+// receives statistics from the slave nodes, including computational load
+// and number of owned agents; from these it heuristically computes a new
+// partition trying to balance improved performance against estimated
+// migration cost."
+//
+// The heuristic: given every agent's x coordinate weighted by its measured
+// per-tick cost, choose new strip cuts at equal-weight quantiles. Apply the
+// new cuts only if the projected per-tick saving (the drop in the maximum
+// per-strip load, which is what bulk-synchronous ticks wait for), accrued
+// over HorizonTicks, exceeds the one-time cost of migrating the agents
+// that change owners.
+type Balancer struct {
+	// MigrateCostPerAgent is the virtual-time cost of moving one agent's
+	// state to a new owner (serialization + transfer).
+	MigrateCostPerAgent float64
+	// HorizonTicks is how many ticks the new partitioning is assumed to
+	// stay effective (typically the repartition check interval).
+	HorizonTicks float64
+	// MinRelativeGain suppresses churn: the projected max-load reduction
+	// must be at least this fraction of the current max load.
+	MinRelativeGain float64
+}
+
+// DefaultBalancer returns the tuning used by the experiments.
+func DefaultBalancer() Balancer {
+	return Balancer{
+		MigrateCostPerAgent: 2e-6, // ~250 B over 1 GbE
+		HorizonTicks:        100,
+		MinRelativeGain:     0.05,
+	}
+}
+
+// Decision is the balancer's verdict for one epoch.
+type Decision struct {
+	// Apply reports whether the new cuts are worth the migration.
+	Apply bool
+	// NewCuts holds the proposed interior boundaries (always populated).
+	NewCuts []float64
+	// GainPerTick is the projected reduction of the max per-strip load.
+	GainPerTick float64
+	// MigrationCost is the projected one-time cost of switching.
+	MigrationCost float64
+	// Moved is the number of agents that would change owners.
+	Moved int
+}
+
+// Plan computes a balancing decision. xs are the x coordinates of all
+// agents; costs are the per-agent per-tick cost estimates (same length; a
+// nil costs means uniform weight 1). cur is the current partitioning.
+func (b Balancer) Plan(cur *Strips, xs []float64, costs []float64) Decision {
+	n := cur.N()
+	if len(xs) == 0 || n == 1 {
+		return Decision{NewCuts: cur.Cuts()}
+	}
+	type wp struct{ x, w float64 }
+	pts := make([]wp, len(xs))
+	var total float64
+	for i, x := range xs {
+		w := 1.0
+		if costs != nil {
+			w = costs[i]
+		}
+		pts[i] = wp{x, w}
+		total += w
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+
+	// Current per-strip load.
+	curLoad := make([]float64, n)
+	for _, p := range pts {
+		curLoad[cur.Locate(vecX(p.x))] += p.w
+	}
+	curMax := maxOf(curLoad)
+
+	// Equal-weight quantile cuts. Cuts must be strictly increasing; when
+	// the weight mass is concentrated (e.g. all agents at one x), fall
+	// back to nudging by an epsilon of the data span.
+	newCuts := make([]float64, 0, n-1)
+	targetPer := total / float64(n)
+	span := pts[len(pts)-1].x - pts[0].x
+	eps := span * 1e-9
+	if eps == 0 {
+		eps = 1e-9
+	}
+	var acc float64
+	next := targetPer
+	for i := 0; i < len(pts) && len(newCuts) < n-1; i++ {
+		acc += pts[i].w
+		for acc >= next && len(newCuts) < n-1 {
+			c := pts[i].x
+			if len(newCuts) > 0 && c <= newCuts[len(newCuts)-1] {
+				c = newCuts[len(newCuts)-1] + eps
+			}
+			newCuts = append(newCuts, c)
+			next += targetPer
+		}
+	}
+	// If mass ran out (numerical edge), pad monotonically.
+	for len(newCuts) < n-1 {
+		last := pts[len(pts)-1].x
+		if len(newCuts) > 0 {
+			last = newCuts[len(newCuts)-1]
+		}
+		newCuts = append(newCuts, last+eps)
+	}
+
+	prop, err := NewStripsFromCuts(newCuts)
+	if err != nil {
+		// Construction guarantees monotonicity; treat violation as no-op.
+		return Decision{NewCuts: cur.Cuts()}
+	}
+
+	// Projected load and migration volume under the proposal.
+	newLoad := make([]float64, n)
+	moved := 0
+	for _, p := range pts {
+		from := cur.Locate(vecX(p.x))
+		to := prop.Locate(vecX(p.x))
+		newLoad[to] += p.w
+		if from != to {
+			moved++
+		}
+	}
+	gain := curMax - maxOf(newLoad)
+	cost := float64(moved) * b.MigrateCostPerAgent
+	apply := gain > 0 &&
+		gain >= b.MinRelativeGain*curMax &&
+		gain*b.HorizonTicks > cost
+	return Decision{
+		Apply:         apply,
+		NewCuts:       newCuts,
+		GainPerTick:   gain,
+		MigrationCost: cost,
+		Moved:         moved,
+	}
+}
+
+// Imbalance returns max/mean of the per-partition loads (1 = perfectly
+// balanced). Empty input returns 1.
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, l := range loads {
+		sum += l
+	}
+	if sum == 0 {
+		return 1
+	}
+	return maxOf(loads) * float64(len(loads)) / sum
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func vecX(x float64) geom.Vec { return geom.Vec{X: x} }

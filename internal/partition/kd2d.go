@@ -1,0 +1,215 @@
+package partition
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"github.com/bigreddata/brace/internal/geom"
+)
+
+// KD2D is a two-dimensional recursive median-split partitioning: the
+// spatial decomposition alternative App. A alludes to ("this partitioning
+// function can be implemented in multiple ways, such as a regular grid or
+// a quadtree"). Starting from the whole plane, the most populated region
+// is repeatedly split at the median of its points along its wider extent,
+// until exactly n regions exist. Compared to 1-D strips it bounds the
+// *perimeter* of each partition, cutting replication for workloads that
+// spread in both dimensions.
+//
+// KD2D is static (built from a population snapshot); the 1-D load
+// balancer applies to Strips only, as in the paper's prototype.
+type KD2D struct {
+	nodes []kd2dNode
+	n     int
+}
+
+type kd2dNode struct {
+	axis        int8 // 0=x, 1=y, -1=leaf
+	split       float64
+	left, right int32 // children when internal
+	part        int32 // partition id when leaf
+}
+
+// buildRegion is a work-in-progress leaf during construction.
+type buildRegion struct {
+	node   int32 // index into nodes
+	rect   geom.Rect
+	points []geom.Vec
+}
+
+// regionHeap pops the most populated region first.
+type regionHeap []buildRegion
+
+func (h regionHeap) Len() int            { return len(h) }
+func (h regionHeap) Less(i, j int) bool  { return len(h[i].points) > len(h[j].points) }
+func (h regionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *regionHeap) Push(x any)         { *h = append(*h, x.(buildRegion)) }
+func (h *regionHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	r := old[n]
+	*h = old[:n]
+	return r
+}
+
+// NewKD2D builds an n-region partitioning over the given point snapshot.
+// n must be ≥ 1; with fewer points than regions, degenerate splits still
+// produce n valid (possibly empty) regions.
+func NewKD2D(points []geom.Vec, n int) *KD2D {
+	if n < 1 {
+		panic("partition: need at least one region")
+	}
+	k := &KD2D{n: n}
+	k.nodes = append(k.nodes, kd2dNode{axis: -1, part: 0})
+	h := &regionHeap{{node: 0, rect: geom.Infinite(), points: append([]geom.Vec(nil), points...)}}
+	leaves := 1
+	for leaves < n {
+		r := heap.Pop(h).(buildRegion)
+		a, b := k.splitRegion(r)
+		heap.Push(h, a)
+		heap.Push(h, b)
+		leaves++
+	}
+	// Assign partition ids to leaves in a deterministic order (by node
+	// index, which reflects the split sequence).
+	ids := make([]int32, 0, n)
+	for i := range k.nodes {
+		if k.nodes[i].axis == -1 {
+			ids = append(ids, int32(i))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for p, ni := range ids {
+		k.nodes[ni].part = int32(p)
+	}
+	return k
+}
+
+// splitRegion turns leaf r into an internal node with two fresh leaves.
+func (k *KD2D) splitRegion(r buildRegion) (left, right buildRegion) {
+	// Choose the axis with the wider *data* extent (falling back to the
+	// region's finite extent, then to x).
+	axis := int8(0)
+	var split float64
+	if len(r.points) > 0 {
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for _, p := range r.points {
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+		if maxY-minY > maxX-minX {
+			axis = 1
+		}
+		split = medianCoord(r.points, axis)
+	} else {
+		c := r.rect.Center()
+		if !r.rect.Empty() && r.rect.H() > r.rect.W() {
+			axis = 1
+		}
+		split = c.X
+		if axis == 1 {
+			split = c.Y
+		}
+		if math.IsInf(split, 0) || math.IsNaN(split) {
+			split = 0
+		}
+	}
+
+	li, ri := int32(len(k.nodes)), int32(len(k.nodes)+1)
+	k.nodes = append(k.nodes,
+		kd2dNode{axis: -1},
+		kd2dNode{axis: -1},
+	)
+	node := &k.nodes[r.node]
+	node.axis = axis
+	node.split = split
+	node.left, node.right = li, ri
+
+	var lr, rr geom.Rect
+	if axis == 0 {
+		lr, rr = r.rect.SplitX(split)
+	} else {
+		lr, rr = r.rect.SplitY(split)
+	}
+	left = buildRegion{node: li, rect: lr}
+	right = buildRegion{node: ri, rect: rr}
+	for _, p := range r.points {
+		if coord(p, axis) < split {
+			left.points = append(left.points, p)
+		} else {
+			right.points = append(right.points, p)
+		}
+	}
+	return left, right
+}
+
+func coord(p geom.Vec, axis int8) float64 {
+	if axis == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+func medianCoord(pts []geom.Vec, axis int8) float64 {
+	cs := make([]float64, len(pts))
+	for i, p := range pts {
+		cs[i] = coord(p, axis)
+	}
+	sort.Float64s(cs)
+	return cs[len(cs)/2]
+}
+
+// N implements Func.
+func (k *KD2D) N() int { return k.n }
+
+// Locate implements Func: descend the split tree. Points exactly on a
+// split go right, matching the half-open build partitioning.
+func (k *KD2D) Locate(p geom.Vec) int {
+	ni := int32(0)
+	for {
+		n := &k.nodes[ni]
+		if n.axis == -1 {
+			return int(n.part)
+		}
+		if coord(p, n.axis) < n.split {
+			ni = n.left
+		} else {
+			ni = n.right
+		}
+	}
+}
+
+// Region implements Func: the leaf rectangle of partition i, reconstructed
+// by walking the tree.
+func (k *KD2D) Region(i int) geom.Rect {
+	rect := geom.Infinite()
+	var walk func(ni int32, r geom.Rect) (geom.Rect, bool)
+	walk = func(ni int32, r geom.Rect) (geom.Rect, bool) {
+		n := &k.nodes[ni]
+		if n.axis == -1 {
+			if int(n.part) == i {
+				return r, true
+			}
+			return geom.Rect{}, false
+		}
+		var lr, rr geom.Rect
+		if n.axis == 0 {
+			lr, rr = r.SplitX(n.split)
+		} else {
+			lr, rr = r.SplitY(n.split)
+		}
+		if out, ok := walk(n.left, lr); ok {
+			return out, true
+		}
+		return walk(n.right, rr)
+	}
+	out, ok := walk(0, rect)
+	if !ok {
+		panic("partition: unknown region id")
+	}
+	return out
+}
+
+var _ Func = (*KD2D)(nil)

@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/geom"
+)
+
+func randomVecs(rng *rand.Rand, n int, span float64) []geom.Vec {
+	pts := make([]geom.Vec, n)
+	for i := range pts {
+		pts[i] = geom.V(rng.Float64()*span, rng.Float64()*span)
+	}
+	return pts
+}
+
+func TestKD2DCoversPlaneUniquely(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomVecs(rng, 500, 100)
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		k := NewKD2D(pts, n)
+		if k.N() != n {
+			t.Fatalf("N = %d, want %d", k.N(), n)
+		}
+		for trial := 0; trial < 500; trial++ {
+			p := geom.V(rng.Float64()*140-20, rng.Float64()*140-20)
+			owner := k.Locate(p)
+			if owner < 0 || owner >= n {
+				t.Fatalf("owner out of range: %d", owner)
+			}
+			if !k.Region(owner).Contains(p) {
+				t.Fatalf("region %v does not contain %v", k.Region(owner), p)
+			}
+		}
+	}
+}
+
+func TestKD2DBalancesPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomVecs(rng, 1000, 50)
+	const n = 8
+	k := NewKD2D(pts, n)
+	counts := make([]float64, n)
+	for _, p := range pts {
+		counts[k.Locate(p)]++
+	}
+	if imb := Imbalance(counts); imb > 1.6 {
+		t.Errorf("KD2D imbalance = %v on uniform data (counts %v)", imb, counts)
+	}
+}
+
+func TestKD2DHandlesSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// 90% of points in a tiny corner cluster, 10% spread out.
+	pts := make([]geom.Vec, 0, 1000)
+	for i := 0; i < 900; i++ {
+		pts = append(pts, geom.V(rng.Float64(), rng.Float64()))
+	}
+	for i := 0; i < 100; i++ {
+		pts = append(pts, geom.V(rng.Float64()*100, rng.Float64()*100))
+	}
+	const n = 8
+	k := NewKD2D(pts, n)
+	counts := make([]float64, n)
+	for _, p := range pts {
+		counts[k.Locate(p)]++
+	}
+	// Median splits target the populated regions; no partition should own
+	// the majority of the points.
+	if imb := Imbalance(counts); imb > 2.5 {
+		t.Errorf("KD2D skew imbalance = %v (counts %v)", imb, counts)
+	}
+}
+
+func TestKD2DDegenerateInputs(t *testing.T) {
+	// No points at all.
+	k := NewKD2D(nil, 4)
+	if k.N() != 4 {
+		t.Fatalf("N = %d", k.N())
+	}
+	seen := map[int]bool{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		seen[k.Locate(geom.V(rng.NormFloat64()*10, rng.NormFloat64()*10))] = true
+	}
+	if len(seen) == 0 {
+		t.Fatal("no owners")
+	}
+	// Point mass.
+	same := make([]geom.Vec, 50)
+	k2 := NewKD2D(same, 4)
+	if got := k2.Locate(geom.V(0, 0)); got < 0 || got >= 4 {
+		t.Fatalf("point-mass Locate = %d", got)
+	}
+	// Panic on zero regions.
+	defer func() {
+		if recover() == nil {
+			t.Error("n=0 accepted")
+		}
+	}()
+	NewKD2D(nil, 0)
+}
+
+func TestKD2DReplicaTargetsSufficiency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomVecs(rng, 400, 60)
+	k := NewKD2D(pts, 6)
+	const vis = 4.0
+	for i := 0; i < 2000; i++ {
+		a := geom.V(rng.Float64()*70-5, rng.Float64()*70-5)
+		b := geom.V(a.X+rng.Float64()*2*vis-vis, a.Y+rng.Float64()*2*vis-vis)
+		if a.Dist(b) > vis {
+			continue
+		}
+		ownerA := k.Locate(a)
+		found := false
+		for _, p := range ReplicaTargets(k, b, vis, nil) {
+			if p == ownerA {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("b=%v not replicated to owner %d of a=%v", b, ownerA, a)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package partition implements BRACE's spatial partitioning functions
+// P : L → partitions (paper §3.2, App. A) and the one-dimensional load
+// balancer of §5.1.
+//
+// A partitioning function assigns every location to exactly one partition
+// (its owner); each partition also has a *visible region* — its owned
+// region expanded by the agents' visibility bound — which determines
+// replication: an agent is copied to every partition whose visible region
+// contains it.
+package partition
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/bigreddata/brace/internal/geom"
+)
+
+// Func is a spatial partitioning function.
+type Func interface {
+	// N returns the number of partitions.
+	N() int
+	// Locate returns the partition owning location p.
+	Locate(p geom.Vec) int
+	// Region returns the owned region of partition i.
+	Region(i int) geom.Rect
+}
+
+// ReplicaTargets appends to dst every partition whose visible region
+// contains pos — i.e. every partition that must receive a replica of an
+// agent at pos, given the visibility distance bound (≤ 0 = unbounded, in
+// which case every partition receives the agent).
+//
+// VR(p) = ∪_{l : P(l)=p} VR(l) is, for distance-bound visibility, exactly
+// Region(p) expanded by the bound; pos ∈ VR(p) ⇔ dist(pos, Region(p)) ≤
+// bound.
+func ReplicaTargets(f Func, pos geom.Vec, visibility float64, dst []int) []int {
+	n := f.N()
+	if visibility <= 0 {
+		for i := 0; i < n; i++ {
+			dst = append(dst, i)
+		}
+		return dst
+	}
+	v2 := visibility * visibility
+	for i := 0; i < n; i++ {
+		if f.Region(i).Dist2(pos) <= v2 {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Strips is a one-dimensional rectilinear partitioning: vertical strips
+// with variable cut positions along the x axis. It is the partitioning the
+// paper's one-dimensional load balancer adjusts. Strip i owns
+// [cut[i-1], cut[i]) × (−∞, ∞), with the first strip extending to −∞ and
+// the last to +∞, so every location always has an owner even as agents
+// wander (the fish "ocean" is unbounded).
+type Strips struct {
+	cuts []float64 // ascending interior boundaries; len = N-1
+}
+
+// NewStrips builds n equal-width strips whose interior cuts subdivide
+// [lo, hi]. n must be ≥ 1 and hi > lo for n > 1.
+func NewStrips(n int, lo, hi float64) *Strips {
+	if n < 1 {
+		panic("partition: need at least one strip")
+	}
+	if n > 1 && hi <= lo {
+		panic("partition: empty strip domain")
+	}
+	cuts := make([]float64, n-1)
+	for i := range cuts {
+		cuts[i] = lo + (hi-lo)*float64(i+1)/float64(n)
+	}
+	return &Strips{cuts: cuts}
+}
+
+// NewStripsFromCuts builds strips from explicit interior boundaries, which
+// must be strictly increasing.
+func NewStripsFromCuts(cuts []float64) (*Strips, error) {
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			return nil, fmt.Errorf("partition: cuts not strictly increasing at %d", i)
+		}
+	}
+	return &Strips{cuts: append([]float64(nil), cuts...)}, nil
+}
+
+// N implements Func.
+func (s *Strips) N() int { return len(s.cuts) + 1 }
+
+// Cuts returns a copy of the interior boundaries.
+func (s *Strips) Cuts() []float64 { return append([]float64(nil), s.cuts...) }
+
+// Locate implements Func by binary search over the cuts.
+func (s *Strips) Locate(p geom.Vec) int {
+	return sort.SearchFloat64s(s.cuts, p.X+smallestNonzero(p.X)) // see note below
+}
+
+// smallestNonzero nudges the search key so a point exactly on cut c belongs
+// to the strip on its right, matching the half-open [prev, c) ownership.
+// sort.SearchFloat64s returns the first index with cuts[i] >= key; with
+// key = x we would mis-assign x == cuts[i] to strip i, so bias the key up
+// by one ulp.
+func smallestNonzero(x float64) float64 {
+	u := math.Nextafter(x, math.Inf(1)) - x
+	if u <= 0 { // x == +Inf
+		return 0
+	}
+	return u
+}
+
+// Region implements Func.
+func (s *Strips) Region(i int) geom.Rect {
+	lo, hi := math.Inf(-1), math.Inf(1)
+	if i > 0 {
+		lo = s.cuts[i-1]
+	}
+	if i < len(s.cuts) {
+		hi = s.cuts[i]
+	}
+	return geom.Rect{
+		Min: geom.Vec{X: lo, Y: math.Inf(-1)},
+		Max: geom.Vec{X: hi, Y: math.Inf(1)},
+	}
+}
+
+var _ Func = (*Strips)(nil)
+
+// InitialStrips builds n strips whose cuts sit at equal-count quantiles of
+// the given x coordinates — the master's initial partitioning computed
+// from the starting population (§3.3). Degenerate inputs (few or identical
+// positions) fall back to strictly increasing cuts around the data.
+func InitialStrips(xs []float64, n int) *Strips {
+	if n < 1 {
+		panic("partition: need at least one strip")
+	}
+	if n == 1 {
+		return &Strips{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	cuts := make([]float64, 0, n-1)
+	eps := 1e-9
+	if len(sorted) > 1 {
+		if span := sorted[len(sorted)-1] - sorted[0]; span > 0 {
+			eps = span * 1e-9
+		}
+	}
+	for i := 1; i < n; i++ {
+		var c float64
+		if len(sorted) == 0 {
+			c = float64(i)
+		} else {
+			c = sorted[i*len(sorted)/n]
+		}
+		if len(cuts) > 0 && c <= cuts[len(cuts)-1] {
+			c = cuts[len(cuts)-1] + eps
+		}
+		cuts = append(cuts, c)
+	}
+	return &Strips{cuts: cuts}
+}
+
+// Grid is a uniform nx × ny rectilinear grid over a bounding rectangle,
+// the paper's "simple rectilinear grid partitioning scheme". Locations
+// outside the bounds clamp to the nearest cell, so ownership is total.
+type Grid struct {
+	bounds geom.Rect
+	nx, ny int
+}
+
+// NewGrid builds an nx × ny grid over bounds.
+func NewGrid(bounds geom.Rect, nx, ny int) *Grid {
+	if nx < 1 || ny < 1 {
+		panic("partition: grid needs at least one cell per axis")
+	}
+	if bounds.Empty() || bounds.W() <= 0 || bounds.H() <= 0 {
+		panic("partition: grid needs a non-degenerate bounding rectangle")
+	}
+	return &Grid{bounds: bounds, nx: nx, ny: ny}
+}
+
+// N implements Func.
+func (g *Grid) N() int { return g.nx * g.ny }
+
+// Locate implements Func.
+func (g *Grid) Locate(p geom.Vec) int {
+	cx := int(float64(g.nx) * (p.X - g.bounds.Min.X) / g.bounds.W())
+	cy := int(float64(g.ny) * (p.Y - g.bounds.Min.Y) / g.bounds.H())
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cy*g.nx + cx
+}
+
+// Region implements Func. Edge cells extend to infinity on their outer
+// sides so that Region is consistent with Locate's clamping.
+func (g *Grid) Region(i int) geom.Rect {
+	cx, cy := i%g.nx, i/g.nx
+	w, h := g.bounds.W()/float64(g.nx), g.bounds.H()/float64(g.ny)
+	r := geom.Rect{
+		Min: geom.Vec{X: g.bounds.Min.X + float64(cx)*w, Y: g.bounds.Min.Y + float64(cy)*h},
+		Max: geom.Vec{X: g.bounds.Min.X + float64(cx+1)*w, Y: g.bounds.Min.Y + float64(cy+1)*h},
+	}
+	if cx == 0 {
+		r.Min.X = math.Inf(-1)
+	}
+	if cx == g.nx-1 {
+		r.Max.X = math.Inf(1)
+	}
+	if cy == 0 {
+		r.Min.Y = math.Inf(-1)
+	}
+	if cy == g.ny-1 {
+		r.Max.Y = math.Inf(1)
+	}
+	return r
+}
+
+var _ Func = (*Grid)(nil)

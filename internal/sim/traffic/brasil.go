@@ -1,0 +1,64 @@
+package traffic
+
+// FollowScript is a BRASIL implementation of the traffic model's
+// longitudinal core — car following plus free flow on a ring road —
+// mirroring how "a large part of our traffic simulation was implemented by
+// a domain scientist" in BRASIL (§4.1). Full MITSIM lane changing needs
+// argmin perception (lead vehicle *speed* at the minimum gap), which
+// BRASIL's pure combinators cannot express in one pass; the Go Model keeps
+// that part, exactly as the paper's BRACE kept parts of MITSIM in the
+// runtime.
+//
+// Model notes:
+//   - one lane per class instance; x wraps modulo the segment length, so
+//     the x field carries no #range tag (the wrap jump must not be
+//     cropped) and visibility comes from the tagged y field;
+//   - perception: minimum forward gap (min combinator) and the mean speed
+//     of traffic ahead within the headway window (sum/sum);
+//   - control: follow the window's mean speed when the gap is tight,
+//     otherwise relax toward the desired speed; hard-brake inside the
+//     minimum gap. All branches via cond(), keeping the update rule a
+//     single expression.
+//
+// The constants mirror DefaultParams: headway 1.6 s, min gap 6 m, follow
+// gain 0.6, free-flow gain 0.3, vmax 34 m/s, segment 4000 m, ρ = 200 m.
+const FollowScript = `
+class Car {
+  // Ring position; wraps at the 4000m segment end.
+  public state float x : (x + v) % 4000;
+  // Lane (fixed); its range tag sets visibility rho = 200.
+  public state float y : y; #range[-200,200];
+  // Speed: brake hard under the minimum gap; follow the window mean when
+  // inside the headway distance; otherwise free-flow toward desired.
+  public state float v :
+    max(0, min(34,
+      cond(gap < 6,
+           v - 34,
+           cond(gap < v * 1.6 + 6,
+                v + 0.6 * (cond(cnt > 0, vsum / max(cnt, 1), desired) - v),
+                v + 0.3 * (desired - v)))));
+  public state float desired : desired;
+
+  private effect float gap  : min;
+  private effect float vsum : sum;
+  private effect float cnt  : sum;
+
+  public void run() {
+    foreach (Car p : Extent<Car>) {
+      if (p != this) {
+        if (p.y == y) {
+          // Forward distance on the ring.
+          const float d = (p.x - x + 4000) % 4000;
+          if (d < 200) {
+            gap <- d;
+            if (d < v * 1.6 + 6) {
+              vsum <- p.v;
+              cnt <- 1;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+`

@@ -1,0 +1,218 @@
+// Package traffic implements the paper's traffic workload (§5.1, App. C):
+// a reimplementation of the MITSIM microscopic traffic model [47] — lane
+// selection by probabilistic utility, gap-acceptance lane changing, car
+// following, and a free-flow submodel — in two forms:
+//
+//   - Model: a BRACE engine.Model following the state-effect pattern with a
+//     fixed lookahead ρ (the paper fixes ρ=200 "in order to apply
+//     single-node spatial indexing");
+//   - MITSIM: a hand-coded single-node simulator using per-lane sorted
+//     vehicle lists with true nearest-neighbor lead/rear lookup, the
+//     comparator of Fig. 3 and Table 2.
+//
+// Both forms share the exact same driver decision function (drive), so any
+// statistical difference between them comes from perception — fixed ρ vs
+// nearest neighbor — which is precisely the deviation Table 2 quantifies.
+//
+// Substitution note: the paper simulates "a linear segment of highway with
+// constant up-stream traffic". We reproduce the constant inflow by
+// recycling: a vehicle leaving the downstream end dies and a fresh vehicle
+// (new agent ID) enters upstream with a newly drawn desired speed, keeping
+// density stationary without teleporting any agent beyond its reachable
+// region.
+package traffic
+
+import "math"
+
+// Params holds the model constants. Units: meters, seconds.
+type Params struct {
+	// Length of the simulated segment; Fig. 3 sweeps this.
+	Length float64
+	// Lanes is the lane count (the paper's Table 2 uses 4).
+	Lanes int
+	// Density is vehicles per meter per lane at initialization and the
+	// target for upstream inflow (≈ 351 vehicles per 20km lane in the
+	// paper's busy lanes → ~0.0176).
+	Density float64
+	// Lookahead is the BRACE visibility ρ (fixed 200 in the paper).
+	Lookahead float64
+	// VMax is the physical speed cap.
+	VMax float64
+	// DesiredMean and DesiredSpread bound each driver's desired speed,
+	// drawn uniformly from [DesiredMean−Spread, DesiredMean+Spread].
+	DesiredMean, DesiredSpread float64
+	// CarFollowSense scales acceleration toward the lead's speed.
+	CarFollowSense float64
+	// FreeFlowGain scales acceleration toward the desired speed.
+	FreeFlowGain float64
+	// MinGap is the bumper-to-bumper distance forcing a hard brake.
+	MinGap float64
+	// HeadwayTime converts speed to the following-distance threshold.
+	HeadwayTime float64
+	// UtilSpeed and UtilGap weigh a lane's average speed and lead gap in
+	// the lane utility.
+	UtilSpeed, UtilGap float64
+	// RightBias is subtracted from the right-most lane's utility (MITSIM
+	// drivers are reluctant to use it; the cause of Table 2's L4 row).
+	RightBias float64
+	// ChangeThreshold is the utility advantage required to consider a
+	// lane change, and Temperature the logit spread of the probabilistic
+	// choice.
+	ChangeThreshold, Temperature float64
+	// GapLeadFactor/GapRearFactor scale the speed-dependent acceptance
+	// gaps.
+	GapLeadFactor, GapRearFactor float64
+}
+
+// DefaultParams returns the calibration used by the experiments.
+func DefaultParams(length float64) Params {
+	return Params{
+		Length:          length,
+		Lanes:           4,
+		Density:         0.016,
+		Lookahead:       200,
+		VMax:            34,
+		DesiredMean:     28,
+		DesiredSpread:   6,
+		CarFollowSense:  0.6,
+		FreeFlowGain:    0.3,
+		MinGap:          6,
+		HeadwayTime:     1.6,
+		UtilSpeed:       1.0,
+		UtilGap:         0.05,
+		RightBias:       8,
+		ChangeThreshold: 1.5,
+		Temperature:     2.0,
+		GapLeadFactor:   0.9,
+		GapRearFactor:   0.6,
+	}
+}
+
+// Vehicles returns the initial vehicle count for the configured segment.
+func (p Params) Vehicles() int {
+	return int(p.Density * p.Length * float64(p.Lanes))
+}
+
+// perception is what a driver sees: lead/rear gaps and lead speeds for the
+// current, left and right lanes plus per-lane average speeds. Gaps are
+// +Inf when no vehicle is visible (the free-flow assumption of App. C).
+type perception struct {
+	leadGap, leadV, rearGap [3]float64 // indexed by relLane: 0=left,1=current,2=right
+	avgV                    [3]float64
+}
+
+func newPerception() perception {
+	var p perception
+	for i := 0; i < 3; i++ {
+		p.leadGap[i] = math.Inf(1)
+		p.rearGap[i] = math.Inf(1)
+		p.leadV[i] = math.Inf(1) // no lead: free flow
+		p.avgV[i] = -1           // no data
+	}
+	return p
+}
+
+// decision is drive's output.
+type decision struct {
+	newLane int
+	newV    float64
+	dx      float64
+	changed bool
+}
+
+// rngSource abstracts agent.RNG so drive can be tested in isolation.
+type rngSource interface {
+	Float64() float64
+	Range(lo, hi float64) float64
+}
+
+// drive is the shared MITSIM driver logic: lane selection by probabilistic
+// utility, gap acceptance, then car following / free flow on the chosen
+// lane. It is a pure function of (state, perception, rng draw order),
+// which is what lets Table 2 attribute divergence to perception alone.
+func drive(p Params, lane int, v, desired float64, per perception, rng rngSource) decision {
+	// Lane utilities. rel 0/1/2 = left/current/right.
+	util := [3]float64{math.Inf(-1), 0, math.Inf(-1)}
+	for rel := 0; rel < 3; rel++ {
+		abs := lane + rel - 1
+		if abs < 0 || abs >= p.Lanes {
+			continue
+		}
+		av := per.avgV[rel]
+		if av < 0 {
+			av = desired // empty lane is as good as it gets
+		}
+		gap := per.leadGap[rel]
+		if math.IsInf(gap, 1) {
+			gap = p.Lookahead
+		}
+		u := p.UtilSpeed*av + p.UtilGap*gap
+		if abs == p.Lanes-1 {
+			u -= p.RightBias
+		}
+		util[rel] = u
+	}
+
+	// Probabilistic choice among lanes with enough advantage (logit).
+	target := 1
+	best := util[1] + p.ChangeThreshold
+	var ps [3]float64
+	var sum float64
+	for rel := 0; rel < 3; rel++ {
+		if rel != 1 && util[rel] > best {
+			ps[rel] = math.Exp((util[rel] - util[1]) / p.Temperature)
+			sum += ps[rel]
+		}
+	}
+	if sum > 0 {
+		ps[1] = 1 // staying is always an option
+		sum++
+		r := rng.Float64() * sum
+		acc := 0.0
+		for rel := 0; rel < 3; rel++ {
+			acc += ps[rel]
+			if r < acc && ps[rel] > 0 {
+				target = rel
+				break
+			}
+		}
+	} else {
+		_ = rng.Float64() // keep the stream aligned across branches
+	}
+
+	changed := false
+	newLane := lane
+	if target != 1 {
+		// Gap acceptance in the target lane.
+		if per.leadGap[target] > p.GapLeadFactor*v+p.MinGap &&
+			per.rearGap[target] > p.GapRearFactor*v+p.MinGap {
+			newLane = lane + target - 1
+			changed = true
+		}
+	}
+
+	// Longitudinal control on the (possibly new) lane.
+	rel := newLane - lane + 1
+	gap := per.leadGap[rel]
+	leadV := per.leadV[rel]
+	var acc float64
+	switch {
+	case gap <= p.MinGap:
+		acc = -p.VMax // emergency brake
+	case gap < v*p.HeadwayTime+p.MinGap:
+		acc = p.CarFollowSense * (leadV - v)
+		if math.IsInf(acc, 1) {
+			acc = p.FreeFlowGain * (desired - v)
+		}
+	default:
+		acc = p.FreeFlowGain * (desired - v)
+	}
+	newV := v + acc
+	if newV < 0 {
+		newV = 0
+	}
+	if newV > p.VMax {
+		newV = p.VMax
+	}
+	return decision{newLane: newLane, newV: newV, dx: newV, changed: changed}
+}

@@ -1,0 +1,194 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"github.com/bigreddata/brace/internal/geom"
+)
+
+// Grid is a uniform bucket grid index. With cell size close to the query
+// radius it answers range-circle probes in O(k) expected time for uniform
+// data; it degrades under skew, which is why the paper's prototype uses a
+// KD-tree. It is kept here as an ablation alternative.
+type Grid struct {
+	cell   float64
+	origin geom.Vec
+	nx, ny int
+	cells  [][]Point
+	pts    []Point
+	stats  Stats
+}
+
+// NewGrid returns a grid index with the given cell size. A non-positive
+// cell size defaults to 1.
+func NewGrid(cell float64) *Grid {
+	if cell <= 0 {
+		cell = 1
+	}
+	return &Grid{cell: cell}
+}
+
+// Build implements Index.
+func (g *Grid) Build(pts []Point) {
+	g.stats = Stats{}
+	g.pts = pts
+	if len(pts) == 0 {
+		g.nx, g.ny = 0, 0
+		g.cells = nil
+		return
+	}
+	// Bounding box of the data.
+	min, max := pts[0].Pos, pts[0].Pos
+	for _, p := range pts[1:] {
+		min.X = math.Min(min.X, p.Pos.X)
+		min.Y = math.Min(min.Y, p.Pos.Y)
+		max.X = math.Max(max.X, p.Pos.X)
+		max.Y = math.Max(max.Y, p.Pos.Y)
+	}
+	g.origin = min
+	// Cap the grid so degenerate cell sizes cannot exhaust memory. Use float
+	// arithmetic first: the raw cell counts can overflow int.
+	const maxCells = 1 << 22
+	for {
+		fx := math.Floor((max.X-min.X)/g.cell) + 1
+		fy := math.Floor((max.Y-min.Y)/g.cell) + 1
+		if fx*fy <= maxCells {
+			g.nx, g.ny = int(fx), int(fy)
+			break
+		}
+		g.cell *= 2
+	}
+	g.cells = make([][]Point, g.nx*g.ny)
+	for _, p := range pts {
+		i := g.cellIndex(p.Pos)
+		g.cells[i] = append(g.cells[i], p)
+	}
+}
+
+func (g *Grid) cellIndex(p geom.Vec) int {
+	cx := int((p.X - g.origin.X) / g.cell)
+	cy := int((p.Y - g.origin.Y) / g.cell)
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cx >= g.nx {
+		cx = g.nx - 1
+	}
+	if cy >= g.ny {
+		cy = g.ny - 1
+	}
+	return cy*g.nx + cx
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return len(g.pts) }
+
+// cellRange iterates over the grid cells overlapping rectangle r.
+func (g *Grid) cellRange(r geom.Rect, fn func(cell []Point)) {
+	if len(g.pts) == 0 {
+		return
+	}
+	x0 := int(math.Floor((r.Min.X - g.origin.X) / g.cell))
+	y0 := int(math.Floor((r.Min.Y - g.origin.Y) / g.cell))
+	x1 := int(math.Floor((r.Max.X - g.origin.X) / g.cell))
+	y1 := int(math.Floor((r.Max.Y - g.origin.Y) / g.cell))
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 >= g.nx {
+		x1 = g.nx - 1
+	}
+	if y1 >= g.ny {
+		y1 = g.ny - 1
+	}
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			fn(g.cells[cy*g.nx+cx])
+		}
+	}
+}
+
+// Range implements Index.
+func (g *Grid) Range(r geom.Rect, fn func(Point)) {
+	g.stats.Probes++
+	g.cellRange(r, func(cell []Point) {
+		g.stats.Visited += int64(len(cell))
+		for _, p := range cell {
+			if r.Contains(p.Pos) {
+				fn(p)
+			}
+		}
+	})
+}
+
+// RangeCircle implements Index.
+func (g *Grid) RangeCircle(c geom.Vec, rad float64, fn func(Point)) {
+	g.stats.Probes++
+	r2 := rad * rad
+	g.cellRange(geom.Square(c, rad), func(cell []Point) {
+		g.stats.Visited += int64(len(cell))
+		for _, p := range cell {
+			if p.Pos.Dist2(c) <= r2 {
+				fn(p)
+			}
+		}
+	})
+}
+
+// Nearest implements Index. It searches rings of cells of increasing radius
+// until k candidates are confirmed.
+func (g *Grid) Nearest(c geom.Vec, k int, dst []Point) []Point {
+	g.stats.Probes++
+	if k <= 0 || len(g.pts) == 0 {
+		return dst
+	}
+	if k > len(g.pts) {
+		k = len(g.pts)
+	}
+	var cand []Point
+	rad := g.cell
+	for {
+		cand = cand[:0]
+		r2 := rad * rad
+		g.cellRange(geom.Square(c, rad), func(cell []Point) {
+			g.stats.Visited += int64(len(cell))
+			for _, p := range cell {
+				if p.Pos.Dist2(c) <= r2 {
+					cand = append(cand, p)
+				}
+			}
+		})
+		if len(cand) >= k || rad > g.maxRadius() {
+			break
+		}
+		rad *= 2
+	}
+	if len(cand) < k {
+		// Fall back to all points (data may be far from c).
+		cand = append(cand[:0], g.pts...)
+		g.stats.Visited += int64(len(g.pts))
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		return cand[i].Pos.Dist2(c) < cand[j].Pos.Dist2(c)
+	})
+	if k > len(cand) {
+		k = len(cand)
+	}
+	return append(dst, cand[:k]...)
+}
+
+func (g *Grid) maxRadius() float64 {
+	return g.cell * float64(g.nx+g.ny+2)
+}
+
+// Stats implements Index.
+func (g *Grid) Stats() Stats { return g.stats }
+
+var _ Index = (*Grid)(nil)

@@ -1,0 +1,99 @@
+// Package spatial provides the spatial indexes BRACE uses to turn the
+// query phase of a tick into an orthogonal range query instead of a
+// quadratic all-pairs scan (paper §5.2, Fig. 3–4).
+//
+// Three implementations of Index are provided:
+//
+//   - Scan: the no-index baseline ("BRACE - no indexing" in the figures);
+//     every probe enumerates all points.
+//   - KDTree: the paper's "generic KD-tree based spatial index capability"
+//     [Bentley, 3], rebuilt each tick over the agents visible at a reducer.
+//   - Grid: a uniform bucket grid, an alternative index used for ablations.
+//
+// All indexes are built over immutable point sets: behavioral simulations
+// rebuild the index at every tick because every agent may move, so indexes
+// favor fast bulk construction and cheap queries over dynamic updates.
+package spatial
+
+import "github.com/bigreddata/brace/internal/geom"
+
+// Point is an indexed element: a location plus the caller's identifier
+// (BRACE stores the index of the agent in the reducer's replica slice).
+type Point struct {
+	Pos geom.Vec
+	ID  int32
+}
+
+// Index answers orthogonal range and nearest-neighbor queries over a point
+// set fixed at Build time.
+type Index interface {
+	// Build replaces the index contents with pts. Implementations may
+	// retain pts.
+	Build(pts []Point)
+
+	// Len returns the number of indexed points.
+	Len() int
+
+	// Range calls fn for every point inside the closed rectangle r.
+	// Iteration order is unspecified. fn must not call back into the index.
+	Range(r geom.Rect, fn func(Point))
+
+	// RangeCircle calls fn for every point within Euclidean distance rad
+	// of c (closed ball).
+	RangeCircle(c geom.Vec, rad float64, fn func(Point))
+
+	// Nearest returns the k points closest to c in nondecreasing distance
+	// order, appending to dst. Fewer than k are returned if the index
+	// holds fewer points. Used by the MITSIM-style nearest lead/rear
+	// vehicle probes.
+	Nearest(c geom.Vec, k int, dst []Point) []Point
+
+	// Stats returns counters accumulated since Build (probes, nodes
+	// visited). Used by the experiment harness's cost model.
+	Stats() Stats
+}
+
+// Stats counts index work; Visited is the number of candidate points
+// examined, the quantity that separates log-linear from quadratic behavior
+// in Fig. 3.
+type Stats struct {
+	Probes  int64 // queries issued
+	Visited int64 // points examined (including rejected candidates)
+}
+
+// Kind selects an index implementation by name; it is the value of the
+// engine's "indexing" switch in the experiments.
+type Kind int
+
+const (
+	KindScan Kind = iota // brute force, no indexing
+	KindKDTree
+	KindGrid
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindScan:
+		return "scan"
+	case KindKDTree:
+		return "kdtree"
+	case KindGrid:
+		return "grid"
+	default:
+		return "unknown"
+	}
+}
+
+// New returns a fresh, empty index of the given kind. Grid indexes use the
+// given cell size hint; others ignore it.
+func New(kind Kind, cellSize float64) Index {
+	switch kind {
+	case KindKDTree:
+		return NewKDTree()
+	case KindGrid:
+		return NewGrid(cellSize)
+	default:
+		return NewScan()
+	}
+}

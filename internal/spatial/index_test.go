@@ -1,0 +1,296 @@
+package spatial
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n int, span float64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Pos: geom.V(rng.Float64()*span, rng.Float64()*span), ID: int32(i)}
+	}
+	return pts
+}
+
+func collectRange(ix Index, r geom.Rect) []int32 {
+	var ids []int32
+	ix.Range(r, func(p Point) { ids = append(ids, p.ID) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func collectCircle(ix Index, c geom.Vec, rad float64) []int32 {
+	var ids []int32
+	ix.RangeCircle(c, rad, func(p Point) { ids = append(ids, p.ID) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func idsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Every index must agree with the brute-force scan oracle on random range
+// queries — the core correctness property for the Fig. 3/4 comparisons.
+func TestIndexesMatchScanOracleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(400)
+		ptsA := randomPoints(rng, n, 100)
+		ptsB := append([]Point(nil), ptsA...)
+		ptsC := append([]Point(nil), ptsA...)
+
+		oracle := NewScan()
+		oracle.Build(ptsA)
+		kd := NewKDTree()
+		kd.Build(ptsB)
+		grid := NewGrid(5)
+		grid.Build(ptsC)
+
+		for q := 0; q < 20; q++ {
+			r := geom.R(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+			want := collectRange(oracle, r)
+			if got := collectRange(kd, r); !idsEqual(got, want) {
+				t.Fatalf("kdtree Range mismatch: n=%d r=%v got=%v want=%v", n, r, got, want)
+			}
+			if got := collectRange(grid, r); !idsEqual(got, want) {
+				t.Fatalf("grid Range mismatch: n=%d r=%v got=%v want=%v", n, r, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexesMatchScanOracleCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(400)
+		base := randomPoints(rng, n, 50)
+		oracle := NewScan()
+		oracle.Build(append([]Point(nil), base...))
+		kd := NewKDTree()
+		kd.Build(append([]Point(nil), base...))
+		grid := NewGrid(3)
+		grid.Build(append([]Point(nil), base...))
+
+		for q := 0; q < 20; q++ {
+			c := geom.V(rng.Float64()*50, rng.Float64()*50)
+			rad := rng.Float64() * 15
+			want := collectCircle(oracle, c, rad)
+			if got := collectCircle(kd, c, rad); !idsEqual(got, want) {
+				t.Fatalf("kdtree RangeCircle mismatch: got=%v want=%v", got, want)
+			}
+			if got := collectCircle(grid, c, rad); !idsEqual(got, want) {
+				t.Fatalf("grid RangeCircle mismatch: got=%v want=%v", got, want)
+			}
+		}
+	}
+}
+
+func TestNearestMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		base := randomPoints(rng, n, 50)
+		oracle := NewScan()
+		oracle.Build(append([]Point(nil), base...))
+		kd := NewKDTree()
+		kd.Build(append([]Point(nil), base...))
+		grid := NewGrid(4)
+		grid.Build(append([]Point(nil), base...))
+
+		for q := 0; q < 10; q++ {
+			c := geom.V(rng.Float64()*60-5, rng.Float64()*60-5)
+			k := 1 + rng.Intn(8)
+			want := oracle.Nearest(c, k, nil)
+			for name, ix := range map[string]Index{"kdtree": kd, "grid": grid} {
+				got := ix.Nearest(c, k, nil)
+				if len(got) != len(want) {
+					t.Fatalf("%s Nearest count = %d, want %d", name, len(got), len(want))
+				}
+				// Distances must match even if equidistant points tie.
+				for i := range got {
+					dg, dw := got[i].Pos.Dist2(c), want[i].Pos.Dist2(c)
+					if dg != dw {
+						t.Fatalf("%s Nearest[%d] dist2 = %v, want %v", name, i, dg, dw)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNearestOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(rng, 200, 30)
+	kd := NewKDTree()
+	kd.Build(pts)
+	c := geom.V(15, 15)
+	got := kd.Nearest(c, 10, nil)
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Pos.Dist2(c) > got[i].Pos.Dist2(c) {
+			t.Fatalf("Nearest not sorted at %d", i)
+		}
+	}
+}
+
+func TestEmptyIndexes(t *testing.T) {
+	for _, kind := range []Kind{KindScan, KindKDTree, KindGrid} {
+		ix := New(kind, 1)
+		ix.Build(nil)
+		if ix.Len() != 0 {
+			t.Errorf("%v Len = %d", kind, ix.Len())
+		}
+		called := false
+		ix.Range(geom.R(0, 0, 1, 1), func(Point) { called = true })
+		ix.RangeCircle(geom.V(0, 0), 5, func(Point) { called = true })
+		if called {
+			t.Errorf("%v produced results on empty index", kind)
+		}
+		if got := ix.Nearest(geom.V(0, 0), 3, nil); len(got) != 0 {
+			t.Errorf("%v Nearest on empty = %v", kind, got)
+		}
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	for _, kind := range []Kind{KindScan, KindKDTree, KindGrid} {
+		ix := New(kind, 1)
+		ix.Build([]Point{{Pos: geom.V(2, 3), ID: 7}})
+		var got []int32
+		ix.RangeCircle(geom.V(2, 3), 0, func(p Point) { got = append(got, p.ID) })
+		if len(got) != 1 || got[0] != 7 {
+			t.Errorf("%v zero-radius self query = %v", kind, got)
+		}
+		nn := ix.Nearest(geom.V(100, 100), 5, nil)
+		if len(nn) != 1 || nn[0].ID != 7 {
+			t.Errorf("%v Nearest = %v", kind, nn)
+		}
+	}
+}
+
+func TestDuplicatePositions(t *testing.T) {
+	pts := []Point{
+		{Pos: geom.V(1, 1), ID: 0},
+		{Pos: geom.V(1, 1), ID: 1},
+		{Pos: geom.V(1, 1), ID: 2},
+		{Pos: geom.V(5, 5), ID: 3},
+	}
+	for _, kind := range []Kind{KindScan, KindKDTree, KindGrid} {
+		ix := New(kind, 1)
+		ix.Build(append([]Point(nil), pts...))
+		got := collectCircle(ix, geom.V(1, 1), 0.5)
+		if !idsEqual(got, []int32{0, 1, 2}) {
+			t.Errorf("%v duplicates = %v", kind, got)
+		}
+	}
+}
+
+// The KD-tree must visit asymptotically fewer points than the scan for
+// small-range queries — this is the mechanism behind Fig. 3's quadratic vs
+// log-linear curves.
+func TestKDTreeVisitsFewerThanScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 20000, 1000)
+	kd := NewKDTree()
+	kd.Build(append([]Point(nil), pts...))
+	sc := NewScan()
+	sc.Build(append([]Point(nil), pts...))
+	for i := 0; i < 100; i++ {
+		c := geom.V(rng.Float64()*1000, rng.Float64()*1000)
+		kd.RangeCircle(c, 5, func(Point) {})
+		sc.RangeCircle(c, 5, func(Point) {})
+	}
+	kv, sv := kd.Stats().Visited, sc.Stats().Visited
+	if kv*10 >= sv {
+		t.Errorf("kdtree visited %d vs scan %d; expected >10x reduction", kv, sv)
+	}
+}
+
+func TestGridDegenerateCellSize(t *testing.T) {
+	g := NewGrid(-1) // defaults to 1
+	rng := rand.New(rand.NewSource(6))
+	pts := randomPoints(rng, 100, 10)
+	g.Build(pts)
+	if g.Len() != 100 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	// Tiny cell over huge span must not explode memory.
+	g2 := NewGrid(1e-9)
+	g2.Build([]Point{{Pos: geom.V(0, 0)}, {Pos: geom.V(1e6, 1e6), ID: 1}})
+	got := collectRange(g2, geom.R(-1, -1, 1e7, 1e7))
+	if !idsEqual(got, []int32{0, 1}) {
+		t.Errorf("degenerate grid range = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindScan.String() != "scan" || KindKDTree.String() != "kdtree" || KindGrid.String() != "grid" {
+		t.Error("Kind.String broken")
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	kd := NewKDTree()
+	kd.Build(randomPoints(rand.New(rand.NewSource(8)), 100, 10))
+	if kd.Stats().Probes != 0 {
+		t.Error("fresh build should reset stats")
+	}
+	kd.Range(geom.R(0, 0, 10, 10), func(Point) {})
+	kd.RangeCircle(geom.V(5, 5), 2, func(Point) {})
+	kd.Nearest(geom.V(5, 5), 3, nil)
+	s := kd.Stats()
+	if s.Probes != 3 {
+		t.Errorf("Probes = %d, want 3", s.Probes)
+	}
+	if s.Visited == 0 {
+		t.Error("Visited = 0")
+	}
+}
+
+func BenchmarkKDTreeBuild10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomPoints(rng, 10000, 1000)
+	kd := NewKDTree()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := append([]Point(nil), pts...)
+		kd.Build(buf)
+	}
+}
+
+func BenchmarkKDTreeRangeCircle10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	pts := randomPoints(rng, 10000, 1000)
+	kd := NewKDTree()
+	kd.Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kd.RangeCircle(geom.V(500, 500), 10, func(Point) {})
+	}
+}
+
+func BenchmarkScanRangeCircle10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 10000, 1000)
+	sc := NewScan()
+	sc.Build(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.RangeCircle(geom.V(500, 500), 10, func(Point) {})
+	}
+}

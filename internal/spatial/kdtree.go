@@ -1,0 +1,328 @@
+package spatial
+
+import (
+	"sort"
+
+	"github.com/bigreddata/brace/internal/geom"
+)
+
+// KDTree is a bucketed 2-d tree over points [Bentley, SGC 1990], the index
+// the BRACE prototype uses (paper §5.1: "a generic KD-tree based spatial
+// index capability"). It is rebuilt in bulk each tick by median splitting;
+// leaves hold up to leafSize points scanned linearly, which keeps the
+// traversal constant small while preserving O(√n + k) range queries.
+type KDTree struct {
+	pts   []Point // reordered during build; leaves reference spans
+	nodes []kdNode
+	root  int32
+	stats Stats
+}
+
+const leafSize = 16
+
+type kdNode struct {
+	split       float64 // splitting coordinate (internal nodes)
+	left, right int32   // children (internal nodes)
+	start, end  int32   // point span (leaf nodes)
+	axis        int8    // 0 = X, 1 = Y, leafAxis = leaf
+}
+
+const (
+	kdNil    = int32(-1)
+	leafAxis = int8(2)
+)
+
+// NewKDTree returns an empty KD-tree.
+func NewKDTree() *KDTree { return &KDTree{root: kdNil} }
+
+// Build implements Index. It takes ownership of pts (the slice is
+// reordered in place during median partitioning).
+func (t *KDTree) Build(pts []Point) {
+	t.stats = Stats{}
+	t.pts = pts
+	t.nodes = t.nodes[:0]
+	if len(pts) == 0 {
+		t.root = kdNil
+		return
+	}
+	t.root = t.build(0, int32(len(pts)), 0)
+}
+
+func (t *KDTree) build(lo, hi int32, depth int) int32 {
+	if hi-lo <= leafSize {
+		idx := int32(len(t.nodes))
+		t.nodes = append(t.nodes, kdNode{axis: leafAxis, start: lo, end: hi})
+		return idx
+	}
+	axis := int8(depth & 1)
+	mid := (lo + hi) / 2
+	selectMedian(t.pts[lo:hi], int(mid-lo), axis)
+	split := key(t.pts[mid], axis)
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{axis: axis, split: split})
+	l := t.build(lo, mid, depth+1)
+	r := t.build(mid, hi, depth+1)
+	t.nodes[idx].left = l
+	t.nodes[idx].right = r
+	return idx
+}
+
+func key(p Point, axis int8) float64 {
+	if axis == 0 {
+		return p.Pos.X
+	}
+	return p.Pos.Y
+}
+
+// selectMedian partially sorts pts so pts[k] is the k-th point by the given
+// axis (quickselect with median-of-three pivoting, falling back to full
+// sort for tiny slices). Points left of k end up ≤ pts[k] on the axis.
+func selectMedian(pts []Point, k int, axis int8) {
+	lo, hi := 0, len(pts)-1
+	for hi > lo {
+		if hi-lo < 12 {
+			sort.Slice(pts[lo:hi+1], func(i, j int) bool {
+				return key(pts[lo+i], axis) < key(pts[lo+j], axis)
+			})
+			return
+		}
+		// Median-of-three pivot.
+		m := (lo + hi) / 2
+		if key(pts[m], axis) < key(pts[lo], axis) {
+			pts[m], pts[lo] = pts[lo], pts[m]
+		}
+		if key(pts[hi], axis) < key(pts[lo], axis) {
+			pts[hi], pts[lo] = pts[lo], pts[hi]
+		}
+		if key(pts[hi], axis) < key(pts[m], axis) {
+			pts[hi], pts[m] = pts[m], pts[hi]
+		}
+		pivot := key(pts[m], axis)
+		i, j := lo, hi
+		for i <= j {
+			for key(pts[i], axis) < pivot {
+				i++
+			}
+			for key(pts[j], axis) > pivot {
+				j--
+			}
+			if i <= j {
+				pts[i], pts[j] = pts[j], pts[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// Len implements Index.
+func (t *KDTree) Len() int { return len(t.pts) }
+
+// Range implements Index using an explicit stack (no recursion overhead).
+func (t *KDTree) Range(r geom.Rect, fn func(Point)) {
+	t.stats.Probes++
+	if t.root == kdNil {
+		return
+	}
+	var stack [64]int32
+	sp := 0
+	stack[sp] = t.root
+	sp++
+	for sp > 0 {
+		sp--
+		n := &t.nodes[stack[sp]]
+		if n.axis == leafAxis {
+			t.stats.Visited += int64(n.end - n.start)
+			for _, p := range t.pts[n.start:n.end] {
+				if r.Contains(p.Pos) {
+					fn(p)
+				}
+			}
+			continue
+		}
+		var lo, hi float64
+		if n.axis == 0 {
+			lo, hi = r.Min.X, r.Max.X
+		} else {
+			lo, hi = r.Min.Y, r.Max.Y
+		}
+		if lo <= n.split {
+			stack[sp] = n.left
+			sp++
+		}
+		if hi >= n.split {
+			stack[sp] = n.right
+			sp++
+		}
+	}
+}
+
+// RangeCircle implements Index: prune by the circumscribing square, filter
+// candidates by exact distance.
+func (t *KDTree) RangeCircle(c geom.Vec, rad float64, fn func(Point)) {
+	t.stats.Probes++
+	if t.root == kdNil {
+		return
+	}
+	r := geom.Square(c, rad)
+	r2 := rad * rad
+	var stack [64]int32
+	sp := 0
+	stack[sp] = t.root
+	sp++
+	for sp > 0 {
+		sp--
+		n := &t.nodes[stack[sp]]
+		if n.axis == leafAxis {
+			t.stats.Visited += int64(n.end - n.start)
+			for _, p := range t.pts[n.start:n.end] {
+				if p.Pos.Dist2(c) <= r2 {
+					fn(p)
+				}
+			}
+			continue
+		}
+		var lo, hi float64
+		if n.axis == 0 {
+			lo, hi = r.Min.X, r.Max.X
+		} else {
+			lo, hi = r.Min.Y, r.Max.Y
+		}
+		if lo <= n.split {
+			stack[sp] = n.left
+			sp++
+		}
+		if hi >= n.split {
+			stack[sp] = n.right
+			sp++
+		}
+	}
+}
+
+// Nearest implements Index: best-first descent with a bounded max-heap of
+// candidates, pruning subtrees whose slab cannot beat the k-th best.
+func (t *KDTree) Nearest(c geom.Vec, k int, dst []Point) []Point {
+	t.stats.Probes++
+	if k <= 0 || t.root == kdNil {
+		return dst
+	}
+	h := &kdHeap{}
+	t.nearestRec(t.root, c, k, h, geom.Infinite())
+	out := make([]Point, len(h.pts))
+	// Extract in increasing-distance order.
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h.popMax()
+	}
+	return append(dst, out...)
+}
+
+func (t *KDTree) nearestRec(ni int32, c geom.Vec, k int, h *kdHeap, bounds geom.Rect) {
+	n := &t.nodes[ni]
+	if h.len() == k && bounds.Dist2(c) > h.d2[0] {
+		return
+	}
+	if n.axis == leafAxis {
+		t.stats.Visited += int64(n.end - n.start)
+		for _, p := range t.pts[n.start:n.end] {
+			d2 := p.Pos.Dist2(c)
+			if h.len() < k {
+				h.push(p, d2)
+			} else if d2 < h.d2[0] {
+				h.replaceMax(p, d2)
+			}
+		}
+		return
+	}
+	var leftB, rightB geom.Rect
+	var goLeftFirst bool
+	if n.axis == 0 {
+		leftB, rightB = bounds.SplitX(n.split)
+		goLeftFirst = c.X <= n.split
+	} else {
+		leftB, rightB = bounds.SplitY(n.split)
+		goLeftFirst = c.Y <= n.split
+	}
+	if goLeftFirst {
+		t.nearestRec(n.left, c, k, h, leftB)
+		t.nearestRec(n.right, c, k, h, rightB)
+	} else {
+		t.nearestRec(n.right, c, k, h, rightB)
+		t.nearestRec(n.left, c, k, h, leftB)
+	}
+}
+
+// Stats implements Index.
+func (t *KDTree) Stats() Stats { return t.stats }
+
+var _ Index = (*KDTree)(nil)
+
+// kdHeap is a small max-heap of candidate nearest points keyed by squared
+// distance; the farthest candidate sits at index 0.
+type kdHeap struct {
+	pts []Point
+	d2  []float64
+}
+
+func (h *kdHeap) len() int { return len(h.pts) }
+
+func (h *kdHeap) push(p Point, d2 float64) {
+	h.pts = append(h.pts, p)
+	h.d2 = append(h.d2, d2)
+	i := len(h.pts) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.d2[parent] >= h.d2[i] {
+			break
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *kdHeap) replaceMax(p Point, d2 float64) {
+	h.pts[0], h.d2[0] = p, d2
+	h.siftDown(0)
+}
+
+func (h *kdHeap) popMax() Point {
+	top := h.pts[0]
+	n := len(h.pts) - 1
+	h.pts[0], h.d2[0] = h.pts[n], h.d2[n]
+	h.pts = h.pts[:n]
+	h.d2 = h.d2[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *kdHeap) siftDown(i int) {
+	n := len(h.pts)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.d2[l] > h.d2[big] {
+			big = l
+		}
+		if r < n && h.d2[r] > h.d2[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.swap(i, big)
+		i = big
+	}
+}
+
+func (h *kdHeap) swap(i, j int) {
+	h.pts[i], h.pts[j] = h.pts[j], h.pts[i]
+	h.d2[i], h.d2[j] = h.d2[j], h.d2[i]
+}

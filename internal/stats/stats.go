@@ -1,0 +1,240 @@
+// Package stats provides the statistical utilities used by the experiment
+// harness: RMSPE goodness-of-fit (the measure of Table 2), running moments,
+// throughput meters and labeled result series for the figure reproductions.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RMSPE returns the Relative Mean Square Percentage Error between a
+// reference series and a measured series:
+//
+//	RMSPE = sqrt( (1/n) Σ ((meas_i − ref_i)/ref_i)² )
+//
+// It is the goodness-of-fit measure used in the traffic simulation
+// literature [9] and in Table 2 of the paper. Reference entries equal to
+// zero are skipped (their relative error is undefined); if every entry is
+// skipped or the series are empty, RMSPE returns an error.
+func RMSPE(ref, meas []float64) (float64, error) {
+	if len(ref) != len(meas) {
+		return 0, fmt.Errorf("stats: RMSPE length mismatch %d vs %d", len(ref), len(meas))
+	}
+	var sum float64
+	var n int
+	for i := range ref {
+		if ref[i] == 0 {
+			continue
+		}
+		d := (meas[i] - ref[i]) / ref[i]
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("stats: RMSPE has no usable reference entries")
+	}
+	return math.Sqrt(sum / float64(n)), nil
+}
+
+// Welford accumulates mean and variance in a single numerically stable pass.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance.
+func (w *Welford) Var() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Merge combines another accumulator into w (parallel Welford / Chan et
+// al.), allowing per-worker accumulation with a final reduce.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
+// Histogram is a fixed-bin histogram over [min, max); out-of-range values
+// are clamped into the edge bins so totals are preserved.
+type Histogram struct {
+	Min, Max float64
+	Bins     []int64
+}
+
+// NewHistogram allocates a histogram with n bins over [min, max).
+func NewHistogram(min, max float64, n int) *Histogram {
+	if n <= 0 || max <= min {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Min: min, Max: max, Bins: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.Bins)) * (x - h.Min) / (h.Max - h.Min))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, b := range h.Bins {
+		t += b
+	}
+	return t
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) estimated from bin midpoints.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	var cum int64
+	w := (h.Max - h.Min) / float64(len(h.Bins))
+	for i, b := range h.Bins {
+		cum += b
+		if cum > target {
+			return h.Min + w*(float64(i)+0.5)
+		}
+	}
+	return h.Max
+}
+
+// Series is one labeled curve of an experiment figure: x values with the
+// measured y values, e.g. "BRACE - indexing" in Fig. 3.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Add appends one (x, y) sample.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table formats one or more series sharing (approximately) the same x grid
+// as an aligned text table, the format the experiment harness prints.
+func Table(title, xName string, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	// Collect the union of x values.
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			xs[x] = true
+		}
+	}
+	grid := make([]float64, 0, len(xs))
+	for x := range xs {
+		grid = append(grid, x)
+	}
+	sort.Float64s(grid)
+	fmt.Fprintf(&b, "%-14s", xName)
+	for _, s := range series {
+		fmt.Fprintf(&b, " %22s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range grid {
+		fmt.Fprintf(&b, "%-14g", x)
+		for _, s := range series {
+			y, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&b, " %22.4g", y)
+			} else {
+				fmt.Fprintf(&b, " %22s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookup(s *Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// MonotoneIncreasing reports whether ys never decreases by more than a
+// fractional tolerance; the scale-up assertions (Figs. 6–7) allow small
+// noise but must catch a collapse.
+func MonotoneIncreasing(ys []float64, tol float64) bool {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1]*(1-tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// GrowthExponent fits y ≈ c·xᵏ by least squares on log-log axes and returns
+// k. The Fig. 3 shape check asserts k≈2 for the no-index engine and k≈1 for
+// the indexed one. All inputs must be positive.
+func GrowthExponent(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("stats: GrowthExponent needs ≥2 paired samples")
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, fmt.Errorf("stats: GrowthExponent requires positive samples")
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, fmt.Errorf("stats: degenerate x values")
+	}
+	return (n*sxy - sx*sy) / den, nil
+}

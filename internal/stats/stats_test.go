@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRMSPEExact(t *testing.T) {
+	got, err := RMSPE([]float64{10, 20}, []float64{11, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((0.1*0.1 + 0.1*0.1) / 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSPE = %v, want %v", got, want)
+	}
+}
+
+func TestRMSPEPerfectFit(t *testing.T) {
+	got, err := RMSPE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Errorf("RMSPE perfect = %v, %v", got, err)
+	}
+}
+
+func TestRMSPESkipsZeroRef(t *testing.T) {
+	got, err := RMSPE([]float64{0, 10}, []float64{5, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("RMSPE = %v, want 0.2", got)
+	}
+}
+
+func TestRMSPEErrors(t *testing.T) {
+	if _, err := RMSPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := RMSPE([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("all-zero reference accepted")
+	}
+	if _, err := RMSPE(nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var w Welford
+	var sum float64
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 5
+		w.Add(xs[i])
+		sum += xs[i]
+	}
+	mean := sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	v /= float64(len(xs))
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Var()-v) > 1e-9 {
+		t.Errorf("var = %v, want %v", w.Var(), v)
+	}
+	if w.N() != 1000 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Std()-math.Sqrt(v)) > 1e-9 {
+		t.Error("Std mismatch")
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var whole, a, b Welford
+	for i := 0; i < 500; i++ {
+		x := rng.Float64() * 10
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 || math.Abs(a.Var()-whole.Var()) > 1e-9 {
+		t.Errorf("merge mean/var = %v/%v, want %v/%v", a.Mean(), a.Var(), whole.Mean(), whole.Var())
+	}
+	// Merging into empty and merging empty are both identity-ish.
+	var empty Welford
+	empty.Merge(whole)
+	if empty.N() != whole.N() || empty.Mean() != whole.Mean() {
+		t.Error("merge into empty broken")
+	}
+	before := whole
+	whole.Merge(Welford{})
+	if whole != before {
+		t.Error("merging empty changed accumulator")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-5) // clamps to first bin
+	h.Add(99) // clamps to last bin
+	if h.Total() != 12 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Bins[0] != 2 || h.Bins[9] != 2 {
+		t.Errorf("edge bins = %d, %d", h.Bins[0], h.Bins[9])
+	}
+	med := h.Quantile(0.5)
+	if med < 3 || med > 7 {
+		t.Errorf("median = %v", med)
+	}
+	if (&Histogram{Min: 0, Max: 1, Bins: make([]int64, 3)}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram accepted")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	a := &Series{Label: "idx"}
+	b := &Series{Label: "noidx"}
+	a.Add(1, 10)
+	a.Add(2, 20)
+	b.Add(1, 30)
+	out := Table("Fig X", "n", a, b)
+	if !strings.Contains(out, "# Fig X") || !strings.Contains(out, "idx") {
+		t.Errorf("table missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing marker for absent sample:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, 2 rows
+		t.Errorf("table rows = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestMonotoneIncreasing(t *testing.T) {
+	if !MonotoneIncreasing([]float64{1, 2, 3, 3.9}, 0.1) {
+		t.Error("increasing series rejected")
+	}
+	if MonotoneIncreasing([]float64{1, 2, 1.0}, 0.1) {
+		t.Error("collapsing series accepted")
+	}
+	if !MonotoneIncreasing([]float64{1, 0.95}, 0.1) {
+		t.Error("within-tolerance dip rejected")
+	}
+	if !MonotoneIncreasing(nil, 0) {
+		t.Error("empty series should be monotone")
+	}
+}
+
+func TestGrowthExponent(t *testing.T) {
+	var xs, ys, ys2 []float64
+	for _, x := range []float64{100, 200, 400, 800} {
+		xs = append(xs, x)
+		ys = append(ys, 3*x*x) // quadratic
+		ys2 = append(ys2, 5*x) // linear
+	}
+	k, err := GrowthExponent(xs, ys)
+	if err != nil || math.Abs(k-2) > 1e-9 {
+		t.Errorf("quadratic exponent = %v, %v", k, err)
+	}
+	k, err = GrowthExponent(xs, ys2)
+	if err != nil || math.Abs(k-1) > 1e-9 {
+		t.Errorf("linear exponent = %v, %v", k, err)
+	}
+	if _, err := GrowthExponent([]float64{1}, []float64{1}); err == nil {
+		t.Error("single sample accepted")
+	}
+	if _, err := GrowthExponent([]float64{1, -1}, []float64{1, 1}); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, err := GrowthExponent([]float64{2, 2}, []float64{1, 5}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}

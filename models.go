@@ -1,0 +1,58 @@
+package brace
+
+import (
+	"github.com/bigreddata/brace/internal/sim/fish"
+	"github.com/bigreddata/brace/internal/sim/predator"
+	"github.com/bigreddata/brace/internal/sim/traffic"
+)
+
+// This file re-exports the paper's three evaluation workloads as public
+// models so downstream users can run them through the Simulation API.
+
+// FishParams configures the Couzin fish school model (App. C).
+type FishParams = fish.Params
+
+// DefaultFishParams returns the experiment calibration.
+func DefaultFishParams() FishParams { return fish.DefaultParams() }
+
+// FishModel is the fish school behavior (local effects only).
+type FishModel = fish.Model
+
+// NewFishModel builds the fish school model.
+func NewFishModel(p FishParams) *FishModel { return fish.NewModel(p) }
+
+// TrafficParams configures the MITSIM-derived traffic model (App. C).
+type TrafficParams = traffic.Params
+
+// DefaultTrafficParams returns the experiment calibration for a segment of
+// the given length.
+func DefaultTrafficParams(length float64) TrafficParams { return traffic.DefaultParams(length) }
+
+// TrafficModel is the lane-changing/car-following driver behavior.
+type TrafficModel = traffic.Model
+
+// NewTrafficModel builds the traffic model.
+func NewTrafficModel(p TrafficParams) *TrafficModel { return traffic.NewModel(p) }
+
+// MITSIM is the hand-coded single-node traffic comparator used by the
+// Fig. 3 and Table 2 experiments.
+type MITSIM = traffic.MITSIM
+
+// NewMITSIM builds the hand-coded traffic simulator.
+func NewMITSIM(p TrafficParams, seed uint64) *MITSIM { return traffic.NewMITSIM(p, seed) }
+
+// PredatorParams configures the predator model (App. C).
+type PredatorParams = predator.Params
+
+// DefaultPredatorParams returns the experiment calibration.
+func DefaultPredatorParams() PredatorParams { return predator.DefaultParams() }
+
+// PredatorModel is the bite/spawn predator behavior; build it inverted to
+// run with local-only effects on the single-reduce dataflow (Fig. 5).
+type PredatorModel = predator.Model
+
+// NewPredatorModel builds the predator model. inverted selects the
+// effect-inverted (local assignments) variant.
+func NewPredatorModel(p PredatorParams, inverted bool) *PredatorModel {
+	return predator.NewModel(p, inverted)
+}
