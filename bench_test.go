@@ -54,6 +54,58 @@ func BenchmarkFig7(b *testing.B) { runExperiment(b, experiments.Fig7) }
 // BenchmarkFig8 regenerates Figure 8 (fish epoch time, LB on/off).
 func BenchmarkFig8(b *testing.B) { runExperiment(b, experiments.Fig8) }
 
+// ---- Registry-driven scenario sweep ----
+
+// BenchmarkScenario runs every registered scenario as a sub-benchmark
+// (BenchmarkScenario/<name>), so new workloads get throughput numbers the
+// moment they register. Each measures single-tick cost on the sequential
+// engine (KD index) at a fixed population, reporting agent-ticks/s; see
+// README.md for the recorded baseline.
+func BenchmarkScenario(b *testing.B) {
+	for _, sp := range Scenarios() {
+		sp := sp
+		b.Run(sp.Name, func(b *testing.B) {
+			cfg := ScenarioConfig{Agents: 2000, Seed: 1}
+			if sp.Name == "traffic" {
+				cfg.Extent = 8000 // ≈ 512 vehicles at default density
+			}
+			build := func() *Simulation {
+				m, pop, err := sp.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim, err := New(m, pop, Config{Sequential: true, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				return sim
+			}
+			sim := build()
+			n0 := len(sim.Agents())
+			var done int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Draining scenarios (evacuate) would converge to an empty
+				// world over b.N ticks; restart once half the population is
+				// gone so the measured tick stays representative.
+				if i%32 == 0 {
+					b.StopTimer()
+					if len(sim.Agents())*2 < n0 {
+						done += sim.Metrics().AgentTicks
+						sim = build()
+					}
+					b.StartTimer()
+				}
+				if err := sim.Run(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			done += sim.Metrics().AgentTicks
+			b.ReportMetric(float64(done)/b.Elapsed().Seconds(), "agent-ticks/s")
+		})
+	}
+}
+
 // ---- Engine micro-benchmarks ----
 
 // BenchmarkFishTickSequential measures raw single-node tick cost of the

@@ -1,39 +1,63 @@
 // Command bracesim runs a behavioral simulation on the BRACE engine from
-// the command line: one of the built-in models (fish, traffic, predator)
-// or a BRASIL script.
+// the command line: any scenario in the registry (bracesim -model list
+// enumerates them) or a BRASIL script.
 //
 // Usage:
 //
+//	bracesim -model list
 //	bracesim -model fish -agents 10000 -ticks 500 -workers 8 -lb
+//	bracesim -model epidemic -agents 4000 -ticks 200 -workers 4
 //	bracesim -script school.brasil -agents 5000 -ticks 200 -workers 4
 //
 // It prints a metrics summary (and per-epoch load statistics with -v).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"text/tabwriter"
 
 	"github.com/bigreddata/brace"
 )
 
 func main() {
-	model := flag.String("model", "fish", "built-in model: fish, traffic, predator, predator-inv")
-	script := flag.String("script", "", "path to a BRASIL script (overrides -model)")
-	agents := flag.Int("agents", 5000, "number of agents (fish/predator/BRASIL)")
-	length := flag.Float64("length", 20000, "segment length (traffic)")
-	ticks := flag.Int("ticks", 100, "ticks to simulate")
-	workers := flag.Int("workers", 4, "worker nodes")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	index := flag.String("index", "kd", "spatial index: kd, scan, grid")
-	lb := flag.Bool("lb", false, "enable load balancing")
-	vt := flag.Bool("vtime", false, "enable virtual-time cluster accounting")
-	seq := flag.Bool("seq", false, "use the sequential reference engine")
-	invert := flag.Bool("invert", false, "apply effect inversion to the BRASIL script")
-	span := flag.Float64("span", 100, "initial placement span for BRASIL agents")
-	verbose := flag.Bool("v", false, "verbose output")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI entry point: it parses args, resolves the
+// scenario through the registry, runs the simulation and writes the
+// metrics summary to stdout. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bracesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "fish", "scenario to run, or 'list' to enumerate the registry")
+	script := fs.String("script", "", "path to a BRASIL script (overrides -model)")
+	agents := fs.Int("agents", 0, "population size (0 = scenario default; traffic derives it from -extent)")
+	extent := fs.Float64("extent", 0, "spatial size: segment length (traffic), world radius or room width (0 = scenario default)")
+	ticks := fs.Int("ticks", 100, "ticks to simulate")
+	workers := fs.Int("workers", 4, "worker nodes")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	index := fs.String("index", "kd", "spatial index: kd, scan, grid")
+	lb := fs.Bool("lb", false, "enable load balancing")
+	vt := fs.Bool("vtime", false, "enable virtual-time cluster accounting")
+	seq := fs.Bool("seq", false, "use the sequential reference engine")
+	invert := fs.Bool("invert", false, "apply effect inversion to the BRASIL script")
+	span := fs.Float64("span", 100, "initial placement span for BRASIL agents")
+	verbose := fs.Bool("v", false, "verbose output")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if *script == "" && *model == "list" {
+		listScenarios(stdout)
+		return 0
+	}
 
 	cfg := brace.Config{
 		Workers:     *workers,
@@ -50,54 +74,77 @@ func main() {
 	case "grid":
 		cfg.Index = brace.IndexGrid
 	default:
-		fatal(fmt.Errorf("unknown index %q", *index))
+		return fail(stderr, fmt.Errorf("unknown index %q", *index))
 	}
 
 	var m brace.Model
 	var pop []*brace.Agent
-	switch {
-	case *script != "":
+	if *script != "" {
 		src, err := os.ReadFile(*script)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		prog, err := brace.CompileBRASIL(string(src), brace.CompileOptions{Invert: *invert})
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		if *verbose {
-			fmt.Printf("compiled %s: non-local=%v inverted=%v\n",
+			fmt.Fprintf(stdout, "compiled %s: non-local=%v inverted=%v\n",
 				*script, prog.HasNonLocalEffects(), prog.Inverted())
 		}
+		n := *agents
+		if n <= 0 {
+			n = 5000
+		}
 		m = prog
-		pop = brace.SeedPopulation(prog.Schema(), *agents, *seed, *span)
-	case *model == "fish":
-		fm := brace.NewFishModel(brace.DefaultFishParams())
-		m = fm
-		pop = fm.NewPopulation(*agents, *seed)
-	case *model == "traffic":
-		tm := brace.NewTrafficModel(brace.DefaultTrafficParams(*length))
-		m = tm
-		pop = tm.NewPopulation(*seed)
-	case *model == "predator" || *model == "predator-inv":
-		pm := brace.NewPredatorModel(brace.DefaultPredatorParams(), *model == "predator-inv")
-		m = pm
-		pop = pm.NewPopulation(*agents, *seed)
-	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		pop = brace.SeedPopulation(prog.Schema(), n, *seed, *span)
+	} else {
+		sp, ok := brace.LookupScenario(*model)
+		if !ok {
+			return fail(stderr, brace.ErrUnknownScenario(*model))
+		}
+		var err error
+		m, pop, err = sp.New(brace.ScenarioConfig{Agents: *agents, Seed: *seed, Extent: *extent})
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if *verbose {
+			fmt.Fprintf(stdout, "scenario %s: %s (%d agents)\n", sp.Name, sp.Description, len(pop))
+		}
 	}
 
 	sim, err := brace.New(m, pop, cfg)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	if err := sim.Run(*ticks); err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Println(sim.Metrics())
+	fmt.Fprintln(stdout, sim.Metrics())
+	if *verbose {
+		for i, ep := range sim.EpochStats() {
+			fmt.Fprintf(stdout, "epoch %d: imbalance=%.2f rebalanced=%v\n", i+1, ep.Imbalance, ep.Rebalanced)
+		}
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bracesim:", err)
-	os.Exit(1)
+// listScenarios renders the registry as a table (the README's scenario
+// table mirrors this output).
+func listScenarios(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tEFFECTS\tAGENTS\tDESCRIPTION")
+	for _, sp := range brace.Scenarios() {
+		locality := "local"
+		if !sp.LocalOnly {
+			locality = "non-local"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", sp.Name, locality, sp.DefaultAgents, sp.Description)
+	}
+	tw.Flush()
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "bracesim:", err)
+	return 1
 }

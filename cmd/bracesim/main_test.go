@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestModelListEnumeratesRegistry(t *testing.T) {
+	code, out, _ := runCLI(t, "-model", "list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, name := range []string{"fish", "traffic", "predator", "predator-inv", "epidemic", "evacuate"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list output missing scenario %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "non-local") {
+		t.Errorf("list output missing effect-locality column:\n%s", out)
+	}
+}
+
+func TestUnknownModelFails(t *testing.T) {
+	code, _, errOut := runCLI(t, "-model", "no-such-model")
+	if code == 0 {
+		t.Fatal("unknown model accepted")
+	}
+	if !strings.Contains(errOut, "no-such-model") || !strings.Contains(errOut, "fish") {
+		t.Errorf("error should name the bad model and list alternatives:\n%s", errOut)
+	}
+}
+
+func TestUnknownIndexFails(t *testing.T) {
+	if code, _, _ := runCLI(t, "-index", "btree", "-ticks", "1"); code == 0 {
+		t.Fatal("unknown index accepted")
+	}
+}
+
+func TestEpidemicEndToEnd(t *testing.T) {
+	code, out, errOut := runCLI(t, "-model", "epidemic", "-agents", "120", "-ticks", "5", "-workers", "2", "-v")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "ticks=5") || !strings.Contains(out, "agents=120") {
+		t.Errorf("metrics line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "scenario epidemic") {
+		t.Errorf("-v should print the scenario header:\n%s", out)
+	}
+}
+
+func TestEvacuateEndToEnd(t *testing.T) {
+	code, out, errOut := runCLI(t, "-model", "evacuate", "-agents", "80", "-ticks", "5", "-workers", "2", "-seq")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "ticks=5") {
+		t.Errorf("metrics line missing:\n%s", out)
+	}
+}
+
+func TestExtentSizesTraffic(t *testing.T) {
+	// A 2km segment at default density holds ~128 vehicles; the registry
+	// must thread -extent through to the traffic builder.
+	code, out, errOut := runCLI(t, "-model", "traffic", "-extent", "2000", "-ticks", "2", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "agents=128") {
+		t.Errorf("expected 128 vehicles from -extent 2000:\n%s", out)
+	}
+}

@@ -1,29 +1,47 @@
 // Command experiments regenerates the paper's evaluation artifacts
-// (Table 2, Figures 3–8) and prints them in the harness's standard text
-// format.
+// (Table 2, Figures 3–8), the reproduction's ablations, and the
+// registry-driven scenario sweep, printing each in the harness's standard
+// text format.
 //
 // Usage:
 //
-//	experiments [-exp all|table2|fig3|...|fig8] [-full] [-seed N]
+//	experiments [-exp all|list|<name>] [-full] [-seed N]
 //
-// The default quick scale finishes in seconds; -full approximates the
-// paper's problem sizes (minutes). Run it alone on an idle machine — the
-// single-node figures measure wall-clock time.
+// experiments -exp list enumerates the registered runners. The default
+// quick scale finishes in seconds; -full approximates the paper's problem
+// sizes (minutes). Run it alone on an idle machine — the single-node
+// figures measure wall-clock time.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"github.com/bigreddata/brace/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table2, fig3..fig8")
-	full := flag.Bool("full", false, "use paper-scale problem sizes (slow)")
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: all, list, or a name from -exp list")
+	full := fs.Bool("full", false, "use paper-scale problem sizes (slow)")
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	scale := experiments.Quick()
 	if *full {
@@ -31,28 +49,42 @@ func main() {
 	}
 	scale.Seed = *seed
 
-	if *exp == "all" {
+	switch *exp {
+	case "list":
+		listRunners(stdout)
+		return 0
+	case "all":
 		results, err := experiments.All(scale)
 		if err != nil {
-			fatal(err)
+			return fail(stderr, err)
 		}
 		for _, r := range results {
-			fmt.Println(r)
+			fmt.Fprintln(stdout, r)
 		}
-		return
+		return 0
 	}
-	run, err := experiments.ByName(*exp)
+	runExp, err := experiments.ByName(*exp)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	r, err := run(scale)
+	r, err := runExp(scale)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Println(r)
+	fmt.Fprintln(stdout, r)
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+func listRunners(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tALIASES\tTITLE")
+	for _, rn := range experiments.Runners() {
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", rn.Name, strings.Join(rn.Aliases, ","), rn.Title)
+	}
+	tw.Flush()
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "experiments:", err)
+	return 1
 }

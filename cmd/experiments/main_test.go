@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExpListEnumeratesRunners(t *testing.T) {
+	code, out, _ := runCLI(t, "-exp", "list")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, name := range []string{"table2", "fig3", "fig8", "collocation", "scenarios"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("list output missing runner %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	code, _, errOut := runCLI(t, "-exp", "fig99")
+	if code == 0 {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(errOut, "fig99") || !strings.Contains(errOut, "table2") {
+		t.Errorf("error should name the bad experiment and list alternatives:\n%s", errOut)
+	}
+}
+
+func TestScenarioSweepEndToEnd(t *testing.T) {
+	code, out, errOut := runCLI(t, "-exp", "scenarios")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "Scenario Sweep") {
+		t.Errorf("missing sweep header:\n%s", out)
+	}
+	// Every registered scenario appears as a series label.
+	for _, name := range []string{"epidemic", "evacuate", "fish", "predator", "predator-inv", "traffic"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("sweep output missing scenario %q:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Epidemic example: a spatial SIR model in the state-effect pattern.
+// Infection pressure is a *local* effect field — each susceptible sums a
+// distance-weighted exposure from the infected agents in its visible
+// region, then converts it into an infection probability in its update
+// phase — so the simulation runs bit-identically on the sequential and
+// distributed engines.
+//
+// This example runs the epidemic on 8 workers and prints the S/I/R wave
+// as it travels outward from the seeded cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/bigreddata/brace"
+)
+
+func main() {
+	const (
+		n     = 4000
+		ticks = 120
+		seed  = 11
+	)
+	m := brace.NewEpidemicModel(brace.DefaultEpidemicParams())
+	sim, err := brace.New(m, m.NewPopulation(n, seed), brace.Config{
+		Workers: 8,
+		Seed:    seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SIR epidemic: %d agents, %d ticks, 8 workers\n\n", n, ticks)
+	fmt.Printf("%6s %14s %12s %12s\n", "tick", "susceptible", "infected", "recovered")
+	const step = 20
+	for t := 0; t <= ticks; t += step {
+		if t > 0 {
+			if err := sim.Run(step); err != nil {
+				log.Fatal(err)
+			}
+		}
+		s, i, r := m.Counts(sim.Agents())
+		fmt.Printf("%6d %14d %12d %12d\n", t, s, i, r)
+	}
+	fmt.Printf("\n%v\n", sim.Metrics())
+	fmt.Println("note: all effect assignments are local, so this run is bit-identical")
+	fmt.Println("to the sequential reference engine at any worker count (see tests).")
+}

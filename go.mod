@@ -1,0 +1,3 @@
+module github.com/bigreddata/brace
+
+go 1.21

@@ -28,26 +28,26 @@ type Combinator interface {
 
 type sumComb struct{}
 
-func (sumComb) Name() string                  { return "sum" }
-func (sumComb) Identity() float64             { return 0 }
+func (sumComb) Name() string                   { return "sum" }
+func (sumComb) Identity() float64              { return 0 }
 func (sumComb) Combine(acc, v float64) float64 { return acc + v }
 
 type minComb struct{}
 
-func (minComb) Name() string                  { return "min" }
-func (minComb) Identity() float64             { return math.Inf(1) }
+func (minComb) Name() string                   { return "min" }
+func (minComb) Identity() float64              { return math.Inf(1) }
 func (minComb) Combine(acc, v float64) float64 { return math.Min(acc, v) }
 
 type maxComb struct{}
 
-func (maxComb) Name() string                  { return "max" }
-func (maxComb) Identity() float64             { return math.Inf(-1) }
+func (maxComb) Name() string                   { return "max" }
+func (maxComb) Identity() float64              { return math.Inf(-1) }
 func (maxComb) Combine(acc, v float64) float64 { return math.Max(acc, v) }
 
 type mulComb struct{}
 
-func (mulComb) Name() string                  { return "mul" }
-func (mulComb) Identity() float64             { return 1 }
+func (mulComb) Name() string                   { return "mul" }
+func (mulComb) Identity() float64              { return 1 }
 func (mulComb) Combine(acc, v float64) float64 { return acc * v }
 
 // orComb treats values as booleans (non-zero = true) and ORs them; it is

@@ -24,8 +24,8 @@ type FieldDecl struct {
 	// Comb is the effect field's combinator name (empty for states).
 	Comb string
 	// Range holds the #range[lo,hi] constraint when present.
-	Range    *RangeTag
-	Pos      Token
+	Range *RangeTag
+	Pos   Token
 }
 
 // RangeTag is the visibility/reachability constraint of §4.1: the tagged
@@ -124,8 +124,8 @@ type This struct{ Pos Token }
 
 // Unary is -x or !x.
 type Unary struct {
-	Op string
-	X  Expr
+	Op  string
+	X   Expr
 	Pos Token
 }
 

@@ -150,13 +150,13 @@ func TestParseFish(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		"class F {",                                 // unterminated
-		"class F { public state float x : 1; }",     // no run, no y
-		"class F { public void walk() {} public void run() {} }", // extra method: walk
-		"class F { public state float x 1; }",       // missing colon
+		"class F {",                             // unterminated
+		"class F { public state float x : 1; }", // no run, no y
+		"class F { public void walk() {} public void run() {} }",  // extra method: walk
+		"class F { public state float x 1; }",                     // missing colon
 		"class F { void run() { foreach (G p : Extent<F>) {} } }", // extent mismatch
-		"class F { void run() { x <- ; } }",         // missing expr
-		"class F { public state float x : #range[2,1]; }", // inverted range + missing rule
+		"class F { void run() { x <- ; } }",                       // missing expr
+		"class F { public state float x : #range[2,1]; }",         // inverted range + missing rule
 	}
 	for _, src := range cases {
 		if _, err := Parse(src); err == nil {
@@ -261,9 +261,9 @@ func TestCheckedMetadata(t *testing.T) {
 // handFish mirrors fishSrc exactly in Go, validating the compiler against
 // a hand-coded model (the parity claim of §5.2).
 type handFish struct {
-	s                       *agent.Schema
-	x, y, vx, vy            int
-	avx, avy, cnt           int
+	s             *agent.Schema
+	x, y, vx, vy  int
+	avx, avy, cnt int
 }
 
 func newHandFish() *handFish {
@@ -555,12 +555,12 @@ class F { public state float x : x; public state float y : y;
 
 func TestConstFolding(t *testing.T) {
 	cases := map[string]float64{
-		"1 + 2 * 3":        7,
-		"abs(-4) + min(2,9)": 6,
+		"1 + 2 * 3":           7,
+		"abs(-4) + min(2,9)":  6,
 		"(1 < 2) && (3 != 3)": 0,
-		"pow(2, 10)":        1024,
-		"-(-5)":             5,
-		"!0":                1,
+		"pow(2, 10)":          1024,
+		"-(-5)":               5,
+		"!0":                  1,
 	}
 	for src, want := range cases {
 		toks, err := Lex(src)

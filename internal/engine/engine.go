@@ -433,7 +433,6 @@ func (e *Distributed) rebalance() bool {
 	return true
 }
 
-
 // Agents returns the current population, ID-sorted (owned copies only).
 func (e *Distributed) Agents() agent.Population {
 	var pop agent.Population

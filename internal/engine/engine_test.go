@@ -15,9 +15,9 @@ import (
 // within the visibility radius (like the paper's Fig. 2 fish) and drift
 // with a small random perturbation.
 type flockModel struct {
-	s                  *agent.Schema
-	x, y, vx, vy       int
-	ax, ay, cnt        int
+	s            *agent.Schema
+	x, y, vx, vy int
+	ax, ay, cnt  int
 }
 
 func newFlockModel(vis float64) *flockModel {
@@ -68,9 +68,9 @@ func (m *flockModel) Update(self *agent.Agent, u *UpdateCtx) {
 // pushModel is a minimal non-local model: every agent pushes its visible
 // neighbors away by assigning to *their* effect fields.
 type pushModel struct {
-	s          *agent.Schema
-	x, y       int
-	px, py     int
+	s      *agent.Schema
+	x, y   int
+	px, py int
 }
 
 func newPushModel(vis float64) *pushModel {
@@ -84,8 +84,8 @@ func newPushModel(vis float64) *pushModel {
 	return m
 }
 
-func (m *pushModel) Schema() *agent.Schema     { return m.s }
-func (m *pushModel) HasNonLocalEffects() bool  { return true }
+func (m *pushModel) Schema() *agent.Schema    { return m.s }
+func (m *pushModel) HasNonLocalEffects() bool { return true }
 
 func (m *pushModel) Query(self *agent.Agent, env Env) {
 	sx, sy := self.State[m.x], self.State[m.y]
@@ -111,10 +111,10 @@ func (m *pushModel) Update(self *agent.Agent, u *UpdateCtx) {
 // lifeModel exercises spawning and death: an agent spawns one child every
 // spawnEvery ticks and dies after lifespan ticks (tracked in state).
 type lifeModel struct {
-	s             *agent.Schema
-	x, y, age     int
-	spawnEvery    uint64
-	lifespan      float64
+	s          *agent.Schema
+	x, y, age  int
+	spawnEvery uint64
+	lifespan   float64
 }
 
 func newLifeModel() *lifeModel {
@@ -127,7 +127,7 @@ func newLifeModel() *lifeModel {
 	return m
 }
 
-func (m *lifeModel) Schema() *agent.Schema          { return m.s }
+func (m *lifeModel) Schema() *agent.Schema            { return m.s }
 func (m *lifeModel) Query(self *agent.Agent, env Env) {}
 
 func (m *lifeModel) Update(self *agent.Agent, u *UpdateCtx) {
@@ -631,6 +631,6 @@ func TestOptionsValidation(t *testing.T) {
 
 type schemaOnlyModel struct{ s *agent.Schema }
 
-func (m *schemaOnlyModel) Schema() *agent.Schema            { return m.s }
-func (m *schemaOnlyModel) Query(*agent.Agent, Env)          {}
-func (m *schemaOnlyModel) Update(*agent.Agent, *UpdateCtx)  {}
+func (m *schemaOnlyModel) Schema() *agent.Schema           { return m.s }
+func (m *schemaOnlyModel) Query(*agent.Agent, Env)         {}
+func (m *schemaOnlyModel) Update(*agent.Agent, *UpdateCtx) {}

@@ -12,9 +12,9 @@ import (
 // effects (two-reduce dataflow), spawning, death, and movement — a
 // predator-like stress model for the everything-on integration test.
 type lifecyclePushModel struct {
-	s                *agent.Schema
-	x, y, en         int
-	hurt             int
+	s        *agent.Schema
+	x, y, en int
+	hurt     int
 }
 
 func newLifecyclePushModel() *lifecyclePushModel {

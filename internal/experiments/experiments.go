@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"strings"
 
-	"github.com/bigreddata/brace/internal/stats"
 	"github.com/bigreddata/brace/internal/sim/traffic"
+	"github.com/bigreddata/brace/internal/stats"
 )
 
 // Scale shrinks experiments so they run in seconds on a laptop while
@@ -88,16 +88,45 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// All runs every experiment at the given scale: the paper's artifacts
-// first, then the ablations this reproduction adds.
-func All(s Scale) ([]*Result, error) {
-	runners := []func(Scale) (*Result, error){
-		Table2, Fig3, Fig4, Fig5, Fig6, Fig7, Fig8,
-		AblationCollocation, AblationCheckpointInterval, AblationInversionPass,
+// Runner is one registered experiment: the paper's artifacts, the
+// reproduction's ablations, and the registry-driven scenario sweep.
+// cmd/experiments enumerates this list (-exp list), so adding an
+// experiment here is the only wiring it needs.
+type Runner struct {
+	// Name is the canonical id (-exp takes it).
+	Name string
+	// Aliases are accepted alternative ids.
+	Aliases []string
+	// Title is a one-line summary for listings.
+	Title string
+	// Run regenerates the artifact at the given scale.
+	Run func(Scale) (*Result, error)
+}
+
+// Runners returns every registered experiment in presentation order.
+func Runners() []Runner {
+	return []Runner{
+		{"table2", []string{"t2"}, "traffic validation RMSPE vs MITSIM", Table2},
+		{"fig3", []string{"figure3"}, "traffic: indexing vs segment length", Fig3},
+		{"fig4", []string{"figure4"}, "fish: indexing vs visibility", Fig4},
+		{"fig5", []string{"figure5"}, "predator: effect inversion", Fig5},
+		{"fig6", []string{"figure6"}, "traffic scale-up", Fig6},
+		{"fig7", []string{"figure7"}, "fish scale-up, LB on/off", Fig7},
+		{"fig8", []string{"figure8"}, "fish epoch time, LB on/off", Fig8},
+		{"collocation", []string{"a1"}, "ablation: collocated vs shipped update phase", AblationCollocation},
+		{"checkpoint", []string{"a2"}, "ablation: checkpoint interval cost", AblationCheckpointInterval},
+		{"inversion", []string{"a3"}, "ablation: compiler inversion pass", AblationInversionPass},
+		{"scenarios", []string{"sweep"}, "every registered scenario: throughput vs workers", ScenarioSweep},
 	}
+}
+
+// All runs every experiment at the given scale: the paper's artifacts
+// first, then the ablations and sweeps this reproduction adds.
+func All(s Scale) ([]*Result, error) {
+	runners := Runners()
 	out := make([]*Result, 0, len(runners))
-	for _, run := range runners {
-		r, err := run(s)
+	for _, rn := range runners {
+		r, err := rn.Run(s)
 		if err != nil {
 			return nil, err
 		}
@@ -106,29 +135,21 @@ func All(s Scale) ([]*Result, error) {
 	return out, nil
 }
 
-// ByName resolves an experiment id like "table2" or "fig5".
+// ByName resolves an experiment id like "table2" or "fig5" against the
+// runner registry.
 func ByName(name string) (func(Scale) (*Result, error), error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "table2", "t2":
-		return Table2, nil
-	case "fig3", "figure3":
-		return Fig3, nil
-	case "fig4", "figure4":
-		return Fig4, nil
-	case "fig5", "figure5":
-		return Fig5, nil
-	case "fig6", "figure6":
-		return Fig6, nil
-	case "fig7", "figure7":
-		return Fig7, nil
-	case "fig8", "figure8":
-		return Fig8, nil
-	case "a1", "collocation":
-		return AblationCollocation, nil
-	case "a2", "checkpoint":
-		return AblationCheckpointInterval, nil
-	case "a3", "inversion":
-		return AblationInversionPass, nil
+	want := strings.ToLower(strings.TrimSpace(name))
+	names := make([]string, 0, len(Runners()))
+	for _, rn := range Runners() {
+		if rn.Name == want {
+			return rn.Run, nil
+		}
+		for _, a := range rn.Aliases {
+			if a == want {
+				return rn.Run, nil
+			}
+		}
+		names = append(names, rn.Name)
 	}
-	return nil, fmt.Errorf("experiments: unknown experiment %q (want table2, fig3..fig8, a1..a3)", name)
+	return nil, fmt.Errorf("unknown experiment %q (registered: %s)", name, strings.Join(names, ", "))
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/bigreddata/brace/internal/scenario"
 	"github.com/bigreddata/brace/internal/stats"
 )
 
@@ -259,6 +260,44 @@ func TestAllAndByName(t *testing.T) {
 	}
 	if _, err := ByName("fig99"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+	// Every registered runner resolves by name and by each alias.
+	for _, rn := range Runners() {
+		if _, err := ByName(rn.Name); err != nil {
+			t.Errorf("runner %q not resolvable: %v", rn.Name, err)
+		}
+		for _, a := range rn.Aliases {
+			if _, err := ByName(a); err != nil {
+				t.Errorf("alias %q of %q not resolvable: %v", a, rn.Name, err)
+			}
+		}
+	}
+}
+
+func TestScenarioSweepCoversRegistry(t *testing.T) {
+	r, err := ScenarioSweep(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != len(scenario.All()) {
+		t.Fatalf("series = %d, want one per scenario (%d)", len(r.Series), len(scenario.All()))
+	}
+	for i, sp := range scenario.All() {
+		srs := r.Series[i]
+		if srs.Label != sp.Name {
+			t.Errorf("series %d labeled %q, want %q", i, srs.Label, sp.Name)
+		}
+		for j, y := range srs.Y {
+			if y <= 0 {
+				t.Errorf("%s: non-positive throughput %v at %v workers", sp.Name, y, srs.X[j])
+			}
+		}
+		// Scale-up sanity: 8 workers should beat 1 worker on every
+		// scenario (virtual time, so no shared-core timer noise).
+		if last := len(srs.Y) - 1; srs.Y[last] <= srs.Y[0] {
+			t.Errorf("%s: no scale-up: %v workers %v ≤ 1 worker %v",
+				sp.Name, srs.X[last], srs.Y[last], srs.Y[0])
+		}
 	}
 }
 

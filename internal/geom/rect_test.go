@@ -91,10 +91,10 @@ func TestRectDist2(t *testing.T) {
 		p    Vec
 		want float64
 	}{
-		{V(5, 5), 0},       // inside
-		{V(13, 5), 9},      // right of
+		{V(5, 5), 0},        // inside
+		{V(13, 5), 9},       // right of
 		{V(13, 14), 9 + 16}, // corner
-		{V(5, -2), 4},      // below
+		{V(5, -2), 4},       // below
 	}
 	for _, c := range cases {
 		if got := r.Dist2(c.p); got != c.want {

@@ -41,10 +41,10 @@ type buildRegion struct {
 // regionHeap pops the most populated region first.
 type regionHeap []buildRegion
 
-func (h regionHeap) Len() int            { return len(h) }
-func (h regionHeap) Less(i, j int) bool  { return len(h[i].points) > len(h[j].points) }
-func (h regionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *regionHeap) Push(x any)         { *h = append(*h, x.(buildRegion)) }
+func (h regionHeap) Len() int           { return len(h) }
+func (h regionHeap) Less(i, j int) bool { return len(h[i].points) > len(h[j].points) }
+func (h regionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *regionHeap) Push(x any)        { *h = append(*h, x.(buildRegion)) }
 func (h *regionHeap) Pop() any {
 	old := *h
 	n := len(old) - 1

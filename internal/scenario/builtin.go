@@ -1,0 +1,119 @@
+package scenario
+
+// The built-in workloads: the paper's three evaluation behaviors (fish,
+// traffic, predator — §5.1, App. C) plus the epidemic and evacuation
+// scenarios this reproduction adds. Each registration is the *only* place
+// a workload is wired up; every tool enumerates the registry.
+
+import (
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/geom"
+	"github.com/bigreddata/brace/internal/sim/epidemic"
+	"github.com/bigreddata/brace/internal/sim/evacuate"
+	"github.com/bigreddata/brace/internal/sim/fish"
+	"github.com/bigreddata/brace/internal/sim/predator"
+	"github.com/bigreddata/brace/internal/sim/traffic"
+)
+
+func init() {
+	Register(Spec{
+		Name:          "fish",
+		Description:   "Couzin fish school: avoidance/attraction/alignment with informed leaders",
+		Defaults:      fish.DefaultParams(),
+		DefaultAgents: 5000,
+		DefaultExtent: fish.DefaultParams().SchoolRadius,
+		LocalOnly:     true,
+		Build: func(cfg Config) (engine.Model, []*agent.Agent, error) {
+			p := fish.DefaultParams()
+			p.SchoolRadius = cfg.Extent
+			m := fish.NewModel(p)
+			return m, m.NewPopulation(cfg.Agents, cfg.Seed), nil
+		},
+	})
+
+	Register(Spec{
+		Name:          "traffic",
+		Description:   "MITSIM highway: lane-changing and car-following drivers on a linear segment",
+		Defaults:      traffic.DefaultParams(20000),
+		DefaultAgents: traffic.DefaultParams(20000).Vehicles(),
+		DefaultExtent: 20000,
+		LocalOnly:     true,
+		Build: func(cfg Config) (engine.Model, []*agent.Agent, error) {
+			// Population follows from density × length × lanes; Agents is
+			// ignored by design (constant-density inflow is the workload).
+			m := traffic.NewModel(traffic.DefaultParams(cfg.Extent))
+			return m, m.NewPopulation(cfg.Seed), nil
+		},
+	})
+
+	pp := predator.DefaultParams()
+	Register(Spec{
+		Name:          "predator",
+		Description:   "predator fish: bite/spawn dynamics with non-local hurt effects (2 reduce passes)",
+		Defaults:      pp,
+		DefaultAgents: 4000,
+		DefaultExtent: pp.WorldRadius,
+		LocalOnly:     false,
+		Tolerance:     1e-7,
+		Build:         buildPredator(false),
+	})
+	Register(Spec{
+		Name:          "predator-inv",
+		Description:   "predator fish, effect-inverted: victims collect bites locally (1 reduce pass)",
+		Defaults:      pp,
+		DefaultAgents: 4000,
+		DefaultExtent: pp.WorldRadius,
+		LocalOnly:     true,
+		Build:         buildPredator(true),
+	})
+
+	Register(Spec{
+		Name:          "epidemic",
+		Description:   "spatial SIR epidemic: exposure spreads through the visible region as a local effect",
+		Defaults:      epidemic.DefaultParams(),
+		DefaultAgents: 4000,
+		DefaultExtent: epidemic.DefaultParams().WorldRadius,
+		LocalOnly:     true,
+		Build: func(cfg Config) (engine.Model, []*agent.Agent, error) {
+			p := epidemic.DefaultParams()
+			p.WorldRadius = cfg.Extent
+			m := epidemic.NewModel(p)
+			return m, m.NewPopulation(cfg.Agents, cfg.Seed), nil
+		},
+	})
+
+	Register(Spec{
+		Name:          "evacuate",
+		Description:   "crowd evacuation: social-force repulsion plus exit seeking; population drains",
+		Defaults:      evacuate.DefaultParams(),
+		DefaultAgents: 2000,
+		DefaultExtent: evacuate.DefaultParams().Width,
+		LocalOnly:     true,
+		Build: func(cfg Config) (engine.Model, []*agent.Agent, error) {
+			p := evacuate.DefaultParams()
+			// Scale the room geometry to the requested extent, preserving
+			// aspect ratio, keeping the exits on the side walls at
+			// mid-height, and shrinking the capture radius with the room so
+			// tiny extents don't let the exit discs swallow the floor.
+			scale := cfg.Extent / p.Width
+			p.Width *= scale
+			p.Height *= scale
+			p.ExitRadius *= scale
+			for i, e := range p.Exits {
+				p.Exits[i] = geom.V(e.X*scale, e.Y*scale)
+			}
+			m := evacuate.NewModel(p)
+			return m, m.NewPopulation(cfg.Agents, cfg.Seed), nil
+		},
+	})
+}
+
+func buildPredator(inverted bool) func(Config) (engine.Model, []*agent.Agent, error) {
+	return func(cfg Config) (engine.Model, []*agent.Agent, error) {
+		p := predator.DefaultParams()
+		p.WorldRadius = cfg.Extent
+		m := predator.NewModel(p, inverted)
+		return m, m.NewPopulation(cfg.Agents, cfg.Seed), nil
+	}
+}

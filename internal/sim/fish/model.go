@@ -61,9 +61,9 @@ type Model struct {
 	// state: position, heading, class (0 uninformed, ±1 informed)
 	x, y, hx, hy, class int
 	// effects
-	avx, avy, cntAv     int // avoidance accumulator
-	atx, aty, alx, aly  int // attraction + alignment accumulators
-	cntSoc              int
+	avx, avy, cntAv    int // avoidance accumulator
+	atx, aty, alx, aly int // attraction + alignment accumulators
+	cntSoc             int
 }
 
 // NewModel builds the schema.

@@ -13,9 +13,9 @@ import (
 // goFollowTwin mirrors FollowScript operation-for-operation in Go, so the
 // BRASIL compiler can be validated bit-for-bit on the traffic domain.
 type goFollowTwin struct {
-	s                        *agent.Schema
-	x, y, v, desired         int
-	gap, vsum, cnt           int
+	s                *agent.Schema
+	x, y, v, desired int
+	gap, vsum, cnt   int
 }
 
 func newGoFollowTwin() *goFollowTwin {

@@ -11,7 +11,7 @@ import (
 // lane-change counts, vehicle density, and mean velocity, sampled every
 // window ticks. Indexing is [lane][window].
 type LaneSeries struct {
-	Lanes             int
+	Lanes                   int
 	Changes, Density, MeanV [][]float64
 }
 
@@ -124,7 +124,7 @@ func CollectMITSIM(s *MITSIM, ticks, window int) (*LaneSeries, error) {
 // density and average velocity between the reference (MITSIM) and measured
 // (BRACE) series.
 type Row struct {
-	Lane                      int
+	Lane                       int
 	ChangeFreq, Density, MeanV float64
 }
 

@@ -1,13 +1,63 @@
 package brace
 
 import (
+	"github.com/bigreddata/brace/internal/scenario"
+	"github.com/bigreddata/brace/internal/sim/epidemic"
+	"github.com/bigreddata/brace/internal/sim/evacuate"
 	"github.com/bigreddata/brace/internal/sim/fish"
 	"github.com/bigreddata/brace/internal/sim/predator"
 	"github.com/bigreddata/brace/internal/sim/traffic"
 )
 
-// This file re-exports the paper's three evaluation workloads as public
-// models so downstream users can run them through the Simulation API.
+// This file is the public surface of BRACE's workload subsystem. Every
+// built-in behavior registers itself in internal/scenario; tools resolve
+// workloads by name through that registry (no per-model switches), and
+// the per-model constructors below remain for programmatic use.
+
+// ScenarioSpec is one registered workload: name, description, parameter
+// defaults, population builder and effect-locality flag.
+type ScenarioSpec = scenario.Spec
+
+// ScenarioConfig sizes one scenario instance; zero values select the
+// spec's defaults.
+type ScenarioConfig = scenario.Config
+
+// Scenarios returns every registered workload, sorted by name.
+func Scenarios() []ScenarioSpec { return scenario.All() }
+
+// LookupScenario resolves a workload by its registry name.
+func LookupScenario(name string) (ScenarioSpec, bool) { return scenario.Lookup(name) }
+
+// ErrUnknownScenario builds the standard unknown-scenario error, listing
+// the registered names.
+func ErrUnknownScenario(name string) error { return scenario.ErrUnknown(name) }
+
+// NewScenario builds a named scenario's model and population and wraps
+// them in a Simulation — the one-call path from registry name to running
+// engine:
+//
+//	sim, _ := brace.NewScenario("epidemic", brace.ScenarioConfig{Seed: 7}, brace.Config{Workers: 8})
+//	_ = sim.Run(500)
+func NewScenario(name string, sc ScenarioConfig, cfg Config) (*Simulation, error) {
+	sp, ok := scenario.Lookup(name)
+	if !ok {
+		return nil, scenario.ErrUnknown(name)
+	}
+	// A single seed in either config drives the whole run: population
+	// placement (ScenarioConfig.Seed) and tick randomness (Config.Seed)
+	// default to each other so callers can set just one.
+	if sc.Seed == 0 {
+		sc.Seed = cfg.Seed
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = sc.Seed
+	}
+	m, pop, err := sp.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	return New(m, pop, cfg)
+}
 
 // FishParams configures the Couzin fish school model (App. C).
 type FishParams = fish.Params
@@ -56,3 +106,31 @@ type PredatorModel = predator.Model
 func NewPredatorModel(p PredatorParams, inverted bool) *PredatorModel {
 	return predator.NewModel(p, inverted)
 }
+
+// EpidemicParams configures the spatial SIR epidemic model.
+type EpidemicParams = epidemic.Params
+
+// DefaultEpidemicParams returns the epidemic calibration.
+func DefaultEpidemicParams() EpidemicParams { return epidemic.DefaultParams() }
+
+// EpidemicModel is the SIR epidemic behavior (local effects only):
+// infection pressure spreads through the visible region as an exposure
+// effect field.
+type EpidemicModel = epidemic.Model
+
+// NewEpidemicModel builds the epidemic model.
+func NewEpidemicModel(p EpidemicParams) *EpidemicModel { return epidemic.NewModel(p) }
+
+// EvacuateParams configures the crowd-evacuation model.
+type EvacuateParams = evacuate.Params
+
+// DefaultEvacuateParams returns the evacuation calibration.
+func DefaultEvacuateParams() EvacuateParams { return evacuate.DefaultParams() }
+
+// EvacuateModel is the evacuation behavior (local effects only):
+// social-force repulsion plus exit seeking; evacuated agents leave the
+// simulation.
+type EvacuateModel = evacuate.Model
+
+// NewEvacuateModel builds the evacuation model.
+func NewEvacuateModel(p EvacuateParams) *EvacuateModel { return evacuate.NewModel(p) }
