@@ -108,6 +108,23 @@ func (k IndexKind) spatial() spatial.Kind {
 	}
 }
 
+// ParseIndex resolves an index name ("kd", "scan", "grid"; "" defaults to
+// kd) through the engine's single index vocabulary.
+func ParseIndex(name string) (IndexKind, error) {
+	k, err := spatial.ParseKind(name)
+	if err != nil {
+		return 0, err
+	}
+	switch k {
+	case spatial.KindScan:
+		return IndexScan, nil
+	case spatial.KindGrid:
+		return IndexGrid, nil
+	default:
+		return IndexKD, nil
+	}
+}
+
 // Config tunes a Simulation.
 type Config struct {
 	// Workers is the number of simulated worker nodes (≥1). Zero means 1.

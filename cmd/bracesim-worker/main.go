@@ -1,0 +1,54 @@
+// Command bracesim-worker is the BRACE worker daemon for distributed
+// runs: it listens for a coordinator (bracesim -distribute tcp), rebuilds
+// the requested scenario locally from the registry, computes its assigned
+// partition block over the TCP transport, and reports its final state.
+//
+// Usage:
+//
+//	bracesim-worker -listen 127.0.0.1:7101
+//	bracesim-worker -listen 127.0.0.1:0 -once   # ephemeral port, one run
+//
+// The daemon prints "listening on <addr>" once the socket is bound, so
+// scripts (and the loopback tests) can use port 0 and scrape the address.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"github.com/bigreddata/brace/internal/distrib"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bracesim-worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", "127.0.0.1:0", "address to accept the coordinator on")
+	once := fs.Bool("once", false, "exit after one coordinator session")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(stderr, "bracesim-worker:", err)
+		return 1
+	}
+	defer lis.Close()
+	fmt.Fprintf(stdout, "listening on %s\n", lis.Addr())
+	if err := distrib.Serve(lis, stderr, *once); err != nil {
+		fmt.Fprintln(stderr, "bracesim-worker:", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, errOut := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "-listen") {
+		t.Errorf("usage should document -listen:\n%s", errOut)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestUnbindableAddressFails(t *testing.T) {
+	code, _, errOut := runCLI(t, "-listen", "256.0.0.1:0")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "bracesim-worker:") {
+		t.Errorf("error not reported:\n%s", errOut)
+	}
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bigreddata/brace"
+	"github.com/bigreddata/brace/internal/distrib"
+)
+
+// workerProcEnv makes the test binary re-exec itself as a worker daemon:
+// real multi-process distribution without shelling out to the go tool.
+const workerProcEnv = "BRACESIM_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerProcEnv) != "" {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("listening on %s\n", lis.Addr())
+		if err := distrib.Serve(lis, os.Stderr, true); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// spawnWorkerProc starts one real worker OS process and returns its
+// address once the daemon reports its bound port.
+func spawnWorkerProc(t *testing.T) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), workerProcEnv+"=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+				addrCh <- a
+				return
+			}
+		}
+		addrCh <- ""
+	}()
+	select {
+	case a := <-addrCh:
+		if a == "" {
+			t.Fatal("worker process exited without binding")
+		}
+		return a
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker process did not bind in time")
+		return ""
+	}
+}
+
+// TestDistributeTCPAcrossProcesses is the acceptance criterion end to end:
+// `bracesim -distribute tcp` across two real worker OS processes
+// completes, and the assembled final state is bit-identical to the
+// in-memory transport at the same seed and worker count.
+func TestDistributeTCPAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	addrs := spawnWorkerProc(t) + "," + spawnWorkerProc(t)
+	code, out, errOut := runCLI(t,
+		"-distribute", "tcp", "-worker-addrs", addrs,
+		"-model", "epidemic", "-agents", "120", "-ticks", "6", "-workers", "4", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "distributed ticks=6") || !strings.Contains(out, "procs=2") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+
+	// Equivalence: fresh worker processes, coordinator called directly for
+	// the assembled population, compared against a pure in-memory run.
+	res, err := distrib.Run(distrib.Options{
+		Addrs:    []string{spawnWorkerProc(t), spawnWorkerProc(t)},
+		Scenario: "epidemic",
+		Agents:   120, Seed: 9,
+		Partitions: 4, Ticks: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := brace.NewScenario("epidemic",
+		brace.ScenarioConfig{Agents: 120, Seed: 9}, brace.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	want := mem.Agents()
+	if len(res.Agents) != len(want) {
+		t.Fatalf("population sizes differ: tcp %d vs mem %d", len(res.Agents), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(res.Agents[i]) {
+			t.Fatalf("agent %d differs across transports:\n  mem: %v\n  tcp: %v",
+				want[i].ID, want[i], res.Agents[i])
+		}
+	}
+	if res.Net.SentMsgs == 0 {
+		t.Error("no bytes crossed process boundaries; the run was not distributed")
+	}
+}
+
+func TestDistributeFlagValidation(t *testing.T) {
+	if code, _, errOut := runCLI(t, "-distribute", "udp"); code == 0 || !strings.Contains(errOut, "udp") {
+		t.Errorf("unknown mode accepted: %s", errOut)
+	}
+	if code, _, errOut := runCLI(t, "-distribute", "tcp"); code == 0 || !strings.Contains(errOut, "worker") {
+		t.Errorf("missing -worker-addrs accepted: %s", errOut)
+	}
+	if code, _, errOut := runCLI(t, "-distribute", "tcp", "-worker-addrs", "x", "-lb"); code == 0 ||
+		!strings.Contains(errOut, "-lb") {
+		t.Errorf("-lb with -distribute accepted: %s", errOut)
+	}
+	if code, _, errOut := runCLI(t, "-distribute", "tcp", "-worker-addrs", "x", "-script", "s.brasil"); code == 0 ||
+		!strings.Contains(errOut, "registry") {
+		t.Errorf("-script with -distribute accepted: %s", errOut)
+	}
+}

@@ -18,9 +18,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"github.com/bigreddata/brace"
+	"github.com/bigreddata/brace/internal/distrib"
+	"github.com/bigreddata/brace/internal/transport"
 )
 
 func main() {
@@ -46,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seq := fs.Bool("seq", false, "use the sequential reference engine")
 	invert := fs.Bool("invert", false, "apply effect inversion to the BRASIL script")
 	span := fs.Float64("span", 100, "initial placement span for BRASIL agents")
+	distribute := fs.String("distribute", "", "run across real worker processes: 'tcp' (requires -worker-addrs)")
+	workerAddrs := fs.String("worker-addrs", "", "comma-separated bracesim-worker addresses for -distribute tcp")
 	verbose := fs.Bool("v", false, "verbose output")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -59,6 +64,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *distribute != "" {
+		if *distribute != "tcp" {
+			return fail(stderr, fmt.Errorf("unknown -distribute mode %q (supported: tcp)", *distribute))
+		}
+		switch {
+		case *script != "":
+			return fail(stderr, fmt.Errorf("-script is unsupported with -distribute: workers rebuild scenarios from the registry"))
+		case *lb:
+			return fail(stderr, fmt.Errorf("-lb needs a global view; unsupported with -distribute (see ROADMAP)"))
+		case *vt:
+			return fail(stderr, fmt.Errorf("-vtime is unsupported with -distribute: distributed runs measure real time"))
+		}
+		o := distrib.Options{
+			Addrs:      splitAddrs(*workerAddrs),
+			Scenario:   *model,
+			Agents:     *agents,
+			Extent:     *extent,
+			Seed:       *seed,
+			Partitions: *workers,
+			Ticks:      *ticks,
+			Index:      *index,
+			Sequential: *seq,
+		}
+		if *verbose {
+			if sp, ok := brace.LookupScenario(*model); ok {
+				fmt.Fprintf(stdout, "scenario %s: %s\n", sp.Name, sp.Description)
+			}
+			for i, addr := range o.Addrs {
+				fmt.Fprintf(stdout, "worker %d @ %s: partitions %v\n",
+					i, addr, transport.PartsOf(i, *workers, len(o.Addrs)))
+			}
+		}
+		res, err := distrib.Run(o)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "distributed ticks=%d agents=%d procs=%d partitions=%d net=%dB (%d msgs) local=%dB\n",
+			res.Ticks, len(res.Agents), res.Procs, *workers, res.Net.SentBytes, res.Net.SentMsgs, res.Net.LocalBytes)
+		return 0
+	}
+
 	cfg := brace.Config{
 		Workers:     *workers,
 		Seed:        *seed,
@@ -66,16 +112,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		VirtualTime: *vt,
 		Sequential:  *seq,
 	}
-	switch *index {
-	case "kd":
-		cfg.Index = brace.IndexKD
-	case "scan":
-		cfg.Index = brace.IndexScan
-	case "grid":
-		cfg.Index = brace.IndexGrid
-	default:
-		return fail(stderr, fmt.Errorf("unknown index %q", *index))
+	ix, err := brace.ParseIndex(*index)
+	if err != nil {
+		return fail(stderr, err)
 	}
+	cfg.Index = ix
 
 	var m brace.Model
 	var pop []*brace.Agent
@@ -142,6 +183,17 @@ func listScenarios(w io.Writer) {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", sp.Name, locality, sp.DefaultAgents, sp.Description)
 	}
 	tw.Flush()
+}
+
+// splitAddrs parses the -worker-addrs list, dropping empty entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func fail(stderr io.Writer, err error) int {

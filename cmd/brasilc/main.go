@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/bigreddata/brace/internal/brasil"
@@ -20,45 +22,58 @@ import (
 )
 
 func main() {
-	invert := flag.Bool("invert", false, "apply effect inversion and re-describe")
-	showMonad := flag.Bool("monad", false, "print the monad-algebra translation of run()")
-	rewrite := flag.Bool("rewrite", false, "with -monad: print the rewritten (optimized) plan too")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: brasilc [-invert] [-monad [-rewrite]] <script.brasil>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI entry point: parse args, compile/describe the
+// script, write the report to stdout. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("brasilc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	invert := fs.Bool("invert", false, "apply effect inversion and re-describe")
+	showMonad := fs.Bool("monad", false, "print the monad-algebra translation of run()")
+	rewrite := fs.Bool("rewrite", false, "with -monad: print the rewritten (optimized) plan too")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: brasilc [-invert] [-monad [-rewrite]] <script.brasil>")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 
 	cl, err := brasil.Parse(string(src))
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
 	ck, err := brasil.Check(cl)
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Print(ck.Describe())
+	fmt.Fprint(stdout, ck.Describe())
 
 	wasNonLocal := ck.HasNonLocal
 	if *invert {
 		if !wasNonLocal {
-			fmt.Println("script has only local effects; inversion is a no-op")
+			fmt.Fprintln(stdout, "script has only local effects; inversion is a no-op")
 		} else {
 			inv, err := brasil.Invert(ck)
 			if err != nil {
-				fatal(fmt.Errorf("not invertible: %w", err))
+				return fail(stderr, fmt.Errorf("not invertible: %w", err))
 			}
 			ck2, err := brasil.Check(inv)
 			if err != nil {
-				fatal(err)
+				return fail(stderr, err)
 			}
-			fmt.Print("after inversion: ", ck2.Describe())
-			fmt.Println("inverted source:")
-			fmt.Print(brasil.Format(inv))
+			fmt.Fprint(stdout, "after inversion: ", ck2.Describe())
+			fmt.Fprintln(stdout, "inverted source:")
+			fmt.Fprint(stdout, brasil.Format(inv))
 			ck = ck2
 		}
 	}
@@ -66,24 +81,25 @@ func main() {
 	// Always confirm the script compiles to an executable plan.
 	prog, err := brasil.Compile(string(src), brasil.CompileOptions{Invert: *invert && wasNonLocal})
 	if err != nil {
-		fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Printf("compiles OK: schema %s, dataflow %s\n",
+	fmt.Fprintf(stdout, "compiles OK: schema %s, dataflow %s\n",
 		prog.Schema().Name, dataflow(prog))
 
 	if *showMonad {
 		tr := monad.NewTranslator(ck)
 		expr, err := tr.TranslateRun()
 		if err != nil {
-			fatal(fmt.Errorf("monad translation: %w", err))
+			return fail(stderr, fmt.Errorf("monad translation: %w", err))
 		}
-		fmt.Println("monad algebra translation of run():")
-		fmt.Println(" ", expr)
+		fmt.Fprintln(stdout, "monad algebra translation of run():")
+		fmt.Fprintln(stdout, " ", expr)
 		if *rewrite {
-			fmt.Println("after algebraic rewriting:")
-			fmt.Println(" ", monad.Rewrite(expr))
+			fmt.Fprintln(stdout, "after algebraic rewriting:")
+			fmt.Fprintln(stdout, " ", monad.Rewrite(expr))
 		}
 	}
+	return 0
 }
 
 func dataflow(p *brasil.Program) string {
@@ -96,7 +112,7 @@ func dataflow(p *brasil.Program) string {
 	return "map-reduce (local effects)"
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "brasilc:", err)
-	os.Exit(1)
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "brasilc:", err)
+	return 1
 }

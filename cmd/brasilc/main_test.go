@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// The quickstart's Fig. 2 fish behavior: valid, local effects only.
+const fishSrc = `
+class Fish {
+  public state float x : x + vx; #range[-5,5];
+  public state float y : y + vy; #range[-5,5];
+  public state float vx : 0.5 * vx + avoidx / max(count, 1);
+  public state float vy : 0.5 * vy + avoidy / max(count, 1);
+  private effect float avoidx : sum;
+  private effect float avoidy : sum;
+  private effect int count : sum;
+
+  public void run() {
+    foreach (Fish p : Extent<Fish>) {
+      if (p != this) {
+        avoidx <- (x - p.x) / (dist(this, p) + 0.01);
+        avoidy <- (y - p.y) / (dist(this, p) + 0.01);
+        count <- 1;
+      }
+    }
+  }
+}
+`
+
+func writeScript(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "script.brasil")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, errOut := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(errOut, "-invert") {
+		t.Errorf("usage should document flags:\n%s", errOut)
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	code, _, errOut := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, "usage:") {
+		t.Errorf("usage line missing:\n%s", errOut)
+	}
+}
+
+func TestBadScriptPathReportsIt(t *testing.T) {
+	code, _, errOut := runCLI(t, "/no/such/dir/script.brasil")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "script.brasil") {
+		t.Errorf("error should name the missing path:\n%s", errOut)
+	}
+}
+
+func TestValidScriptDescribesAndCompiles(t *testing.T) {
+	code, out, errOut := runCLI(t, writeScript(t, fishSrc))
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "compiles OK") || !strings.Contains(out, "Fish") {
+		t.Errorf("report incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "map-reduce (local effects)") {
+		t.Errorf("dataflow classification missing:\n%s", out)
+	}
+}
+
+func TestSyntaxErrorFails(t *testing.T) {
+	code, _, errOut := runCLI(t, writeScript(t, "class {{{"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "brasilc:") {
+		t.Errorf("error not reported:\n%s", errOut)
+	}
+}
+
+func TestMonadTranslation(t *testing.T) {
+	code, out, errOut := runCLI(t, "-monad", "-rewrite", writeScript(t, fishSrc))
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "monad algebra translation") || !strings.Contains(out, "algebraic rewriting") {
+		t.Errorf("monad output missing:\n%s", out)
+	}
+}
+
+func TestInvertLocalScriptIsNoOp(t *testing.T) {
+	code, out, _ := runCLI(t, "-invert", writeScript(t, fishSrc))
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out, "inversion is a no-op") {
+		t.Errorf("no-op notice missing:\n%s", out)
+	}
+}

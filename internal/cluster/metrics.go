@@ -1,9 +1,12 @@
-// Package cluster simulates the shared-nothing cluster BRACE runs on.
+// Package cluster models the shared-nothing cluster BRACE runs on: node
+// identities, message and traffic metering types, failure plans, and the
+// virtual clock. The message-delivery mechanisms themselves (in-memory and
+// TCP) live in internal/transport.
 //
 // The paper evaluates on 60 nodes of the Cornell Web Lab connected by
-// 1 Gbit/s Ethernet. This reproduction runs on a single machine, so the
-// cluster is *simulated*: worker "nodes" are goroutines, the network is an
-// in-memory metered transport, and — crucially for the scale-up figures —
+// 1 Gbit/s Ethernet. This reproduction defaults to a single machine, where
+// the cluster is *simulated*: worker "nodes" are goroutines, the network is
+// an in-memory metered transport, and — crucially for the scale-up figures —
 // time is accounted by a virtual clock driven by a calibrated cost model
 // rather than by wall-clock alone. Each node is charged for the compute
 // work it actually performs (agents updated, index candidates visited) and
@@ -43,10 +46,15 @@ func NewMetrics(n int) *Metrics {
 	return &Metrics{node: make([]NodeMetrics, n)}
 }
 
-func (m *Metrics) recordSend(from, to NodeID, bytes int) {
+// RecordSend meters one delivery from a sender's point of view. local
+// marks collocated traffic that bypasses the network — same-node messages
+// on the in-memory transport, same-process messages on the TCP transport
+// (§3.3 "Collocation of Tasks"). Senders meter, receivers don't, so
+// summing Totals across processes counts each delivery exactly once.
+func (m *Metrics) RecordSend(from, to NodeID, bytes int, local bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if from == to {
+	if local {
 		m.node[from].LocalMsgs++
 		m.node[from].LocalBytes += int64(bytes)
 		return

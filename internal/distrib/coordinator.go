@@ -1,0 +1,78 @@
+package distrib
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/bigreddata/brace/internal/transport"
+)
+
+// Run executes a distributed simulation from the coordinator: dial every
+// worker daemon, handshake, relay the run through a transport.Hub, and
+// assemble the workers' final reports into the run's result. The
+// coordinator does no simulation compute — it is the master of §3.3,
+// reduced to wiring: partitioning is derived identically by every worker,
+// and failure recovery in multi-process mode is a ROADMAP follow-up.
+func Run(o Options) (*Result, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+
+	conns := make([]*transport.Conn, len(o.Addrs))
+	closeAll := func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	for i, addr := range o.Addrs {
+		c, err := dialWorker(addr, o.hello(i), o.DialTimeout)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("distrib: worker %d (%s): %w", i, addr, err)
+		}
+		conns[i] = c
+	}
+	defer closeAll()
+
+	finals, err := transport.NewHub(conns, o.Partitions).Run()
+	if err != nil {
+		return nil, err
+	}
+	return assemble(finals)
+}
+
+// dialWorker connects to one worker daemon and completes the handshake:
+// Hello out, Ack back, with the deadline covering both.
+func dialWorker(addr string, h *transport.Hello, timeout time.Duration) (*transport.Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(timeout))
+	c := transport.NewConn(nc)
+	if err := c.Send(&transport.Frame{Kind: transport.FrameHello, Hello: h}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	ack, err := c.Recv()
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	if ack.Kind != transport.FrameAck {
+		c.Close()
+		return nil, fmt.Errorf("handshake: unexpected frame kind %d", ack.Kind)
+	}
+	if ack.Err != "" {
+		c.Close()
+		return nil, fmt.Errorf("worker rejected run: %s", ack.Err)
+	}
+	nc.SetDeadline(time.Time{}) // the run itself is unbounded
+	return c, nil
+}

@@ -1,0 +1,137 @@
+// Package distrib runs a BRACE simulation across real OS processes: a
+// coordinator (bracesim -distribute tcp) dials one or more worker daemons
+// (bracesim-worker), hands each a Hello naming a registry scenario and its
+// partition block, and relays the per-phase envelope traffic between them
+// over the TCP transport.
+//
+// The design exploits what makes BRACE's dataflow distributable in the
+// first place: behavior is *code*, reconstructible anywhere from the
+// scenario registry plus (name, agents, extent, seed), so only data —
+// agent envelopes — ever crosses the wire. Every process derives the same
+// initial population and partitioning, computes its own contiguous block
+// of partitions through the same lockstep tick loop, and the transport's
+// end-of-phase markers substitute for shared-memory barriers. For
+// local-effect scenarios the result is bit-identical to an in-memory run
+// at the same seed and partition count; the loopback tests assert exactly
+// that.
+package distrib
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/cluster"
+	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/scenario"
+	"github.com/bigreddata/brace/internal/spatial"
+	"github.com/bigreddata/brace/internal/transport"
+)
+
+// Options configures a coordinator-side distributed run.
+type Options struct {
+	// Addrs are the worker daemons' listen addresses; worker process i is
+	// Addrs[i] and owns partition block PartsOf(i, Partitions, len(Addrs)).
+	Addrs []string
+	// Scenario is the registry name every process rebuilds locally.
+	Scenario string
+	// Agents, Extent, Seed size the scenario exactly as scenario.Config.
+	Agents int
+	Extent float64
+	Seed   uint64
+	// Partitions is the total mapreduce worker count (≥ len(Addrs)).
+	Partitions int
+	// Ticks to simulate.
+	Ticks int
+	// EpochTicks is the master interaction interval (0 = engine default).
+	EpochTicks int
+	// Index selects the spatial index: kd (default when empty), scan, grid.
+	Index string
+	// Sequential makes each worker process tick its partitions one at a
+	// time (debugging/determinism).
+	Sequential bool
+	// DialTimeout bounds dialing + handshaking each worker (default 10s).
+	DialTimeout time.Duration
+}
+
+// Result is what a distributed run yields on the coordinator.
+type Result struct {
+	// Agents is the final live population, ID-sorted, assembled from the
+	// workers' final reports.
+	Agents agent.Population
+	// Ticks is the tick count every worker completed.
+	Ticks uint64
+	// Net sums traffic totals across worker processes (each delivery
+	// metered once, by its sender).
+	Net cluster.NodeMetrics
+	// Procs is the number of worker processes that took part.
+	Procs int
+}
+
+func (o *Options) validate() error {
+	if len(o.Addrs) == 0 {
+		return fmt.Errorf("distrib: no worker addresses")
+	}
+	if o.Partitions < len(o.Addrs) {
+		return fmt.Errorf("distrib: %d partitions cannot cover %d worker processes", o.Partitions, len(o.Addrs))
+	}
+	if o.Ticks < 0 {
+		return fmt.Errorf("distrib: negative tick count")
+	}
+	if _, ok := scenario.Lookup(o.Scenario); !ok {
+		return scenario.ErrUnknown(o.Scenario)
+	}
+	if _, err := spatial.ParseKind(o.Index); err != nil {
+		return fmt.Errorf("distrib: %w", err)
+	}
+	return nil
+}
+
+// hello builds worker proc's handshake.
+func (o *Options) hello(proc int) *transport.Hello {
+	return &transport.Hello{
+		Proto:      transport.ProtoVersion,
+		Proc:       proc,
+		NumProcs:   len(o.Addrs),
+		Partitions: o.Partitions,
+		Scenario:   o.Scenario,
+		Agents:     o.Agents,
+		Extent:     o.Extent,
+		Seed:       o.Seed,
+		Ticks:      o.Ticks,
+		EpochTicks: o.EpochTicks,
+		Index:      o.Index,
+		Sequential: o.Sequential,
+	}
+}
+
+// assemble turns the workers' final reports into a Result.
+func assemble(finals []*transport.FinalReport) (*Result, error) {
+	res := &Result{Procs: len(finals)}
+	for i, f := range finals {
+		if i == 0 {
+			res.Ticks = f.Ticks
+		} else if f.Ticks != res.Ticks {
+			return nil, fmt.Errorf("distrib: worker %d stopped at tick %d, worker 0 at %d", i, f.Ticks, res.Ticks)
+		}
+		envs, ok := f.Values.([]*engine.Envelope)
+		if !ok && f.Values != nil {
+			return nil, fmt.Errorf("distrib: worker %d reported %T, want []*engine.Envelope", i, f.Values)
+		}
+		for _, env := range envs {
+			if !env.Replica && !env.A.Dead {
+				res.Agents = append(res.Agents, env.A)
+			}
+		}
+		n := f.Net
+		res.Net.SentMsgs += n.SentMsgs
+		res.Net.SentBytes += n.SentBytes
+		res.Net.RecvMsgs += n.RecvMsgs
+		res.Net.RecvBytes += n.RecvBytes
+		res.Net.LocalMsgs += n.LocalMsgs
+		res.Net.LocalBytes += n.LocalBytes
+	}
+	sort.Sort(res.Agents)
+	return res, nil
+}

@@ -1,0 +1,161 @@
+package distrib
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/scenario"
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+// startWorkers launches n single-session worker daemons on loopback TCP
+// listeners and returns their addresses. Each runs the exact code path of
+// cmd/bracesim-worker (distrib.Serve), just inside this process so the
+// suite stays fast and race-instrumented; the real multi-OS-process run is
+// exercised by cmd/bracesim's distributed test.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lis.Close() })
+		addrs[i] = lis.Addr().String()
+		go Serve(lis, io.Discard, true)
+	}
+	return addrs
+}
+
+// memReference runs the same configuration fully in-process on the
+// in-memory transport.
+func memReference(t *testing.T, name string, agents int, extent float64, seed uint64, parts, ticks int) agent.Population {
+	t.Helper()
+	sp, ok := scenario.Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	m, pop, err := sp.New(scenario.Config{Agents: agents, Seed: seed, Extent: extent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := engine.NewDistributed(m, pop, engine.Options{
+		Workers: parts, Index: spatial.KindKDTree, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+	return eng.Agents()
+}
+
+// TestLoopbackTCPBitIdentical is the tentpole's acceptance oracle: a run
+// across real sockets, with the partitions split over ≥ 2 worker
+// processes, must end in bit-identical state to the in-memory transport
+// at the same seed and partition count for local-effect scenarios.
+func TestLoopbackTCPBitIdentical(t *testing.T) {
+	const (
+		agents = 96
+		extent = 30.0
+		seed   = uint64(5)
+		parts  = 4
+		ticks  = 8
+	)
+	for _, name := range []string{"epidemic", "evacuate", "fish"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want := memReference(t, name, agents, extent, seed, parts, ticks)
+			res, err := Run(Options{
+				Addrs:    startWorkers(t, 2),
+				Scenario: name,
+				Agents:   agents, Extent: extent, Seed: seed,
+				Partitions: parts, Ticks: ticks, Index: "kd",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ticks != ticks || res.Procs != 2 {
+				t.Fatalf("ticks=%d procs=%d", res.Ticks, res.Procs)
+			}
+			if len(res.Agents) != len(want) {
+				t.Fatalf("population sizes differ: tcp %d vs mem %d", len(res.Agents), len(want))
+			}
+			for i := range want {
+				if !want[i].Equal(res.Agents[i]) {
+					t.Fatalf("agent %d differs:\n  mem: %v\n  tcp: %v", want[i].ID, want[i], res.Agents[i])
+				}
+			}
+			if res.Net.SentMsgs == 0 {
+				t.Error("no traffic crossed the wire; the run was not actually distributed")
+			}
+		})
+	}
+}
+
+// Three processes with an uneven partition split must agree too — the
+// block assignment, not just the halves, is semantics-free.
+func TestLoopbackTCPUnevenBlocks(t *testing.T) {
+	want := memReference(t, "epidemic", 90, 30, 11, 5, 6)
+	res, err := Run(Options{
+		Addrs:    startWorkers(t, 3),
+		Scenario: "epidemic",
+		Agents:   90, Extent: 30, Seed: 11,
+		Partitions: 5, Ticks: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Agents) != len(want) {
+		t.Fatalf("population sizes differ: %d vs %d", len(res.Agents), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(res.Agents[i]) {
+			t.Fatalf("agent %d differs", want[i].ID)
+		}
+	}
+}
+
+// A worker that rejects the handshake must fail the coordinator with the
+// worker's reason, not a hang.
+func TestHandshakeRejection(t *testing.T) {
+	_, err := Run(Options{
+		Addrs:      startWorkers(t, 2),
+		Scenario:   "epidemic",
+		Partitions: 1, // cannot cover 2 procs: coordinator-side validation
+		Ticks:      1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "cannot cover") {
+		t.Fatalf("err = %v", err)
+	}
+
+	_, err = Run(Options{
+		Addrs:      []string{"127.0.0.1:1"}, // nothing listens on port 1
+		Scenario:   "epidemic",
+		Partitions: 2,
+		Ticks:      1,
+	})
+	if err == nil {
+		t.Fatal("dialing a dead worker succeeded")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Options{Scenario: "epidemic"}); err == nil {
+		t.Error("no addresses accepted")
+	}
+	if _, err := Run(Options{Addrs: []string{"x"}, Scenario: "no-such", Partitions: 1}); err == nil ||
+		!strings.Contains(err.Error(), "no-such") {
+		t.Errorf("unknown scenario: %v", err)
+	}
+	if _, err := Run(Options{Addrs: []string{"x"}, Scenario: "epidemic", Partitions: 1, Index: "btree"}); err == nil ||
+		!strings.Contains(err.Error(), "btree") {
+		t.Errorf("unknown index: %v", err)
+	}
+}

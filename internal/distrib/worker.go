@@ -1,0 +1,123 @@
+package distrib
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/scenario"
+	"github.com/bigreddata/brace/internal/spatial"
+	"github.com/bigreddata/brace/internal/transport"
+)
+
+// Serve runs the worker daemon's accept loop: one coordinator session at a
+// time, each a complete simulation. With once set it returns after the
+// first session (tests and one-shot jobs); otherwise it serves until the
+// listener closes. Session errors are logged to logw and do not stop the
+// daemon — a failed run must not take the worker down with it.
+func Serve(lis net.Listener, logw io.Writer, once bool) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		err = ServeConn(conn, logw)
+		if once {
+			return err // the caller reports it; logging here would duplicate
+		}
+		if err != nil && logw != nil {
+			fmt.Fprintf(logw, "bracesim-worker: session: %v\n", err)
+		}
+	}
+}
+
+// ServeConn runs one coordinator session: handshake, rebuild the scenario
+// locally, tick this process's partition block over the TCP transport, and
+// report the final owned envelopes.
+func ServeConn(conn net.Conn, logw io.Writer) error {
+	fc := transport.NewConn(conn)
+	defer fc.Close()
+
+	f, err := fc.Recv()
+	if err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	if f.Kind != transport.FrameHello || f.Hello == nil {
+		fc.Send(&transport.Frame{Kind: transport.FrameAck, Err: "expected hello"})
+		return fmt.Errorf("handshake: unexpected frame kind %d", f.Kind)
+	}
+	h := f.Hello
+
+	reject := func(err error) error {
+		fc.Send(&transport.Frame{Kind: transport.FrameAck, Err: err.Error()})
+		return fmt.Errorf("rejected run: %w", err)
+	}
+	sp, kind, err := checkHello(h)
+	if err != nil {
+		return reject(err)
+	}
+	m, pop, err := sp.New(scenario.Config{Agents: h.Agents, Seed: h.Seed, Extent: h.Extent})
+	if err != nil {
+		return reject(err)
+	}
+	if err := fc.Send(&transport.Frame{Kind: transport.FrameAck}); err != nil {
+		return err
+	}
+	if logw != nil {
+		fmt.Fprintf(logw, "bracesim-worker: proc %d/%d: %s, %d agents, partitions %v, %d ticks\n",
+			h.Proc, h.NumProcs, h.Scenario, len(pop), transport.PartsOf(h.Proc, h.Partitions, h.NumProcs), h.Ticks)
+	}
+
+	// The transport must exist before the engine: peers may start sending
+	// as soon as their own handshakes complete.
+	tr := transport.NewTCP(fc, h.Proc, h.NumProcs, h.Partitions)
+	eng, err := engine.NewDistributed(m, pop, engine.Options{
+		Workers:    h.Partitions,
+		Index:      kind,
+		Seed:       h.Seed,
+		EpochTicks: h.EpochTicks,
+		Sequential: h.Sequential,
+		Transport:  tr,
+		LocalParts: transport.PartsOf(h.Proc, h.Partitions, h.NumProcs),
+	})
+	if err == nil {
+		err = eng.RunTicks(h.Ticks)
+	}
+	if err != nil {
+		fc.Send(&transport.Frame{Kind: transport.FrameError, Src: h.Proc, Err: err.Error()})
+		return err
+	}
+	return fc.Send(&transport.Frame{Kind: transport.FrameFinal, Src: h.Proc, Final: &transport.FinalReport{
+		Proc:   h.Proc,
+		Ticks:  eng.Tick(),
+		Values: eng.Runtime().AllValues(),
+		Net:    tr.Metrics().Totals(),
+	}})
+}
+
+// checkHello validates a coordinator's handshake against this binary.
+func checkHello(h *transport.Hello) (scenario.Spec, spatial.Kind, error) {
+	var none scenario.Spec
+	if h.Proto != transport.ProtoVersion {
+		return none, 0, fmt.Errorf("protocol %d, this worker speaks %d", h.Proto, transport.ProtoVersion)
+	}
+	if h.NumProcs < 1 || h.Proc < 0 || h.Proc >= h.NumProcs {
+		return none, 0, fmt.Errorf("bad process index %d of %d", h.Proc, h.NumProcs)
+	}
+	if h.Partitions < h.NumProcs {
+		return none, 0, fmt.Errorf("%d partitions cannot cover %d processes", h.Partitions, h.NumProcs)
+	}
+	if h.Ticks < 0 {
+		return none, 0, fmt.Errorf("negative tick count")
+	}
+	sp, ok := scenario.Lookup(h.Scenario)
+	if !ok {
+		return none, 0, scenario.ErrUnknown(h.Scenario)
+	}
+	kind, err := spatial.ParseKind(h.Index)
+	if err != nil {
+		return none, 0, err
+	}
+	return sp, kind, nil
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/bigreddata/brace/internal/mapreduce"
 	"github.com/bigreddata/brace/internal/partition"
 	"github.com/bigreddata/brace/internal/spatial"
+	"github.com/bigreddata/brace/internal/transport"
 )
 
 // Options configures a Distributed engine.
@@ -39,6 +40,16 @@ type Options struct {
 	CostModel *cluster.CostModel
 	// Sequential runs worker tasks one at a time (debugging/determinism).
 	Sequential bool
+	// Transport overrides the message layer (default: in-memory). A
+	// multi-process run passes the TCP transport wired to its
+	// coordinator; its node count must equal Workers.
+	Transport transport.Transport
+	// LocalParts restricts this engine to computing the given partitions
+	// (nil = all). Set by the distributed driver: every worker process
+	// builds the same model and initial population, then loads and ticks
+	// only its own partition block. Incompatible with LoadBalance,
+	// CostModel and Failures, which need a global view.
+	LocalParts []int
 	// InitialPartition overrides the automatic quantile strip
 	// partitioning with any partitioning function (e.g. partition.KD2D
 	// for 2-D median splits). Load balancing applies only when the
@@ -102,6 +113,19 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 	if opts.Balancer == (partition.Balancer{}) {
 		opts.Balancer = partition.DefaultBalancer()
 	}
+	if opts.LocalParts != nil {
+		// A partial engine sees only its own partitions; features that
+		// need the whole cluster's state live on the coordinator side or
+		// are unsupported in multi-process runs.
+		switch {
+		case opts.LoadBalance:
+			return nil, fmt.Errorf("engine: LoadBalance needs a global view; unsupported with LocalParts")
+		case opts.CostModel != nil:
+			return nil, fmt.Errorf("engine: CostModel needs a global view; unsupported with LocalParts")
+		case opts.Failures != nil && !opts.Failures.Empty():
+			return nil, fmt.Errorf("engine: failure injection is unsupported with LocalParts")
+		}
+	}
 	s := m.Schema()
 	e := &Distributed{
 		model:    m,
@@ -154,6 +178,8 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 	}
 	cfg := mapreduce.Config{
 		Workers:               opts.Workers,
+		Transport:             opts.Transport,
+		LocalParts:            opts.LocalParts,
 		EpochTicks:            opts.EpochTicks,
 		CheckpointEveryEpochs: opts.CheckpointEveryEpochs,
 		Failures:              opts.Failures,
@@ -181,12 +207,24 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 	}
 	e.rt = mapreduce.New(job, cfg)
 
-	// Place initial owned copies.
+	// Place initial owned copies. With LocalParts, every process derives
+	// the identical partitioning from the identical full population, then
+	// loads only the agents it owns — the union across processes is
+	// exactly the single-process load.
+	localPart := make([]bool, opts.Workers)
+	for i := range localPart {
+		localPart[i] = opts.LocalParts == nil
+	}
+	for _, p := range opts.LocalParts {
+		localPart[p] = true
+	}
 	sorted := append(agent.Population(nil), pop...)
 	sort.Sort(sorted)
 	for _, a := range sorted {
 		p := e.part.Locate(a.Pos(s))
-		e.rt.Load(p, []*Envelope{{A: a, SrcPart: int32(p)}})
+		if localPart[p] {
+			e.rt.Load(p, []*Envelope{{A: a, SrcPart: int32(p)}})
+		}
 	}
 	return e, nil
 }

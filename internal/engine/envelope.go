@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"encoding/gob"
-
 	"github.com/bigreddata/brace/internal/agent"
 )
 
@@ -22,9 +20,10 @@ type Envelope struct {
 	SrcPart int32
 }
 
-func init() {
-	gob.Register(&Envelope{})
-}
+// Envelopes travel inside interface-typed fields (cluster.Message.Payload
+// on the TCP transport, FinalReport.Values, disk checkpoints), which
+// requires gob registration; internal/scenario performs it, so every
+// registered workload is wire-ready by construction.
 
 func cloneEnvelope(e *Envelope) *Envelope {
 	return &Envelope{A: e.A.Clone(), Replica: e.Replica, SrcPart: e.SrcPart}

@@ -18,7 +18,10 @@
 // instantiates it with agent envelopes.
 package mapreduce
 
-import "github.com/bigreddata/brace/internal/cluster"
+import (
+	"github.com/bigreddata/brace/internal/cluster"
+	"github.com/bigreddata/brace/internal/transport"
+)
 
 // Ctx carries per-invocation context into user functions.
 type Ctx struct {
@@ -72,6 +75,20 @@ type Config struct {
 	// Workers is the number of worker nodes (= partitions). Must be ≥ 1.
 	Workers int
 
+	// Transport overrides the message layer (default: a fresh in-memory
+	// transport). A multi-process run passes the TCP transport here; its
+	// node count must equal Workers.
+	Transport transport.Transport
+
+	// LocalParts restricts this runtime to computing the given partitions
+	// (nil = all of them). Set by the distributed driver so each worker
+	// process runs the same lockstep loop over its own partition block;
+	// the transport's phase protocol delivers everything else. With
+	// LocalParts set, Values/AllValues/OwnedCounts cover only the local
+	// block, and failure injection and load balancing are unsupported
+	// (the callers enforce this).
+	LocalParts []int
+
 	// EpochTicks is the number of ticks between master/worker
 	// interactions (checkpoints, failure detection, rebalancing). The
 	// paper amortizes coordination overhead across an epoch. Default 10.
@@ -115,7 +132,7 @@ type EpochView interface {
 	// Tick returns the current tick.
 	Tick() uint64
 	// Transport exposes traffic metrics.
-	Transport() *cluster.Transport
+	Transport() transport.Transport
 }
 
 // phase tags for transport messages.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/bigreddata/brace/internal/cluster"
+	"github.com/bigreddata/brace/internal/transport"
 )
 
 // Runtime executes an iterated Job across simulated worker nodes.
@@ -12,7 +13,8 @@ type Runtime[V any] struct {
 	job Job[V]
 	cfg Config
 
-	tr     *cluster.Transport
+	tr     transport.Transport
+	local  []int // partitions this process computes (all of them by default)
 	values [][]V // per-worker owned values (worker main memory)
 	tick   uint64
 
@@ -32,10 +34,30 @@ func New[V any](job Job[V], cfg Config) *Runtime[V] {
 	if cfg.EpochTicks <= 0 {
 		cfg.EpochTicks = 10
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.NewMem(cfg.Workers)
+	}
+	if tr.N() != cfg.Workers {
+		panic(fmt.Sprintf("mapreduce: transport has %d nodes, config wants %d workers", tr.N(), cfg.Workers))
+	}
+	local := cfg.LocalParts
+	if local == nil {
+		local = make([]int, cfg.Workers)
+		for i := range local {
+			local[i] = i
+		}
+	}
+	for _, w := range local {
+		if w < 0 || w >= cfg.Workers {
+			panic(fmt.Sprintf("mapreduce: local partition %d out of range [0, %d)", w, cfg.Workers))
+		}
+	}
 	return &Runtime[V]{
 		job:    job,
 		cfg:    cfg,
-		tr:     cluster.NewTransport(cfg.Workers),
+		tr:     tr,
+		local:  local,
 		values: make([][]V, cfg.Workers),
 	}
 }
@@ -64,8 +86,8 @@ func (r *Runtime[V]) Tick() uint64 { return r.tick }
 // Workers returns the worker count.
 func (r *Runtime[V]) Workers() int { return r.cfg.Workers }
 
-// Transport exposes the simulated network (metrics, failure state).
-func (r *Runtime[V]) Transport() *cluster.Transport { return r.tr }
+// Transport exposes the message layer (metrics, failure state).
+func (r *Runtime[V]) Transport() transport.Transport { return r.tr }
 
 // Recoveries returns how many checkpoint rollbacks have occurred.
 func (r *Runtime[V]) Recoveries() int { return r.recovered }
@@ -180,9 +202,11 @@ func (r *Runtime[V]) recover() error {
 }
 
 // runTick executes one map → reduce1 (→ reduce2) superstep. Each compute
-// phase is followed by a drain phase under its own barrier: all workers
-// must finish sending before any worker collects, otherwise a fast worker's
-// next-phase output could land in a slow worker's not-yet-drained inbox.
+// phase is followed by a transport EndPhase and then a drain phase under
+// its own barrier: all workers (local goroutines and, over TCP, remote
+// processes) must finish sending before any worker collects, otherwise a
+// fast worker's next-phase output could land in a slow worker's
+// not-yet-drained inbox.
 func (r *Runtime[V]) runTick() error {
 	stage := make([][]V, r.cfg.Workers)
 
@@ -199,11 +223,13 @@ func (r *Runtime[V]) runTick() error {
 		r.values[w] = nil // ownership moves through the dataflow
 		r.flush(w, tagMapOut, out)
 	})
+	if err := r.tr.EndPhase(); err != nil {
+		return err
+	}
 	r.drainAll(stage, tagMapOut)
 	r.barrier()
 
 	// Phase 2: reduce1 (query phase / local effects).
-	finalTag := tagReduce1Out
 	r.eachWorker(func(w int) {
 		if r.tr.Failed(cluster.NodeID(w)) {
 			return
@@ -213,12 +239,14 @@ func (r *Runtime[V]) runTick() error {
 		r.job.Reduce1(ctx, stage[w], out.emit)
 		r.flush(w, tagReduce1Out, out)
 	})
+	if err := r.tr.EndPhase(); err != nil {
+		return err
+	}
 	r.drainAll(stage, tagReduce1Out)
 	r.barrier()
 
 	// Phase 3: optional reduce2 (global effect aggregation).
 	if r.job.Reduce2 != nil {
-		finalTag = tagReduce2Out
 		r.eachWorker(func(w int) {
 			if r.tr.Failed(cluster.NodeID(w)) {
 				return
@@ -228,10 +256,12 @@ func (r *Runtime[V]) runTick() error {
 			r.job.Reduce2(ctx, stage[w], out.emit)
 			r.flush(w, tagReduce2Out, out)
 		})
+		if err := r.tr.EndPhase(); err != nil {
+			return err
+		}
 		r.drainAll(stage, tagReduce2Out)
 		r.barrier()
 	}
-	_ = finalTag
 
 	// The final phase's drained values become each worker's values for the
 	// next tick ("the final reducer ... sends them to the map task on the
@@ -311,16 +341,19 @@ func (r *Runtime[V]) collect(w int, tag int) []V {
 	return out
 }
 
-// eachWorker runs fn for every worker, concurrently unless Sequential.
+// eachWorker runs fn for every locally computed partition, concurrently
+// unless Sequential. In a single-process runtime that is every partition;
+// in a multi-process run each process covers only its LocalParts block and
+// the transport's phase protocol keeps the processes in lockstep.
 func (r *Runtime[V]) eachWorker(fn func(w int)) {
 	if r.cfg.Sequential {
-		for w := 0; w < r.cfg.Workers; w++ {
+		for _, w := range r.local {
 			fn(w)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	for w := 0; w < r.cfg.Workers; w++ {
+	for _, w := range r.local {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()

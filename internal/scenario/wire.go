@@ -1,0 +1,20 @@
+package scenario
+
+import (
+	"encoding/gob"
+
+	"github.com/bigreddata/brace/internal/engine"
+)
+
+// Wire registration lives with the registry so that *every* registered
+// workload is wire-ready by construction: engine envelopes travel inside
+// interface-typed fields — cluster.Message.Payload holds a []*Envelope
+// batch on the TCP transport, transport.FinalReport.Values carries a
+// worker's final owned envelopes, and disk checkpoints gob worker
+// memories — and gob can only decode interface values whose concrete type
+// was registered in the process. Any binary that links the registry
+// (coordinator, worker daemon, tests) gets the registrations for free.
+func init() {
+	gob.Register(&engine.Envelope{})
+	gob.Register([]*engine.Envelope{})
+}

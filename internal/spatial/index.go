@@ -15,7 +15,11 @@
 // favor fast bulk construction and cheap queries over dynamic updates.
 package spatial
 
-import "github.com/bigreddata/brace/internal/geom"
+import (
+	"fmt"
+
+	"github.com/bigreddata/brace/internal/geom"
+)
 
 // Point is an indexed element: a location plus the caller's identifier
 // (BRACE stores the index of the agent in the reducer's replica slice).
@@ -82,6 +86,23 @@ func (k Kind) String() string {
 		return "grid"
 	default:
 		return "unknown"
+	}
+}
+
+// ParseKind resolves a CLI/wire index name ("" defaults to the KD-tree,
+// the paper's choice). It is the single source of truth for the index
+// vocabulary: bracesim flags, the distributed handshake and the public
+// API all validate through it.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "", "kd":
+		return KindKDTree, nil
+	case "scan":
+		return KindScan, nil
+	case "grid":
+		return KindGrid, nil
+	default:
+		return 0, fmt.Errorf("unknown index %q (kd, scan, grid)", name)
 	}
 }
 

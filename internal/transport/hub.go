@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Hub is the coordinator's relay: a star topology with the coordinator at
+// the center and one framed connection per worker process. Each inbound
+// connection is read by its own goroutine that forwards frames
+// synchronously, so per-source frame order — which the TCP transport's
+// marker protocol depends on — is preserved end to end.
+type Hub struct {
+	conns []*Conn
+	parts int
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+// NewHub builds a relay over already-handshaken worker connections; conns[i]
+// must be worker process i. parts is the total partition count, needed to
+// route Data frames to the process owning the destination partition.
+func NewHub(conns []*Conn, parts int) *Hub {
+	return &Hub{conns: conns, parts: parts}
+}
+
+// Run relays Data and EndPhase frames between workers until every worker
+// has sent its FinalReport (returned indexed by process), or until any
+// connection errors — in which case the error is broadcast to the
+// remaining workers so none is left blocked at a phase barrier.
+func (h *Hub) Run() ([]*FinalReport, error) {
+	finals := make([]*FinalReport, len(h.conns))
+	var wg sync.WaitGroup
+	for i, c := range h.conns {
+		wg.Add(1)
+		go func(src int, c *Conn) {
+			defer wg.Done()
+			if err := h.relay(src, c, finals); err != nil {
+				h.abort(src, err)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	h.mu.Lock()
+	err := h.firstErr
+	h.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	for i, f := range finals {
+		if f == nil {
+			return nil, fmt.Errorf("transport: worker %d closed without a final report", i)
+		}
+	}
+	return finals, nil
+}
+
+// relay forwards one worker's frames until its FinalReport arrives.
+func (h *Hub) relay(src int, c *Conn, finals []*FinalReport) error {
+	for {
+		f, err := c.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("transport: worker %d disconnected mid-run", src)
+			}
+			return fmt.Errorf("transport: worker %d: %w", src, err)
+		}
+		switch f.Kind {
+		case FrameData:
+			if f.Msg.To < 0 || int(f.Msg.To) >= h.parts {
+				return fmt.Errorf("transport: worker %d sent to unroutable partition %d", src, f.Msg.To)
+			}
+			dst := OwnerProc(int(f.Msg.To), h.parts, len(h.conns))
+			if err := h.conns[dst].Send(f); err != nil {
+				return err
+			}
+		case FrameEndPhase:
+			for j, peer := range h.conns {
+				if j == f.Src {
+					continue
+				}
+				if err := peer.Send(f); err != nil {
+					return err
+				}
+			}
+		case FrameFinal:
+			if f.Final == nil || f.Final.Proc != src {
+				return fmt.Errorf("transport: worker %d sent a malformed final report", src)
+			}
+			finals[src] = f.Final
+			return nil
+		case FrameError:
+			return fmt.Errorf("transport: worker %d failed: %s", src, f.Err)
+		default:
+			return fmt.Errorf("transport: worker %d sent unexpected frame kind %d", src, f.Kind)
+		}
+	}
+}
+
+// abort records the first error, broadcasts it so no worker stays blocked
+// at a phase barrier, then closes every connection so the other relay
+// goroutines unblock too (their workers read the error frame before the
+// FIN — writes precede the close on each connection).
+func (h *Hub) abort(src int, err error) {
+	h.mu.Lock()
+	first := h.firstErr == nil
+	if first {
+		h.firstErr = err
+	}
+	h.mu.Unlock()
+	if !first {
+		return
+	}
+	f := &Frame{Kind: FrameError, Src: src, Err: err.Error()}
+	for j, peer := range h.conns {
+		if j == src {
+			continue
+		}
+		_ = peer.Send(f) // best effort; the peer may already be gone
+	}
+	for _, peer := range h.conns {
+		_ = peer.Close()
+	}
+}

@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bigreddata/brace/internal/cluster"
+)
+
+// Mem is the in-process Transport: worker "nodes" are goroutines and every
+// inbox lives in main memory. Payloads stay in memory (this is a simulated
+// network); Message.Bytes carries the size the payload would occupy on the
+// wire, supplied by the sender, so the cost model can charge transfer time
+// without serializing.
+type Mem struct {
+	mu      sync.Mutex
+	inbox   [][]cluster.Message
+	metrics *cluster.Metrics
+	failed  []bool
+}
+
+var _ Transport = (*Mem)(nil)
+
+// NewMem creates an in-memory transport connecting n nodes.
+func NewMem(n int) *Mem {
+	return &Mem{
+		inbox:   make([][]cluster.Message, n),
+		metrics: cluster.NewMetrics(n),
+		failed:  make([]bool, n),
+	}
+}
+
+// N returns the number of nodes.
+func (t *Mem) N() int { return len(t.inbox) }
+
+// Send enqueues a message for the destination node. Sends to or from a
+// failed node are dropped, mimicking a crashed worker; the runtime notices
+// the failure at the next barrier.
+func (t *Mem) Send(m cluster.Message) error {
+	if m.To < 0 || int(m.To) >= len(t.inbox) {
+		return fmt.Errorf("transport: send to unknown node %d", m.To)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.failed[m.From] || t.failed[m.To] {
+		return nil // silently lost, like a dead TCP peer
+	}
+	t.inbox[m.To] = append(t.inbox[m.To], m)
+	t.metrics.RecordSend(m.From, m.To, m.Bytes, m.From == m.To)
+	return nil
+}
+
+// Drain removes and returns all messages queued for node n.
+func (t *Mem) Drain(n cluster.NodeID) []cluster.Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	msgs := t.inbox[n]
+	t.inbox[n] = nil
+	return msgs
+}
+
+// Pending returns the number of queued messages for node n.
+func (t *Mem) Pending(n cluster.NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.inbox[n])
+}
+
+// Fail marks a node as crashed and discards its queued messages.
+func (t *Mem) Fail(n cluster.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failed[n] = true
+	t.inbox[n] = nil
+}
+
+// Recover clears a node's failed status.
+func (t *Mem) Recover(n cluster.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failed[n] = false
+}
+
+// Failed reports whether node n is currently marked crashed.
+func (t *Mem) Failed(n cluster.NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed[n]
+}
+
+// Metrics returns the transport's traffic counters.
+func (t *Mem) Metrics() *cluster.Metrics { return t.metrics }
+
+// EndPhase is a no-op: in-memory sends are visible immediately.
+func (t *Mem) EndPhase() error { return nil }
+
+// Close is a no-op.
+func (t *Mem) Close() error { return nil }

@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/bigreddata/brace/internal/cluster"
+)
+
+// TCP is the Transport a worker process runs the mapreduce runtime on in a
+// distributed (multi-process) BRACE cluster. The process computes the
+// partition block PartsOf(proc, parts, procs); a send between two of its
+// own partitions stays in memory (collocation), a send to any other
+// partition travels as a Data frame through the coordinator to the owning
+// process.
+//
+// Phase completeness uses end-of-phase markers instead of shared-memory
+// barriers: EndPhase sends a marker after this process's sends and blocks
+// until the markers of all procs−1 peers arrive. The coordinator relays
+// frames preserving per-source order and TCP delivers in order, so once a
+// peer's marker is here, all of its Data frames for the phase are too.
+type TCP struct {
+	proc, procs int
+	parts       int
+	fc          *Conn
+	metrics     *cluster.Metrics
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   [][]phasedMsg
+	failed  []bool
+	phase   uint64
+	markers map[uint64]int // phase → peer markers received
+	readErr error          // terminal reader state; sticky
+}
+
+// phasedMsg tags an inbox entry with the phase it was sent in. A fast peer
+// may race ahead: once its EndPhase(k) returns (it has this process's
+// marker k) it starts sending phase-k+1 data, which can arrive before this
+// process has drained phase k. Phase tags keep such early arrivals queued
+// until their own drain.
+type phasedMsg struct {
+	phase uint64
+	m     cluster.Message
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP wraps an already-handshaken coordinator connection as the
+// transport for worker process proc of procs, computing parts partitions
+// total across all processes. It starts the connection's reader goroutine,
+// so the caller must not Recv on fc afterwards.
+func NewTCP(fc *Conn, proc, procs, parts int) *TCP {
+	t := &TCP{
+		proc:    proc,
+		procs:   procs,
+		parts:   parts,
+		fc:      fc,
+		metrics: cluster.NewMetrics(parts),
+		inbox:   make([][]phasedMsg, parts),
+		failed:  make([]bool, parts),
+		markers: make(map[uint64]int),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	go t.readLoop()
+	return t
+}
+
+func (t *TCP) readLoop() {
+	for {
+		f, err := t.fc.Recv()
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("transport: coordinator closed connection")
+			}
+			t.fail(err)
+			return
+		}
+		switch f.Kind {
+		case FrameData:
+			t.mu.Lock()
+			m := f.Msg
+			if m.To >= 0 && int(m.To) < len(t.inbox) && !t.failed[m.To] {
+				t.inbox[m.To] = append(t.inbox[m.To], phasedMsg{phase: f.Phase, m: m})
+			}
+			t.mu.Unlock()
+		case FrameEndPhase:
+			t.mu.Lock()
+			t.markers[f.Phase]++
+			t.cond.Broadcast()
+			t.mu.Unlock()
+		case FrameError:
+			t.fail(fmt.Errorf("transport: peer error: %s", f.Err))
+			return
+		default:
+			t.fail(fmt.Errorf("transport: unexpected frame kind %d mid-run", f.Kind))
+			return
+		}
+	}
+}
+
+func (t *TCP) fail(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.readErr == nil {
+		t.readErr = err
+	}
+	t.cond.Broadcast()
+}
+
+// N returns the total partition count.
+func (t *TCP) N() int { return t.parts }
+
+// Proc returns this process's index.
+func (t *TCP) Proc() int { return t.proc }
+
+// Send enqueues locally when the destination partition is owned by this
+// process and ships a Data frame otherwise.
+func (t *TCP) Send(m cluster.Message) error {
+	if m.To < 0 || int(m.To) >= t.parts {
+		return fmt.Errorf("transport: send to unknown node %d", m.To)
+	}
+	local := OwnerProc(int(m.To), t.parts, t.procs) == t.proc
+	t.mu.Lock()
+	if err := t.readErr; err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	if t.failed[m.From] || t.failed[m.To] {
+		t.mu.Unlock()
+		return nil
+	}
+	// Sends happen inside the phase that the *next* EndPhase ends.
+	phase := t.phase + 1
+	// Collocation: traffic between partitions of the same process never
+	// touches the wire and is metered as local.
+	t.metrics.RecordSend(m.From, m.To, m.Bytes, local)
+	if local {
+		t.inbox[m.To] = append(t.inbox[m.To], phasedMsg{phase: phase, m: m})
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Unlock()
+	return t.fc.Send(&Frame{Kind: FrameData, Src: t.proc, Phase: phase, Msg: m})
+}
+
+// Drain removes and returns the messages queued for partition n that
+// belong to the just-ended phase (or earlier). Arrivals a racing-ahead
+// peer already sent for the next phase stay queued for their own drain.
+func (t *TCP) Drain(n cluster.NodeID) []cluster.Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []cluster.Message
+	var keep []phasedMsg
+	for _, pm := range t.inbox[n] {
+		if pm.phase <= t.phase {
+			out = append(out, pm.m)
+		} else {
+			keep = append(keep, pm)
+		}
+	}
+	t.inbox[n] = keep
+	return out
+}
+
+// Pending returns the number of queued messages for partition n that a
+// Drain right now would return — early arrivals for a not-yet-ended phase
+// are excluded, keeping Pending and Drain consistent.
+func (t *TCP) Pending(n cluster.NodeID) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	count := 0
+	for _, pm := range t.inbox[n] {
+		if pm.phase <= t.phase {
+			count++
+		}
+	}
+	return count
+}
+
+// Fail marks a partition crashed in this process's local bookkeeping.
+// Multi-process failure injection is not supported: distributed runs
+// reject FailurePlans, so this only serves the Transport contract.
+func (t *TCP) Fail(n cluster.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failed[n] = true
+	t.inbox[n] = nil
+}
+
+// Recover clears a partition's local failed mark.
+func (t *TCP) Recover(n cluster.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.failed[n] = false
+}
+
+// Failed reports the local failed mark for partition n.
+func (t *TCP) Failed(n cluster.NodeID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failed[n]
+}
+
+// Metrics returns this process's traffic counters.
+func (t *TCP) Metrics() *cluster.Metrics { return t.metrics }
+
+// EndPhase sends this process's end-of-phase marker and blocks until the
+// matching marker of every peer process has arrived, at which point all
+// Data frames of the phase are guaranteed to be in the local inboxes.
+func (t *TCP) EndPhase() error {
+	t.mu.Lock()
+	t.phase++
+	phase := t.phase
+	t.mu.Unlock()
+	if t.procs > 1 {
+		if err := t.fc.Send(&Frame{Kind: FrameEndPhase, Src: t.proc, Phase: phase}); err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.markers[phase] < t.procs-1 && t.readErr == nil {
+		t.cond.Wait()
+	}
+	if t.readErr != nil {
+		return t.readErr
+	}
+	delete(t.markers, phase)
+	return nil
+}
+
+// Close tears down the coordinator connection; the reader goroutine exits
+// on the resulting read error.
+func (t *TCP) Close() error { return t.fc.Close() }

@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bigreddata/brace/internal/cluster"
+)
+
+func init() {
+	// Test payloads travel inside cluster.Message.Payload (an interface
+	// field), so their concrete type must be gob-registered — production
+	// runs register engine envelopes via internal/scenario the same way.
+	gob.Register([]float64{})
+}
+
+type hubResult struct {
+	finals []*FinalReport
+	err    error
+}
+
+// miniCluster wires procs worker-side TCP transports to a running Hub over
+// real loopback sockets and returns the transports, the worker-side framed
+// conns (for final reports), and the hub's result channel.
+func miniCluster(t testing.TB, procs, parts int) ([]*TCP, []*Conn, chan hubResult) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+
+	coord := make([]*Conn, procs)
+	workers := make([]*Conn, procs)
+	for i := 0; i < procs; i++ {
+		d, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := lis.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i], coord[i] = NewConn(d), NewConn(a)
+	}
+	trs := make([]*TCP, procs)
+	for i := range trs {
+		trs[i] = NewTCP(workers[i], i, procs, parts)
+		tr := trs[i]
+		t.Cleanup(func() { tr.Close() })
+	}
+	res := make(chan hubResult, 1)
+	go func() {
+		finals, err := NewHub(coord, parts).Run()
+		res <- hubResult{finals, err}
+	}()
+	return trs, workers, res
+}
+
+func TestTCPRoutesAndMeters(t *testing.T) {
+	trs, conns, res := miniCluster(t, 2, 4) // proc0 owns {0,1}, proc1 owns {2,3}
+
+	pl := []float64{1, 2, 3}
+	if err := trs[0].Send(cluster.Message{From: 0, To: 1, Tag: 5, Payload: pl, Bytes: 24}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].Send(cluster.Message{From: 1, To: 2, Tag: 5, Payload: pl, Bytes: 24}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[1].Send(cluster.Message{From: 3, To: 0, Tag: 5, Payload: pl, Bytes: 24}); err != nil {
+		t.Fatal(err)
+	}
+
+	// EndPhase is a rendezvous: both processes must enter it.
+	var wg sync.WaitGroup
+	for _, tr := range trs {
+		wg.Add(1)
+		go func(tr *TCP) {
+			defer wg.Done()
+			if err := tr.EndPhase(); err != nil {
+				t.Error(err)
+			}
+		}(tr)
+	}
+	wg.Wait()
+
+	if msgs := trs[0].Drain(1); len(msgs) != 1 || msgs[0].Tag != 5 {
+		t.Fatalf("proc0 part1 (local) = %v", msgs)
+	}
+	got := trs[0].Drain(0)
+	if len(got) != 1 {
+		t.Fatalf("proc0 part0 (remote) = %v", got)
+	}
+	if p, ok := got[0].Payload.([]float64); !ok || len(p) != 3 || p[2] != 3 {
+		t.Fatalf("payload did not survive the wire: %#v", got[0].Payload)
+	}
+	if msgs := trs[1].Drain(2); len(msgs) != 1 {
+		t.Fatalf("proc1 part2 (remote) = %v", msgs)
+	}
+
+	// Sender-side metering: local on proc0, one net send each.
+	m0, m1 := trs[0].Metrics().Totals(), trs[1].Metrics().Totals()
+	if m0.LocalMsgs != 1 || m0.SentMsgs != 1 || m1.SentMsgs != 1 {
+		t.Errorf("metering: proc0 %+v proc1 %+v", m0, m1)
+	}
+	if m0.SentBytes+m1.SentBytes != 48 {
+		t.Errorf("net bytes = %d, want 48", m0.SentBytes+m1.SentBytes)
+	}
+
+	// Clean shutdown: both workers report finals, the hub returns them.
+	for i, c := range conns {
+		rep := &FinalReport{Proc: i, Ticks: 1, Net: trs[i].Metrics().Totals()}
+		if err := c.Send(&Frame{Kind: FrameFinal, Src: i, Final: rep}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := <-res
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if len(r.finals) != 2 || r.finals[0].Proc != 0 || r.finals[1].Proc != 1 {
+		t.Fatalf("finals = %+v", r.finals)
+	}
+	net := r.finals[0].Net.SentBytes + r.finals[1].Net.SentBytes
+	if net != 48 {
+		t.Errorf("aggregated net bytes = %d, want 48", net)
+	}
+}
+
+// A worker failure must not leave its peers blocked at a phase barrier:
+// the hub broadcasts the error and EndPhase returns it.
+func TestTCPErrorUnblocksPeers(t *testing.T) {
+	trs, conns, res := miniCluster(t, 2, 2)
+
+	done := make(chan error, 1)
+	go func() { done <- trs[1].EndPhase() }()
+
+	if err := conns[0].Send(&Frame{Kind: FrameError, Src: 0, Err: "engine exploded"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		// The peer must unblock with *some* error; whether it sees the
+		// broadcast error frame or the hub's connection teardown first is
+		// a benign race.
+		if err == nil {
+			t.Fatal("EndPhase returned nil after worker failure")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer still blocked at phase barrier after worker failure")
+	}
+	if r := <-res; r.err == nil || !strings.Contains(r.err.Error(), "engine exploded") {
+		t.Fatalf("hub err = %v", r.err)
+	}
+	// Subsequent sends fail fast instead of writing into a dead run.
+	if err := trs[1].Send(cluster.Message{From: 1, To: 0}); err == nil {
+		t.Error("send after peer failure should error")
+	}
+}
+
+// Single-process distributed runs degenerate to local delivery with no
+// peers to wait for.
+func TestTCPSingleProc(t *testing.T) {
+	trs, conns, res := miniCluster(t, 1, 3)
+	if err := trs[0].Send(cluster.Message{From: 0, To: 2, Bytes: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trs[0].EndPhase(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs := trs[0].Drain(2); len(msgs) != 1 {
+		t.Fatalf("drain = %v", msgs)
+	}
+	if m := trs[0].Metrics().Totals(); m.SentMsgs != 0 || m.LocalMsgs != 1 {
+		t.Errorf("single-proc traffic should be all local: %+v", m)
+	}
+	conns[0].Send(&Frame{Kind: FrameFinal, Src: 0, Final: &FinalReport{Proc: 0}})
+	if r := <-res; r.err != nil {
+		t.Fatal(r.err)
+	}
+}

@@ -1,0 +1,80 @@
+// Package transport is the wire layer of the BRACE cluster: it delivers
+// the messages that flow between partitions of the iterated MapReduce
+// dataflow, behind one interface with two implementations.
+//
+//   - Mem keeps every inbox in process memory. It is the simulated-cluster
+//     configuration the paper's scale-up figures are reproduced on, and the
+//     reference semantics for everything else.
+//   - TCP connects real OS processes through a coordinator: messages for
+//     partitions owned by another process travel as length-prefixed
+//     gob-encoded frames over sockets, with an end-of-phase marker protocol
+//     standing in for the in-memory runtime's barriers.
+//
+// The runtime is bulk-synchronous: a phase's sends all complete before any
+// receiver drains its inbox, so the interface exposes phase-oriented
+// Send / EndPhase / Drain rather than streaming channels.
+package transport
+
+import "github.com/bigreddata/brace/internal/cluster"
+
+// Transport delivers messages between the nodes (= partitions) of a BRACE
+// cluster and meters every delivery.
+//
+// Send is safe for concurrent use by many sending nodes; Drain(n) must not
+// race with sends to n — the runtime's phase structure guarantees this:
+// every worker finishes its sends, then EndPhase is called once, then
+// workers drain. Implementations backed by real networks use EndPhase to
+// flush and to wait until all remote sends of the phase have arrived.
+type Transport interface {
+	// N returns the number of nodes.
+	N() int
+	// Send enqueues a message for the destination node. Sends to or from
+	// a failed node are dropped, mimicking a crashed worker.
+	Send(m cluster.Message) error
+	// Drain removes and returns all messages queued for node n, in
+	// arrival order. Arrival order is deliberately *not* part of the
+	// runtime's semantics (the state-effect pattern makes reducers
+	// order-independent); tests shuffle drained batches to enforce that.
+	Drain(n cluster.NodeID) []cluster.Message
+	// Pending returns the number of queued messages for node n without
+	// removing them.
+	Pending(n cluster.NodeID) int
+	// Fail marks a node as crashed: its queued messages are discarded and
+	// all future traffic involving it is dropped until Recover.
+	Fail(n cluster.NodeID)
+	// Recover clears a node's failed status (after the master restores
+	// its state from a checkpoint).
+	Recover(n cluster.NodeID)
+	// Failed reports whether node n is currently marked crashed.
+	Failed(n cluster.NodeID) bool
+	// Metrics returns this process's traffic counters. For multi-process
+	// transports each process meters the messages it sends (so summing
+	// Totals across processes counts each delivery exactly once).
+	Metrics() *cluster.Metrics
+	// EndPhase is the send/drain boundary: called after all of a phase's
+	// sends complete and before any drain. Networked transports flush
+	// outgoing frames and block until every peer process has ended the
+	// same phase, which (with in-order delivery) guarantees complete
+	// inboxes; Mem is a no-op.
+	EndPhase() error
+	// Close releases any resources (connections, goroutines).
+	Close() error
+}
+
+// OwnerProc maps a partition to the worker process computing it when
+// parts partitions are split across procs processes as contiguous blocks.
+// It is the inverse of PartsOf.
+func OwnerProc(part, parts, procs int) int {
+	return ((part+1)*procs - 1) / parts
+}
+
+// PartsOf returns the contiguous block of partitions owned by one worker
+// process: [proc·parts/procs, (proc+1)·parts/procs).
+func PartsOf(proc, parts, procs int) []int {
+	lo, hi := proc*parts/procs, (proc+1)*parts/procs
+	out := make([]int, 0, hi-lo)
+	for p := lo; p < hi; p++ {
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/bigreddata/brace/internal/cluster"
+)
+
+// ProtoVersion guards against mismatched coordinator/worker binaries; the
+// handshake rejects any other value.
+const ProtoVersion = 1
+
+// maxFrame bounds a single frame so a corrupt length prefix cannot make a
+// reader allocate unbounded memory.
+const maxFrame = 1 << 30
+
+// Hello is the handshake the coordinator sends a worker daemon right after
+// dialing it. It carries everything a worker needs to reconstruct its slice
+// of the job locally — the scenario registry makes the *data* the only
+// thing that must cross the wire afterwards.
+type Hello struct {
+	Proto int
+	// Proc is this worker process's index in [0, NumProcs); it owns the
+	// partition block PartsOf(Proc, Partitions, NumProcs).
+	Proc     int
+	NumProcs int
+	// Partitions is the total mapreduce worker (= partition) count.
+	Partitions int
+	// Scenario names a registry entry; Agents/Extent/Seed size it exactly
+	// as on the coordinator, so every process derives the same initial
+	// population and partitioning.
+	Scenario   string
+	Agents     int
+	Extent     float64
+	Seed       uint64
+	Ticks      int
+	EpochTicks int
+	Index      string // kd | scan | grid
+	Sequential bool
+}
+
+// FinalReport is a worker's end-of-run message: its owned values, how far
+// it ran, and its traffic totals (senders meter, so summing across
+// processes counts each delivery once).
+type FinalReport struct {
+	Proc   int
+	Ticks  uint64
+	Values any // []*engine.Envelope for scenario runs (gob-registered by internal/scenario)
+	Net    cluster.NodeMetrics
+}
+
+// FrameKind discriminates wire frames.
+type FrameKind uint8
+
+// Frame kinds. Hello/Ack only appear during the handshake; Data, EndPhase,
+// Final and Error make up the run.
+const (
+	FrameHello FrameKind = iota + 1
+	FrameAck
+	FrameData
+	FrameEndPhase
+	FrameFinal
+	FrameError
+)
+
+// Frame is the unit of the wire protocol: one gob-encoded, length-prefixed
+// record. Only the fields relevant to Kind are populated.
+type Frame struct {
+	Kind  FrameKind
+	Src   int             // sending worker process
+	Phase uint64          // EndPhase sequence number
+	Msg   cluster.Message // Data payload
+	Hello *Hello          // FrameHello
+	Final *FinalReport    // FrameFinal
+	Err   string          // FrameAck (empty = ok) and FrameError
+}
+
+// Conn frames a network connection: each Frame travels as a 4-byte
+// big-endian length followed by its own independent gob stream, so frames
+// can be produced by multiple writers (Send holds a lock) and relayed
+// without shared encoder state.
+type Conn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	mu sync.Mutex // serializes writes
+}
+
+// NewConn wraps a network connection for framed use.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReader(c)}
+}
+
+// Send writes one frame. It is safe for concurrent use. Header and body
+// go out in a single Write: with TCP_NODELAY (Go's default) two writes
+// would emit two segments per frame on the latency-critical relay path.
+func (fc *Conn) Send(f *Frame) error {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, 4)) // length prefix, filled in below
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("transport: encode frame: %w", err)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	if _, err := fc.c.Write(b); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	return nil
+}
+
+// Recv reads one frame. Only one goroutine may call Recv at a time.
+func (fc *Conn) Recv() (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fc.r, hdr[:]); err != nil {
+		return nil, err // io.EOF on clean close
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(fc.r, body); err != nil {
+		return nil, fmt.Errorf("transport: short frame: %w", err)
+	}
+	var f Frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return &f, nil
+}
+
+// Close closes the underlying connection.
+func (fc *Conn) Close() error { return fc.c.Close() }
+
+// RemoteAddr exposes the peer address for diagnostics.
+func (fc *Conn) RemoteAddr() net.Addr { return fc.c.RemoteAddr() }
