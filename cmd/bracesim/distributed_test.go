@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"fmt"
+
 	"net"
 	"os"
 	"os/exec"
@@ -35,14 +36,26 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-// spawnWorkerProc starts one real worker OS process and returns its
-// address once the daemon reports its bound port.
-func spawnWorkerProc(t *testing.T) string {
+// workerProc is one re-exec'd worker OS process.
+type workerProc struct {
+	addr string
+	// started closes when the daemon's session banner appears on stderr —
+	// the worker is provably inside a coordinator session.
+	started <-chan struct{}
+	proc    *os.Process
+}
+
+// spawnWorker starts one real worker OS process and returns it once the
+// daemon reports its bound port.
+func spawnWorker(t *testing.T) *workerProc {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
 	cmd.Env = append(os.Environ(), workerProcEnv+"=1")
-	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPipe, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,6 +66,19 @@ func spawnWorkerProc(t *testing.T) string {
 		cmd.Process.Kill()
 		cmd.Wait()
 	})
+	started := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(errPipe)
+		signaled := false
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, line) // keep worker logs visible
+			if !signaled && strings.Contains(line, "bracesim-worker: proc") {
+				close(started)
+				signaled = true
+			}
+		}
+	}()
 	addrCh := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(out)
@@ -69,12 +95,14 @@ func spawnWorkerProc(t *testing.T) string {
 		if a == "" {
 			t.Fatal("worker process exited without binding")
 		}
-		return a
+		return &workerProc{addr: a, started: started, proc: cmd.Process}
 	case <-time.After(30 * time.Second):
 		t.Fatal("worker process did not bind in time")
-		return ""
+		return nil
 	}
 }
+
+func spawnWorkerProc(t *testing.T) string { return spawnWorker(t).addr }
 
 // TestDistributeTCPAcrossProcesses is the acceptance criterion end to end:
 // `bracesim -distribute tcp` across two real worker OS processes
@@ -129,6 +157,93 @@ func TestDistributeTCPAcrossProcesses(t *testing.T) {
 	}
 }
 
+// TestDistributeTCPWorkerKillRecovery is the failure-recovery acceptance
+// criterion against real OS processes: SIGKILL one re-exec'd worker
+// mid-run and the coordinator must finish — re-placing the dead worker's
+// partitions on the survivors from the last coordinated checkpoint — with
+// final state bit-identical to an unfailed in-memory run.
+func TestDistributeTCPWorkerKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills OS processes")
+	}
+	const (
+		agents = 150
+		seed   = uint64(17)
+		parts  = 6
+		ticks  = 400
+		epoch  = 5
+	)
+	ws := []*workerProc{spawnWorker(t), spawnWorker(t), spawnWorker(t)}
+
+	type outcome struct {
+		res *distrib.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := distrib.Run(distrib.Options{
+			Addrs:    []string{ws[0].addr, ws[1].addr, ws[2].addr},
+			Scenario: "epidemic",
+			Agents:   agents, Seed: seed,
+			Partitions: parts, Ticks: ticks, EpochTicks: epoch,
+			CheckpointEveryEpochs: 1,
+		})
+		done <- outcome{res, err}
+	}()
+
+	// Wait until the victim is provably inside the session, then SIGKILL
+	// it mid-run (400 ticks of socket round-trips take far longer than
+	// the delay below).
+	select {
+	case <-ws[1].started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker 1 never started its session")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := ws[1].proc.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got outcome
+	select {
+	case got = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("coordinator did not finish after worker kill")
+	}
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	res := got.res
+	if res.Ticks != ticks {
+		t.Fatalf("ticks = %d, want %d", res.Ticks, ticks)
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want ≥ 1 (was the worker killed too late?)", res.Recoveries)
+	}
+	if res.Procs != 2 {
+		t.Errorf("procs = %d, want 2 survivors", res.Procs)
+	}
+
+	mem, err := brace.NewScenario("epidemic",
+		brace.ScenarioConfig{Agents: agents, Seed: seed}, brace.Config{Workers: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	want := mem.Agents()
+	if len(res.Agents) != len(want) {
+		t.Fatalf("population sizes differ: tcp %d vs mem %d", len(res.Agents), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(res.Agents[i]) {
+			t.Fatalf("agent %d differs after recovery:\n  mem: %v\n  tcp: %v",
+				want[i].ID, want[i], res.Agents[i])
+		}
+	}
+}
+
 func TestDistributeFlagValidation(t *testing.T) {
 	if code, _, errOut := runCLI(t, "-distribute", "udp"); code == 0 || !strings.Contains(errOut, "udp") {
 		t.Errorf("unknown mode accepted: %s", errOut)
@@ -136,12 +251,32 @@ func TestDistributeFlagValidation(t *testing.T) {
 	if code, _, errOut := runCLI(t, "-distribute", "tcp"); code == 0 || !strings.Contains(errOut, "worker") {
 		t.Errorf("missing -worker-addrs accepted: %s", errOut)
 	}
-	if code, _, errOut := runCLI(t, "-distribute", "tcp", "-worker-addrs", "x", "-lb"); code == 0 ||
-		!strings.Contains(errOut, "-lb") {
-		t.Errorf("-lb with -distribute accepted: %s", errOut)
+	if code, _, errOut := runCLI(t, "-distribute", "tcp", "-worker-addrs", "x", "-vtime"); code == 0 ||
+		!strings.Contains(errOut, "-vtime") {
+		t.Errorf("-vtime with -distribute accepted: %s", errOut)
 	}
 	if code, _, errOut := runCLI(t, "-distribute", "tcp", "-worker-addrs", "x", "-script", "s.brasil"); code == 0 ||
 		!strings.Contains(errOut, "registry") {
 		t.Errorf("-script with -distribute accepted: %s", errOut)
+	}
+}
+
+// -lb with -distribute used to be rejected ("needs a global view"); the
+// coordinator control plane made it legal. The loopback path is the real
+// oracle (internal/distrib); here the flag must simply reach the
+// coordinator and the run must report its balancing activity.
+func TestDistributeLoadBalanceFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	addrs := spawnWorkerProc(t) + "," + spawnWorkerProc(t)
+	code, out, errOut := runCLI(t,
+		"-distribute", "tcp", "-worker-addrs", addrs, "-lb", "-ckpt-epochs", "1",
+		"-model", "epidemic", "-agents", "120", "-ticks", "8", "-workers", "4", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "rebalances=") || !strings.Contains(out, "recoveries=0") {
+		t.Errorf("summary should report control-plane counters:\n%s", out)
 	}
 }

@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	index := fs.String("index", "kd", "spatial index: kd, scan, grid")
 	lb := fs.Bool("lb", false, "enable load balancing")
+	ckptEpochs := fs.Int("ckpt-epochs", 0, "coordinated checkpoint every N epochs (0 = initial checkpoint only)")
 	vt := fs.Bool("vtime", false, "enable virtual-time cluster accounting")
 	seq := fs.Bool("seq", false, "use the sequential reference engine")
 	invert := fs.Bool("invert", false, "apply effect inversion to the BRASIL script")
@@ -71,21 +72,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		switch {
 		case *script != "":
 			return fail(stderr, fmt.Errorf("-script is unsupported with -distribute: workers rebuild scenarios from the registry"))
-		case *lb:
-			return fail(stderr, fmt.Errorf("-lb needs a global view; unsupported with -distribute (see ROADMAP)"))
 		case *vt:
 			return fail(stderr, fmt.Errorf("-vtime is unsupported with -distribute: distributed runs measure real time"))
 		}
 		o := distrib.Options{
-			Addrs:      splitAddrs(*workerAddrs),
-			Scenario:   *model,
-			Agents:     *agents,
-			Extent:     *extent,
-			Seed:       *seed,
-			Partitions: *workers,
-			Ticks:      *ticks,
-			Index:      *index,
-			Sequential: *seq,
+			Addrs:                 splitAddrs(*workerAddrs),
+			Scenario:              *model,
+			Agents:                *agents,
+			Extent:                *extent,
+			Seed:                  *seed,
+			Partitions:            *workers,
+			Ticks:                 *ticks,
+			Index:                 *index,
+			Sequential:            *seq,
+			LoadBalance:           *lb,
+			CheckpointEveryEpochs: *ckptEpochs,
 		}
 		if *verbose {
 			if sp, ok := brace.LookupScenario(*model); ok {
@@ -100,8 +101,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
-		fmt.Fprintf(stdout, "distributed ticks=%d agents=%d procs=%d partitions=%d net=%dB (%d msgs) local=%dB\n",
-			res.Ticks, len(res.Agents), res.Procs, *workers, res.Net.SentBytes, res.Net.SentMsgs, res.Net.LocalBytes)
+		fmt.Fprintf(stdout, "distributed ticks=%d agents=%d procs=%d partitions=%d net=%dB (%d msgs) local=%dB rebalances=%d recoveries=%d\n",
+			res.Ticks, len(res.Agents), res.Procs, *workers, res.Net.SentBytes, res.Net.SentMsgs, res.Net.LocalBytes,
+			res.Rebalances, res.Recoveries)
+		if *verbose {
+			for i, ep := range res.Epochs {
+				fmt.Fprintf(stdout, "epoch %d: tick=%d rebalanced=%v\n", i+1, ep.Tick, ep.Rebalanced)
+			}
+		}
 		return 0
 	}
 
@@ -109,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:     *workers,
 		Seed:        *seed,
 		LoadBalance: *lb,
+		Checkpoint:  *ckptEpochs,
 		VirtualTime: *vt,
 		Sequential:  *seq,
 	}

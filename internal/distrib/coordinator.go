@@ -5,15 +5,18 @@ import (
 	"net"
 	"time"
 
+	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/partition"
 	"github.com/bigreddata/brace/internal/transport"
 )
 
 // Run executes a distributed simulation from the coordinator: dial every
-// worker daemon, handshake, relay the run through a transport.Hub, and
-// assemble the workers' final reports into the run's result. The
-// coordinator does no simulation compute — it is the master of §3.3,
-// reduced to wiring: partitioning is derived identically by every worker,
-// and failure recovery in multi-process mode is a ROADMAP follow-up.
+// worker daemon, handshake, then run the control loop — relay the data
+// plane through a transport.Hub while owning the control plane (placement,
+// load balancing, checkpoints, failure recovery) — until every live worker
+// reports its final state. The coordinator does no simulation compute: it
+// is the master of §3.3, interacting with workers only at epoch
+// boundaries.
 func Run(o Options) (*Result, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
@@ -21,30 +24,370 @@ func Run(o Options) (*Result, error) {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 10 * time.Second
 	}
-
-	conns := make([]*transport.Conn, len(o.Addrs))
-	closeAll := func() {
-		for _, c := range conns {
-			if c != nil {
-				c.Close()
-			}
-		}
+	if o.RejoinTimeout <= 0 {
+		o.RejoinTimeout = 2 * time.Second
 	}
-	for i, addr := range o.Addrs {
-		c, err := dialWorker(addr, o.hello(i), o.DialTimeout)
-		if err != nil {
-			closeAll()
-			return nil, fmt.Errorf("distrib: worker %d (%s): %w", i, addr, err)
-		}
-		conns[i] = c
+	if o.Balancer == (partition.Balancer{}) {
+		o.Balancer = partition.DefaultBalancer()
 	}
-	defer closeAll()
 
-	finals, err := transport.NewHub(conns, o.Partitions).Run()
+	// The tick-0 checkpoint: recovery can always rewind to the start.
+	cuts, parts, err := initialState(o)
 	if err != nil {
 		return nil, err
 	}
-	return assemble(finals)
+	c := &coordinator{
+		o:      o,
+		place:  NewPlacement(o.Partitions, len(o.Addrs)),
+		live:   make([]bool, len(o.Addrs)),
+		seqs:   make([]int, len(o.Addrs)),
+		gen:    1,
+		cuts:   cuts,
+		ckpt:   &ckptState{tick: 0, cuts: append([]float64(nil), cuts...), parts: parts},
+		stats:  make(map[int]*transport.EpochStats),
+		finals: make(map[int]*transport.FinalReport),
+	}
+	c.hub = transport.NewHub(o.Partitions, len(o.Addrs), c.place.Assign())
+	defer c.hub.Close()
+
+	// Dial and handshake every worker before attaching any to the hub:
+	// a worker whose handshake completes early starts ticking and sending
+	// immediately, and those frames must wait in its socket until every
+	// relay destination exists.
+	conns := make([]*transport.Conn, len(o.Addrs))
+	for i, addr := range o.Addrs {
+		conn, err := dialWorker(addr, o.hello(i, c.gen, c.place.Assign()), o.DialTimeout)
+		if err != nil {
+			for _, open := range conns[:i] {
+				open.Close()
+			}
+			return nil, fmt.Errorf("distrib: worker %d (%s): %w", i, addr, err)
+		}
+		conns[i] = conn
+	}
+	for i, conn := range conns {
+		c.live[i] = true
+		c.seqs[i] = c.hub.Attach(i, conn)
+	}
+	return c.run()
+}
+
+// ckptState is one coordinated checkpoint held on the coordinator — the
+// piece of the design that makes multi-process recovery possible at all:
+// a dead worker's memory dies with it, so the rollback state must live
+// with the master.
+type ckptState struct {
+	tick  uint64
+	cuts  []float64
+	parts []transport.PartState // indexed by partition
+	have  map[int]bool          // procs whose pieces arrived (while assembling)
+}
+
+// coordinator is the control-plane state machine. It runs single-threaded
+// over the hub's event stream: the hub's relay goroutines move the data
+// plane without ever entering this loop.
+type coordinator struct {
+	o     Options
+	hub   *transport.Hub
+	place *Placement
+	live  []bool
+	seqs  []int // attach sequence per proc; fences stale disconnect events
+	gen   int
+	cuts  []float64 // strip cuts currently in force (nil: non-strip)
+
+	epoch        int    // barrier counter, for the checkpoint cadence
+	lastBoundary uint64 // last barrier tick; rebalance only moves forward
+
+	ckpt    *ckptState // last complete checkpoint
+	pending *ckptState // checkpoint being assembled
+	stats   map[int]*transport.EpochStats
+	finals  map[int]*transport.FinalReport
+
+	recoveries, rejoins, rebalances int
+	epochs                          []EpochDecision
+}
+
+func (c *coordinator) liveCount() int {
+	n := 0
+	for _, l := range c.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// run consumes hub events until every live worker has reported its final
+// state (success) or the run is unrecoverable.
+func (c *coordinator) run() (*Result, error) {
+	for ev := range c.hub.Events() {
+		if ev.Frame == nil {
+			if ev.Seq != 0 && ev.Seq < c.seqs[ev.Src] {
+				continue // a connection we already replaced; the rejoined worker is fine
+			}
+			if err := c.recoverFrom(ev.Src, ev.Err); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		f := ev.Frame
+		if f.Kind == transport.FrameError {
+			// An application failure (bad handshake state, engine error) is
+			// deterministic: recovery would just replay it. Abort.
+			c.hub.Broadcast(&transport.Frame{Kind: transport.FrameError, Gen: c.gen, Err: f.Err})
+			return nil, fmt.Errorf("distrib: worker %d failed: %s", ev.Src, f.Err)
+		}
+		if f.Gen != c.gen || !c.live[ev.Src] {
+			continue // stale generation or a zombie; fenced off
+		}
+		var err error
+		switch f.Kind {
+		case transport.FrameStats:
+			err = c.onStats(ev.Src, f.Stats)
+		case transport.FrameCheckpoint:
+			err = c.onCheckpoint(ev.Src, f.Ckpt)
+		case transport.FrameFinal:
+			if f.Final == nil || f.Final.Proc != ev.Src {
+				err = fmt.Errorf("distrib: worker %d sent a malformed final report", ev.Src)
+				break
+			}
+			c.finals[ev.Src] = f.Final
+			if len(c.finals) == c.liveCount() {
+				return c.finish()
+			}
+		default:
+			err = fmt.Errorf("distrib: worker %d sent unexpected frame kind %d", ev.Src, f.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("distrib: hub closed unexpectedly")
+}
+
+func (c *coordinator) finish() (*Result, error) {
+	res, err := assemble(c.finals)
+	if err != nil {
+		return nil, err
+	}
+	res.Recoveries = c.recoveries
+	res.Rejoins = c.rejoins
+	res.Rebalances = c.rebalances
+	res.Epochs = c.epochs
+	return res, nil
+}
+
+// onStats records one worker's barrier statistics; when the round is
+// complete it makes the master's decisions — rebalance? checkpoint? — and
+// answers every live worker with the directive.
+func (c *coordinator) onStats(src int, s *transport.EpochStats) error {
+	if s == nil {
+		return fmt.Errorf("distrib: worker %d sent empty stats", src)
+	}
+	for _, prev := range c.stats {
+		if prev.Tick != s.Tick {
+			return fmt.Errorf("distrib: lockstep violation: worker %d at tick %d, worker %d at %d",
+				src, s.Tick, prev.Proc, prev.Tick)
+		}
+	}
+	c.stats[src] = s
+	if len(c.stats) < c.liveCount() {
+		return nil
+	}
+
+	tick := s.Tick
+	c.epoch++
+	d := &transport.Directive{Tick: tick}
+	if c.o.CheckpointEveryEpochs > 0 && c.epoch%c.o.CheckpointEveryEpochs == 0 {
+		d.Checkpoint = true
+		// The checkpoint captures the cuts in force *before* any rebalance
+		// decided at this same barrier — exactly when the in-memory
+		// runtime snapshots master state.
+		c.pending = &ckptState{
+			tick:  tick,
+			cuts:  append([]float64(nil), c.cuts...),
+			parts: make([]transport.PartState, c.o.Partitions),
+			have:  make(map[int]bool),
+		}
+		for p := range c.pending.parts {
+			c.pending.parts[p].Part = -1 // piece not yet received
+		}
+	}
+	if c.o.LoadBalance && tick > c.lastBoundary && c.cuts != nil {
+		if cuts, ok := c.planRebalance(); ok {
+			d.NewCuts = cuts
+			c.cuts = cuts
+			c.rebalances++
+		}
+	}
+	c.lastBoundary = tick
+	c.epochs = append(c.epochs, EpochDecision{
+		Tick:       tick,
+		Rebalanced: d.NewCuts != nil,
+		Cuts:       append([]float64(nil), c.cuts...),
+	})
+	c.stats = make(map[int]*transport.EpochStats)
+
+	frame := &transport.Frame{Kind: transport.FrameDirective, Gen: c.gen, Dir: d}
+	var dead []int
+	for p := range c.live {
+		if !c.live[p] {
+			continue
+		}
+		if err := c.hub.Send(p, frame); err != nil {
+			dead = append(dead, p)
+		}
+	}
+	for _, p := range dead {
+		if err := c.recoverFrom(p, fmt.Errorf("distrib: worker %d unreachable at barrier", p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planRebalance assembles the per-partition balancer inputs from the
+// collected statistics and runs the engine's decision procedure.
+func (c *coordinator) planRebalance() ([]float64, bool) {
+	strips, err := partition.NewStripsFromCuts(c.cuts)
+	if err != nil || strips.N() != c.o.Partitions {
+		return nil, false
+	}
+	xs := make([][]float64, c.o.Partitions)
+	visited := make([]int64, c.o.Partitions)
+	for _, s := range c.stats {
+		for _, ps := range s.Parts {
+			if ps.Part < 0 || ps.Part >= c.o.Partitions {
+				continue
+			}
+			xs[ps.Part] = ps.Xs
+			visited[ps.Part] = ps.Visited
+		}
+	}
+	d := engine.PlanRebalance(c.o.Balancer, strips, xs, visited)
+	if !d.Apply {
+		return nil, false
+	}
+	return d.NewCuts, true
+}
+
+// onCheckpoint files one worker's checkpoint pieces; once every live
+// worker has reported, the assembled state becomes the rollback point.
+func (c *coordinator) onCheckpoint(src int, ck *transport.CheckpointMsg) error {
+	if ck == nil || c.pending == nil || ck.Tick != c.pending.tick {
+		return nil // stale piece from an interrupted checkpoint round
+	}
+	for _, ps := range ck.Parts {
+		if ps.Part < 0 || ps.Part >= len(c.pending.parts) {
+			return fmt.Errorf("distrib: worker %d checkpointed unknown partition %d", src, ps.Part)
+		}
+		c.pending.parts[ps.Part] = ps
+	}
+	c.pending.have[src] = true
+	if len(c.pending.have) < c.liveCount() {
+		return nil
+	}
+	for p, ps := range c.pending.parts {
+		if ps.Part != p {
+			return fmt.Errorf("distrib: checkpoint at tick %d is missing partition %d", c.pending.tick, p)
+		}
+	}
+	c.pending.have = nil
+	c.ckpt, c.pending = c.pending, nil
+	return nil
+}
+
+// recoverFrom handles a worker connection death: re-admit the worker if
+// its daemon still answers (its partitions stay put), otherwise re-place
+// its partitions on the survivors; then bump the generation and restore
+// every live worker from the last complete checkpoint. A failure while
+// broadcasting restores feeds back into another round.
+func (c *coordinator) recoverFrom(src int, cause error) error {
+	maxRecoveries := c.o.MaxRecoveries
+	if maxRecoveries <= 0 {
+		maxRecoveries = 8
+	}
+	dead := []int{src}
+	for len(dead) > 0 {
+		next := dead[:0:0]
+		changed := false
+		for _, p := range dead {
+			if !c.live[p] {
+				continue // already handled (e.g. hub event raced a send error)
+			}
+			if c.recoveries >= maxRecoveries {
+				return fmt.Errorf("distrib: giving up after %d recoveries (worker %d: %v)", c.recoveries, p, cause)
+			}
+			c.live[p] = false
+			changed = true
+			newGen := c.gen + 1
+			if !c.o.NoRejoin {
+				conn, err := dialWorker(c.o.Addrs[p], c.o.hello(p, newGen, c.place.Assign()), c.o.RejoinTimeout)
+				if err == nil {
+					c.live[p] = true
+					c.seqs[p] = c.hub.Attach(p, conn)
+					c.rejoins++
+				}
+			}
+			if !c.live[p] {
+				c.place.Reassign(p, c.live)
+			}
+		}
+		if !changed {
+			return nil
+		}
+		if c.liveCount() == 0 {
+			return fmt.Errorf("distrib: all workers lost (last: %v)", cause)
+		}
+
+		// New generation: fence off every in-flight frame of the old one,
+		// discard half-assembled barrier state, rewind to the checkpoint.
+		c.gen++
+		c.recoveries++
+		c.hub.SetAssign(c.place.Assign())
+		c.cuts = append([]float64(nil), c.ckpt.cuts...)
+		c.stats = make(map[int]*transport.EpochStats)
+		c.finals = make(map[int]*transport.FinalReport)
+		c.pending = nil
+		// The rewind also rolls back decisions made after the checkpoint:
+		// truncate the decision log to the restored tick and recount, so
+		// Result.Epochs/Rebalances describe what is actually in force.
+		kept := c.epochs[:0]
+		rebalances := 0
+		for _, e := range c.epochs {
+			if e.Tick <= c.ckpt.tick {
+				kept = append(kept, e)
+				if e.Rebalanced {
+					rebalances++
+				}
+			}
+		}
+		c.epochs = kept
+		c.rebalances = rebalances
+
+		assign := c.place.Assign()
+		for p := range c.live {
+			if !c.live[p] {
+				continue
+			}
+			rest := &transport.Restore{
+				Gen:    c.gen,
+				Tick:   c.ckpt.tick,
+				Cuts:   append([]float64(nil), c.ckpt.cuts...),
+				Assign: assign,
+				Live:   append([]bool(nil), c.live...),
+			}
+			for _, q := range c.place.Owned(p) {
+				rest.Parts = append(rest.Parts, c.ckpt.parts[q])
+			}
+			if err := c.hub.Send(p, &transport.Frame{Kind: transport.FrameRestore, Gen: c.gen, Rest: rest}); err != nil {
+				next = append(next, p)
+			}
+		}
+		dead = next
+		cause = fmt.Errorf("distrib: worker lost while broadcasting restore")
+	}
+	return nil
 }
 
 // dialWorker connects to one worker daemon and completes the handshake:

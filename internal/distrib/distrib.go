@@ -1,19 +1,29 @@
 // Package distrib runs a BRACE simulation across real OS processes: a
 // coordinator (bracesim -distribute tcp) dials one or more worker daemons
-// (bracesim-worker), hands each a Hello naming a registry scenario and its
-// partition block, and relays the per-phase envelope traffic between them
-// over the TCP transport.
+// (bracesim-worker), hands each a Hello naming a registry scenario and the
+// coordinator-owned partition assignment, and relays the per-phase
+// envelope traffic between them over the TCP transport.
 //
 // The design exploits what makes BRACE's dataflow distributable in the
 // first place: behavior is *code*, reconstructible anywhere from the
 // scenario registry plus (name, agents, extent, seed), so only data —
-// agent envelopes — ever crosses the wire. Every process derives the same
-// initial population and partitioning, computes its own contiguous block
-// of partitions through the same lockstep tick loop, and the transport's
-// end-of-phase markers substitute for shared-memory barriers. For
-// local-effect scenarios the result is bit-identical to an in-memory run
-// at the same seed and partition count; the loopback tests assert exactly
-// that.
+// agent envelopes — ever crosses the wire. Every process computes the
+// partitions assigned to it through the same lockstep tick loop, and the
+// transport's end-of-phase markers substitute for shared-memory barriers.
+//
+// The coordinator is the master of the paper's §3.3, owning the control
+// plane: at every epoch barrier workers ship statistics up and wait for a
+// directive down. The coordinator runs the 1-D load balancer on those
+// statistics (the same decision procedure as the in-memory engine, so
+// `-lb` is bit-identical across transports), orders coordinated
+// checkpoints whose state it holds itself, and — when a worker connection
+// dies — re-places the dead worker's partitions (re-admitting the worker
+// if its daemon still answers), bumps the protocol generation, and
+// restores every survivor from the last checkpoint so the run continues
+// bit-identically to an unfailed one. For local-effect scenarios the
+// result is bit-identical to an in-memory run at the same seed and
+// partition count; the loopback tests assert exactly that, with and
+// without injected failures.
 package distrib
 
 import (
@@ -24,6 +34,7 @@ import (
 	"github.com/bigreddata/brace/internal/agent"
 	"github.com/bigreddata/brace/internal/cluster"
 	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/partition"
 	"github.com/bigreddata/brace/internal/scenario"
 	"github.com/bigreddata/brace/internal/spatial"
 	"github.com/bigreddata/brace/internal/transport"
@@ -32,7 +43,7 @@ import (
 // Options configures a coordinator-side distributed run.
 type Options struct {
 	// Addrs are the worker daemons' listen addresses; worker process i is
-	// Addrs[i] and owns partition block PartsOf(i, Partitions, len(Addrs)).
+	// Addrs[i]. The coordinator computes the partition placement.
 	Addrs []string
 	// Scenario is the registry name every process rebuilds locally.
 	Scenario string
@@ -51,8 +62,42 @@ type Options struct {
 	// Sequential makes each worker process tick its partitions one at a
 	// time (debugging/determinism).
 	Sequential bool
+	// LoadBalance enables the coordinator-driven 1-D load balancer: the
+	// same decision procedure as the in-memory engine, computed from the
+	// workers' epoch statistics, with new strip cuts broadcast at epoch
+	// barriers. Migrated agents travel through the ordinary data plane at
+	// the next tick's map phase.
+	LoadBalance bool
+	// Balancer tunes load balancing; zero value means DefaultBalancer.
+	Balancer partition.Balancer
+	// CheckpointEveryEpochs orders a coordinated checkpoint — workers ship
+	// their partitions' state to the coordinator — every k epochs (0 =
+	// only the initial tick-0 checkpoint is held, so recovery rewinds to
+	// the start).
+	CheckpointEveryEpochs int
+	// NoRejoin disables re-dialing a dead worker's address before its
+	// partitions are re-placed on the survivors. By default the
+	// coordinator tries once: a daemon that only lost its connection (not
+	// its process) is re-admitted with its old partitions.
+	NoRejoin bool
+	// MaxRecoveries bounds failure recoveries per run (0 = default 8):
+	// a worker that keeps dying at the same replayed point — e.g. a
+	// flapping link re-admitting and re-severing every generation —
+	// must eventually fail the run instead of looping forever.
+	MaxRecoveries int
+	// RejoinTimeout bounds the re-dial + handshake (default 2s).
+	RejoinTimeout time.Duration
 	// DialTimeout bounds dialing + handshaking each worker (default 10s).
 	DialTimeout time.Duration
+}
+
+// EpochDecision records what the control plane decided at one epoch
+// barrier.
+type EpochDecision struct {
+	Tick       uint64
+	Rebalanced bool
+	// Cuts are the strip boundaries in force after the barrier.
+	Cuts []float64
 }
 
 // Result is what a distributed run yields on the coordinator.
@@ -62,11 +107,22 @@ type Result struct {
 	Agents agent.Population
 	// Ticks is the tick count every worker completed.
 	Ticks uint64
-	// Net sums traffic totals across worker processes (each delivery
-	// metered once, by its sender).
+	// Net sums traffic totals across the surviving worker processes: each
+	// delivery is metered once, by its sender, in an unfailed run. After
+	// a recovery the counters report what the survivors *actually* put on
+	// the wire — re-executed epochs count again, and whatever a dead
+	// worker sent before dying is lost with it.
 	Net cluster.NodeMetrics
-	// Procs is the number of worker processes that took part.
+	// Procs is the number of worker processes still in the run at the end.
 	Procs int
+	// Recoveries counts failure recoveries the coordinator performed.
+	Recoveries int
+	// Rejoins counts dead workers re-admitted after a re-dial.
+	Rejoins int
+	// Rebalances counts applied load-balancing repartitions.
+	Rebalances int
+	// Epochs records the control plane's per-barrier decisions.
+	Epochs []EpochDecision
 }
 
 func (o *Options) validate() error {
@@ -88,36 +144,98 @@ func (o *Options) validate() error {
 	return nil
 }
 
-// hello builds worker proc's handshake.
-func (o *Options) hello(proc int) *transport.Hello {
+// hello builds worker proc's handshake for the given generation and
+// placement.
+func (o *Options) hello(proc, gen int, assign []int) *transport.Hello {
 	return &transport.Hello{
-		Proto:      transport.ProtoVersion,
-		Proc:       proc,
-		NumProcs:   len(o.Addrs),
-		Partitions: o.Partitions,
-		Scenario:   o.Scenario,
-		Agents:     o.Agents,
-		Extent:     o.Extent,
-		Seed:       o.Seed,
-		Ticks:      o.Ticks,
-		EpochTicks: o.EpochTicks,
-		Index:      o.Index,
-		Sequential: o.Sequential,
+		Proto:       transport.ProtoVersion,
+		Proc:        proc,
+		NumProcs:    len(o.Addrs),
+		Partitions:  o.Partitions,
+		Assign:      assign,
+		Gen:         gen,
+		LoadBalance: o.LoadBalance,
+		Scenario:    o.Scenario,
+		Agents:      o.Agents,
+		Extent:      o.Extent,
+		Seed:        o.Seed,
+		Ticks:       o.Ticks,
+		EpochTicks:  o.EpochTicks,
+		Index:       o.Index,
+		Sequential:  o.Sequential,
 	}
 }
 
-// assemble turns the workers' final reports into a Result.
-func assemble(finals []*transport.FinalReport) (*Result, error) {
+// initialState derives the run's tick-0 checkpoint on the coordinator: the
+// initial strip cuts and per-partition envelopes, computed by the same
+// engine constructor every worker runs, so recovery can always rewind to
+// the exact start even when no periodic checkpoint has completed yet.
+func initialState(o Options) (cuts []float64, parts []transport.PartState, err error) {
+	sp, ok := scenario.Lookup(o.Scenario)
+	if !ok {
+		return nil, nil, scenario.ErrUnknown(o.Scenario)
+	}
+	m, pop, err := sp.New(scenario.Config{Agents: o.Agents, Seed: o.Seed, Extent: o.Extent})
+	if err != nil {
+		return nil, nil, err
+	}
+	kind, err := spatial.ParseKind(o.Index)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := engine.NewDistributed(m, pop, engine.Options{
+		Workers:    o.Partitions,
+		Index:      kind,
+		Seed:       o.Seed,
+		EpochTicks: o.EpochTicks,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if s, ok := eng.Partition().(*partition.Strips); ok {
+		cuts = s.Cuts()
+	}
+	parts = make([]transport.PartState, o.Partitions)
+	for p := 0; p < o.Partitions; p++ {
+		parts[p] = transport.PartState{Part: p, Values: eng.ExportPartition(p)}
+	}
+	return cuts, parts, nil
+}
+
+// ownedParts returns the partitions assign maps to proc, ascending. The
+// result is non-nil even when empty: a worker that owns nothing must tick
+// nothing, and the engine/runtime interpret a *nil* LocalParts as "all
+// partitions" — the opposite meaning.
+func ownedParts(assign []int, proc int) []int {
+	out := make([]int, 0, len(assign))
+	for p, pr := range assign {
+		if pr == proc {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// assemble turns the live workers' final reports into a Result.
+func assemble(finals map[int]*transport.FinalReport) (*Result, error) {
 	res := &Result{Procs: len(finals)}
-	for i, f := range finals {
-		if i == 0 {
+	first := true
+	procs := make([]int, 0, len(finals))
+	for proc := range finals {
+		procs = append(procs, proc)
+	}
+	sort.Ints(procs)
+	for _, proc := range procs {
+		f := finals[proc]
+		if first {
 			res.Ticks = f.Ticks
+			first = false
 		} else if f.Ticks != res.Ticks {
-			return nil, fmt.Errorf("distrib: worker %d stopped at tick %d, worker 0 at %d", i, f.Ticks, res.Ticks)
+			return nil, fmt.Errorf("distrib: worker %d stopped at tick %d, others at %d", proc, f.Ticks, res.Ticks)
 		}
 		envs, ok := f.Values.([]*engine.Envelope)
 		if !ok && f.Values != nil {
-			return nil, fmt.Errorf("distrib: worker %d reported %T, want []*engine.Envelope", i, f.Values)
+			return nil, fmt.Errorf("distrib: worker %d reported %T, want []*engine.Envelope", proc, f.Values)
 		}
 		for _, env := range envs {
 			if !env.Replica && !env.A.Dead {

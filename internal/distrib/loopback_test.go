@@ -8,6 +8,7 @@ import (
 
 	"github.com/bigreddata/brace/internal/agent"
 	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/partition"
 	"github.com/bigreddata/brace/internal/scenario"
 	"github.com/bigreddata/brace/internal/spatial"
 )
@@ -119,6 +120,85 @@ func TestLoopbackTCPUnevenBlocks(t *testing.T) {
 		if !want[i].Equal(res.Agents[i]) {
 			t.Fatalf("agent %d differs", want[i].ID)
 		}
+	}
+}
+
+// The cross-transport load-balancing oracle: `-lb` over loopback TCP must
+// make the *same migration decisions* as the in-memory engine — same
+// rebalanced-or-not verdict at every epoch, same final strip cuts — and
+// end in bit-identical state, for every registered local-effect scenario
+// in the suite. This is what "the coordinator runs the engine's decision
+// procedure" buys: PlanRebalance on worker statistics ≡ rebalance() on
+// in-process state.
+func TestLoopbackTCPLoadBalanceEquivalence(t *testing.T) {
+	const (
+		agents = 96
+		seed   = uint64(5)
+		parts  = 4
+		ticks  = 12
+		epoch  = 4
+	)
+	// An eager balancer so the runs actually rebalance within 12 ticks.
+	bal := partition.Balancer{MigrateCostPerAgent: 1e-9, HorizonTicks: 1000, MinRelativeGain: 0.01}
+	for _, sp := range scenario.All() {
+		if !sp.LocalOnly {
+			continue // non-local effects are not bit-stable across partitionings
+		}
+		name := sp.Name
+		extent := 30.0
+		if name == "traffic" {
+			extent = 1800 // traffic derives its population from Extent
+		}
+		t.Run(name, func(t *testing.T) {
+			mem := memEngine(t, name, agents, extent, seed, engine.Options{
+				Workers: parts, Seed: seed, EpochTicks: epoch,
+				LoadBalance: true, Balancer: bal,
+			})
+			if err := mem.RunTicks(ticks); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Options{
+				Addrs:    startWorkers(t, 2),
+				Scenario: name,
+				Agents:   agents, Extent: extent, Seed: seed,
+				Partitions: parts, Ticks: ticks, EpochTicks: epoch,
+				LoadBalance: true, Balancer: bal,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Identical migration decisions, epoch by epoch.
+			memEpochs := mem.Epochs()
+			if len(memEpochs) != len(res.Epochs) {
+				t.Fatalf("epoch counts differ: mem %d vs tcp %d", len(memEpochs), len(res.Epochs))
+			}
+			for i, me := range memEpochs {
+				te := res.Epochs[i]
+				if me.Tick != te.Tick || me.Rebalanced != te.Rebalanced {
+					t.Errorf("epoch %d: mem (tick %d, rebalanced %v) vs tcp (tick %d, rebalanced %v)",
+						i, me.Tick, me.Rebalanced, te.Tick, te.Rebalanced)
+				}
+			}
+			if res.Rebalances == 0 {
+				t.Error("no rebalances happened; the equivalence was not exercised")
+			}
+
+			// Identical final cuts.
+			memCuts := mem.Partition().(*partition.Strips).Cuts()
+			tcpCuts := res.Epochs[len(res.Epochs)-1].Cuts
+			if len(memCuts) != len(tcpCuts) {
+				t.Fatalf("cut counts differ: mem %v vs tcp %v", memCuts, tcpCuts)
+			}
+			for i := range memCuts {
+				if memCuts[i] != tcpCuts[i] {
+					t.Fatalf("cut %d differs: mem %v vs tcp %v", i, memCuts[i], tcpCuts[i])
+				}
+			}
+
+			// Identical final state.
+			assertSamePopulation(t, name+"/lb-equivalence", mem.Agents(), res.Agents)
+		})
 	}
 }
 

@@ -1,0 +1,136 @@
+package distrib
+
+import (
+	"github.com/bigreddata/brace/internal/transport"
+)
+
+// Placement is the coordinator-owned partition→process assignment. It
+// starts as the contiguous blocks every BRACE run used before the control
+// plane existed (so a failure-free run is routed identically to the
+// legacy scheme) and mutates as workers die, are re-admitted, or join:
+// the coordinator re-places a dead worker's partitions on the survivors
+// and hands a joining worker its fair share back. All decisions are
+// deterministic — ties break toward the lowest process index — because
+// the assignment is broadcast state that every process must agree on.
+type Placement struct {
+	assign []int
+	procs  int
+}
+
+// NewPlacement builds the initial contiguous-block placement of parts
+// partitions over procs processes. procs may exceed parts, in which case
+// trailing processes own nothing (they still participate in barriers).
+func NewPlacement(parts, procs int) *Placement {
+	assign := make([]int, parts)
+	for p := range assign {
+		assign[p] = transport.OwnerProc(p, parts, procs)
+	}
+	return &Placement{assign: assign, procs: procs}
+}
+
+// Procs returns the process count the placement spans.
+func (pl *Placement) Procs() int { return pl.procs }
+
+// Assign returns a copy of the partition→process table.
+func (pl *Placement) Assign() []int { return append([]int(nil), pl.assign...) }
+
+// Owned returns the partitions assigned to proc, ascending (non-nil even
+// when empty, matching ownedParts).
+func (pl *Placement) Owned(proc int) []int {
+	return ownedParts(pl.assign, proc)
+}
+
+// Counts returns the number of partitions per process.
+func (pl *Placement) Counts() []int {
+	counts := make([]int, pl.procs)
+	for _, pr := range pl.assign {
+		counts[pr]++
+	}
+	return counts
+}
+
+// Reassign moves every partition owned by the dead process onto the live
+// ones, fewest-partitions-first (ties to the lowest process index), and
+// returns the moved partitions. live[dead] must already be false. With no
+// live process the assignment is left untouched (the run is lost; the
+// caller errors out).
+func (pl *Placement) Reassign(dead int, live []bool) []int {
+	anyLive := false
+	for pr, l := range live {
+		if l && pr != dead {
+			anyLive = true
+		}
+	}
+	if !anyLive {
+		return nil
+	}
+	counts := pl.Counts()
+	var moved []int
+	for p, pr := range pl.assign {
+		if pr != dead {
+			continue
+		}
+		to := -1
+		for cand := 0; cand < pl.procs; cand++ {
+			if cand == dead || !live[cand] {
+				continue
+			}
+			if to < 0 || counts[cand] < counts[to] {
+				to = cand
+			}
+		}
+		pl.assign[p] = to
+		counts[to]++
+		moved = append(moved, p)
+	}
+	return moved
+}
+
+// Join hands a (re-)joining process its fair share: partitions migrate
+// from the most-loaded live processes (ties to the lowest index, highest
+// partition number first within a donor) until the joiner holds
+// ⌊parts/live⌋ partitions or no donor can spare one. It returns the moved
+// partitions. live[proc] must already be true. A proc index beyond the
+// placement's current span grows it (a genuinely new worker).
+func (pl *Placement) Join(proc int, live []bool) []int {
+	if proc >= pl.procs {
+		pl.procs = proc + 1
+	}
+	liveN := 0
+	for _, l := range live {
+		if l {
+			liveN++
+		}
+	}
+	if liveN == 0 {
+		return nil
+	}
+	target := len(pl.assign) / liveN
+	counts := pl.Counts()
+	var moved []int
+	for counts[proc] < target {
+		from := -1
+		for cand := 0; cand < pl.procs; cand++ {
+			if cand == proc || !live[cand] || counts[cand] == 0 {
+				continue
+			}
+			if from < 0 || counts[cand] > counts[from] {
+				from = cand
+			}
+		}
+		if from < 0 || counts[from] <= counts[proc]+1 {
+			break // nothing to gain from another move
+		}
+		give := -1
+		for p, pr := range pl.assign {
+			if pr == from {
+				give = p // highest partition index owned by the donor
+			}
+		}
+		pl.assign[give] = proc
+		counts[from]--
+		counts[proc]++
+		moved = append(moved, give)
+	}
+	return moved
+}

@@ -1,0 +1,177 @@
+package distrib
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/transport"
+)
+
+// The initial placement must reproduce the legacy contiguous-block scheme
+// exactly, so a failure-free v2 run routes identically to a v1 run.
+func TestPlacementInitialBlocks(t *testing.T) {
+	cases := []struct {
+		parts, procs int
+		want         []int
+	}{
+		{parts: 4, procs: 2, want: []int{0, 0, 1, 1}},
+		{parts: 5, procs: 3, want: []int{0, 1, 1, 2, 2}},
+		{parts: 6, procs: 1, want: []int{0, 0, 0, 0, 0, 0}},
+		{parts: 3, procs: 3, want: []int{0, 1, 2}},
+		// More processes than partitions: trailing/interior processes may
+		// own nothing but the table stays valid.
+		{parts: 2, procs: 4, want: []int{1, 3}},
+	}
+	for _, c := range cases {
+		pl := NewPlacement(c.parts, c.procs)
+		if got := pl.Assign(); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("NewPlacement(%d,%d) = %v, want %v", c.parts, c.procs, got, c.want)
+		}
+		// Parity with the legacy block arithmetic both ways.
+		for proc := 0; proc < c.procs; proc++ {
+			want := transport.PartsOf(proc, c.parts, c.procs)
+			got := pl.Owned(proc)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("(%d,%d) Owned(%d) = %v, want PartsOf %v", c.parts, c.procs, proc, got, want)
+			}
+		}
+	}
+}
+
+// Reassign must spread a dead worker's partitions over the fewest-loaded
+// survivors, deterministically (ties to the lowest process index).
+func TestPlacementReassign(t *testing.T) {
+	cases := []struct {
+		name         string
+		parts, procs int
+		dead         int
+		live         []bool
+		want         []int
+		wantMoved    []int
+	}{
+		{
+			name:  "middle worker of three, uneven blocks",
+			parts: 5, procs: 3, dead: 1, live: []bool{true, false, true},
+			// [0 1 1 2 2]: part1 → proc0 (1 owned < proc2's 2), part2 →
+			// proc0 again (tie 2-2 breaks low).
+			want:      []int{0, 0, 0, 2, 2},
+			wantMoved: []int{1, 2},
+		},
+		{
+			name:  "first worker dies, survivors balanced",
+			parts: 6, procs: 3, dead: 0, live: []bool{false, true, true},
+			// [0 0 1 1 2 2]: part0 → proc1 (tie 2-2), part1 → proc2.
+			want:      []int{1, 2, 1, 1, 2, 2},
+			wantMoved: []int{0, 1},
+		},
+		{
+			name:  "more procs than parts",
+			parts: 2, procs: 4, dead: 3, live: []bool{true, true, true, false},
+			// [1 3]: part1 → proc0 (owns nothing; tie with proc2 breaks low).
+			want:      []int{1, 0},
+			wantMoved: []int{1},
+		},
+		{
+			name:  "no survivors",
+			parts: 2, procs: 1, dead: 0, live: []bool{false},
+			want:      []int{0, 0},
+			wantMoved: nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pl := NewPlacement(c.parts, c.procs)
+			moved := pl.Reassign(c.dead, c.live)
+			if !reflect.DeepEqual(pl.Assign(), c.want) {
+				t.Errorf("assign = %v, want %v", pl.Assign(), c.want)
+			}
+			if !reflect.DeepEqual(moved, c.wantMoved) {
+				t.Errorf("moved = %v, want %v", moved, c.wantMoved)
+			}
+		})
+	}
+}
+
+// Two workers dying in the same epoch — the second during recovery from
+// the first — must leave every partition on the remaining survivor.
+func TestPlacementDoubleDeath(t *testing.T) {
+	pl := NewPlacement(6, 3) // [0 0 1 1 2 2]
+	live := []bool{true, false, true}
+	pl.Reassign(1, live)
+	live[2] = false // second death while recovering from the first
+	pl.Reassign(2, live)
+	want := []int{0, 0, 0, 0, 0, 0}
+	if !reflect.DeepEqual(pl.Assign(), want) {
+		t.Fatalf("assign after double death = %v, want %v", pl.Assign(), want)
+	}
+	// Nobody left: the assignment must survive untouched for the error path.
+	live[0] = false
+	if moved := pl.Reassign(0, live); moved != nil {
+		t.Fatalf("reassign with no survivors moved %v", moved)
+	}
+}
+
+// A worker joining mid-run takes its fair share from the most-loaded
+// processes, highest partition index first, without creating new imbalance.
+func TestPlacementJoin(t *testing.T) {
+	cases := []struct {
+		name      string
+		setup     func() (*Placement, []bool)
+		join      int
+		want      []int
+		wantMoved []int
+	}{
+		{
+			name: "rejoin after absorb",
+			setup: func() (*Placement, []bool) {
+				pl := NewPlacement(5, 3) // [0 1 1 2 2]
+				live := []bool{true, false, true}
+				pl.Reassign(1, live) // → [0 0 0 2 2]
+				live[1] = true
+				return pl, live
+			},
+			join: 1,
+			// target 5/3 = 1: proc0 (3 owned) donates its highest part.
+			want:      []int{0, 0, 1, 2, 2},
+			wantMoved: []int{2},
+		},
+		{
+			name: "join when nothing to spare",
+			setup: func() (*Placement, []bool) {
+				pl := NewPlacement(2, 4) // [1 3]
+				live := []bool{true, true, true, true}
+				return pl, live
+			},
+			join:      2,
+			want:      []int{1, 3}, // target 2/4 = 0: no move
+			wantMoved: nil,
+		},
+		{
+			name: "fresh worker absorbs from a hot node",
+			setup: func() (*Placement, []bool) {
+				pl := NewPlacement(8, 2) // [0 0 0 0 1 1 1 1]
+				live := []bool{true, true, true}
+				return pl, live
+			},
+			join: 2,
+			// target 8/3 = 2: donors alternate 0 (4), then whoever is max.
+			want:      []int{0, 0, 0, 2, 1, 1, 1, 2},
+			wantMoved: []int{3, 7},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			pl, live := c.setup()
+			moved := pl.Join(c.join, live)
+			if !reflect.DeepEqual(pl.Assign(), c.want) {
+				t.Errorf("assign = %v, want %v", pl.Assign(), c.want)
+			}
+			if !reflect.DeepEqual(moved, c.wantMoved) {
+				t.Errorf("moved = %v, want %v", moved, c.wantMoved)
+			}
+		})
+	}
+}

@@ -1,0 +1,280 @@
+package distrib
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/partition"
+	"github.com/bigreddata/brace/internal/scenario"
+	"github.com/bigreddata/brace/internal/spatial"
+	"github.com/bigreddata/brace/internal/transport"
+)
+
+// startChaosWorkers launches n multi-session worker daemons (so a severed
+// worker's daemon survives to accept a re-admission dial) whose session
+// transports run through wrap.
+func startChaosWorkers(t *testing.T, n int, wrap func(tr transport.Transport, h *transport.Hello) transport.Transport) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lis.Close() })
+		addrs[i] = lis.Addr().String()
+		go ServeWith(lis, ServeOptions{Wrap: wrap})
+	}
+	return addrs
+}
+
+// severProcAt severs the given worker's first-generation session right
+// before its n-th phase barrier; re-admitted sessions run unharmed.
+func severProcAt(proc, phase int) func(tr transport.Transport, h *transport.Hello) transport.Transport {
+	return func(tr transport.Transport, h *transport.Hello) transport.Transport {
+		if h.Proc == proc && h.Gen == 1 {
+			return &transport.SeverAt{Transport: tr, Phase: phase}
+		}
+		return tr
+	}
+}
+
+// memEngine runs the in-memory reference with full engine options.
+func memEngine(t *testing.T, name string, agents int, extent float64, seed uint64, opts engine.Options) *engine.Distributed {
+	t.Helper()
+	sp, ok := scenario.Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	m, pop, err := sp.New(scenario.Config{Agents: agents, Seed: seed, Extent: extent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Index == 0 {
+		opts.Index = spatial.KindKDTree
+	}
+	eng, err := engine.NewDistributed(m, pop, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func assertSamePopulation(t *testing.T, label string, want, got agent.Population) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: population sizes differ: want %d, got %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("%s: agent %d differs:\n  want: %v\n  got:  %v", label, want[i].ID, want[i], got[i])
+		}
+	}
+}
+
+// The fault-injection acceptance oracle: a worker whose connection is
+// severed mid-tick is re-admitted from the last coordinated checkpoint and
+// the run ends bit-identical to an unfailed in-memory run.
+func TestRecoverySeveredWorkerRejoins(t *testing.T) {
+	const (
+		agents = 96
+		extent = 30.0
+		seed   = uint64(5)
+		parts  = 4
+		ticks  = 12
+		epoch  = 3
+	)
+	ref := memEngine(t, "epidemic", agents, extent, seed, engine.Options{
+		Workers: parts, Seed: seed, EpochTicks: epoch,
+	})
+	if err := ref.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever proc 1 before phase 15 = mid tick 7, after the checkpoints at
+	// ticks 3 and 6 have been committed.
+	res, err := Run(Options{
+		Addrs:    startChaosWorkers(t, 2, severProcAt(1, 15)),
+		Scenario: "epidemic",
+		Agents:   agents, Extent: extent, Seed: seed,
+		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
+		CheckpointEveryEpochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want ≥ 1", res.Recoveries)
+	}
+	if res.Rejoins < 1 {
+		t.Errorf("rejoins = %d, want ≥ 1 (daemon was alive to re-dial)", res.Rejoins)
+	}
+	if res.Procs != 2 {
+		t.Errorf("procs = %d, want 2 after re-admission", res.Procs)
+	}
+	if res.Ticks != ticks {
+		t.Fatalf("ticks = %d, want %d", res.Ticks, ticks)
+	}
+	assertSamePopulation(t, "severed+rejoined", ref.Agents(), res.Agents)
+}
+
+// With re-admission disabled the survivors absorb the dead worker's
+// partitions — and the result is still bit-identical.
+func TestRecoverySeveredWorkerAbsorbed(t *testing.T) {
+	const (
+		agents = 90
+		extent = 30.0
+		seed   = uint64(11)
+		parts  = 5
+		ticks  = 10
+		epoch  = 2
+	)
+	ref := memEngine(t, "evacuate", agents, extent, seed, engine.Options{
+		Workers: parts, Seed: seed, EpochTicks: epoch,
+	})
+	if err := ref.RunTicks(ticks); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(Options{
+		Addrs:    startChaosWorkers(t, 3, severProcAt(1, 9)), // mid tick 4
+		Scenario: "evacuate",
+		Agents:   agents, Extent: extent, Seed: seed,
+		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
+		CheckpointEveryEpochs: 1,
+		NoRejoin:              true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want ≥ 1", res.Recoveries)
+	}
+	if res.Rejoins != 0 {
+		t.Errorf("rejoins = %d, want 0 with NoRejoin", res.Rejoins)
+	}
+	if res.Procs != 2 {
+		t.Errorf("procs = %d, want 2 survivors", res.Procs)
+	}
+	assertSamePopulation(t, "severed+absorbed", ref.Agents(), res.Agents)
+}
+
+// A failure with no periodic checkpoints rewinds all the way to tick 0 —
+// the coordinator always holds the initial state.
+func TestRecoveryFromInitialCheckpoint(t *testing.T) {
+	ref := memEngine(t, "epidemic", 60, 30, 7, engine.Options{Workers: 3, Seed: 7, EpochTicks: 4})
+	if err := ref.RunTicks(8); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		Addrs:    startChaosWorkers(t, 3, severProcAt(2, 11)), // mid tick 5
+		Scenario: "epidemic",
+		Agents:   60, Extent: 30, Seed: 7,
+		Partitions: 3, Ticks: 8, EpochTicks: 4,
+		// CheckpointEveryEpochs: 0 — only the tick-0 state exists.
+		NoRejoin: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want ≥ 1", res.Recoveries)
+	}
+	assertSamePopulation(t, "tick0-recovery", ref.Agents(), res.Agents)
+}
+
+// Failure recovery composes with coordinator-driven load balancing: the
+// final state still matches the unfailed in-memory engine with the same
+// balancer (the partitioning trajectory may differ — rebalances are not
+// re-decided while re-executing, matching the in-memory master — but
+// local-effect state is partition-independent).
+func TestRecoveryWithLoadBalance(t *testing.T) {
+	bal := partition.Balancer{MigrateCostPerAgent: 1e-9, HorizonTicks: 1000, MinRelativeGain: 0.01}
+	ref := memEngine(t, "epidemic", 96, 30, 5, engine.Options{
+		Workers: 4, Seed: 5, EpochTicks: 3, LoadBalance: true, Balancer: bal,
+	})
+	if err := ref.RunTicks(12); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		Addrs:    startChaosWorkers(t, 2, severProcAt(0, 15)),
+		Scenario: "epidemic",
+		Agents:   96, Extent: 30, Seed: 5,
+		Partitions: 4, Ticks: 12, EpochTicks: 3,
+		LoadBalance: true, Balancer: bal,
+		CheckpointEveryEpochs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want ≥ 1", res.Recoveries)
+	}
+	assertSamePopulation(t, "lb+recovery", ref.Agents(), res.Agents)
+}
+
+// A worker that dies at the same replayed point every generation — a
+// flapping link that re-severs after each re-admission — must fail the
+// run after the recovery budget instead of looping forever.
+func TestRecoveryGivesUpOnFlappingWorker(t *testing.T) {
+	flappy := func(tr transport.Transport, h *transport.Hello) transport.Transport {
+		if h.Proc == 1 {
+			return &transport.SeverAt{Transport: tr, Phase: 3} // every session
+		}
+		return tr
+	}
+	_, err := Run(Options{
+		Addrs:    startChaosWorkers(t, 2, flappy),
+		Scenario: "epidemic",
+		Agents:   60, Extent: 30, Seed: 7,
+		Partitions: 4, Ticks: 8, EpochTicks: 2,
+		CheckpointEveryEpochs: 1,
+		MaxRecoveries:         3,
+	})
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v, want recovery budget exhaustion", err)
+	}
+}
+
+// Two workers dying — the second while the run is already recovering from
+// the first — must still converge: each death triggers its own rollback,
+// and the sole survivor finishes with the correct state.
+func TestRecoveryDoubleDeath(t *testing.T) {
+	wrap := func(tr transport.Transport, h *transport.Hello) transport.Transport {
+		if h.Gen != 1 {
+			return tr
+		}
+		switch h.Proc {
+		case 1:
+			return &transport.SeverAt{Transport: tr, Phase: 9}
+		case 2:
+			return &transport.SeverAt{Transport: tr, Phase: 13}
+		}
+		return tr
+	}
+	ref := memEngine(t, "epidemic", 90, 30, 13, engine.Options{Workers: 6, Seed: 13, EpochTicks: 2})
+	if err := ref.RunTicks(10); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Options{
+		Addrs:    startChaosWorkers(t, 3, wrap),
+		Scenario: "epidemic",
+		Agents:   90, Extent: 30, Seed: 13,
+		Partitions: 6, Ticks: 10, EpochTicks: 2,
+		CheckpointEveryEpochs: 1,
+		NoRejoin:              true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries < 2 {
+		t.Errorf("recoveries = %d, want ≥ 2", res.Recoveries)
+	}
+	if res.Procs != 1 {
+		t.Errorf("procs = %d, want 1 survivor", res.Procs)
+	}
+	assertSamePopulation(t, "double-death", ref.Agents(), res.Agents)
+}

@@ -1,6 +1,7 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -11,31 +12,58 @@ import (
 	"github.com/bigreddata/brace/internal/transport"
 )
 
+// ServeOptions tunes a worker daemon's accept loop.
+type ServeOptions struct {
+	// Log receives session banners and errors (nil: silent).
+	Log io.Writer
+	// Once makes the daemon exit after its first coordinator session
+	// (tests and one-shot jobs).
+	Once bool
+	// Wrap, when non-nil, wraps each session's transport before the
+	// engine sees it. Fault-injection tests use it (transport.SeverAt) to
+	// kill a worker's connection at a chosen phase; production passes
+	// nothing.
+	Wrap func(tr transport.Transport, h *transport.Hello) transport.Transport
+}
+
 // Serve runs the worker daemon's accept loop: one coordinator session at a
-// time, each a complete simulation. With once set it returns after the
-// first session (tests and one-shot jobs); otherwise it serves until the
-// listener closes. Session errors are logged to logw and do not stop the
-// daemon — a failed run must not take the worker down with it.
+// time, each a complete simulation (or a re-admission into a recovering
+// one). With once set it returns after the first session; otherwise it
+// serves until the listener closes. Session errors are logged and do not
+// stop the daemon — a failed run must not take the worker down with it,
+// and a coordinator recovering from this worker's death re-dials the same
+// daemon to re-admit it.
 func Serve(lis net.Listener, logw io.Writer, once bool) error {
+	return ServeWith(lis, ServeOptions{Log: logw, Once: once})
+}
+
+// ServeWith is Serve with full options.
+func ServeWith(lis net.Listener, so ServeOptions) error {
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
 			return err
 		}
-		err = ServeConn(conn, logw)
-		if once {
+		err = serveConn(conn, so)
+		if so.Once {
 			return err // the caller reports it; logging here would duplicate
 		}
-		if err != nil && logw != nil {
-			fmt.Fprintf(logw, "bracesim-worker: session: %v\n", err)
+		if err != nil && so.Log != nil {
+			fmt.Fprintf(so.Log, "bracesim-worker: session: %v\n", err)
 		}
 	}
 }
 
-// ServeConn runs one coordinator session: handshake, rebuild the scenario
-// locally, tick this process's partition block over the TCP transport, and
-// report the final owned envelopes.
+// ServeConn runs one coordinator session on an accepted connection.
 func ServeConn(conn net.Conn, logw io.Writer) error {
+	return serveConn(conn, ServeOptions{Log: logw})
+}
+
+// serveConn runs one coordinator session: handshake, rebuild the scenario
+// locally, tick the partitions the coordinator assigned over the TCP
+// transport — re-winding to coordinator checkpoints whenever a Restore
+// arrives — and report the final owned envelopes.
+func serveConn(conn net.Conn, so ServeOptions) error {
 	fc := transport.NewConn(conn)
 	defer fc.Close()
 
@@ -64,36 +92,156 @@ func ServeConn(conn net.Conn, logw io.Writer) error {
 	if err := fc.Send(&transport.Frame{Kind: transport.FrameAck}); err != nil {
 		return err
 	}
-	if logw != nil {
-		fmt.Fprintf(logw, "bracesim-worker: proc %d/%d: %s, %d agents, partitions %v, %d ticks\n",
-			h.Proc, h.NumProcs, h.Scenario, len(pop), transport.PartsOf(h.Proc, h.Partitions, h.NumProcs), h.Ticks)
+	local := ownedParts(h.Assign, h.Proc)
+	if so.Log != nil {
+		fmt.Fprintf(so.Log, "bracesim-worker: proc %d/%d gen %d: %s, %d agents, partitions %v, %d ticks\n",
+			h.Proc, h.NumProcs, h.Gen, h.Scenario, len(pop), local, h.Ticks)
 	}
 
 	// The transport must exist before the engine: peers may start sending
-	// as soon as their own handshakes complete.
-	tr := transport.NewTCP(fc, h.Proc, h.NumProcs, h.Partitions)
-	eng, err := engine.NewDistributed(m, pop, engine.Options{
+	// as soon as their own handshakes complete. A re-admitted worker
+	// (Gen > 1) joins one generation behind so the recovering generation's
+	// early traffic buffers until its Restore applies.
+	tGen := h.Gen
+	rejoining := h.Gen > 1
+	if rejoining {
+		tGen = h.Gen - 1
+	}
+	tcp := transport.NewTCP(fc, h.Proc, h.NumProcs, h.Partitions, h.Assign, tGen)
+	var tr transport.Transport = tcp
+	if so.Wrap != nil {
+		tr = so.Wrap(tcp, h)
+	}
+
+	// The barrier hook closes over the engine pointer, which is assigned
+	// right after construction; the hook only fires inside RunTicks.
+	var eng *engine.Distributed
+	eng, err = engine.NewDistributed(m, pop, engine.Options{
 		Workers:    h.Partitions,
 		Index:      kind,
 		Seed:       h.Seed,
 		EpochTicks: h.EpochTicks,
 		Sequential: h.Sequential,
 		Transport:  tr,
-		LocalParts: transport.PartsOf(h.Proc, h.Partitions, h.NumProcs),
+		LocalParts: local,
+		EpochBarrier: func(tick uint64) error {
+			return workerBarrier(eng, tcp, h, tick)
+		},
 	})
-	if err == nil {
-		err = eng.RunTicks(h.Ticks)
-	}
 	if err != nil {
-		fc.Send(&transport.Frame{Kind: transport.FrameError, Src: h.Proc, Err: err.Error()})
+		fc.Send(&transport.Frame{Kind: transport.FrameError, Src: h.Proc, Gen: tGen, Err: err.Error()})
 		return err
 	}
-	return fc.Send(&transport.Frame{Kind: transport.FrameFinal, Src: h.Proc, Final: &transport.FinalReport{
-		Proc:   h.Proc,
-		Ticks:  eng.Tick(),
-		Values: eng.Runtime().AllValues(),
-		Net:    tr.Metrics().Totals(),
-	}})
+	if rejoining {
+		// Joined mid-run: the initial population load is placeholder
+		// state; wait for the coordinator's Restore before ticking.
+		if err := awaitAndApplyRestore(eng, tcp, h); err != nil {
+			return err
+		}
+	}
+
+	for {
+		err := eng.RunTicks(h.Ticks - int(eng.Tick()))
+		switch {
+		case err == nil:
+			if err := tcp.Control(&transport.Frame{Kind: transport.FrameFinal, Final: &transport.FinalReport{
+				Proc:   h.Proc,
+				Ticks:  eng.Tick(),
+				Values: eng.Runtime().AllValues(),
+				Net:    tcp.Metrics().Totals(),
+			}}); err != nil {
+				return err
+			}
+			// Park until the coordinator closes the run — or a late
+			// failure elsewhere rewinds this worker back into the loop.
+			r, err := tcp.AwaitRestore()
+			if err != nil {
+				return nil // connection closed: run complete
+			}
+			if err := applyRestore(eng, tcp, h, r); err != nil {
+				return err
+			}
+		case errors.Is(err, transport.ErrRestore):
+			if err := awaitAndApplyRestore(eng, tcp, h); err != nil {
+				return err
+			}
+		default:
+			fc.Send(&transport.Frame{Kind: transport.FrameError, Src: h.Proc, Err: err.Error()})
+			return err
+		}
+	}
+}
+
+// awaitAndApplyRestore blocks for the coordinator's Restore, rewinds the
+// engine to the checkpoint it carries, and re-fences the transport onto
+// the new generation.
+func awaitAndApplyRestore(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello) error {
+	r, err := tcp.AwaitRestore()
+	if err != nil {
+		return err
+	}
+	return applyRestore(eng, tcp, h, r)
+}
+
+// applyRestore rewinds the engine to the checkpoint a Restore carries and
+// re-fences the transport onto the new generation.
+func applyRestore(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello, r *transport.Restore) error {
+	states := make([]engine.PartitionState, 0, len(r.Parts))
+	for _, ps := range r.Parts {
+		envs, ok := ps.Values.([]*engine.Envelope)
+		if !ok && ps.Values != nil {
+			return fmt.Errorf("distrib: restore carried %T, want []*engine.Envelope", ps.Values)
+		}
+		states = append(states, engine.PartitionState{Part: ps.Part, Visited: ps.Visited, Envs: envs})
+	}
+	if err := eng.Restore(r.Tick, r.Cuts, ownedParts(r.Assign, h.Proc), states); err != nil {
+		return err
+	}
+	tcp.Reset(r)
+	return nil
+}
+
+// workerBarrier is the epoch-boundary round-trip: statistics up, directive
+// down, directive applied (checkpoint state shipped with the cuts still in
+// pre-rebalance force, then new cuts installed — the same order the
+// in-memory master uses).
+func workerBarrier(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello, tick uint64) error {
+	local := eng.LocalPartitions()
+	stats := &transport.EpochStats{Proc: h.Proc, Tick: tick, Parts: make([]transport.PartStats, 0, len(local))}
+	for _, p := range local {
+		ps := transport.PartStats{Part: p, Visited: eng.PartitionVisited(p)}
+		if h.LoadBalance {
+			ps.Xs = eng.PartitionXs(p)
+		}
+		stats.Parts = append(stats.Parts, ps)
+	}
+	if err := tcp.Control(&transport.Frame{Kind: transport.FrameStats, Stats: stats}); err != nil {
+		return err
+	}
+	d, err := tcp.AwaitDirective()
+	if err != nil {
+		return err
+	}
+	if d.Tick != tick {
+		return fmt.Errorf("distrib: directive for tick %d at barrier %d", d.Tick, tick)
+	}
+	if d.Checkpoint {
+		ck := &transport.CheckpointMsg{Proc: h.Proc, Tick: tick, Parts: make([]transport.PartState, 0, len(local))}
+		for _, p := range local {
+			ck.Parts = append(ck.Parts, transport.PartState{
+				Part:    p,
+				Visited: eng.PartitionVisited(p),
+				Values:  eng.ExportPartition(p),
+			})
+		}
+		if err := tcp.Control(&transport.Frame{Kind: transport.FrameCheckpoint, Ckpt: ck}); err != nil {
+			return err
+		}
+	}
+	if d.NewCuts != nil {
+		return eng.InstallCuts(d.NewCuts)
+	}
+	return nil
 }
 
 // checkHello validates a coordinator's handshake against this binary.
@@ -105,8 +253,19 @@ func checkHello(h *transport.Hello) (scenario.Spec, spatial.Kind, error) {
 	if h.NumProcs < 1 || h.Proc < 0 || h.Proc >= h.NumProcs {
 		return none, 0, fmt.Errorf("bad process index %d of %d", h.Proc, h.NumProcs)
 	}
-	if h.Partitions < h.NumProcs {
-		return none, 0, fmt.Errorf("%d partitions cannot cover %d processes", h.Partitions, h.NumProcs)
+	if h.Partitions < 1 {
+		return none, 0, fmt.Errorf("no partitions")
+	}
+	if len(h.Assign) != h.Partitions {
+		return none, 0, fmt.Errorf("assignment covers %d partitions, want %d", len(h.Assign), h.Partitions)
+	}
+	for p, pr := range h.Assign {
+		if pr < 0 || pr >= h.NumProcs {
+			return none, 0, fmt.Errorf("partition %d assigned to unknown process %d", p, pr)
+		}
+	}
+	if h.Gen < 1 {
+		return none, 0, fmt.Errorf("bad generation %d", h.Gen)
 	}
 	if h.Ticks < 0 {
 		return none, 0, fmt.Errorf("negative tick count")

@@ -1,0 +1,129 @@
+// Control-plane surface of the distributed engine: the accessors and
+// mutators a coordinator-driven worker needs at epoch barriers. The
+// in-memory engine is its own master (onEpoch rebalances, the runtime
+// checkpoints internally); a multi-process worker instead ships the same
+// per-partition inputs to the coordinator, which runs PlanRebalance — the
+// identical decision procedure — and answers with cuts to install, a
+// checkpoint order, or a restore. Keeping both paths on one procedure is
+// what makes `-lb` over TCP bit-identical to the in-memory engine.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/bigreddata/brace/internal/partition"
+)
+
+// PartitionState is one partition's checkpointed state as it travels
+// between a worker and the coordinator: the owned envelopes plus the
+// partition's cumulative cost counter, so a restored run keeps making the
+// same load-balancing decisions as an unfailed one.
+type PartitionState struct {
+	Part    int
+	Visited int64
+	Envs    []*Envelope
+}
+
+// PlanRebalance runs the 1-D balancer's decision procedure from
+// per-partition inputs: xs[p] holds the x coordinates of partition p's
+// owned agents, visited[p] its cumulative candidates-visited counter (the
+// per-agent cost proxy: visited/owned + 1). Positions are folded
+// partition-major and sorted within each partition, so the decision is a
+// function of the per-partition position multisets alone — an in-memory
+// engine and a coordinator assembling worker statistics reach the same
+// cuts bit for bit.
+func PlanRebalance(b partition.Balancer, strips *partition.Strips, xs [][]float64, visited []int64) partition.Decision {
+	var flat, costs []float64
+	for p := range xs {
+		sorted := append([]float64(nil), xs[p]...)
+		sort.Float64s(sorted)
+		perAgent := 1.0
+		if n := len(sorted); n > 0 {
+			perAgent = float64(visited[p])/float64(n) + 1
+		}
+		for _, x := range sorted {
+			flat = append(flat, x)
+			costs = append(costs, perAgent)
+		}
+	}
+	return b.Plan(strips, flat, costs)
+}
+
+// LocalPartitions returns the partitions this engine computes (all of
+// them for a single-process engine).
+func (e *Distributed) LocalPartitions() []int {
+	if e.opts.LocalParts == nil {
+		all := make([]int, e.opts.Workers)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	return append([]int(nil), e.opts.LocalParts...)
+}
+
+// PartitionXs returns the x coordinates of partition p's owned values —
+// the balancer's per-partition input.
+func (e *Distributed) PartitionXs(p int) []float64 {
+	vals := e.rt.Values(p)
+	xs := make([]float64, len(vals))
+	for i, env := range vals {
+		xs[i] = env.A.Pos(e.schema).X
+	}
+	return xs
+}
+
+// PartitionVisited returns partition p's cumulative candidates-visited
+// counter.
+func (e *Distributed) PartitionVisited(p int) int64 { return e.wVisited[p] }
+
+// ExportPartition returns partition p's current envelopes for checkpoint
+// shipping. The slice aliases live engine state: the caller must
+// serialize it before the engine ticks again.
+func (e *Distributed) ExportPartition(p int) []*Envelope { return e.rt.Values(p) }
+
+// InstallCuts replaces the strip partitioning with the given interior
+// boundaries — a coordinator rebalancing directive. Only legal at an
+// epoch barrier (no phase may be executing).
+func (e *Distributed) InstallCuts(cuts []float64) error {
+	if _, ok := e.part.(*partition.Strips); !ok {
+		return fmt.Errorf("engine: cannot install cuts over a non-strip partitioning")
+	}
+	p, err := partition.NewStripsFromCuts(cuts)
+	if err != nil {
+		return err
+	}
+	if p.N() != e.opts.Workers {
+		return fmt.Errorf("engine: %d cuts make %d partitions, want %d", len(cuts), p.N(), e.opts.Workers)
+	}
+	e.part = p
+	return nil
+}
+
+// Restore rewinds the engine to a coordinator-held checkpoint: tick,
+// strip cuts (nil keeps the current partitioning), the set of partitions
+// this process now computes, and their state. Partitions outside the new
+// local set are cleared. Only legal between RunTicks calls.
+func (e *Distributed) Restore(tick uint64, cuts []float64, local []int, parts []PartitionState) error {
+	if cuts != nil {
+		if err := e.InstallCuts(cuts); err != nil {
+			return err
+		}
+	}
+	vals := make(map[int][]*Envelope, len(parts))
+	for i := range e.wVisited {
+		e.wVisited[i] = 0
+	}
+	for _, ps := range parts {
+		if ps.Part < 0 || ps.Part >= e.opts.Workers {
+			return fmt.Errorf("engine: restore of unknown partition %d", ps.Part)
+		}
+		vals[ps.Part] = ps.Envs
+		e.wVisited[ps.Part] = ps.Visited
+	}
+	e.rt.Reset(tick, local, vals)
+	e.opts.LocalParts = local
+	e.lastEpochT = tick
+	return nil
+}

@@ -47,9 +47,16 @@ type Options struct {
 	// LocalParts restricts this engine to computing the given partitions
 	// (nil = all). Set by the distributed driver: every worker process
 	// builds the same model and initial population, then loads and ticks
-	// only its own partition block. Incompatible with LoadBalance,
-	// CostModel and Failures, which need a global view.
+	// only the partitions the coordinator assigned it. Incompatible with
+	// engine-local LoadBalance, CostModel and Failures, which need a
+	// global view — in multi-process runs the coordinator owns those
+	// features and drives this engine through EpochBarrier, InstallCuts
+	// and Restore.
 	LocalParts []int
+	// EpochBarrier, when non-nil, runs first at every epoch boundary.
+	// Distributed workers use it for the coordinator round-trip (ship
+	// stats, await the directive); a returned error aborts RunTicks.
+	EpochBarrier func(tick uint64) error
 	// InitialPartition overrides the automatic quantile strip
 	// partitioning with any partitioning function (e.g. partition.KD2D
 	// for 2-D median splits). Load balancing applies only when the
@@ -184,18 +191,29 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 		CheckpointEveryEpochs: opts.CheckpointEveryEpochs,
 		Failures:              opts.Failures,
 		Sequential:            opts.Sequential,
+		Barrier:               opts.EpochBarrier,
 		OnEpoch:               e.onEpoch,
+		// Checkpoints capture master state alongside worker memories: the
+		// strip cuts (the balancer mutates them) and the per-partition
+		// visited counters (the balancer's cost proxy), so a recovered run
+		// makes the same balancing decisions as an unfailed one.
 		SnapshotMaster: func() any {
+			ms := &masterState{visited: append([]int64(nil), e.wVisited...)}
 			if s, ok := e.part.(*partition.Strips); ok {
-				return s.Cuts()
+				ms.cuts = s.Cuts()
 			}
-			return nil // static partitionings never change; nothing to save
+			return ms
 		},
 		RestoreMaster: func(v any) {
 			if v == nil {
 				return
 			}
-			p, err := partition.NewStripsFromCuts(v.([]float64))
+			ms := v.(*masterState)
+			copy(e.wVisited, ms.visited)
+			if ms.cuts == nil {
+				return // static partitionings never change
+			}
+			p, err := partition.NewStripsFromCuts(ms.cuts)
 			if err != nil {
 				panic(err) // snapshots are produced by us; invalid means a bug
 			}
@@ -445,21 +463,11 @@ func (e *Distributed) rebalance() bool {
 	if !ok {
 		return false // the 1-D balancer only adjusts strip cuts
 	}
-	var xs, costs []float64
+	xs := make([][]float64, e.opts.Workers)
 	for w := 0; w < e.opts.Workers; w++ {
-		vals := e.rt.Values(w)
-		perAgent := 1.0
-		if n := len(vals); n > 0 {
-			// Cost proxy: index candidates visited per owned agent in
-			// this epoch, plus fixed per-agent work.
-			perAgent = float64(e.wVisited[w])/float64(n) + 1
-		}
-		for _, env := range vals {
-			xs = append(xs, env.A.Pos(e.schema).X)
-			costs = append(costs, perAgent)
-		}
+		xs[w] = e.PartitionXs(w)
 	}
-	d := e.opts.Balancer.Plan(strips, xs, costs)
+	d := PlanRebalance(e.opts.Balancer, strips, xs, e.wVisited)
 	if !d.Apply {
 		return false
 	}
@@ -469,6 +477,12 @@ func (e *Distributed) rebalance() bool {
 	}
 	e.part = p
 	return true
+}
+
+// masterState is the engine's contribution to a coordinated checkpoint.
+type masterState struct {
+	cuts    []float64 // strip cuts; nil for non-strip partitionings
+	visited []int64   // cumulative per-partition candidates-visited
 }
 
 // Agents returns the current population, ID-sorted (owned copies only).

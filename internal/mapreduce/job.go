@@ -114,6 +114,14 @@ type Config struct {
 	// workers concurrently.
 	Sequential bool
 
+	// Barrier, when non-nil, runs first at every epoch boundary, before
+	// failure detection, checkpoints and OnEpoch. A multi-process worker
+	// uses it for the coordinator round-trip: ship epoch statistics, wait
+	// for the master's directive, apply it. A returned error aborts
+	// RunTicks with that error (the distributed worker unwinds this way
+	// when the coordinator orders a restore).
+	Barrier func(tick uint64) error
+
 	// OnEpoch, when non-nil, runs on the master at each epoch boundary
 	// after the epoch's ticks complete. BRACE hooks load balancing here.
 	OnEpoch func(tick uint64, r EpochView)

@@ -92,6 +92,28 @@ func (r *Runtime[V]) Transport() transport.Transport { return r.tr }
 // Recoveries returns how many checkpoint rollbacks have occurred.
 func (r *Runtime[V]) Recoveries() int { return r.recovered }
 
+// Reset rewinds the runtime to externally supplied state: the tick, the
+// set of locally computed partitions, and their values (partitions absent
+// from the map are cleared). The distributed worker uses it when the
+// coordinator restores a run from its checkpoint — possibly with a
+// different partition assignment than this process started with. The
+// in-memory rollback point is dropped; the next RunTicks re-seeds it from
+// the restored state. Must not be called while RunTicks is executing.
+func (r *Runtime[V]) Reset(tick uint64, local []int, values map[int][]V) {
+	r.tick = tick
+	if local == nil {
+		local = make([]int, r.cfg.Workers)
+		for i := range local {
+			local[i] = i
+		}
+	}
+	r.local = local
+	for i := range r.values {
+		r.values[i] = values[i]
+	}
+	r.ckpt = nil
+}
+
 // OwnedCounts implements EpochView.
 func (r *Runtime[V]) OwnedCounts() []int {
 	counts := make([]int, len(r.values))
@@ -133,9 +155,15 @@ func (r *Runtime[V]) RunTicks(n int) error {
 	return nil
 }
 
-// epochBoundary is the master/worker synchronization point: failure
-// detection + recovery, coordinated checkpoint, application hook.
+// epochBoundary is the master/worker synchronization point: external
+// barrier hook, failure detection + recovery, coordinated checkpoint,
+// application hook.
 func (r *Runtime[V]) epochBoundary(epoch int) error {
+	if r.cfg.Barrier != nil {
+		if err := r.cfg.Barrier(r.tick); err != nil {
+			return err
+		}
+	}
 	// Failure detection: the master's epoch heartbeat notices dead
 	// workers; recovery re-executes from the last coordinated checkpoint.
 	anyFailed := false

@@ -1,0 +1,29 @@
+package transport
+
+// SeverAt is a fault-injection Transport wrapper for recovery tests: it
+// counts phase barriers and severs the wrapped transport — closing its
+// coordinator connection — immediately before the Nth EndPhase. To the
+// coordinator this is indistinguishable from the worker process dying
+// mid-phase; to the worker every subsequent transport operation fails, so
+// its session unwinds exactly like a crash while the daemon survives to
+// accept a re-admission dial.
+//
+// Local-effect scenarios run two phases per tick (map, reduce₁) and
+// non-local ones three, so Phase = 2·tick+1 severs a local-effect worker
+// in the middle of that tick.
+type SeverAt struct {
+	Transport
+	// Phase is the 1-based EndPhase call to sever at.
+	Phase int
+
+	n int
+}
+
+// EndPhase counts barriers and cuts the connection at the chosen one.
+func (s *SeverAt) EndPhase() error {
+	s.n++
+	if s.n == s.Phase {
+		_ = s.Transport.Close()
+	}
+	return s.Transport.EndPhase()
+}

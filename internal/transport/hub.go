@@ -8,119 +8,193 @@ import (
 
 // Hub is the coordinator's relay: a star topology with the coordinator at
 // the center and one framed connection per worker process. Each inbound
-// connection is read by its own goroutine that forwards frames
-// synchronously, so per-source frame order — which the TCP transport's
-// marker protocol depends on — is preserved end to end.
+// connection is read by its own goroutine that forwards data-plane frames
+// synchronously — so per-source frame order, which the TCP transport's
+// marker protocol depends on, is preserved end to end — and surfaces
+// everything else (control frames, disconnects) as HubEvents for the
+// coordinator's control loop to consume.
+//
+// Routing is dynamic: Data frames go to the process the current assignment
+// maps their destination partition to, and the assignment can be swapped
+// mid-run (SetAssign) when the control plane re-places partitions after a
+// failure or re-admits a worker (Attach).
 type Hub struct {
-	conns []*Conn
-	parts int
+	parts  int
+	events chan HubEvent
 
-	mu       sync.Mutex
-	firstErr error
+	mu     sync.Mutex
+	conns  []*Conn
+	live   []bool
+	seqs   []int // per-proc attach sequence; stamps disconnect events
+	assign []int
 }
 
-// NewHub builds a relay over already-handshaken worker connections; conns[i]
-// must be worker process i. parts is the total partition count, needed to
-// route Data frames to the process owning the destination partition.
-func NewHub(conns []*Conn, parts int) *Hub {
-	return &Hub{conns: conns, parts: parts}
+// HubEvent is one control-plane occurrence: a control frame from a worker
+// (Frame non-nil) or a worker disconnect (Frame nil, Err the reason).
+// Seq is the attach sequence of the connection the event came from, so a
+// consumer that re-attached the process can discard disconnects queued by
+// the replaced connection.
+type HubEvent struct {
+	Src   int
+	Frame *Frame
+	Err   error
+	Seq   int
 }
 
-// Run relays Data and EndPhase frames between workers until every worker
-// has sent its FinalReport (returned indexed by process), or until any
-// connection errors — in which case the error is broadcast to the
-// remaining workers so none is left blocked at a phase barrier.
-func (h *Hub) Run() ([]*FinalReport, error) {
-	finals := make([]*FinalReport, len(h.conns))
-	var wg sync.WaitGroup
-	for i, c := range h.conns {
-		wg.Add(1)
-		go func(src int, c *Conn) {
-			defer wg.Done()
-			if err := h.relay(src, c, finals); err != nil {
-				h.abort(src, err)
-			}
-		}(i, c)
+// NewHub builds a relay for procs worker processes over parts partitions
+// under the given initial assignment. Connections are added with Attach.
+func NewHub(parts, procs int, assign []int) *Hub {
+	return &Hub{
+		parts:  parts,
+		events: make(chan HubEvent, 8*procs+64),
+		conns:  make([]*Conn, procs),
+		live:   make([]bool, procs),
+		seqs:   make([]int, procs),
+		assign: append([]int(nil), assign...),
 	}
-	wg.Wait()
+}
+
+// Events delivers control frames and disconnects, in per-connection
+// arrival order, to the coordinator's control loop.
+func (h *Hub) Events() <-chan HubEvent { return h.events }
+
+// SetAssign swaps the partition→process routing table.
+func (h *Hub) SetAssign(assign []int) {
 	h.mu.Lock()
-	err := h.firstErr
+	defer h.mu.Unlock()
+	h.assign = append([]int(nil), assign...)
+}
+
+// Attach registers (or replaces, for a re-admitted worker) process proc's
+// connection, starts its relay goroutine, and returns the connection's
+// attach sequence (compare against HubEvent.Seq to spot stale events).
+func (h *Hub) Attach(proc int, c *Conn) int {
+	h.mu.Lock()
+	h.conns[proc] = c
+	h.live[proc] = true
+	h.seqs[proc]++
+	seq := h.seqs[proc]
 	h.mu.Unlock()
-	if err != nil {
-		return nil, err
+	go h.relay(proc, c)
+	return seq
+}
+
+// Send delivers one frame to process proc.
+func (h *Hub) Send(proc int, f *Frame) error {
+	h.mu.Lock()
+	c, ok := h.conns[proc], h.live[proc]
+	h.mu.Unlock()
+	if !ok || c == nil {
+		return fmt.Errorf("transport: worker %d is not connected", proc)
 	}
-	for i, f := range finals {
-		if f == nil {
-			return nil, fmt.Errorf("transport: worker %d closed without a final report", i)
+	return c.Send(f)
+}
+
+// Broadcast delivers one frame to every live process, best-effort.
+func (h *Hub) Broadcast(f *Frame) {
+	for _, c := range h.liveConns(-1) {
+		_ = c.conn.Send(f)
+	}
+}
+
+// Close tears down every connection; relay goroutines exit silently.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range h.conns {
+		h.live[i] = false
+		if c != nil {
+			_ = c.Close()
 		}
 	}
-	return finals, nil
 }
 
-// relay forwards one worker's frames until its FinalReport arrives.
-func (h *Hub) relay(src int, c *Conn, finals []*FinalReport) error {
+type hubConn struct {
+	proc int
+	conn *Conn
+}
+
+// liveConns snapshots the live connections, excluding proc (pass -1 to
+// exclude none).
+func (h *Hub) liveConns(except int) []hubConn {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]hubConn, 0, len(h.conns))
+	for i, c := range h.conns {
+		if i == except || !h.live[i] || c == nil {
+			continue
+		}
+		out = append(out, hubConn{proc: i, conn: c})
+	}
+	return out
+}
+
+// drop marks a process dead and reports whether it was live along with
+// its attach sequence (the caller emits the disconnect event exactly
+// once, stamped so consumers can discard it if the process re-attached).
+func (h *Hub) drop(proc int, c *Conn) (bool, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// A re-admitted worker replaces its dead connection; only the relay
+	// that still owns the registered conn may kill the slot.
+	if h.conns[proc] != c {
+		return false, 0
+	}
+	was := h.live[proc]
+	h.live[proc] = false
+	_ = c.Close()
+	return was, h.seqs[proc]
+}
+
+// relay forwards one worker's frames until its connection dies: Data to
+// the destination partition's owner, EndPhase markers to every live peer,
+// everything else to the control loop.
+func (h *Hub) relay(src int, c *Conn) {
 	for {
 		f, err := c.Recv()
 		if err != nil {
 			if err == io.EOF {
-				return fmt.Errorf("transport: worker %d disconnected mid-run", src)
+				err = fmt.Errorf("transport: worker %d disconnected mid-run", src)
+			} else {
+				err = fmt.Errorf("transport: worker %d: %w", src, err)
 			}
-			return fmt.Errorf("transport: worker %d: %w", src, err)
+			if was, seq := h.drop(src, c); was {
+				h.events <- HubEvent{Src: src, Err: err, Seq: seq}
+			}
+			return
 		}
 		switch f.Kind {
 		case FrameData:
 			if f.Msg.To < 0 || int(f.Msg.To) >= h.parts {
-				return fmt.Errorf("transport: worker %d sent to unroutable partition %d", src, f.Msg.To)
+				if was, seq := h.drop(src, c); was {
+					h.events <- HubEvent{Src: src, Err: fmt.Errorf("transport: worker %d sent to unroutable partition %d", src, f.Msg.To), Seq: seq}
+				}
+				return
 			}
-			dst := OwnerProc(int(f.Msg.To), h.parts, len(h.conns))
-			if err := h.conns[dst].Send(f); err != nil {
-				return err
+			h.mu.Lock()
+			dst := h.assign[f.Msg.To]
+			dc := h.conns[dst]
+			if !h.live[dst] {
+				dc = nil // owner died; the frame's generation is doomed anyway
+			}
+			h.mu.Unlock()
+			if dc != nil {
+				if err := dc.Send(f); err != nil {
+					if was, seq := h.drop(dst, dc); was {
+						h.events <- HubEvent{Src: dst, Err: fmt.Errorf("transport: relay to worker %d: %w", dst, err), Seq: seq}
+					}
+				}
 			}
 		case FrameEndPhase:
-			for j, peer := range h.conns {
-				if j == f.Src {
-					continue
-				}
-				if err := peer.Send(f); err != nil {
-					return err
+			for _, peer := range h.liveConns(src) {
+				if err := peer.conn.Send(f); err != nil {
+					if was, seq := h.drop(peer.proc, peer.conn); was {
+						h.events <- HubEvent{Src: peer.proc, Err: fmt.Errorf("transport: relay to worker %d: %w", peer.proc, err), Seq: seq}
+					}
 				}
 			}
-		case FrameFinal:
-			if f.Final == nil || f.Final.Proc != src {
-				return fmt.Errorf("transport: worker %d sent a malformed final report", src)
-			}
-			finals[src] = f.Final
-			return nil
-		case FrameError:
-			return fmt.Errorf("transport: worker %d failed: %s", src, f.Err)
 		default:
-			return fmt.Errorf("transport: worker %d sent unexpected frame kind %d", src, f.Kind)
+			h.events <- HubEvent{Src: src, Frame: f}
 		}
-	}
-}
-
-// abort records the first error, broadcasts it so no worker stays blocked
-// at a phase barrier, then closes every connection so the other relay
-// goroutines unblock too (their workers read the error frame before the
-// FIN — writes precede the close on each connection).
-func (h *Hub) abort(src int, err error) {
-	h.mu.Lock()
-	first := h.firstErr == nil
-	if first {
-		h.firstErr = err
-	}
-	h.mu.Unlock()
-	if !first {
-		return
-	}
-	f := &Frame{Kind: FrameError, Src: src, Err: err.Error()}
-	for j, peer := range h.conns {
-		if j == src {
-			continue
-		}
-		_ = peer.Send(f) // best effort; the peer may already be gone
-	}
-	for _, peer := range h.conns {
-		_ = peer.Close()
 	}
 }

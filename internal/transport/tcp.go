@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -8,31 +9,51 @@ import (
 	"github.com/bigreddata/brace/internal/cluster"
 )
 
+// ErrRestore is returned by a blocked or attempted transport operation
+// when the coordinator has ordered a restore: the worker must unwind its
+// tick loop, apply the pending Restore (AwaitRestore + Reset), and resume
+// from the checkpoint.
+var ErrRestore = errors.New("transport: restore directive pending")
+
 // TCP is the Transport a worker process runs the mapreduce runtime on in a
 // distributed (multi-process) BRACE cluster. The process computes the
-// partition block PartsOf(proc, parts, procs); a send between two of its
-// own partitions stays in memory (collocation), a send to any other
-// partition travels as a Data frame through the coordinator to the owning
-// process.
+// partitions the coordinator assigned to it; a send between two of its own
+// partitions stays in memory (collocation), a send to any other partition
+// travels as a Data frame through the coordinator to the owning process.
+// The assignment is coordinator-owned state: it arrives in the handshake
+// and can change mid-run through a Restore.
 //
 // Phase completeness uses end-of-phase markers instead of shared-memory
 // barriers: EndPhase sends a marker after this process's sends and blocks
-// until the markers of all procs−1 peers arrive. The coordinator relays
+// until the markers of all live peers arrive. The coordinator relays
 // frames preserving per-source order and TCP delivers in order, so once a
 // peer's marker is here, all of its Data frames for the phase are too.
+//
+// Every data-plane frame is stamped with the run's protocol generation.
+// After a failure the coordinator bumps the generation and restores
+// everyone from the last checkpoint; frames from older generations still
+// in flight are dropped, and frames from a generation this process has not
+// reached yet (a peer that restored first and raced ahead) are buffered
+// and replayed by Reset.
 type TCP struct {
 	proc, procs int
 	parts       int
 	fc          *Conn
 	metrics     *cluster.Metrics
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	inbox   [][]phasedMsg
-	failed  []bool
-	phase   uint64
-	markers map[uint64]int // phase → peer markers received
-	readErr error          // terminal reader state; sticky
+	mu        sync.Mutex
+	cond      *sync.Cond
+	gen       int
+	assign    []int
+	live      []bool
+	inbox     [][]phasedMsg
+	failed    []bool
+	phase     uint64
+	markers   map[uint64]int // phase → peer markers received (this gen)
+	future    []*Frame       // data-plane frames from a generation ahead
+	directive *Directive     // pending epoch directive (slot of one)
+	restore   *Restore       // pending restore; wins over everything
+	readErr   error          // terminal reader state; sticky
 }
 
 // phasedMsg tags an inbox entry with the phase it was sent in. A fast peer
@@ -48,16 +69,29 @@ type phasedMsg struct {
 var _ Transport = (*TCP)(nil)
 
 // NewTCP wraps an already-handshaken coordinator connection as the
-// transport for worker process proc of procs, computing parts partitions
-// total across all processes. It starts the connection's reader goroutine,
-// so the caller must not Recv on fc afterwards.
-func NewTCP(fc *Conn, proc, procs, parts int) *TCP {
+// transport for worker process proc of procs, computing the partitions
+// assign maps to it out of parts total. gen is the generation the process
+// joins at (1 for a fresh run; a re-admitted worker passes Hello.Gen-1 so
+// that the new generation's traffic buffers until its Restore applies).
+// It starts the connection's reader goroutine, so the caller must not
+// Recv on fc afterwards.
+func NewTCP(fc *Conn, proc, procs, parts int, assign []int, gen int) *TCP {
+	if len(assign) != parts {
+		panic(fmt.Sprintf("transport: assignment covers %d partitions, want %d", len(assign), parts))
+	}
+	live := make([]bool, procs)
+	for i := range live {
+		live[i] = true
+	}
 	t := &TCP{
 		proc:    proc,
 		procs:   procs,
 		parts:   parts,
 		fc:      fc,
 		metrics: cluster.NewMetrics(parts),
+		gen:     gen,
+		assign:  append([]int(nil), assign...),
+		live:    live,
 		inbox:   make([][]phasedMsg, parts),
 		failed:  make([]bool, parts),
 		markers: make(map[uint64]int),
@@ -74,33 +108,54 @@ func (t *TCP) readLoop() {
 			if err == io.EOF {
 				err = fmt.Errorf("transport: coordinator closed connection")
 			}
-			t.fail(err)
+			t.failConn(err)
 			return
 		}
 		switch f.Kind {
-		case FrameData:
+		case FrameData, FrameEndPhase, FrameDirective:
 			t.mu.Lock()
-			m := f.Msg
-			if m.To >= 0 && int(m.To) < len(t.inbox) && !t.failed[m.To] {
-				t.inbox[m.To] = append(t.inbox[m.To], phasedMsg{phase: f.Phase, m: m})
+			switch {
+			case f.Gen == t.gen:
+				t.apply(f)
+			case f.Gen > t.gen:
+				t.future = append(t.future, f)
 			}
 			t.mu.Unlock()
-		case FrameEndPhase:
+		case FrameRestore:
 			t.mu.Lock()
-			t.markers[f.Phase]++
-			t.cond.Broadcast()
+			if f.Rest != nil && f.Rest.Gen > t.gen {
+				t.restore = f.Rest
+				t.cond.Broadcast()
+			}
 			t.mu.Unlock()
 		case FrameError:
-			t.fail(fmt.Errorf("transport: peer error: %s", f.Err))
+			t.failConn(fmt.Errorf("transport: peer error: %s", f.Err))
 			return
 		default:
-			t.fail(fmt.Errorf("transport: unexpected frame kind %d mid-run", f.Kind))
+			t.failConn(fmt.Errorf("transport: unexpected frame kind %d mid-run", f.Kind))
 			return
 		}
 	}
 }
 
-func (t *TCP) fail(err error) {
+// apply files one current-generation frame. Caller holds t.mu.
+func (t *TCP) apply(f *Frame) {
+	switch f.Kind {
+	case FrameData:
+		m := f.Msg
+		if m.To >= 0 && int(m.To) < len(t.inbox) && !t.failed[m.To] {
+			t.inbox[m.To] = append(t.inbox[m.To], phasedMsg{phase: f.Phase, m: m})
+		}
+	case FrameEndPhase:
+		t.markers[f.Phase]++
+		t.cond.Broadcast()
+	case FrameDirective:
+		t.directive = f.Dir
+		t.cond.Broadcast()
+	}
+}
+
+func (t *TCP) failConn(err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.readErr == nil {
@@ -115,14 +170,28 @@ func (t *TCP) N() int { return t.parts }
 // Proc returns this process's index.
 func (t *TCP) Proc() int { return t.proc }
 
-// Send enqueues locally when the destination partition is owned by this
+// liveProcs counts processes still in the run. Caller holds t.mu.
+func (t *TCP) liveProcs() int {
+	n := 0
+	for _, l := range t.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// Send enqueues locally when the destination partition is assigned to this
 // process and ships a Data frame otherwise.
 func (t *TCP) Send(m cluster.Message) error {
 	if m.To < 0 || int(m.To) >= t.parts {
 		return fmt.Errorf("transport: send to unknown node %d", m.To)
 	}
-	local := OwnerProc(int(m.To), t.parts, t.procs) == t.proc
 	t.mu.Lock()
+	if t.restore != nil {
+		t.mu.Unlock()
+		return ErrRestore
+	}
 	if err := t.readErr; err != nil {
 		t.mu.Unlock()
 		return err
@@ -131,8 +200,10 @@ func (t *TCP) Send(m cluster.Message) error {
 		t.mu.Unlock()
 		return nil
 	}
+	local := t.assign[m.To] == t.proc
 	// Sends happen inside the phase that the *next* EndPhase ends.
 	phase := t.phase + 1
+	gen := t.gen
 	// Collocation: traffic between partitions of the same process never
 	// touches the wire and is metered as local.
 	t.metrics.RecordSend(m.From, m.To, m.Bytes, local)
@@ -142,7 +213,7 @@ func (t *TCP) Send(m cluster.Message) error {
 		return nil
 	}
 	t.mu.Unlock()
-	return t.fc.Send(&Frame{Kind: FrameData, Src: t.proc, Phase: phase, Msg: m})
+	return t.fc.Send(&Frame{Kind: FrameData, Src: t.proc, Gen: gen, Phase: phase, Msg: m})
 }
 
 // Drain removes and returns the messages queued for partition n that
@@ -179,9 +250,9 @@ func (t *TCP) Pending(n cluster.NodeID) int {
 	return count
 }
 
-// Fail marks a partition crashed in this process's local bookkeeping.
-// Multi-process failure injection is not supported: distributed runs
-// reject FailurePlans, so this only serves the Transport contract.
+// Fail marks a partition crashed in this process's local bookkeeping;
+// it only serves the Transport contract (multi-process failure handling
+// is the coordinator's job, not the injection API's).
 func (t *TCP) Fail(n cluster.NodeID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -207,28 +278,121 @@ func (t *TCP) Failed(n cluster.NodeID) bool {
 func (t *TCP) Metrics() *cluster.Metrics { return t.metrics }
 
 // EndPhase sends this process's end-of-phase marker and blocks until the
-// matching marker of every peer process has arrived, at which point all
-// Data frames of the phase are guaranteed to be in the local inboxes.
+// matching marker of every live peer process has arrived, at which point
+// all Data frames of the phase are guaranteed to be in the local inboxes.
+// It returns ErrRestore if the coordinator orders a restore while waiting.
 func (t *TCP) EndPhase() error {
 	t.mu.Lock()
+	if t.restore != nil {
+		t.mu.Unlock()
+		return ErrRestore
+	}
+	if err := t.readErr; err != nil {
+		t.mu.Unlock()
+		return err
+	}
 	t.phase++
 	phase := t.phase
+	gen := t.gen
+	peers := t.liveProcs() > 1
 	t.mu.Unlock()
-	if t.procs > 1 {
-		if err := t.fc.Send(&Frame{Kind: FrameEndPhase, Src: t.proc, Phase: phase}); err != nil {
+	if peers {
+		if err := t.fc.Send(&Frame{Kind: FrameEndPhase, Src: t.proc, Gen: gen, Phase: phase}); err != nil {
 			return err
 		}
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for t.markers[phase] < t.procs-1 && t.readErr == nil {
+	for t.markers[phase] < t.liveProcs()-1 && t.readErr == nil && t.restore == nil {
 		t.cond.Wait()
 	}
-	if t.readErr != nil {
+	switch {
+	case t.restore != nil:
+		return ErrRestore
+	case t.readErr != nil:
 		return t.readErr
 	}
 	delete(t.markers, phase)
 	return nil
+}
+
+// Control sends a control-plane frame (stats, checkpoint, final report),
+// stamped with this process's index and current generation.
+func (t *TCP) Control(f *Frame) error {
+	t.mu.Lock()
+	f.Src = t.proc
+	f.Gen = t.gen
+	t.mu.Unlock()
+	return t.fc.Send(f)
+}
+
+// AwaitDirective blocks until the coordinator answers the epoch barrier.
+// It returns ErrRestore if a restore arrives first (a peer died at or
+// around the barrier), or the terminal read error.
+func (t *TCP) AwaitDirective() (*Directive, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.directive == nil && t.restore == nil && t.readErr == nil {
+		t.cond.Wait()
+	}
+	switch {
+	case t.restore != nil:
+		return nil, ErrRestore
+	case t.directive != nil:
+		d := t.directive
+		t.directive = nil
+		return d, nil
+	}
+	return nil, t.readErr
+}
+
+// AwaitRestore blocks until a restore is pending (returning it without
+// clearing it — Reset does that) or the connection reaches a terminal
+// state. A worker that finished its ticks parks here: either the
+// coordinator closes the connection (run complete) or a late failure
+// rewinds it back into the tick loop.
+func (t *TCP) AwaitRestore() (*Restore, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.restore == nil && t.readErr == nil {
+		t.cond.Wait()
+	}
+	if t.restore != nil {
+		return t.restore, nil
+	}
+	return nil, t.readErr
+}
+
+// Reset installs a restore: new generation, assignment and live set; phase
+// counters, markers, inboxes and any stale directive are discarded, and
+// buffered frames of the new generation (from peers that restored first)
+// are replayed. The engine state itself is restored by the caller.
+func (t *TCP) Reset(r *Restore) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.gen = r.Gen
+	t.assign = append([]int(nil), r.Assign...)
+	t.live = append([]bool(nil), r.Live...)
+	t.phase = 0
+	t.markers = make(map[uint64]int)
+	for i := range t.inbox {
+		t.inbox[i] = nil
+	}
+	t.directive = nil
+	if t.restore != nil && t.restore.Gen <= r.Gen {
+		t.restore = nil
+	}
+	var keep []*Frame
+	for _, f := range t.future {
+		switch {
+		case f.Gen == r.Gen:
+			t.apply(f)
+		case f.Gen > r.Gen:
+			keep = append(keep, f)
+		}
+	}
+	t.future = keep
+	t.cond.Broadcast()
 }
 
 // Close tears down the coordinator connection; the reader goroutine exits

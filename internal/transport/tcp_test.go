@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/gob"
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -23,9 +24,21 @@ type hubResult struct {
 	err    error
 }
 
+// blockAssign is the contiguous-block placement the coordinator computes
+// for a fresh run.
+func blockAssign(parts, procs int) []int {
+	assign := make([]int, parts)
+	for p := range assign {
+		assign[p] = OwnerProc(p, parts, procs)
+	}
+	return assign
+}
+
 // miniCluster wires procs worker-side TCP transports to a running Hub over
 // real loopback sockets and returns the transports, the worker-side framed
-// conns (for final reports), and the hub's result channel.
+// conns (for final reports), and a result channel fed by a minimal control
+// loop (collect finals; abort on error or disconnect — what distrib's
+// coordinator does, minus recovery).
 func miniCluster(t testing.TB, procs, parts int) ([]*TCP, []*Conn, chan hubResult) {
 	t.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -34,7 +47,8 @@ func miniCluster(t testing.TB, procs, parts int) ([]*TCP, []*Conn, chan hubResul
 	}
 	t.Cleanup(func() { lis.Close() })
 
-	coord := make([]*Conn, procs)
+	assign := blockAssign(parts, procs)
+	hub := NewHub(parts, procs, assign)
 	workers := make([]*Conn, procs)
 	for i := 0; i < procs; i++ {
 		d, err := net.Dial("tcp", lis.Addr().String())
@@ -45,18 +59,41 @@ func miniCluster(t testing.TB, procs, parts int) ([]*TCP, []*Conn, chan hubResul
 		if err != nil {
 			t.Fatal(err)
 		}
-		workers[i], coord[i] = NewConn(d), NewConn(a)
+		workers[i] = NewConn(d)
+		hub.Attach(i, NewConn(a))
 	}
 	trs := make([]*TCP, procs)
 	for i := range trs {
-		trs[i] = NewTCP(workers[i], i, procs, parts)
+		trs[i] = NewTCP(workers[i], i, procs, parts, assign, 1)
 		tr := trs[i]
 		t.Cleanup(func() { tr.Close() })
 	}
 	res := make(chan hubResult, 1)
 	go func() {
-		finals, err := NewHub(coord, parts).Run()
-		res <- hubResult{finals, err}
+		finals := make([]*FinalReport, procs)
+		need := procs
+		for ev := range hub.Events() {
+			if ev.Frame == nil {
+				hub.Close()
+				res <- hubResult{nil, ev.Err}
+				return
+			}
+			switch ev.Frame.Kind {
+			case FrameFinal:
+				if finals[ev.Src] == nil {
+					need--
+				}
+				finals[ev.Src] = ev.Frame.Final
+				if need == 0 {
+					res <- hubResult{finals, nil}
+					return
+				}
+			case FrameError:
+				hub.Close()
+				res <- hubResult{nil, errors.New(ev.Frame.Err)}
+				return
+			}
+		}
 	}()
 	return trs, workers, res
 }
@@ -111,10 +148,11 @@ func TestTCPRoutesAndMeters(t *testing.T) {
 		t.Errorf("net bytes = %d, want 48", m0.SentBytes+m1.SentBytes)
 	}
 
-	// Clean shutdown: both workers report finals, the hub returns them.
+	// Clean shutdown: both workers report finals, the control loop
+	// returns them.
 	for i, c := range conns {
 		rep := &FinalReport{Proc: i, Ticks: 1, Net: trs[i].Metrics().Totals()}
-		if err := c.Send(&Frame{Kind: FrameFinal, Src: i, Final: rep}); err != nil {
+		if err := c.Send(&Frame{Kind: FrameFinal, Src: i, Gen: 1, Final: rep}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -132,21 +170,21 @@ func TestTCPRoutesAndMeters(t *testing.T) {
 }
 
 // A worker failure must not leave its peers blocked at a phase barrier:
-// the hub broadcasts the error and EndPhase returns it.
+// the control loop tears the run down (when it does not recover) and
+// EndPhase returns an error.
 func TestTCPErrorUnblocksPeers(t *testing.T) {
 	trs, conns, res := miniCluster(t, 2, 2)
 
 	done := make(chan error, 1)
 	go func() { done <- trs[1].EndPhase() }()
 
-	if err := conns[0].Send(&Frame{Kind: FrameError, Src: 0, Err: "engine exploded"}); err != nil {
+	if err := conns[0].Send(&Frame{Kind: FrameError, Src: 0, Gen: 1, Err: "engine exploded"}); err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case err := <-done:
-		// The peer must unblock with *some* error; whether it sees the
-		// broadcast error frame or the hub's connection teardown first is
-		// a benign race.
+		// The peer must unblock with *some* error once the control loop
+		// closes the connections.
 		if err == nil {
 			t.Fatal("EndPhase returned nil after worker failure")
 		}
@@ -178,8 +216,107 @@ func TestTCPSingleProc(t *testing.T) {
 	if m := trs[0].Metrics().Totals(); m.SentMsgs != 0 || m.LocalMsgs != 1 {
 		t.Errorf("single-proc traffic should be all local: %+v", m)
 	}
-	conns[0].Send(&Frame{Kind: FrameFinal, Src: 0, Final: &FinalReport{Proc: 0}})
+	conns[0].Send(&Frame{Kind: FrameFinal, Src: 0, Gen: 1, Final: &FinalReport{Proc: 0}})
 	if r := <-res; r.err != nil {
 		t.Fatal(r.err)
+	}
+}
+
+// directPair wires one worker TCP transport straight to a test-driven
+// coordinator conn (no hub), so control frames can be injected verbatim.
+func directPair(t *testing.T, proc, procs, parts int, assign []int) (*TCP, *Conn) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	d, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := lis.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewConn(a)
+	t.Cleanup(func() { coord.Close() })
+	tr := NewTCP(NewConn(d), proc, procs, parts, assign, 1)
+	t.Cleanup(func() { tr.Close() })
+	return tr, coord
+}
+
+// A restore frame must unblock a worker waiting at a phase barrier with
+// ErrRestore, and Reset must fence off stale-generation traffic while
+// replaying frames of the new generation that arrived early.
+func TestTCPRestoreFencesGenerations(t *testing.T) {
+	tr, coord := directPair(t, 1, 2, 2, []int{0, 1})
+
+	// The worker blocks at a barrier that will never complete (its peer
+	// is dead); the coordinator orders a restore instead.
+	done := make(chan error, 1)
+	go func() { done <- tr.EndPhase() }()
+
+	// Early next-generation traffic from a peer that restored first: must
+	// buffer, then replay at Reset.
+	if err := coord.Send(&Frame{Kind: FrameData, Src: 0, Gen: 2, Phase: 1,
+		Msg: cluster.Message{From: 0, To: 1, Tag: 9, Payload: []float64{4}, Bytes: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	// Stale old-generation traffic: must be invisible after Reset.
+	if err := coord.Send(&Frame{Kind: FrameData, Src: 0, Gen: 1, Phase: 7,
+		Msg: cluster.Message{From: 0, To: 1, Tag: 8, Payload: []float64{5}, Bytes: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	rest := &Restore{Gen: 2, Tick: 0, Assign: []int{0, 1}, Live: []bool{true, true}}
+	if err := coord.Send(&Frame{Kind: FrameRestore, Gen: 2, Rest: rest}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrRestore) {
+			t.Fatalf("EndPhase = %v, want ErrRestore", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restore did not unblock the phase barrier")
+	}
+	r, err := tr.AwaitRestore()
+	if err != nil || r.Gen != 2 {
+		t.Fatalf("AwaitRestore = %+v, %v", r, err)
+	}
+	tr.Reset(r)
+
+	// After reset: phase 1 of gen 2; the buffered gen-2 frame is visible
+	// once its phase ends, the stale gen-1 frame is gone.
+	if err := coord.Send(&Frame{Kind: FrameEndPhase, Src: 0, Gen: 2, Phase: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.EndPhase(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := tr.Drain(1)
+	if len(msgs) != 1 || msgs[0].Tag != 9 {
+		t.Fatalf("post-restore drain = %v, want only the gen-2 frame", msgs)
+	}
+}
+
+// A pending restore wins over a pending directive: the worker must unwind
+// to the restore path rather than act on a stale barrier answer.
+func TestTCPRestoreBeatsDirective(t *testing.T) {
+	tr, coord := directPair(t, 1, 2, 2, []int{0, 1})
+
+	if err := coord.Send(&Frame{Kind: FrameDirective, Gen: 1, Dir: &Directive{Tick: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Send(&Frame{Kind: FrameRestore, Gen: 2,
+		Rest: &Restore{Gen: 2, Assign: []int{0, 1}, Live: []bool{true, true}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the restore is pending, then the directive must lose.
+	if _, err := tr.AwaitRestore(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.AwaitDirective(); !errors.Is(err, ErrRestore) {
+		t.Fatalf("AwaitDirective = %v, want ErrRestore", err)
 	}
 }

@@ -14,8 +14,11 @@ import (
 )
 
 // ProtoVersion guards against mismatched coordinator/worker binaries; the
-// handshake rejects any other value.
-const ProtoVersion = 1
+// handshake rejects any other value. Version 2 added the coordinator-owned
+// control plane: partition assignment travels in the handshake instead of
+// being derived by block arithmetic, and epoch barriers exchange
+// Stats/Directive/Checkpoint/Restore frames.
+const ProtoVersion = 2
 
 // maxFrame bounds a single frame so a corrupt length prefix cannot make a
 // reader allocate unbounded memory.
@@ -27,12 +30,23 @@ const maxFrame = 1 << 30
 // thing that must cross the wire afterwards.
 type Hello struct {
 	Proto int
-	// Proc is this worker process's index in [0, NumProcs); it owns the
-	// partition block PartsOf(Proc, Partitions, NumProcs).
+	// Proc is this worker process's index in [0, NumProcs).
 	Proc     int
 	NumProcs int
 	// Partitions is the total mapreduce worker (= partition) count.
 	Partitions int
+	// Assign is the coordinator-owned placement: Assign[p] is the process
+	// computing partition p. It must have Partitions entries. The
+	// coordinator may change it mid-run through a Restore directive.
+	Assign []int
+	// Gen is the protocol generation the run is on. Fresh runs start at 1;
+	// a Hello with Gen > 1 re-admits a worker into a run that already
+	// recovered Gen-1 times — the worker must wait for its Restore frame
+	// instead of ticking from zero.
+	Gen int
+	// LoadBalance tells workers to include agent positions in their epoch
+	// statistics so the coordinator can run the 1-D balancer.
+	LoadBalance bool
 	// Scenario names a registry entry; Agents/Extent/Seed size it exactly
 	// as on the coordinator, so every process derives the same initial
 	// population and partitioning.
@@ -56,11 +70,80 @@ type FinalReport struct {
 	Net    cluster.NodeMetrics
 }
 
+// PartStats is one partition's contribution to an epoch statistics frame.
+type PartStats struct {
+	Part int
+	// Visited is the partition's cumulative index-candidates counter, the
+	// balancer's per-agent cost proxy.
+	Visited int64
+	// Xs are the x coordinates of the partition's owned agents; populated
+	// only when the run load-balances (Hello.LoadBalance).
+	Xs []float64
+}
+
+// EpochStats flows worker → coordinator at every epoch barrier: the
+// statistics the master needs for load balancing, paired with the barrier
+// tick so the coordinator can detect lockstep violations.
+type EpochStats struct {
+	Proc  int
+	Tick  uint64
+	Parts []PartStats
+}
+
+// Directive flows coordinator → worker in answer to a complete round of
+// EpochStats: what the master decided at this barrier.
+type Directive struct {
+	// Tick echoes the barrier tick the directive answers.
+	Tick uint64
+	// NewCuts, when non-nil, are rebalanced strip boundaries the worker
+	// must install before the next tick.
+	NewCuts []float64
+	// Checkpoint orders the worker to ship its partitions' state to the
+	// coordinator (a CheckpointMsg) before continuing.
+	Checkpoint bool
+}
+
+// PartState is one partition's checkpointed state on the wire.
+type PartState struct {
+	Part    int
+	Visited int64
+	Values  any // []*engine.Envelope (gob-registered by internal/scenario)
+}
+
+// CheckpointMsg flows worker → coordinator when a Directive orders a
+// checkpoint: the worker's partitions at the barrier tick. The coordinator
+// holds the assembled pieces so a dead worker's state survives it.
+type CheckpointMsg struct {
+	Proc  int
+	Tick  uint64
+	Parts []PartState
+}
+
+// Restore flows coordinator → worker after a failure (or to a worker
+// re-admitted mid-run): rewind to the checkpoint tick under a new
+// generation, with a possibly changed partition assignment. Frames of
+// older generations still in flight are fenced off by Gen.
+type Restore struct {
+	Gen  int
+	Tick uint64
+	// Cuts restore the checkpoint's strip partitioning (nil: keep).
+	Cuts []float64
+	// Assign is the new partition→process placement.
+	Assign []int
+	// Live flags which processes are still part of the run; the phase
+	// barrier counts markers from live peers only.
+	Live []bool
+	// Parts carry the checkpoint state for the partitions this worker now
+	// owns.
+	Parts []PartState
+}
+
 // FrameKind discriminates wire frames.
 type FrameKind uint8
 
 // Frame kinds. Hello/Ack only appear during the handshake; Data, EndPhase,
-// Final and Error make up the run.
+// Final and Error make up the data plane; Stats, Directive, Checkpoint and
+// Restore are the coordinator's control plane.
 const (
 	FrameHello FrameKind = iota + 1
 	FrameAck
@@ -68,18 +151,27 @@ const (
 	FrameEndPhase
 	FrameFinal
 	FrameError
+	FrameStats
+	FrameDirective
+	FrameCheckpoint
+	FrameRestore
 )
 
 // Frame is the unit of the wire protocol: one gob-encoded, length-prefixed
 // record. Only the fields relevant to Kind are populated.
 type Frame struct {
 	Kind  FrameKind
-	Src   int             // sending worker process
-	Phase uint64          // EndPhase sequence number
-	Msg   cluster.Message // Data payload
-	Hello *Hello          // FrameHello
-	Final *FinalReport    // FrameFinal
-	Err   string          // FrameAck (empty = ok) and FrameError
+	Src   int    // sending worker process
+	Gen   int    // protocol generation; receivers drop stale generations
+	Phase uint64 // EndPhase sequence number
+	Msg   cluster.Message
+	Hello *Hello
+	Final *FinalReport
+	Stats *EpochStats
+	Dir   *Directive
+	Ckpt  *CheckpointMsg
+	Rest  *Restore
+	Err   string // FrameAck (empty = ok) and FrameError
 }
 
 // Conn frames a network connection: each Frame travels as a 4-byte
