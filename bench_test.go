@@ -109,10 +109,28 @@ func BenchmarkScenario(b *testing.B) {
 // ---- Engine micro-benchmarks ----
 
 // BenchmarkFishTickSequential measures raw single-node tick cost of the
-// fish model with the KD-tree index.
+// fish model with the KD-tree index and the default Verlet query cache.
 func BenchmarkFishTickSequential(b *testing.B) {
 	m := NewFishModel(DefaultFishParams())
 	sim, err := New(m, m.NewPopulation(2000, 1), Config{Sequential: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Run(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sim.Metrics().AgentTicks)/b.Elapsed().Seconds(), "agent-ticks/s")
+}
+
+// BenchmarkFishTickSequentialUncached is the same workload with the query
+// cache disabled — the per-tick-rebuild baseline the cached path is
+// measured against (the README's before/after pair).
+func BenchmarkFishTickSequentialUncached(b *testing.B) {
+	m := NewFishModel(DefaultFishParams())
+	sim, err := New(m, m.NewPopulation(2000, 1), Config{Sequential: true, Seed: 1, CacheSkin: -1})
 	if err != nil {
 		b.Fatal(err)
 	}

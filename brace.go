@@ -150,6 +150,12 @@ type Config struct {
 	// Sequential uses the single-loop reference engine instead of the
 	// distributed runtime (Workers is then ignored).
 	Sequential bool
+	// CacheSkin tunes the Verlet query cache (KD-tree index with bounded
+	// visibility only): 0 selects the default skin, a negative value
+	// disables the cached query path, a positive value is the skin
+	// radius. The cache is semantics-preserving: results are
+	// bit-identical with it on or off.
+	CacheSkin float64
 }
 
 // Simulation is a running BRACE simulation over either engine.
@@ -164,7 +170,7 @@ func New(m Model, pop []*Agent, cfg Config) (*Simulation, error) {
 		cfg.Workers = 1
 	}
 	if cfg.Sequential {
-		seq, err := engine.NewSequential(m, pop, cfg.Index.spatial(), cfg.Seed)
+		seq, err := engine.NewSequentialCache(m, pop, cfg.Index.spatial(), cfg.Seed, cfg.CacheSkin)
 		if err != nil {
 			return nil, err
 		}
@@ -177,6 +183,7 @@ func New(m Model, pop []*Agent, cfg Config) (*Simulation, error) {
 		EpochTicks:            cfg.EpochTicks,
 		CheckpointEveryEpochs: cfg.Checkpoint,
 		LoadBalance:           cfg.LoadBalance,
+		CacheSkin:             cfg.CacheSkin,
 	}
 	if cfg.TwoDPartition {
 		s := m.Schema()
@@ -237,11 +244,17 @@ type Metrics struct {
 	// (distributed engine only).
 	NetworkBytes int64
 	LocalBytes   int64
+	// CacheBuilds / CacheReuses split query-phase ticks into full index
+	// rebuilds and Verlet-list reuse hits (zero when the cached path is
+	// off) — the knob for reasoning about §5.2-style indexing cost.
+	CacheBuilds int64
+	CacheReuses int64
 }
 
 // Metrics reports run statistics.
 func (s *Simulation) Metrics() Metrics {
 	if s.seq != nil {
+		cs := s.seq.CacheStats()
 		return Metrics{
 			Ticks:          s.seq.Tick(),
 			Agents:         len(s.seq.Agents()),
@@ -249,9 +262,12 @@ func (s *Simulation) Metrics() Metrics {
 			CandidatesSeen: s.seq.Visited(),
 			WallSeconds:    s.seq.WallSeconds(),
 			ThroughputWall: s.seq.ThroughputWall(),
+			CacheBuilds:    cs.Builds,
+			CacheReuses:    cs.Reuses,
 		}
 	}
 	t := s.dist.Runtime().Transport().Metrics().Totals()
+	cs := s.dist.CacheStats()
 	return Metrics{
 		Ticks:             s.dist.Tick(),
 		Agents:            len(s.dist.Agents()),
@@ -263,6 +279,8 @@ func (s *Simulation) Metrics() Metrics {
 		ThroughputVirtual: s.dist.ThroughputVirtual(),
 		NetworkBytes:      t.SentBytes,
 		LocalBytes:        t.LocalBytes,
+		CacheBuilds:       cs.Builds,
+		CacheReuses:       cs.Reuses,
 	}
 }
 
@@ -275,6 +293,9 @@ func (m Metrics) String() string {
 	}
 	if m.NetworkBytes > 0 || m.LocalBytes > 0 {
 		s += fmt.Sprintf(" net=%dB local=%dB", m.NetworkBytes, m.LocalBytes)
+	}
+	if m.CacheBuilds > 0 || m.CacheReuses > 0 {
+		s += fmt.Sprintf(" qcache=%d builds/%d reuses", m.CacheBuilds, m.CacheReuses)
 	}
 	return s
 }

@@ -1,0 +1,270 @@
+// Command benchjson runs the repo's benchmarks through `go test -bench`,
+// parses the text output into a machine-readable JSON artifact, and —
+// given a committed baseline file — fails when any benchmark's throughput
+// regressed beyond a tolerance. It is the engine of the CI
+// benchmark-trajectory gate: every change ships a BENCH_<n>.json snapshot,
+// and CI re-runs the suite against the committed one.
+//
+// Usage:
+//
+//	benchjson -out BENCH.json                         # run + write
+//	benchjson -out BENCH.json -baseline BENCH_4.json  # run + write + gate
+//	benchjson -input bench.txt -out BENCH.json        # parse a saved run
+//
+// Throughput is the benchmark's agent-ticks/s metric when it reports one,
+// else 1e9/ns_per_op. The gate fails when new < old × (1 − tolerance);
+// improvements never fail. Benchmarks present in the baseline but missing
+// from the run fail the gate (a deleted benchmark must be removed from
+// the baseline deliberately); new benchmarks are reported and pass.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Result is one benchmark's parsed figures. Zero-valued metrics were not
+// reported by the benchmark.
+type Result struct {
+	Name           string  `json:"name"`
+	Iterations     int64   `json:"iterations"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	AgentTicksPerS float64 `json:"agent_ticks_per_s,omitempty"`
+	BytesPerOp     int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp    int64   `json:"allocs_per_op,omitempty"`
+}
+
+// File is the BENCH_*.json schema (documented in README.md).
+type File struct {
+	Schema     string   `json:"schema"` // "brace-bench/1"
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	BenchArgs  string   `json:"bench_args,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// run is the testable CLI entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "BenchmarkScenario$", "go test -bench regexp")
+	benchtime := fs.String("benchtime", "2s", "go test -benchtime")
+	count := fs.Int("count", 1, "go test -count")
+	pkg := fs.String("pkg", ".", "package to benchmark")
+	input := fs.String("input", "", "parse this saved `go test -bench` output instead of running")
+	out := fs.String("out", "", "write the JSON artifact here")
+	baseline := fs.String("baseline", "", "committed BENCH_*.json to gate against")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional throughput regression")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	var base *File
+	if *baseline != "" {
+		b, err := readFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		base = b
+	}
+
+	var text string
+	benchArgs := fmt.Sprintf("-bench %s -benchtime %s -count %d -benchmem %s", *bench, *benchtime, *count, *pkg)
+	if *input != "" {
+		raw, err := os.ReadFile(*input)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		text = string(raw)
+	} else {
+		cmd := exec.Command("go", "test", "-run=NONE",
+			"-bench", *bench, "-benchtime", *benchtime,
+			"-count", strconv.Itoa(*count), "-benchmem", *pkg)
+		var sb strings.Builder
+		cmd.Stdout = &sb
+		cmd.Stderr = stderr
+		fmt.Fprintf(stderr, "benchjson: running go test %s\n", benchArgs)
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintln(stderr, "benchjson: go test:", err)
+			fmt.Fprint(stderr, sb.String())
+			return 1
+		}
+		text = sb.String()
+	}
+
+	f := Parse(text)
+	f.BenchArgs = benchArgs
+	if len(f.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark results parsed")
+		return 1
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchjson:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
+	}
+
+	if base != nil {
+		failures := Gate(base, f, *tolerance, stdout)
+		if len(failures) > 0 {
+			fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%:\n", len(failures), *tolerance*100)
+			for _, msg := range failures {
+				fmt.Fprintln(stderr, "  "+msg)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "benchmark trajectory OK vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+	}
+	return 0
+}
+
+func readFile(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "brace-bench/1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, f.Schema)
+	}
+	return &f, nil
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// Parse extracts benchmark results and the platform header from `go test
+// -bench` text output.
+func Parse(text string) *File {
+	f := &File{Schema: "brace-bench/1"}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		// The tail is value/unit pairs: `123.4 ns/op 51363 agent-ticks/s ...`.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = val
+			case "agent-ticks/s":
+				r.AgentTicksPerS = val
+			case "B/op":
+				r.BytesPerOp = int64(val)
+			case "allocs/op":
+				r.AllocsPerOp = int64(val)
+			}
+		}
+		if r.NsPerOp > 0 {
+			f.Benchmarks = append(f.Benchmarks, r)
+		}
+	}
+	return f
+}
+
+// Throughput is the gate's comparison metric: the benchmark's own
+// agent-ticks/s when reported, else ops/s derived from ns/op.
+func (r Result) Throughput() float64 {
+	if r.AgentTicksPerS > 0 {
+		return r.AgentTicksPerS
+	}
+	if r.NsPerOp > 0 {
+		return 1e9 / r.NsPerOp
+	}
+	return 0
+}
+
+// Gate compares a run against the baseline and returns one message per
+// failure. It prints a comparison table to w as a side effect.
+func Gate(base, got *File, tolerance float64, w io.Writer) []string {
+	byName := make(map[string]Result, len(got.Benchmarks))
+	for _, r := range got.Benchmarks {
+		byName[r.Name] = r
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "baseline", "current", "ratio")
+	for _, b := range base.Benchmarks {
+		n, ok := byName[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run", b.Name))
+			fmt.Fprintf(w, "%-40s %14.0f %14s %8s\n", b.Name, b.Throughput(), "MISSING", "-")
+			continue
+		}
+		ratio := 0.0
+		if b.Throughput() > 0 {
+			ratio = n.Throughput() / b.Throughput()
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %7.2fx\n", b.Name, b.Throughput(), n.Throughput(), ratio)
+		if n.Throughput() < b.Throughput()*(1-tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f (%.2fx, floor %.2fx)",
+				b.Name, b.Throughput(), n.Throughput(), ratio, 1-tolerance))
+		}
+		delete(byName, b.Name)
+	}
+	extra := make([]string, 0, len(byName))
+	for name := range byName {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "%-40s %14s %14.0f %8s\n", name, "(new)", byName[name].Throughput(), "-")
+	}
+	return failures
+}

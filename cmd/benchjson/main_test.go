@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/bigreddata/brace
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScenario/epidemic         	    3547	    614526 ns/op	   3254543 agent-ticks/s	  157908 B/op	    4411 allocs/op
+BenchmarkScenario/fish-8           	     180	  14256875 ns/op	    140283 agent-ticks/s	  463408 B/op	    8229 allocs/op
+BenchmarkTrafficTickIndexed        	    1768	   1806837 ns/op	  333979 B/op	    7455 allocs/op
+PASS
+ok  	github.com/bigreddata/brace	21.183s
+`
+
+func TestParse(t *testing.T) {
+	f := Parse(sampleOutput)
+	if f.Goos != "linux" || f.Goarch != "amd64" || !strings.Contains(f.CPU, "Xeon") {
+		t.Fatalf("platform header not parsed: %+v", f)
+	}
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(f.Benchmarks))
+	}
+	epi := f.Benchmarks[0]
+	if epi.Name != "Scenario/epidemic" || epi.Iterations != 3547 ||
+		epi.NsPerOp != 614526 || epi.AgentTicksPerS != 3254543 ||
+		epi.BytesPerOp != 157908 || epi.AllocsPerOp != 4411 {
+		t.Fatalf("epidemic parsed wrong: %+v", epi)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if f.Benchmarks[1].Name != "Scenario/fish" {
+		t.Fatalf("fish name = %q", f.Benchmarks[1].Name)
+	}
+	// A benchmark without the custom metric falls back to ops/s.
+	tr := f.Benchmarks[2]
+	if tr.AgentTicksPerS != 0 || tr.Throughput() <= 0 {
+		t.Fatalf("traffic throughput fallback wrong: %+v", tr)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := Parse(sampleOutput)
+	// Unchanged run: no failures.
+	if fails := Gate(base, Parse(sampleOutput), 0.25, new(bytes.Buffer)); len(fails) != 0 {
+		t.Fatalf("identical run failed the gate: %v", fails)
+	}
+	// 50% regression on fish: fails at 25% tolerance.
+	reg := Parse(strings.Replace(sampleOutput, "140283 agent-ticks/s", "70000 agent-ticks/s", 1))
+	fails := Gate(base, reg, 0.25, new(bytes.Buffer))
+	if len(fails) != 1 || !strings.Contains(fails[0], "Scenario/fish") {
+		t.Fatalf("fish regression not caught: %v", fails)
+	}
+	// 10% regression: passes at 25% tolerance.
+	small := Parse(strings.Replace(sampleOutput, "140283 agent-ticks/s", "127000 agent-ticks/s", 1))
+	if fails := Gate(base, small, 0.25, new(bytes.Buffer)); len(fails) != 0 {
+		t.Fatalf("within-tolerance run failed: %v", fails)
+	}
+	// A benchmark missing from the run fails the gate.
+	missing := Parse(strings.Replace(sampleOutput, "BenchmarkScenario/fish-8", "BenchmarkScenario/other", 1))
+	fails = Gate(base, missing, 0.25, new(bytes.Buffer))
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("missing benchmark not caught: %v", fails)
+	}
+}
+
+// TestRunInputMode drives the CLI end to end on a saved output file:
+// parse, write the artifact, and gate against it.
+func TestRunInputMode(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-input", in, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write run exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if f.Schema != "brace-bench/1" || len(f.Benchmarks) != 3 {
+		t.Fatalf("artifact contents wrong: %+v", f)
+	}
+
+	// Same data gates cleanly against itself.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-input", in, "-baseline", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-gate exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "trajectory OK") {
+		t.Fatalf("no OK message: %s", stdout.String())
+	}
+
+	// A regressed run against the same baseline fails.
+	reg := filepath.Join(dir, "reg.txt")
+	if err := os.WriteFile(reg, []byte(strings.Replace(sampleOutput, "140283 agent-ticks/s", "1 agent-ticks/s", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-input", reg, "-baseline", out}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed run exited %d, want 1", code)
+	}
+
+	// An unknown-schema baseline is rejected.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-input", in, "-baseline", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("bad baseline exited %d, want 1", code)
+	}
+}

@@ -98,6 +98,7 @@ func (e *Distributed) InstallCuts(cuts []float64) error {
 		return fmt.Errorf("engine: %d cuts make %d partitions, want %d", len(cuts), p.N(), e.opts.Workers)
 	}
 	e.part = p
+	e.invalidateCaches() // migrations change copy sets; start the epoch cold
 	return nil
 }
 
@@ -125,5 +126,6 @@ func (e *Distributed) Restore(tick uint64, cuts []float64, local []int, parts []
 	e.rt.Reset(tick, local, vals)
 	e.opts.LocalParts = local
 	e.lastEpochT = tick
+	e.invalidateCaches() // restored state must rebuild like an unfailed run
 	return nil
 }

@@ -57,6 +57,14 @@ type Options struct {
 	// Distributed workers use it for the coordinator round-trip (ship
 	// stats, await the directive); a returned error aborts RunTicks.
 	EpochBarrier func(tick uint64) error
+	// CacheSkin tunes the Verlet query cache (KD-tree index with bounded
+	// visibility only): 0 selects spatial.DefaultSkin, a negative value
+	// disables the cached path, a positive value is the skin radius s.
+	// The cache is semantics-preserving — reuse requires an unchanged
+	// keyed copy set with every agent within s/2 of its build position,
+	// and every epoch barrier (plus restores and rebalances) invalidates
+	// it, so recovered and load-balanced runs stay bit-identical.
+	CacheSkin float64
 	// InitialPartition overrides the automatic quantile strip
 	// partitioning with any partitioning function (e.g. partition.KD2D
 	// for 2-D median splits). Load balancing applies only when the
@@ -92,9 +100,14 @@ type Distributed struct {
 	wOwned   []int64
 	wVisited []int64
 
-	// Reusable per-worker machinery.
-	ixs  []spatial.Index
-	envs []queryEnv
+	// Reusable per-worker machinery. ixs[w] is the partition's index;
+	// when the cached path is on it is also cixs[w]. envs[w] holds one
+	// probe env per worker-pool chunk; bufs[w] the tick build buffers.
+	ixs   []spatial.Index
+	cixs  []*spatial.CachedIndex
+	envs  [][]queryEnv
+	bufs  []partBufs
+	isSum []bool
 
 	agentTicks   int64
 	visitedTotal int64
@@ -143,11 +156,27 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 		wOwned:   make([]int64, opts.Workers),
 		wVisited: make([]int64, opts.Workers),
 		ixs:      make([]spatial.Index, opts.Workers),
-		envs:     make([]queryEnv, opts.Workers),
+		cixs:     make([]*spatial.CachedIndex, opts.Workers),
+		envs:     make([][]queryEnv, opts.Workers),
+		bufs:     make([]partBufs, opts.Workers),
+	}
+	e.isSum = sumMask(e.combs)
+	skin := resolveSkin(s, opts.Index, opts.CacheSkin)
+	if opts.CostModel != nil {
+		// Virtual-time accounting charges candidates-visited through a
+		// cost model calibrated for the per-tick rebuild dataflow; the
+		// cached path changes what a "visit" physically costs (sequential
+		// list scan vs tree walk), so scale-up experiments keep the
+		// paper-faithful uncached accounting.
+		skin = 0
 	}
 	for i := range e.ixs {
-		e.ixs[i] = spatial.New(opts.Index, indexCell(s))
-		e.envs[i] = queryEnv{schema: s, combs: e.combs, nonLocal: e.nonLocal}
+		if skin > 0 {
+			e.cixs[i] = spatial.NewCached(cacheProbeRadius(s), skin)
+			e.ixs[i] = e.cixs[i]
+		} else {
+			e.ixs[i] = spatial.New(opts.Index, indexCell(s))
+		}
 	}
 
 	// Initial partitioning: equal-count quantiles of the initial agent x
@@ -205,6 +234,7 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 			return ms
 		},
 		RestoreMaster: func(v any) {
+			e.invalidateCaches() // rolled-back state must rebuild like an unfailed run
 			if v == nil {
 				return
 			}
@@ -281,17 +311,46 @@ func (e *Distributed) mapPhase(ctx *mapreduce.Ctx, env *Envelope, emit mapreduce
 // owners for reduce₂.
 func (e *Distributed) reduce1(ctx *mapreduce.Ctx, envs []*Envelope, emit mapreduce.Emit[*Envelope]) {
 	w := ctx.Worker
-	copies, owned := e.prepare(w, envs)
-	q := &e.envs[w]
-	q.copies = copies
-	q.ix = e.ixs[w]
+	copies, owned, ownedSlots := e.prepare(w, envs)
+	before := e.ixs[w].Stats().Visited
+	cached := e.cixs[w]
+	listsOK := cached != nil && cached.HasLists()
 
-	before := q.ix.Stats().Visited
-	for _, oe := range owned {
-		q.self = oe.A
-		e.model.Query(oe.A, q)
+	penvs := e.partEnvs(w)
+	if cached != nil && !e.nonLocal {
+		// Batched probes: owned agents' query phases are independent in a
+		// local-effects model (each writes only its own effect fields), so
+		// they fan out over the spatial worker pool, one probe env per
+		// chunk. Per-agent fold order is unchanged — bit-identical state.
+		spatial.ParallelFor(len(ownedSlots), probeGrain, func(chunk, lo, hi int) {
+			q := &penvs[chunk]
+			q.copies = copies
+			q.cached = cached
+			q.listsOK = listsOK
+			q.ix = e.ixs[w]
+			for oi := lo; oi < hi; oi++ {
+				q.slot = ownedSlots[oi]
+				q.self = copies[q.slot]
+				e.model.Query(q.self, q)
+			}
+		})
+	} else {
+		q := &penvs[0]
+		q.copies = copies
+		q.cached = cached
+		q.listsOK = listsOK
+		q.ix = e.ixs[w]
+		for _, slot := range ownedSlots {
+			q.slot = slot
+			q.self = copies[slot]
+			e.model.Query(q.self, q)
+		}
 	}
-	visited := q.ix.Stats().Visited - before
+
+	visited := e.ixs[w].Stats().Visited - before
+	for i := range penvs {
+		visited += penvs[i].takeStats().Visited
+	}
 	e.wVisited[w] += visited
 	e.wOwned[w] += int64(len(owned))
 	if e.vclock != nil {
@@ -393,22 +452,92 @@ func (e *Distributed) updateAndEmit(ctx *mapreduce.Ctx, oe *Envelope, emit mapre
 	}
 }
 
-// prepare sorts this reducer's copies by agent ID, rebuilds the spatial
-// index over them, and returns the ID-sorted copies (as agents) plus the
-// owned envelopes.
-func (e *Distributed) prepare(w int, envs []*Envelope) (copies []*agent.Agent, owned []*Envelope) {
+// partBufs is one partition's reusable tick build state; prepare rewrites
+// every entry each tick, so reuse is pure allocation avoidance.
+type partBufs struct {
+	pts       []spatial.Point
+	keys      []int64
+	ownedSlot []int32
+	copies    []*agent.Agent
+	owned     []*Envelope
+}
+
+// prepare sorts this reducer's copies by agent ID, (re)builds the spatial
+// index over them — through the keyed cache when enabled, so unchanged
+// copy sets with sub-skin motion reuse their candidate lists — and returns
+// the ID-sorted copies plus the owned envelopes and their slots.
+func (e *Distributed) prepare(w int, envs []*Envelope) (copies []*agent.Agent, owned []*Envelope, ownedSlots []int32) {
 	sort.Slice(envs, func(i, j int) bool { return envs[i].A.ID < envs[j].A.ID })
-	pts := make([]spatial.Point, len(envs))
-	copies = make([]*agent.Agent, len(envs))
+	b := &e.bufs[w]
+	n := len(envs)
+	b.pts = resize(b.pts, n)
+	b.copies = resize(b.copies, n)
+	b.ownedSlot = b.ownedSlot[:0]
+	b.owned = b.owned[:0]
+	cached := e.cixs[w]
+	if cached != nil {
+		b.keys = resize(b.keys, n)
+	}
 	for i, env := range envs {
-		copies[i] = env.A
-		pts[i] = spatial.Point{Pos: env.A.Pos(e.schema), ID: int32(i)}
+		b.copies[i] = env.A
+		b.pts[i] = spatial.Point{Pos: env.A.Pos(e.schema), ID: int32(i)}
+		if cached != nil {
+			b.keys[i] = int64(env.A.ID)
+		}
 		if !env.Replica {
-			owned = append(owned, env)
+			b.ownedSlot = append(b.ownedSlot, int32(i))
+			b.owned = append(b.owned, env)
 		}
 	}
-	e.ixs[w].Build(pts)
-	return copies, owned
+	if cached != nil {
+		// Keys are agent IDs and the probe set is the owned slots: any
+		// membership or ownership change rebuilds; replica drift beyond
+		// skin/2 rebuilds; everything else reuses.
+		cached.BuildKeyed(b.pts, b.keys, b.ownedSlot)
+	} else {
+		e.ixs[w].Build(b.pts)
+	}
+	return b.copies, b.owned, b.ownedSlot
+}
+
+// partEnvs returns partition w's probe envs, one per worker-pool chunk
+// (just one when the partition probes serially).
+func (e *Distributed) partEnvs(w int) []queryEnv {
+	need := 1
+	if e.cixs[w] != nil && !e.nonLocal {
+		need = spatial.Parallelism()
+	}
+	for len(e.envs[w]) < need {
+		e.envs[w] = append(e.envs[w], newQueryEnv(e.schema, e.combs, e.isSum, e.nonLocal))
+	}
+	return e.envs[w]
+}
+
+// invalidateCaches drops every partition's query cache. Called at epoch
+// barriers, restores and rebalances: a run must do identical per-tick
+// index work from a given state no matter how it got there (recovery,
+// rebalancing, or plain execution), because the visited counters feed the
+// load balancer's cost model.
+func (e *Distributed) invalidateCaches() {
+	for _, c := range e.cixs {
+		if c != nil {
+			c.Invalidate()
+		}
+	}
+}
+
+// CacheStats sums the query-cache counters across partitions (zero when
+// the cached path is disabled).
+func (e *Distributed) CacheStats() spatial.CacheStats {
+	var cs spatial.CacheStats
+	for _, c := range e.cixs {
+		if c != nil {
+			s := c.CacheStats()
+			cs.Builds += s.Builds
+			cs.Reuses += s.Reuses
+		}
+	}
+	return cs
 }
 
 // RunTicks advances the simulation n full ticks (query + update each).
@@ -425,6 +554,11 @@ func (e *Distributed) RunTicks(n int) error {
 // onEpoch runs on the master at epoch boundaries: record statistics and,
 // when enabled, rebalance partitions.
 func (e *Distributed) onEpoch(tick uint64, v mapreduce.EpochView) {
+	// Epoch barriers are the deterministic cache-invalidation points: a
+	// restored run resumes at a barrier, so forcing a rebuild at every
+	// barrier makes its subsequent index work — and hence the balancer's
+	// cost inputs — identical to an unfailed run's.
+	e.invalidateCaches()
 	counts := v.OwnedCounts()
 	loads := make([]float64, len(counts))
 	for i, c := range counts {

@@ -16,13 +16,26 @@ import (
 // index kinds and partition layouts (and giving the BRASIL weak-reference
 // visibility semantics of Theorem 1: agents outside the bound simply do
 // not appear).
+//
+// Two probe paths exist. The generic path runs RangeCircle/Nearest on the
+// index and sorts the hits by slot. The cached fast path reads the slot's
+// Verlet candidate list from a spatial.CachedIndex — the list is already
+// slot-sorted (= ID-sorted), so a probe is a branch-predictable linear
+// filter with no tree walk and no sort, and it is read-only, so the
+// engines run one queryEnv per worker-pool chunk concurrently. Both paths
+// produce identical iteration sequences.
 type queryEnv struct {
 	schema   *agent.Schema
 	combs    []agent.Combinator
+	isSum    []bool // devirtualized fast path for the ubiquitous sum fold
 	nonLocal bool
 
-	copies []*agent.Agent // ID-sorted candidate set
-	ix     spatial.Index  // built over copies (Point.ID = index into copies)
+	copies  []*agent.Agent       // ID-sorted candidate set
+	ix      spatial.Index        // built over copies (Point.ID = index into copies)
+	cached  *spatial.CachedIndex // non-nil: the engine runs the cached path
+	listsOK bool                 // the tick's build carries candidate lists
+	slot    int32                // self's index into copies (cached path)
+	stats   spatial.Stats        // per-env probe accounting (cached path)
 
 	self    *agent.Agent
 	scratch []int32
@@ -56,10 +69,38 @@ func (q *queryEnv) Nearby(radius float64, fn func(*agent.Agent)) {
 }
 
 func (q *queryEnv) rangeSorted(radius float64, fn func(*agent.Agent)) {
+	if q.cached != nil && q.listsOK && radius <= q.cached.ProbeRadius() {
+		// Verlet fast path: the list covers every point within the
+		// cache's probe radius of self's current position (cache
+		// invariant), is sorted by slot, and slots ascend with agent ID.
+		cand, cur := q.cached.SlotCandidates(q.slot)
+		q.stats.Probes++
+		q.stats.Visited += int64(len(cand))
+		pos := cur[q.slot]
+		r2 := radius * radius
+		for _, j := range cand {
+			dx, dy := cur[j].X-pos.X, cur[j].Y-pos.Y
+			if dx*dx+dy*dy <= r2 {
+				fn(q.copies[j])
+			}
+		}
+		return
+	}
 	q.scratch = q.scratch[:0]
-	q.ix.RangeCircle(q.self.Pos(q.schema), radius, func(p spatial.Point) {
-		q.scratch = append(q.scratch, p.ID)
-	})
+	if q.cached != nil {
+		// No list covers this probe (adaptive gate off, or the radius
+		// exceeds the model's SetProbeRadius hint): exact current-position
+		// query against the cached index, caller-buffered and safe during
+		// a parallel query phase.
+		var visited int64
+		q.scratch, visited = q.cached.RangeCircleInto(q.self.Pos(q.schema), radius, q.scratch)
+		q.stats.Probes++
+		q.stats.Visited += visited
+	} else {
+		q.ix.RangeCircle(q.self.Pos(q.schema), radius, func(p spatial.Point) {
+			q.scratch = append(q.scratch, p.ID)
+		})
+	}
 	// copies is ID-sorted, so sorting candidate slice positions sorts by
 	// agent ID. slices.Sort on int32 keeps this far cheaper than the
 	// query work itself.
@@ -75,18 +116,34 @@ func (q *queryEnv) Nearest(k int, buf []*agent.Agent) []*agent.Agent {
 		return buf
 	}
 	pos := q.self.Pos(q.schema)
-	q.nnbuf = q.ix.Nearest(pos, k+1, q.nnbuf[:0])
 	vis := q.schema.Visibility
 	cand := q.scratch[:0]
-	for _, p := range q.nnbuf {
-		a := q.copies[p.ID]
-		if a.ID == q.self.ID {
-			continue
+	if q.cached != nil && q.listsOK && vis > 0 && vis <= q.cached.ProbeRadius() {
+		// The candidate list covers the visibility disc, and Env.Nearest
+		// never returns agents beyond it: every true k-nearest-in-vis is
+		// in the list (see the cache invariant), so collecting in-vis
+		// candidates and ranking below reproduces the index path exactly.
+		list, cur := q.cached.SlotCandidates(q.slot)
+		q.stats.Probes++
+		q.stats.Visited += int64(len(list))
+		vis2 := vis * vis
+		for _, j := range list {
+			if cur[j].Dist2(pos) <= vis2 && q.copies[j].ID != q.self.ID {
+				cand = append(cand, j)
+			}
 		}
-		if vis > 0 && p.Pos.Dist2(pos) > vis*vis {
-			continue
+	} else {
+		q.nnbuf = q.ix.Nearest(pos, k+1, q.nnbuf[:0])
+		for _, p := range q.nnbuf {
+			a := q.copies[p.ID]
+			if a.ID == q.self.ID {
+				continue
+			}
+			if vis > 0 && p.Pos.Dist2(pos) > vis*vis {
+				continue
+			}
+			cand = append(cand, p.ID)
 		}
-		cand = append(cand, p.ID)
 	}
 	// Canonical order: (distance, agent ID).
 	sort.Slice(cand, func(i, j int) bool {
@@ -114,8 +171,26 @@ func (q *queryEnv) Assign(target *agent.Agent, effectIndex int, value float64) {
 			"engine: non-local effect assignment (agent %d -> agent %d) in a local-effects model; implement NonLocalModel",
 			q.self.ID, target.ID))
 	}
+	if q.isSum[effectIndex] {
+		// Devirtualized sum fold: every hot model accumulates with sum,
+		// and the interface dispatch per neighbor per field is measurable.
+		target.Effect[effectIndex] += value
+		return
+	}
 	c := q.combs[effectIndex]
 	target.Effect[effectIndex] = c.Combine(target.Effect[effectIndex], value)
+}
+
+// takeStats returns and clears the env's probe accounting (cached path).
+func (q *queryEnv) takeStats() spatial.Stats {
+	s := q.stats
+	q.stats = spatial.Stats{}
+	return s
+}
+
+// newQueryEnv builds a probe env for one worker-pool chunk.
+func newQueryEnv(s *agent.Schema, combs []agent.Combinator, isSum []bool, nonLocal bool) queryEnv {
+	return queryEnv{schema: s, combs: combs, isSum: isSum, nonLocal: nonLocal}
 }
 
 // effectCombs caches the per-index combinators of a schema.
@@ -127,6 +202,16 @@ func effectCombs(s *agent.Schema) []agent.Combinator {
 		}
 	}
 	return combs
+}
+
+// sumMask marks the effect indexes folded by the plain sum combinator, the
+// Assign fast path.
+func sumMask(combs []agent.Combinator) []bool {
+	mask := make([]bool, len(combs))
+	for i, c := range combs {
+		mask[i] = c == agent.Sum
+	}
+	return mask
 }
 
 // effectsAreIdentity reports whether eff equals the identity vector θ; the

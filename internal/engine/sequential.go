@@ -23,41 +23,100 @@ import (
 // non-local models the distributed engine folds partial aggregates per
 // partition before the global ⊕, so results agree only up to
 // floating-point reassociation; tests compare those with a tolerance.
+//
+// With the KD-tree index and a bounded visibility, the engine runs the
+// cached query path by default: Verlet candidate lists are reused across
+// ticks while no agent has moved more than skin/2, and batched probes fan
+// out across the spatial worker pool for local-effect models. Both are
+// semantics-preserving — state is bit-identical to the uncached,
+// single-threaded path.
 type Sequential struct {
-	model  Model
-	schema *agent.Schema
-	combs  []agent.Combinator
-	seed   uint64
-	tick   uint64
+	model    Model
+	schema   *agent.Schema
+	combs    []agent.Combinator
+	isSum    []bool
+	nonLocal bool
+	seed     uint64
+	tick     uint64
 
 	agents agent.Population // ID-sorted
 	ix     spatial.Index
-	env    queryEnv
+	cached *spatial.CachedIndex
+	envs   []queryEnv
+
+	// Per-tick build buffers, reused across ticks.
+	pts    []spatial.Point
+	keys   []int64
+	copies []*agent.Agent
 
 	agentTicks   int64
 	visitedTotal int64
 	wallTotal    time.Duration
 }
 
-// NewSequential builds a sequential engine over the given population.
+// NewSequential builds a sequential engine over the given population with
+// the default query-cache policy (see NewSequentialCache).
 func NewSequential(m Model, pop []*agent.Agent, index spatial.Kind, seed uint64) (*Sequential, error) {
+	return NewSequentialCache(m, pop, index, seed, 0)
+}
+
+// NewSequentialCache builds a sequential engine with an explicit query
+// cache skin: 0 selects spatial.DefaultSkin, a negative value disables the
+// cached path (the reference configuration), and a positive value is used
+// as-is. The cache only ever engages for the KD-tree index with a bounded
+// visibility.
+func NewSequentialCache(m Model, pop []*agent.Agent, index spatial.Kind, seed uint64, cacheSkin float64) (*Sequential, error) {
 	if err := validateModel(m); err != nil {
 		return nil, err
 	}
 	s := m.Schema()
 	agents := append(agent.Population(nil), pop...)
 	sort.Sort(agents)
+	combs := effectCombs(s)
 	e := &Sequential{
-		model:  m,
-		schema: s,
-		combs:  effectCombs(s),
-		seed:   seed,
-		agents: agents,
-		ix:     spatial.New(index, indexCell(s)),
+		model:    m,
+		schema:   s,
+		combs:    combs,
+		isSum:    sumMask(combs),
+		nonLocal: modelNonLocal(m),
+		seed:     seed,
+		agents:   agents,
+		ix:       spatial.New(index, indexCell(s)),
 	}
-	e.env = queryEnv{schema: s, combs: e.combs, nonLocal: modelNonLocal(m)}
+	if skin := resolveSkin(s, index, cacheSkin); skin > 0 {
+		e.cached = spatial.NewCached(cacheProbeRadius(s), skin)
+		e.ix = e.cached
+	}
+	e.envs = append(e.envs, newQueryEnv(s, combs, e.isSum, e.nonLocal))
 	return e, nil
 }
+
+// resolveSkin applies the engine-wide cache policy: the cached query path
+// requires the KD-tree index and a bounded visibility; cacheSkin < 0
+// disables it, 0 selects the default skin.
+func resolveSkin(s *agent.Schema, index spatial.Kind, cacheSkin float64) float64 {
+	if index != spatial.KindKDTree || s.Visibility <= 0 || cacheSkin < 0 {
+		return 0
+	}
+	if cacheSkin == 0 {
+		return spatial.DefaultSkin(cacheProbeRadius(s), s.Reach)
+	}
+	return cacheSkin
+}
+
+// cacheProbeRadius is the radius the query cache's candidate lists cover:
+// the model's declared probe radius when it is tighter than visibility
+// (e.g. predators bite within 2 but see within 5), else visibility.
+func cacheProbeRadius(s *agent.Schema) float64 {
+	if s.ProbeRadius > 0 && s.ProbeRadius < s.Visibility {
+		return s.ProbeRadius
+	}
+	return s.Visibility
+}
+
+// probeGrain is the minimum number of query phases per worker-pool chunk;
+// below it, fan-out overhead beats the win.
+const probeGrain = 64
 
 // RunTicks advances the simulation n full ticks.
 func (e *Sequential) RunTicks(n int) error {
@@ -72,22 +131,60 @@ func (e *Sequential) RunTicks(n int) error {
 
 func (e *Sequential) runTick() {
 	// Query phase over the whole world.
-	pts := make([]spatial.Point, len(e.agents))
-	copies := make([]*agent.Agent, len(e.agents))
+	n := len(e.agents)
+	e.pts = resize(e.pts, n)
+	e.copies = resize(e.copies, n)
 	for i, a := range e.agents {
-		pts[i] = spatial.Point{Pos: a.Pos(e.schema), ID: int32(i)}
-		copies[i] = a
+		e.pts[i] = spatial.Point{Pos: a.Pos(e.schema), ID: int32(i)}
+		e.copies[i] = a
 	}
-	e.ix.Build(pts)
-	e.env.copies = copies
-	e.env.ix = e.ix
+	listsOK := false
+	if e.cached != nil {
+		e.keys = resize(e.keys, n)
+		for i, a := range e.agents {
+			e.keys[i] = int64(a.ID)
+		}
+		e.cached.BuildKeyed(e.pts, e.keys, nil)
+		listsOK = e.cached.HasLists()
+	} else {
+		e.ix.Build(e.pts)
+	}
 	before := e.ix.Stats().Visited
-	for _, a := range e.agents {
-		e.env.self = a
-		e.model.Query(a, &e.env)
+
+	if e.cached != nil && !e.nonLocal {
+		for len(e.envs) < spatial.Parallelism() {
+			e.envs = append(e.envs, newQueryEnv(e.schema, e.combs, e.isSum, e.nonLocal))
+		}
+		spatial.ParallelFor(n, probeGrain, func(chunk, lo, hi int) {
+			env := &e.envs[chunk]
+			env.copies = e.copies
+			env.cached = e.cached
+			env.listsOK = listsOK
+			env.ix = e.ix
+			for i := lo; i < hi; i++ {
+				env.self = e.copies[i]
+				env.slot = int32(i)
+				e.model.Query(env.self, env)
+			}
+		})
+	} else {
+		env := &e.envs[0]
+		env.copies = e.copies
+		env.cached = e.cached
+		env.listsOK = listsOK
+		env.ix = e.ix
+		for i, a := range e.agents {
+			env.self = a
+			env.slot = int32(i)
+			e.model.Query(a, env)
+		}
 	}
-	e.visitedTotal += e.ix.Stats().Visited - before
-	e.agentTicks += int64(len(e.agents))
+	visited := e.ix.Stats().Visited - before
+	for i := range e.envs {
+		visited += e.envs[i].takeStats().Visited
+	}
+	e.visitedTotal += visited
+	e.agentTicks += int64(n)
 
 	// Update phase.
 	var spawned agent.Population
@@ -114,6 +211,14 @@ func (e *Sequential) runTick() {
 	sort.Sort(e.agents)
 }
 
+// resize returns s with length n, reusing capacity.
+func resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Agents returns the current ID-sorted population.
 func (e *Sequential) Agents() agent.Population { return e.agents }
 
@@ -127,6 +232,15 @@ func (e *Sequential) AgentTicks() int64 { return e.agentTicks }
 // per-tick index rebuild resets the index's own counters; this accumulates
 // them).
 func (e *Sequential) Visited() int64 { return e.visitedTotal }
+
+// CacheStats returns the query cache's cumulative build/reuse counters
+// (zero when the cached path is disabled).
+func (e *Sequential) CacheStats() spatial.CacheStats {
+	if e.cached == nil {
+		return spatial.CacheStats{}
+	}
+	return e.cached.CacheStats()
+}
 
 // WallSeconds returns wall time spent in RunTicks.
 func (e *Sequential) WallSeconds() float64 { return e.wallTotal.Seconds() }

@@ -116,6 +116,7 @@ func Runners() []Runner {
 		{"collocation", []string{"a1"}, "ablation: collocated vs shipped update phase", AblationCollocation},
 		{"checkpoint", []string{"a2"}, "ablation: checkpoint interval cost", AblationCheckpointInterval},
 		{"inversion", []string{"a3"}, "ablation: compiler inversion pass", AblationInversionPass},
+		{"qcache", []string{"a4", "cache"}, "ablation: Verlet query cache off vs on, with build/reuse split", AblationQueryCache},
 		{"scenarios", []string{"sweep"}, "every registered scenario: throughput vs workers", ScenarioSweep},
 	}
 }

@@ -95,10 +95,21 @@ func (m *Model) Schema() *agent.Schema { return m.s }
 
 // Query implements engine.Model: accumulate the avoidance and social
 // (attraction + alignment) vectors. Both accumulations are sums, so the
-// query is exactly order-independent.
+// query is exactly order-independent. Like the traffic model (and the
+// BRASIL compiler's output), it folds into local variables and assigns
+// each effect once: every field still receives the same additions in the
+// same neighbor order starting from θ = 0, so the result is bit-identical
+// to per-neighbor assignment — without an interface call per neighbor per
+// field on the hottest loop in the tree.
 func (m *Model) Query(self *agent.Agent, env engine.Env) {
 	sx, sy := self.State[m.x], self.State[m.y]
 	a2 := m.P.Alpha * m.P.Alpha
+	// One escaping struct, not eight escaping floats: the closure capture
+	// costs a single allocation per query phase.
+	var acc struct {
+		avx, avy, cntAv            float64
+		atx, aty, alx, aly, cntSoc float64
+	}
 	env.ForEachVisible(func(o *agent.Agent) {
 		if o.ID == self.ID {
 			return
@@ -111,18 +122,26 @@ func (m *Model) Query(self *agent.Agent, env engine.Env) {
 		d := math.Sqrt(d2)
 		if d2 < a2 {
 			// Avoidance: turn away from too-close neighbors.
-			env.Assign(self, m.avx, -dx/d)
-			env.Assign(self, m.avy, -dy/d)
-			env.Assign(self, m.cntAv, 1)
+			acc.avx += -dx / d
+			acc.avy += -dy / d
+			acc.cntAv++
 			return
 		}
 		// Attraction toward, and alignment with, visible neighbors.
-		env.Assign(self, m.atx, dx/d)
-		env.Assign(self, m.aty, dy/d)
-		env.Assign(self, m.alx, o.State[m.hx])
-		env.Assign(self, m.aly, o.State[m.hy])
-		env.Assign(self, m.cntSoc, 1)
+		acc.atx += dx / d
+		acc.aty += dy / d
+		acc.alx += o.State[m.hx]
+		acc.aly += o.State[m.hy]
+		acc.cntSoc++
 	})
+	env.Assign(self, m.avx, acc.avx)
+	env.Assign(self, m.avy, acc.avy)
+	env.Assign(self, m.cntAv, acc.cntAv)
+	env.Assign(self, m.atx, acc.atx)
+	env.Assign(self, m.aty, acc.aty)
+	env.Assign(self, m.alx, acc.alx)
+	env.Assign(self, m.aly, acc.aly)
+	env.Assign(self, m.cntSoc, acc.cntSoc)
 }
 
 // Update implements engine.Model: compose the desired direction per

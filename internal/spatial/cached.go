@@ -1,0 +1,489 @@
+// The incremental query layer: a CachedIndex wraps the KD-tree with the
+// molecular-dynamics Verlet-list technique. Behavioral simulations probe
+// the same (slowly moving) point set every tick, so instead of rebuilding
+// the tree and re-running every traversal per tick, the cache builds each
+// agent's candidate list once with an inflated radius ρ+s ("skin" s) and
+// reuses the lists — a filtered linear scan, no tree walk, no sort —
+// until some point has drifted more than s/2 from its build position.
+//
+// Correctness invariant: if every point has moved at most s/2 since the
+// lists were built, then for any probe radius r ≤ ρ centered at a point's
+// *current* position, every point currently within r was within r+s ≤ ρ+s
+// of the probing point's *build* position (triangle inequality, two moves
+// of ≤ s/2), i.e. it is in the candidate list. All inequalities are
+// closed, so reuse is exact at a displacement of exactly s/2.
+package spatial
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"github.com/bigreddata/brace/internal/geom"
+)
+
+// CacheStats counts how BuildKeyed calls resolved: Builds is full rebuilds
+// (tree + candidate lists), Reuses is ticks served from cached lists.
+// Unlike Index.Stats on the base indexes, these counters — and the cached
+// index's Stats — accumulate across Build calls; callers take deltas.
+type CacheStats struct {
+	Builds int64
+	Reuses int64
+}
+
+// CachedIndex is a KD-tree with Verlet candidate-list reuse. It implements
+// Index (generic probes answer against the *current* positions, even when
+// the underlying tree holds stale build positions), plus the keyed build
+// and per-slot batched probe API the engines use.
+//
+// Concurrency: BuildKeyed/Build/Invalidate must be called from one
+// goroutine at a time, with no queries in flight. Between builds, all
+// queries are safe to run concurrently: SlotCandidates (the parallel
+// query phase's hot path) and RangeCircleInto are read-only on build
+// state, and the generic Index queries allocate their own scratch and
+// touch only atomic counters — the engines' probe fallback relies on
+// this during a parallel query phase.
+type CachedIndex struct {
+	tree     *KDTree
+	probeRad float64 // max slot-probe radius the lists must cover (ρ)
+	skin     float64 // list inflation s; reuse while max displacement ≤ s/2
+
+	valid bool
+	keyed bool // last build carried caller keys (reuse is possible)
+	n     int
+
+	// Adaptive candidate-list gate. Workloads whose per-tick motion
+	// exceeds skin/2 never reuse, so list construction would be pure
+	// overhead every tick; after one full build-reuse-miss cycle the cache
+	// stops building lists and degrades to plain per-tick rebuilds.
+	// Invalidate resets the gate, so in the distributed engine the state
+	// machine restarts at every epoch barrier — keeping a recovered run's
+	// adaptation (and therefore its index work) identical to an unfailed
+	// one's.
+	listsOn    bool
+	listsBuilt bool  // the current build carries lists
+	buildSeen  bool  // a rebuild happened since the last Invalidate
+	reuseRun   int   // reuses since the last rebuild
+	buildCost  int64 // tree candidates visited by the last list build
+	listWork   int64 // candidate-list entries of the last build (per-tick scan cost)
+
+	keys     []int64    // per-slot identity at build
+	probeSet []int32    // slots that probe (nil = all); must match to reuse
+	hasProbe bool       // probeSet was provided
+	built    []geom.Vec // positions at build, slot order
+	cur      []geom.Vec // current positions, slot order
+	ids      []int32    // caller Point.IDs, slot order
+	treePts  []Point    // tree's copy (reordered by its Build); ID = slot
+	pad      float64    // max displacement since build (generic inflation)
+
+	lists [][]int32 // per-slot candidate slots, ascending; nil w/o probeRad
+	mask  []bool    // probe-set membership scratch
+
+	// Per-chunk scratch for the parallel list build.
+	pairs [][]int64
+	hits  [][]int32
+	vis   []int64
+
+	stats Stats // probe/visited counters; atomic (see Stats)
+	cs    CacheStats
+}
+
+// NewCached returns a cached KD-tree whose candidate lists cover slot
+// probes up to radius probeRad, with the given skin. probeRad ≤ 0 disables
+// candidate lists (generic queries still work, against the stale tree with
+// displacement-padded traversals); skin ≤ 0 disables reuse entirely,
+// making every BuildKeyed a rebuild.
+func NewCached(probeRad, skin float64) *CachedIndex {
+	if probeRad < 0 {
+		probeRad = 0
+	}
+	if skin < 0 {
+		skin = 0
+	}
+	return &CachedIndex{tree: NewKDTree(), probeRad: probeRad, skin: skin, listsOn: true}
+}
+
+// DefaultSkin picks a skin for a visibility bound and per-tick reachability
+// r (0 = unknown): wide enough to amortize rebuilds over a few ticks of
+// full-speed motion, narrow enough that candidate lists stay close to the
+// true neighborhood. Exposed so engines and experiments share one policy.
+func DefaultSkin(probeRad, reach float64) float64 {
+	if probeRad <= 0 {
+		return 0
+	}
+	s := probeRad / 2
+	if reach > 0 {
+		// Reuse window ≈ s/2 / step ≈ 2 ticks at full speed; agents rarely
+		// move at full reach every tick, so the realized window is longer.
+		if r := 4 * reach; r < s {
+			s = r
+		}
+	}
+	return s
+}
+
+// Skin returns the configured skin radius s.
+func (c *CachedIndex) Skin() float64 { return c.skin }
+
+// CacheStats returns cumulative build/reuse counters.
+func (c *CachedIndex) CacheStats() CacheStats { return c.cs }
+
+// Invalidate drops the cached build, forcing the next BuildKeyed to
+// rebuild, and re-arms the adaptive list gate. Engines call it at epoch
+// barriers and after migrations, restores and rebalances so that runs
+// reaching the same state through different histories (e.g. a recovered
+// vs an unfailed run) also make identical per-tick work — keeping
+// cost-driven decisions such as load balancing, and therefore distributed
+// runs, bit-identical.
+func (c *CachedIndex) Invalidate() {
+	c.valid = false
+	c.listsOn = true
+	c.buildSeen = false
+	c.reuseRun = 0
+}
+
+// HasLists reports whether the current build carries candidate lists —
+// the precondition for SlotCandidates.
+func (c *CachedIndex) HasLists() bool { return c.listsBuilt }
+
+// ProbeRadius returns the radius the candidate lists cover.
+func (c *CachedIndex) ProbeRadius() float64 { return c.probeRad }
+
+// BuildKeyed installs the tick's point set. keys[i] is a stable identity
+// for slot i (the engines pass agent IDs): when the keyed slot sequence is
+// unchanged since the last build, the probe set is the same, and no point
+// has moved more than s/2 from its build position, the cached tree and
+// candidate lists are reused and only current positions are refreshed.
+// Otherwise the tree is rebuilt and, when probeRad > 0, candidate lists
+// with radius probeRad+s are rebuilt for every probe slot (probe == nil
+// means every slot probes). Returns whether a rebuild happened.
+//
+// The caller's pts slice is copied, not retained or reordered.
+func (c *CachedIndex) BuildKeyed(pts []Point, keys []int64, probe []int32) bool {
+	if c.listsOn && c.tryReuse(pts, keys, probe) {
+		c.cs.Reuses++
+		c.reuseRun++
+		return false
+	}
+	// Adaptive gate. Lists pay for themselves two ways: reuse across
+	// ticks, and cheaper probes within a tick (a sorted flat scan instead
+	// of a tree walk + sort). A build whose lists were never reused AND
+	// whose construction cost dwarfed the per-tick scan work means the
+	// workload outruns the skin every tick with neighborhoods too small
+	// to amortize construction (e.g. a fast random walk with a tiny
+	// infection radius) — stop paying for lists.
+	if c.listsOn && c.buildSeen && c.reuseRun == 0 && c.buildCost > 2*c.listWork {
+		c.listsOn = false
+	}
+	c.rebuild(pts, keys, probe)
+	c.cs.Builds++
+	c.buildSeen = true
+	c.reuseRun = 0
+	return true
+}
+
+// Build implements Index: an unkeyed build always rebuilds (without
+// identity, reuse cannot be proven safe). The slice is not retained.
+func (c *CachedIndex) Build(pts []Point) {
+	c.rebuild(pts, nil, nil)
+	c.cs.Builds++
+}
+
+// tryReuse checks the reuse conditions and, when they hold, refreshes
+// current positions and the displacement pad.
+func (c *CachedIndex) tryReuse(pts []Point, keys []int64, probe []int32) bool {
+	if !c.valid || !c.keyed || c.skin <= 0 || keys == nil ||
+		len(pts) != c.n || len(keys) != c.n {
+		return false
+	}
+	for i, k := range keys {
+		if c.keys[i] != k {
+			return false
+		}
+	}
+	if (probe == nil) != !c.hasProbe || len(probe) != len(c.probeSet) {
+		return false
+	}
+	for i, s := range probe {
+		if c.probeSet[i] != s {
+			return false
+		}
+	}
+	lim := (c.skin / 2) * (c.skin / 2)
+	maxD2 := 0.0
+	for i := range pts {
+		if d2 := pts[i].Pos.Dist2(c.built[i]); d2 > maxD2 {
+			if d2 > lim {
+				return false
+			}
+			maxD2 = d2
+		}
+	}
+	for i := range pts {
+		c.cur[i] = pts[i].Pos
+		c.ids[i] = pts[i].ID
+	}
+	if maxD2 > 0 {
+		c.pad = math.Sqrt(maxD2)
+	} else {
+		c.pad = 0
+	}
+	return true
+}
+
+func (c *CachedIndex) rebuild(pts []Point, keys []int64, probe []int32) {
+	n := len(pts)
+	c.n = n
+	c.valid = true
+	c.keyed = keys != nil
+	c.pad = 0
+	c.keys = append(c.keys[:0], keys...)
+	c.probeSet = append(c.probeSet[:0], probe...)
+	c.hasProbe = probe != nil
+	c.built = grow(c.built, n)
+	c.cur = grow(c.cur, n)
+	c.ids = grow(c.ids, n)
+	c.treePts = grow(c.treePts, n)
+	for i, p := range pts {
+		c.built[i] = p.Pos
+		c.cur[i] = p.Pos
+		c.ids[i] = p.ID
+		c.treePts[i] = Point{Pos: p.Pos, ID: int32(i)}
+	}
+	c.tree.Build(c.treePts)
+	c.listsBuilt = c.listsOn && c.probeRad > 0
+	if c.listsBuilt {
+		c.buildLists()
+	}
+}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// listBuildGrain is the minimum number of probe sweeps per parallel chunk.
+const listBuildGrain = 64
+
+// buildLists constructs the per-slot candidate lists with radius ρ+s.
+// It sweeps candidates j in ascending slot order and appends j to the list
+// of every probe slot i within range — the pair relation is symmetric, so
+// one tree probe per candidate discovers all its list memberships, and the
+// ascending sweep leaves every list sorted by slot (= ascending agent ID
+// in the engines) with no per-probe sort ever needed again.
+func (c *CachedIndex) buildLists() {
+	n := c.n
+	if cap(c.lists) < n {
+		old := c.lists
+		c.lists = make([][]int32, n)
+		copy(c.lists, old)
+	}
+	c.lists = c.lists[:n]
+	for i := range c.lists {
+		c.lists[i] = c.lists[i][:0]
+	}
+	c.mask = grow(c.mask, n)
+	for i := range c.mask {
+		c.mask[i] = !c.hasProbe
+	}
+	for _, s := range c.probeSet {
+		c.mask[s] = true
+	}
+
+	R := c.probeRad + c.skin
+	chunks := Parallelism()
+	if m := n / listBuildGrain; m < chunks {
+		chunks = m
+	}
+	for len(c.hits) < chunks || len(c.hits) == 0 {
+		c.hits = append(c.hits, nil)
+	}
+	if chunks <= 1 {
+		// Serial: append directly.
+		hits := c.hits[0]
+		var visited, entries int64
+		for j := 0; j < n; j++ {
+			var v int64
+			hits, v = c.tree.rangeCircleSlots(c.built[j], R, hits[:0])
+			visited += v
+			for _, i := range hits {
+				if c.mask[i] {
+					c.lists[i] = append(c.lists[i], int32(j))
+					entries++
+				}
+			}
+		}
+		c.hits[0] = hits
+		c.buildCost, c.listWork = visited, entries
+		c.charge(int64(n), visited)
+		return
+	}
+
+	// Parallel: chunks of the j-sweep record (i, j) pairs into private
+	// buffers; the merge appends them chunk-by-chunk, preserving ascending
+	// j — identical lists to the serial path, regardless of chunking.
+	for len(c.pairs) < chunks {
+		c.pairs = append(c.pairs, nil)
+	}
+	c.vis = grow(c.vis, chunks)
+	ParallelFor(n, listBuildGrain, func(chunk, lo, hi int) {
+		pairs := c.pairs[chunk][:0]
+		hits := c.hits[chunk]
+		var visited int64
+		for j := lo; j < hi; j++ {
+			var v int64
+			hits, v = c.tree.rangeCircleSlots(c.built[j], R, hits[:0])
+			visited += v
+			for _, i := range hits {
+				if c.mask[i] {
+					pairs = append(pairs, int64(i)<<32|int64(j))
+				}
+			}
+		}
+		c.pairs[chunk] = pairs
+		c.hits[chunk] = hits
+		c.vis[chunk] = visited
+	})
+	var visited, entries int64
+	for chunk := 0; chunk < chunks; chunk++ {
+		for _, pr := range c.pairs[chunk] {
+			c.lists[pr>>32] = append(c.lists[pr>>32], int32(pr&0xffffffff))
+		}
+		visited += c.vis[chunk]
+		entries += int64(len(c.pairs[chunk]))
+	}
+	c.buildCost, c.listWork = visited, entries
+	c.charge(int64(n), visited)
+}
+
+// SlotCandidates returns slot's sorted candidate list and the shared
+// current-position array: every point within probeRad of cur[slot] is in
+// the list (plus near-misses within the skin); the caller filters by exact
+// current distance. Read-only and safe for concurrent calls. Only valid
+// after a BuildKeyed with probeRad > 0 and slot in the probe set.
+func (c *CachedIndex) SlotCandidates(slot int32) ([]int32, []geom.Vec) {
+	return c.lists[slot], c.cur
+}
+
+// Current returns the current position of slot i (for callers that track
+// slots but not positions).
+func (c *CachedIndex) Current(i int32) geom.Vec { return c.cur[i] }
+
+// Len implements Index.
+func (c *CachedIndex) Len() int { return c.n }
+
+// Stats implements Index. Counters accumulate across builds (see
+// CacheStats); list-construction probes are included. Generic queries may
+// run concurrently with each other (their counters are atomic), so Stats
+// reads atomically too.
+func (c *CachedIndex) Stats() Stats {
+	return Stats{
+		Probes:  atomic.LoadInt64(&c.stats.Probes),
+		Visited: atomic.LoadInt64(&c.stats.Visited),
+	}
+}
+
+func (c *CachedIndex) charge(probes, visited int64) {
+	atomic.AddInt64(&c.stats.Probes, probes)
+	atomic.AddInt64(&c.stats.Visited, visited)
+}
+
+// The generic Index queries below answer against *current* positions even
+// when the underlying tree holds stale build positions: the tree is probed
+// with the region grown by the maximum displacement since build, then
+// candidates filter by where they are now. They allocate their own scratch
+// and touch only read-shared build state plus atomic counters, so they are
+// safe to call concurrently — they are the queryEnv fallback when a probe
+// exceeds the candidate lists' radius during a parallel query phase.
+
+// Range implements Index against current positions.
+func (c *CachedIndex) Range(r geom.Rect, fn func(Point)) {
+	slots, visited := c.tree.rangeRectSlots(r.Expand(c.pad), nil)
+	c.charge(1, visited)
+	for _, i := range slots {
+		if r.Contains(c.cur[i]) {
+			fn(Point{Pos: c.cur[i], ID: c.ids[i]})
+		}
+	}
+}
+
+// RangeCircle implements Index against current positions.
+func (c *CachedIndex) RangeCircle(cen geom.Vec, rad float64, fn func(Point)) {
+	slots, visited := c.RangeCircleInto(cen, rad, nil)
+	c.charge(1, visited)
+	for _, i := range slots {
+		fn(Point{Pos: c.cur[i], ID: c.ids[i]})
+	}
+}
+
+// RangeCircleInto appends the slots currently within rad of cen to the
+// caller-owned dst and returns (dst, candidates visited). It is the
+// engines' fallback when a probe is not served by the candidate lists:
+// stats-free and touching only read-shared build state, it is safe during
+// a parallel query phase, and reuses the caller's buffer. Right after a
+// rebuild (pad 0) the tree's filter is already exact; on reuse ticks the
+// padded traversal re-filters by current position.
+func (c *CachedIndex) RangeCircleInto(cen geom.Vec, rad float64, dst []int32) ([]int32, int64) {
+	if c.pad == 0 {
+		return c.tree.rangeCircleSlots(cen, rad, dst)
+	}
+	start := len(dst)
+	dst, visited := c.tree.rangeCircleSlots(cen, rad+c.pad, dst)
+	r2 := rad * rad
+	kept := start
+	for _, i := range dst[start:] {
+		if c.cur[i].Dist2(cen) <= r2 {
+			dst[kept] = i
+			kept++
+		}
+	}
+	return dst[:kept], visited
+}
+
+// Nearest implements Index against current positions. The k nearest build
+// positions bound the answer: any point among the current k nearest has a
+// build distance within twice the displacement pad of the build k-th
+// distance, so one padded range collects an exact candidate superset.
+func (c *CachedIndex) Nearest(cen geom.Vec, k int, dst []Point) []Point {
+	if k <= 0 || c.n == 0 {
+		c.charge(1, 0)
+		return dst
+	}
+	var slots []int32
+	if k >= c.n {
+		slots = make([]int32, c.n)
+		for i := range slots {
+			slots[i] = int32(i)
+		}
+		c.charge(1, int64(c.n))
+	} else {
+		nn, visited := c.tree.nearestInto(cen, k, nil)
+		dk := math.Sqrt(nn[len(nn)-1].Pos.Dist2(cen))
+		// Inflate past rounding: a too-wide candidate circle is harmless
+		// (candidates are re-ranked by exact current distance below), a
+		// too-narrow one drops a boundary point.
+		r := dk + 2*c.pad
+		r += r*1e-9 + 1e-12
+		var v2 int64
+		slots, v2 = c.tree.rangeCircleSlots(cen, r, nil)
+		c.charge(1, visited+v2)
+	}
+	sort.Slice(slots, func(a, b int) bool {
+		da, db := c.cur[slots[a]].Dist2(cen), c.cur[slots[b]].Dist2(cen)
+		if da != db {
+			return da < db
+		}
+		return c.ids[slots[a]] < c.ids[slots[b]]
+	})
+	if len(slots) > k {
+		slots = slots[:k]
+	}
+	for _, i := range slots {
+		dst = append(dst, Point{Pos: c.cur[i], ID: c.ids[i]})
+	}
+	return dst
+}
+
+var _ Index = (*CachedIndex)(nil)

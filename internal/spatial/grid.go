@@ -176,7 +176,11 @@ func (g *Grid) Nearest(c geom.Vec, k int, dst []Point) []Point {
 		g.stats.Visited += int64(len(g.pts))
 	}
 	sort.Slice(cand, func(i, j int) bool {
-		return cand[i].Pos.Dist2(c) < cand[j].Pos.Dist2(c)
+		di, dj := cand[i].Pos.Dist2(c), cand[j].Pos.Dist2(c)
+		if di != dj {
+			return di < dj
+		}
+		return cand[i].ID < cand[j].ID
 	})
 	if k > len(cand) {
 		k = len(cand)

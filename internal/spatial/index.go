@@ -2,17 +2,22 @@
 // query phase of a tick into an orthogonal range query instead of a
 // quadratic all-pairs scan (paper §5.2, Fig. 3–4).
 //
-// Three implementations of Index are provided:
+// Four implementations of Index are provided:
 //
 //   - Scan: the no-index baseline ("BRACE - no indexing" in the figures);
 //     every probe enumerates all points.
 //   - KDTree: the paper's "generic KD-tree based spatial index capability"
 //     [Bentley, 3], rebuilt each tick over the agents visible at a reducer.
 //   - Grid: a uniform bucket grid, an alternative index used for ablations.
+//   - CachedIndex: a KD-tree wrapped in Verlet candidate-list reuse (see
+//     cached.go) — the engines' incremental fast path, which skips the
+//     per-tick rebuild while agents stay within half a skin radius of
+//     their build positions.
 //
-// All indexes are built over immutable point sets: behavioral simulations
-// rebuild the index at every tick because every agent may move, so indexes
+// The base indexes are built over immutable point sets: behavioral
+// simulations rebuild at every tick because every agent may move, so they
 // favor fast bulk construction and cheap queries over dynamic updates.
+// CachedIndex layers exact cross-tick reuse on top of that model.
 package spatial
 
 import (
@@ -46,10 +51,11 @@ type Index interface {
 	// of c (closed ball).
 	RangeCircle(c geom.Vec, rad float64, fn func(Point))
 
-	// Nearest returns the k points closest to c in nondecreasing distance
-	// order, appending to dst. Fewer than k are returned if the index
-	// holds fewer points. Used by the MITSIM-style nearest lead/rear
-	// vehicle probes.
+	// Nearest returns the k points closest to c in nondecreasing
+	// (distance, ID) order — equidistant points tie-break by ascending
+	// ID, so the result is a deterministic function of the point set.
+	// Fewer than k are returned if the index holds fewer points. Used by
+	// the MITSIM-style nearest lead/rear vehicle probes.
 	Nearest(c geom.Vec, k int, dst []Point) []Point
 
 	// Stats returns counters accumulated since Build (probes, nodes

@@ -2,6 +2,7 @@ package spatial
 
 import (
 	"sort"
+	"sync"
 
 	"github.com/bigreddata/brace/internal/geom"
 )
@@ -11,6 +12,13 @@ import (
 // index capability"). It is rebuilt in bulk each tick by median splitting;
 // leaves hold up to leafSize points scanned linearly, which keeps the
 // traversal constant small while preserving O(√n + k) range queries.
+//
+// Nodes are laid out in preorder (a node's left child immediately follows
+// it; the right child follows the whole left subtree). Because splits are
+// by count, the tree *shape* is a function of len(pts) alone, so every
+// subtree's node range is known before it is built — large builds fork
+// subtrees onto the package worker pool writing disjoint slice regions,
+// producing the bit-identical layout of a serial build.
 type KDTree struct {
 	pts   []Point // reordered during build; leaves reference spans
 	nodes []kdNode
@@ -18,7 +26,11 @@ type KDTree struct {
 	stats Stats
 }
 
-const leafSize = 16
+const (
+	leafSize = 16
+	// parallelBuildMin is the smallest subtree worth forking to the pool.
+	parallelBuildMin = 1024
+)
 
 type kdNode struct {
 	split       float64 // splitting coordinate (internal nodes)
@@ -40,31 +52,66 @@ func NewKDTree() *KDTree { return &KDTree{root: kdNil} }
 func (t *KDTree) Build(pts []Point) {
 	t.stats = Stats{}
 	t.pts = pts
-	t.nodes = t.nodes[:0]
 	if len(pts) == 0 {
 		t.root = kdNil
+		t.nodes = t.nodes[:0]
 		return
 	}
-	t.root = t.build(0, int32(len(pts)), 0)
+	need := int(nodeCount(int32(len(pts))))
+	if cap(t.nodes) < need {
+		t.nodes = make([]kdNode, need)
+	} else {
+		t.nodes = t.nodes[:need]
+	}
+	t.root = 0
+	if len(pts) >= parallelBuildMin && Parallelism() > 1 {
+		var wg sync.WaitGroup
+		t.buildAt(0, 0, int32(len(pts)), 0, &wg)
+		wg.Wait()
+	} else {
+		t.buildAt(0, 0, int32(len(pts)), 0, nil)
+	}
 }
 
-func (t *KDTree) build(lo, hi int32, depth int) int32 {
-	if hi-lo <= leafSize {
-		idx := int32(len(t.nodes))
-		t.nodes = append(t.nodes, kdNode{axis: leafAxis, start: lo, end: hi})
-		return idx
+// nodeCount returns the number of nodes a (sub)tree over n points uses.
+// It mirrors buildAt's count-based split exactly: left gets ⌊n/2⌋ points.
+func nodeCount(n int32) int32 {
+	if n <= leafSize {
+		return 1
 	}
-	axis := int8(depth & 1)
-	mid := (lo + hi) / 2
-	selectMedian(t.pts[lo:hi], int(mid-lo), axis)
-	split := key(t.pts[mid], axis)
-	idx := int32(len(t.nodes))
-	t.nodes = append(t.nodes, kdNode{axis: axis, split: split})
-	l := t.build(lo, mid, depth+1)
-	r := t.build(mid, hi, depth+1)
-	t.nodes[idx].left = l
-	t.nodes[idx].right = r
-	return idx
+	l := n / 2
+	return 1 + nodeCount(l) + nodeCount(n-l)
+}
+
+// buildAt writes the subtree over pts[lo:hi] into the preorder node range
+// starting at ni. When wg is non-nil, large right subtrees fork onto the
+// worker pool; the regions they write are disjoint by construction.
+func (t *KDTree) buildAt(ni, lo, hi int32, depth int, wg *sync.WaitGroup) {
+	for {
+		if hi-lo <= leafSize {
+			t.nodes[ni] = kdNode{axis: leafAxis, start: lo, end: hi}
+			return
+		}
+		axis := int8(depth & 1)
+		mid := (lo + hi) / 2
+		selectMedian(t.pts[lo:hi], int(mid-lo), axis)
+		left := ni + 1
+		right := ni + 1 + nodeCount(mid-lo)
+		t.nodes[ni] = kdNode{axis: axis, split: key(t.pts[mid], axis), left: left, right: right}
+		if wg != nil && hi-mid >= parallelBuildMin {
+			wg.Add(1)
+			ni, lo, hi := right, mid, hi
+			depth := depth + 1
+			queryPool.submit(func() {
+				defer wg.Done()
+				t.buildAt(ni, lo, hi, depth, wg)
+			})
+		} else {
+			t.buildAt(right, mid, hi, depth+1, wg)
+		}
+		ni, hi = left, mid
+		depth++
+	}
 }
 
 func key(p Point, axis int8) float64 {
@@ -206,35 +253,133 @@ func (t *KDTree) RangeCircle(c geom.Vec, rad float64, fn func(Point)) {
 	}
 }
 
+// rangeRectSlots appends the IDs of points inside r to dst and returns
+// (dst, candidates visited). Stats-free and read-only, like
+// rangeCircleSlots.
+func (t *KDTree) rangeRectSlots(r geom.Rect, dst []int32) ([]int32, int64) {
+	if t.root == kdNil {
+		return dst, 0
+	}
+	var visited int64
+	var stack [64]int32
+	sp := 0
+	stack[sp] = t.root
+	sp++
+	for sp > 0 {
+		sp--
+		n := &t.nodes[stack[sp]]
+		if n.axis == leafAxis {
+			visited += int64(n.end - n.start)
+			for _, p := range t.pts[n.start:n.end] {
+				if r.Contains(p.Pos) {
+					dst = append(dst, p.ID)
+				}
+			}
+			continue
+		}
+		var lo, hi float64
+		if n.axis == 0 {
+			lo, hi = r.Min.X, r.Max.X
+		} else {
+			lo, hi = r.Min.Y, r.Max.Y
+		}
+		if lo <= n.split {
+			stack[sp] = n.left
+			sp++
+		}
+		if hi >= n.split {
+			stack[sp] = n.right
+			sp++
+		}
+	}
+	return dst, visited
+}
+
+// rangeCircleSlots appends the IDs of points within rad of c to dst and
+// returns (dst, candidates visited). Stats-free and read-only: the cached
+// index's parallel candidate-list construction calls it concurrently.
+func (t *KDTree) rangeCircleSlots(c geom.Vec, rad float64, dst []int32) ([]int32, int64) {
+	if t.root == kdNil {
+		return dst, 0
+	}
+	r := geom.Square(c, rad)
+	r2 := rad * rad
+	var visited int64
+	var stack [64]int32
+	sp := 0
+	stack[sp] = t.root
+	sp++
+	for sp > 0 {
+		sp--
+		n := &t.nodes[stack[sp]]
+		if n.axis == leafAxis {
+			visited += int64(n.end - n.start)
+			for _, p := range t.pts[n.start:n.end] {
+				if p.Pos.Dist2(c) <= r2 {
+					dst = append(dst, p.ID)
+				}
+			}
+			continue
+		}
+		var lo, hi float64
+		if n.axis == 0 {
+			lo, hi = r.Min.X, r.Max.X
+		} else {
+			lo, hi = r.Min.Y, r.Max.Y
+		}
+		if lo <= n.split {
+			stack[sp] = n.left
+			sp++
+		}
+		if hi >= n.split {
+			stack[sp] = n.right
+			sp++
+		}
+	}
+	return dst, visited
+}
+
 // Nearest implements Index: best-first descent with a bounded max-heap of
-// candidates, pruning subtrees whose slab cannot beat the k-th best.
+// candidates, pruning subtrees whose slab cannot beat the k-th best. Ties
+// in distance are broken by ascending ID (the Index contract), so the
+// result is a deterministic function of the point set alone.
 func (t *KDTree) Nearest(c geom.Vec, k int, dst []Point) []Point {
 	t.stats.Probes++
+	var visited int64
+	dst, visited = t.nearestInto(c, k, dst)
+	t.stats.Visited += visited
+	return dst
+}
+
+// nearestInto is Nearest without stats mutation (returns the visited count
+// instead), safe for concurrent read-only use.
+func (t *KDTree) nearestInto(c geom.Vec, k int, dst []Point) ([]Point, int64) {
 	if k <= 0 || t.root == kdNil {
-		return dst
+		return dst, 0
 	}
 	h := &kdHeap{}
-	t.nearestRec(t.root, c, k, h, geom.Infinite())
+	var visited int64
+	t.nearestRec(t.root, c, k, h, geom.Infinite(), &visited)
 	out := make([]Point, len(h.pts))
-	// Extract in increasing-distance order.
+	// Extract in increasing (distance, ID) order.
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = h.popMax()
 	}
-	return append(dst, out...)
+	return append(dst, out...), visited
 }
 
-func (t *KDTree) nearestRec(ni int32, c geom.Vec, k int, h *kdHeap, bounds geom.Rect) {
+func (t *KDTree) nearestRec(ni int32, c geom.Vec, k int, h *kdHeap, bounds geom.Rect, visited *int64) {
 	n := &t.nodes[ni]
 	if h.len() == k && bounds.Dist2(c) > h.d2[0] {
 		return
 	}
 	if n.axis == leafAxis {
-		t.stats.Visited += int64(n.end - n.start)
+		*visited += int64(n.end - n.start)
 		for _, p := range t.pts[n.start:n.end] {
 			d2 := p.Pos.Dist2(c)
 			if h.len() < k {
 				h.push(p, d2)
-			} else if d2 < h.d2[0] {
+			} else if d2 < h.d2[0] || (d2 == h.d2[0] && p.ID < h.pts[0].ID) {
 				h.replaceMax(p, d2)
 			}
 		}
@@ -250,11 +395,11 @@ func (t *KDTree) nearestRec(ni int32, c geom.Vec, k int, h *kdHeap, bounds geom.
 		goLeftFirst = c.Y <= n.split
 	}
 	if goLeftFirst {
-		t.nearestRec(n.left, c, k, h, leftB)
-		t.nearestRec(n.right, c, k, h, rightB)
+		t.nearestRec(n.left, c, k, h, leftB, visited)
+		t.nearestRec(n.right, c, k, h, rightB, visited)
 	} else {
-		t.nearestRec(n.right, c, k, h, rightB)
-		t.nearestRec(n.left, c, k, h, leftB)
+		t.nearestRec(n.right, c, k, h, rightB, visited)
+		t.nearestRec(n.left, c, k, h, leftB, visited)
 	}
 }
 
@@ -263,8 +408,9 @@ func (t *KDTree) Stats() Stats { return t.stats }
 
 var _ Index = (*KDTree)(nil)
 
-// kdHeap is a small max-heap of candidate nearest points keyed by squared
-// distance; the farthest candidate sits at index 0.
+// kdHeap is a small max-heap of candidate nearest points keyed by
+// (squared distance, ID) lexicographically; the worst candidate sits at
+// index 0.
 type kdHeap struct {
 	pts []Point
 	d2  []float64
@@ -272,13 +418,22 @@ type kdHeap struct {
 
 func (h *kdHeap) len() int { return len(h.pts) }
 
+// worse reports whether candidate i orders after candidate j in the
+// (distance, ID) total order.
+func (h *kdHeap) worse(i, j int) bool {
+	if h.d2[i] != h.d2[j] {
+		return h.d2[i] > h.d2[j]
+	}
+	return h.pts[i].ID > h.pts[j].ID
+}
+
 func (h *kdHeap) push(p Point, d2 float64) {
 	h.pts = append(h.pts, p)
 	h.d2 = append(h.d2, d2)
 	i := len(h.pts) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.d2[parent] >= h.d2[i] {
+		if !h.worse(i, parent) {
 			break
 		}
 		h.swap(parent, i)
@@ -308,10 +463,10 @@ func (h *kdHeap) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		big := i
-		if l < n && h.d2[l] > h.d2[big] {
+		if l < n && h.worse(l, big) {
 			big = l
 		}
-		if r < n && h.d2[r] > h.d2[big] {
+		if r < n && h.worse(r, big) {
 			big = r
 		}
 		if big == i {

@@ -57,12 +57,16 @@ func (s *Scan) Nearest(c geom.Vec, k int, dst []Point) []Point {
 	if k <= 0 || len(s.pts) == 0 {
 		return dst
 	}
-	// Copy, partial-sort by distance. The scan baseline is not meant to be
-	// fast; clarity wins.
+	// Copy, sort by (distance, ID) — the Index tie rule. The scan baseline
+	// is not meant to be fast; clarity wins.
 	cand := make([]Point, len(s.pts))
 	copy(cand, s.pts)
 	sort.Slice(cand, func(i, j int) bool {
-		return cand[i].Pos.Dist2(c) < cand[j].Pos.Dist2(c)
+		di, dj := cand[i].Pos.Dist2(c), cand[j].Pos.Dist2(c)
+		if di != dj {
+			return di < dj
+		}
+		return cand[i].ID < cand[j].ID
 	})
 	if k > len(cand) {
 		k = len(cand)
