@@ -70,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write the JSON artifact here")
 	baseline := fs.String("baseline", "", "committed BENCH_*.json to gate against")
 	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional throughput regression")
+	proveGate := fs.Bool("prove-gate", false, "self-test the regression gate against a doctored baseline before trusting its verdict")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -130,6 +131,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "wrote %s (%d benchmarks)\n", *out, len(f.Benchmarks))
+	}
+
+	if *proveGate {
+		// A gate that cannot fail is worthless — and an empty or
+		// unparsed run would "pass" every comparison. Doctor a baseline
+		// from this very run with impossible throughput and prove the
+		// gate flags every benchmark before trusting its real verdict.
+		doctored := &File{Schema: f.Schema, Benchmarks: make([]Result, len(f.Benchmarks))}
+		for i, r := range f.Benchmarks {
+			r.NsPerOp /= 10
+			if r.AgentTicksPerS > 0 {
+				r.AgentTicksPerS *= 10
+			}
+			doctored.Benchmarks[i] = r
+		}
+		failures := Gate(doctored, f, *tolerance, io.Discard)
+		if len(failures) != len(f.Benchmarks) {
+			fmt.Fprintf(stderr, "benchjson: gate self-test FAILED: doctored baseline flagged %d of %d benchmarks\n",
+				len(failures), len(f.Benchmarks))
+			return 1
+		}
+		fmt.Fprintf(stdout, "gate self-test OK: doctored baseline flagged all %d benchmarks\n", len(f.Benchmarks))
 	}
 
 	if base != nil {

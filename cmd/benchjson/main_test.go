@@ -123,3 +123,29 @@ func TestRunInputMode(t *testing.T) {
 		t.Fatalf("bad baseline exited %d, want 1", code)
 	}
 }
+
+// -prove-gate demonstrates the regression gate actually fires: a baseline
+// doctored to impossible throughput must flag every benchmark, and only
+// then is the real verdict trusted.
+func TestRunProveGate(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(in, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-input", in, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write run exited %d: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-input", in, "-baseline", out, "-prove-gate"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("prove-gate run exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "gate self-test OK") {
+		t.Fatalf("no self-test message: %s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "trajectory OK") {
+		t.Fatalf("real gate did not run after the self-test: %s", stdout.String())
+	}
+}

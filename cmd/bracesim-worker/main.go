@@ -7,6 +7,7 @@
 //
 //	bracesim-worker -listen 127.0.0.1:7101
 //	bracesim-worker -listen 127.0.0.1:0 -once   # ephemeral port, one run
+//	bracesim-worker -listen 127.0.0.1:7101 -heartbeat 30s   # abort sessions whose coordinator goes silent
 //
 // The daemon prints "listening on <addr>" once the socket is bound, so
 // scripts (and the loopback tests) can use port 0 and scrape the address.
@@ -33,6 +34,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", "127.0.0.1:0", "address to accept the coordinator on")
 	once := fs.Bool("once", false, "exit after one coordinator session")
+	heartbeat := fs.Duration("heartbeat", 0,
+		"abort a session whose coordinator has been silent this long (0 = wait forever); "+
+			"the coordinator pings every 2s by default, so a small multiple of that is safe")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -46,7 +50,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	defer lis.Close()
 	fmt.Fprintf(stdout, "listening on %s\n", lis.Addr())
-	if err := distrib.Serve(lis, stderr, *once); err != nil {
+	err = distrib.ServeWith(lis, distrib.ServeOptions{
+		Log:          stderr,
+		Once:         *once,
+		CoordTimeout: *heartbeat,
+	})
+	if err != nil {
 		fmt.Fprintln(stderr, "bracesim-worker:", err)
 		return 1
 	}

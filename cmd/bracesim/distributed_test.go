@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -244,6 +245,103 @@ func TestDistributeTCPWorkerKillRecovery(t *testing.T) {
 	}
 }
 
+// TestDistributeTCPWorkerStallRecovery is the liveness acceptance
+// criterion against real OS processes: SIGSTOP (not kill) one re-exec'd
+// worker mid-run. Its sockets stay open and never error — the failure
+// mode that used to hang the epoch barrier forever. The coordinator's
+// heartbeat must declare it dead within the detection window, recovery
+// must absorb its partitions (the frozen process cannot answer the
+// rejoin dial), and the final state must be bit-identical to an unfailed
+// run.
+func TestDistributeTCPWorkerStallRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and freezes OS processes")
+	}
+	const (
+		agents = 150
+		seed   = uint64(17)
+		parts  = 6
+		ticks  = 400
+		epoch  = 5
+	)
+	ws := []*workerProc{spawnWorker(t), spawnWorker(t), spawnWorker(t)}
+
+	type outcome struct {
+		res *distrib.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := distrib.Run(distrib.Options{
+			Addrs:    []string{ws[0].addr, ws[1].addr, ws[2].addr},
+			Scenario: "epidemic",
+			Agents:   agents, Seed: seed,
+			Partitions: parts, Ticks: ticks, EpochTicks: epoch,
+			CheckpointEveryEpochs: 1,
+			Heartbeat:             100 * time.Millisecond,
+			EpochTimeout:          30 * time.Second,
+			// The frozen worker's kernel still completes the rejoin
+			// dial's TCP handshake; only the handshake timeout unmasks
+			// it. Keep that short so the test spends its time simulating.
+			RejoinTimeout: time.Second,
+		})
+		done <- outcome{res, err}
+	}()
+
+	select {
+	case <-ws[1].started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker 1 never started its session")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(ws[1].proc.Pid, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	// Cleanup SIGKILLs the stopped process, which needs no SIGCONT first.
+
+	var got outcome
+	select {
+	case got = <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("coordinator did not finish after worker freeze: the stall was not detected")
+	}
+	if got.err != nil {
+		t.Fatal(got.err)
+	}
+	res := got.res
+	if res.Ticks != ticks {
+		t.Fatalf("ticks = %d, want %d", res.Ticks, ticks)
+	}
+	if res.StallDrops < 1 {
+		t.Errorf("stallDrops = %d, want ≥ 1 (a SIGSTOP raises no socket error)", res.StallDrops)
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want ≥ 1 (was the worker frozen too late?)", res.Recoveries)
+	}
+	if res.Procs != 2 {
+		t.Errorf("procs = %d, want 2 survivors", res.Procs)
+	}
+
+	mem, err := brace.NewScenario("epidemic",
+		brace.ScenarioConfig{Agents: agents, Seed: seed}, brace.Config{Workers: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	want := mem.Agents()
+	if len(res.Agents) != len(want) {
+		t.Fatalf("population sizes differ: tcp %d vs mem %d", len(res.Agents), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(res.Agents[i]) {
+			t.Fatalf("agent %d differs after stall recovery:\n  mem: %v\n  tcp: %v",
+				want[i].ID, want[i], res.Agents[i])
+		}
+	}
+}
+
 func TestDistributeFlagValidation(t *testing.T) {
 	if code, _, errOut := runCLI(t, "-distribute", "udp"); code == 0 || !strings.Contains(errOut, "udp") {
 		t.Errorf("unknown mode accepted: %s", errOut)
@@ -272,11 +370,16 @@ func TestDistributeLoadBalanceFlag(t *testing.T) {
 	addrs := spawnWorkerProc(t) + "," + spawnWorkerProc(t)
 	code, out, errOut := runCLI(t,
 		"-distribute", "tcp", "-worker-addrs", addrs, "-lb", "-ckpt-epochs", "1",
+		"-ckpt-full-every", "2", "-heartbeat", "200ms", "-epoch-timeout", "30s",
+		"-dial-timeout", "15s", "-rejoin-timeout", "2s",
 		"-model", "epidemic", "-agents", "120", "-ticks", "8", "-workers", "4", "-seed", "9")
 	if code != 0 {
 		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
 	}
 	if !strings.Contains(out, "rebalances=") || !strings.Contains(out, "recoveries=0") {
 		t.Errorf("summary should report control-plane counters:\n%s", out)
+	}
+	if !strings.Contains(out, "stalls=0") || !strings.Contains(out, "ckpt=") {
+		t.Errorf("summary should report liveness and checkpoint counters:\n%s", out)
 	}
 }

@@ -46,6 +46,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	index := fs.String("index", "kd", "spatial index: kd, scan, grid")
 	lb := fs.Bool("lb", false, "enable load balancing")
 	ckptEpochs := fs.Int("ckpt-epochs", 0, "coordinated checkpoint every N epochs (0 = initial checkpoint only)")
+	ckptFullEvery := fs.Int("ckpt-full-every", 0, "with -distribute: every Nth checkpoint is a full keyframe, the rest ship deltas (0 = default 8, 1 = always full)")
+	heartbeat := fs.Duration("heartbeat", 0, "with -distribute: liveness ping interval; a worker silent for 5 intervals is force-dropped (0 = default 2s, negative = off)")
+	epochTimeout := fs.Duration("epoch-timeout", 0, "with -distribute: max age of an epoch barrier round before laggards are force-dropped (0 = default 60s, negative = off)")
+	dialTimeout := fs.Duration("dial-timeout", 0, "with -distribute: worker dial+handshake budget (0 = default 10s)")
+	rejoinTimeout := fs.Duration("rejoin-timeout", 0, "with -distribute: re-dial budget when re-admitting a dead worker (0 = same as -dial-timeout)")
 	vt := fs.Bool("vtime", false, "enable virtual-time cluster accounting")
 	seq := fs.Bool("seq", false, "use the sequential reference engine")
 	invert := fs.Bool("invert", false, "apply effect inversion to the BRASIL script")
@@ -87,6 +92,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Sequential:            *seq,
 			LoadBalance:           *lb,
 			CheckpointEveryEpochs: *ckptEpochs,
+			CheckpointFullEvery:   *ckptFullEvery,
+			Heartbeat:             *heartbeat,
+			EpochTimeout:          *epochTimeout,
+			DialTimeout:           *dialTimeout,
+			RejoinTimeout:         *rejoinTimeout,
 		}
 		if *verbose {
 			if sp, ok := brace.LookupScenario(*model); ok {
@@ -101,9 +111,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(stderr, err)
 		}
-		fmt.Fprintf(stdout, "distributed ticks=%d agents=%d procs=%d partitions=%d net=%dB (%d msgs) local=%dB rebalances=%d recoveries=%d\n",
+		fmt.Fprintf(stdout, "distributed ticks=%d agents=%d procs=%d partitions=%d net=%dB (%d msgs) local=%dB rebalances=%d recoveries=%d stalls=%d ckpt=%dB (%d full / %d delta parts)\n",
 			res.Ticks, len(res.Agents), res.Procs, *workers, res.Net.SentBytes, res.Net.SentMsgs, res.Net.LocalBytes,
-			res.Rebalances, res.Recoveries)
+			res.Rebalances, res.Recoveries, res.StallDrops, res.CheckpointBytes, res.CheckpointFullParts, res.CheckpointDeltaParts)
 		if *verbose {
 			for i, ep := range res.Epochs {
 				fmt.Fprintf(stdout, "epoch %d: tick=%d rebalanced=%v\n", i+1, ep.Tick, ep.Rebalanced)

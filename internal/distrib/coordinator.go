@@ -25,7 +25,27 @@ func Run(o Options) (*Result, error) {
 		o.DialTimeout = 10 * time.Second
 	}
 	if o.RejoinTimeout <= 0 {
-		o.RejoinTimeout = 2 * time.Second
+		// Unified with DialTimeout: a daemon worth waiting 10s for at
+		// startup is worth the same wait when it rejoins after a restart.
+		o.RejoinTimeout = o.DialTimeout
+	}
+	switch {
+	case o.Heartbeat == 0:
+		o.Heartbeat = 2 * time.Second
+	case o.Heartbeat < 0:
+		o.Heartbeat = 0 // disabled
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 5
+	}
+	switch {
+	case o.EpochTimeout == 0:
+		o.EpochTimeout = 60 * time.Second
+	case o.EpochTimeout < 0:
+		o.EpochTimeout = 0 // disabled
+	}
+	if o.CheckpointFullEvery <= 0 {
+		o.CheckpointFullEvery = 8
 	}
 	if o.Balancer == (partition.Balancer{}) {
 		o.Balancer = partition.DefaultBalancer()
@@ -36,6 +56,7 @@ func Run(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	now := time.Now()
 	c := &coordinator{
 		o:      o,
 		place:  NewPlacement(o.Partitions, len(o.Addrs)),
@@ -46,6 +67,7 @@ func Run(o Options) (*Result, error) {
 		ckpt:   &ckptState{tick: 0, cuts: append([]float64(nil), cuts...), parts: parts},
 		stats:  make(map[int]*transport.EpochStats),
 		finals: make(map[int]*transport.FinalReport),
+		lv:     newLiveness(len(o.Addrs), o.Heartbeat*time.Duration(o.HeartbeatMisses), o.EpochTimeout, now),
 	}
 	c.hub = transport.NewHub(o.Partitions, len(o.Addrs), c.place.Assign())
 	defer c.hub.Close()
@@ -63,13 +85,35 @@ func Run(o Options) (*Result, error) {
 			}
 			return nil, fmt.Errorf("distrib: worker %d (%s): %w", i, addr, err)
 		}
+		conn.SetWriteTimeout(c.writeTimeout())
 		conns[i] = conn
 	}
+	now = time.Now()
 	for i, conn := range conns {
 		c.live[i] = true
 		c.seqs[i] = c.hub.Attach(i, conn)
+		c.lv.admit(i, now)
 	}
 	return c.run()
+}
+
+// writeTimeout bounds coordinator → worker sends. A stalled worker stops
+// draining its socket; once the kernel buffers fill, an unbounded write
+// would freeze the control loop — the very hang this machinery exists to
+// break. The bound is generous: the full liveness window, floored so
+// large restore frames always have time to flush.
+func (c *coordinator) writeTimeout() time.Duration {
+	wt := c.o.Heartbeat * time.Duration(c.o.HeartbeatMisses)
+	if c.o.EpochTimeout > wt {
+		wt = c.o.EpochTimeout
+	}
+	if wt <= 0 {
+		return 0
+	}
+	if floor := 5 * time.Second; wt < floor {
+		wt = floor
+	}
+	return wt
 }
 
 // ckptState is one coordinated checkpoint held on the coordinator — the
@@ -78,8 +122,9 @@ func Run(o Options) (*Result, error) {
 // with the master.
 type ckptState struct {
 	tick  uint64
+	seq   uint64 // checkpoint sequence; deltas name the base they build on
 	cuts  []float64
-	parts []transport.PartState // indexed by partition
+	parts []transport.PartState // indexed by partition, always Full
 	have  map[int]bool          // procs whose pieces arrived (while assembling)
 }
 
@@ -103,8 +148,20 @@ type coordinator struct {
 	stats   map[int]*transport.EpochStats
 	finals  map[int]*transport.FinalReport
 
-	recoveries, rejoins, rebalances int
-	epochs                          []EpochDecision
+	// Liveness: the detector itself plus the start times of the rounds
+	// currently in flight (zero = round inactive).
+	lv          *liveness
+	statsSince  time.Time
+	ckptSince   time.Time
+	finalsSince time.Time
+
+	ckptSeq     uint64 // sequence of the last *ordered* checkpoint
+	ckptOrdered int    // periodic checkpoints ordered (keyframe cadence)
+
+	recoveries, rejoins, rebalances, stallDrops int
+	ckptBytes                                   int64
+	ckptFullParts, ckptDeltaParts               int
+	epochs                                      []EpochDecision
 }
 
 func (c *coordinator) liveCount() int {
@@ -118,51 +175,156 @@ func (c *coordinator) liveCount() int {
 }
 
 // run consumes hub events until every live worker has reported its final
-// state (success) or the run is unrecoverable.
+// state (success) or the run is unrecoverable, waking on the liveness
+// interval to ping workers and enforce the stall deadlines.
 func (c *coordinator) run() (*Result, error) {
-	for ev := range c.hub.Events() {
-		if ev.Frame == nil {
-			if ev.Seq != 0 && ev.Seq < c.seqs[ev.Src] {
-				continue // a connection we already replaced; the rejoined worker is fine
+	var timer <-chan time.Time
+	if every := c.checkEvery(); every > 0 {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		timer = t.C
+	}
+	for {
+		select {
+		case ev, ok := <-c.hub.Events():
+			if !ok {
+				return nil, fmt.Errorf("distrib: hub closed unexpectedly")
 			}
-			if err := c.recoverFrom(ev.Src, ev.Err); err != nil {
+			res, err := c.onEvent(ev)
+			if res != nil || err != nil {
+				return res, err
+			}
+		case now := <-timer:
+			if err := c.onTimer(now); err != nil {
 				return nil, err
 			}
-			continue
-		}
-		f := ev.Frame
-		if f.Kind == transport.FrameError {
-			// An application failure (bad handshake state, engine error) is
-			// deterministic: recovery would just replay it. Abort.
-			c.hub.Broadcast(&transport.Frame{Kind: transport.FrameError, Gen: c.gen, Err: f.Err})
-			return nil, fmt.Errorf("distrib: worker %d failed: %s", ev.Src, f.Err)
-		}
-		if f.Gen != c.gen || !c.live[ev.Src] {
-			continue // stale generation or a zombie; fenced off
-		}
-		var err error
-		switch f.Kind {
-		case transport.FrameStats:
-			err = c.onStats(ev.Src, f.Stats)
-		case transport.FrameCheckpoint:
-			err = c.onCheckpoint(ev.Src, f.Ckpt)
-		case transport.FrameFinal:
-			if f.Final == nil || f.Final.Proc != ev.Src {
-				err = fmt.Errorf("distrib: worker %d sent a malformed final report", ev.Src)
-				break
-			}
-			c.finals[ev.Src] = f.Final
-			if len(c.finals) == c.liveCount() {
-				return c.finish()
-			}
-		default:
-			err = fmt.Errorf("distrib: worker %d sent unexpected frame kind %d", ev.Src, f.Kind)
-		}
-		if err != nil {
-			return nil, err
 		}
 	}
-	return nil, fmt.Errorf("distrib: hub closed unexpectedly")
+}
+
+// checkEvery is the liveness wake-up period: the heartbeat interval when
+// pinging, otherwise often enough to enforce the epoch deadline.
+func (c *coordinator) checkEvery() time.Duration {
+	if c.o.Heartbeat > 0 {
+		return c.o.Heartbeat
+	}
+	if c.o.EpochTimeout > 0 {
+		return c.o.EpochTimeout / 4
+	}
+	return 0
+}
+
+// onEvent handles one hub event. A non-nil Result ends the run.
+func (c *coordinator) onEvent(ev transport.HubEvent) (*Result, error) {
+	if ev.Frame == nil {
+		if ev.Seq != 0 && ev.Seq < c.seqs[ev.Src] {
+			return nil, nil // a connection we already replaced; the rejoined worker is fine
+		}
+		return nil, c.recoverFrom(ev.Src, ev.Err)
+	}
+	f := ev.Frame
+	if f.Kind == transport.FrameError {
+		// An application failure (bad handshake state, engine error) is
+		// deterministic: recovery would just replay it. Abort.
+		c.hub.Broadcast(&transport.Frame{Kind: transport.FrameError, Gen: c.gen, Err: f.Err})
+		return nil, fmt.Errorf("distrib: worker %d failed: %s", ev.Src, f.Err)
+	}
+	if f.Kind == transport.FramePong {
+		// Liveness evidence regardless of generation: a worker applying a
+		// restore pongs from the old one, and it is no less alive for it.
+		c.lv.pong(ev.Src, time.Now())
+		return nil, nil
+	}
+	if f.Gen != c.gen || !c.live[ev.Src] {
+		return nil, nil // stale generation or a zombie; fenced off
+	}
+	var err error
+	switch f.Kind {
+	case transport.FrameStats:
+		err = c.onStats(ev.Src, f.Stats)
+	case transport.FrameCheckpoint:
+		err = c.onCheckpoint(ev.Src, f.Ckpt, ev.Bytes)
+	case transport.FrameFinal:
+		if f.Final == nil || f.Final.Proc != ev.Src {
+			err = fmt.Errorf("distrib: worker %d sent a malformed final report", ev.Src)
+			break
+		}
+		if len(c.finals) == 0 {
+			c.finalsSince = time.Now()
+		}
+		c.finals[ev.Src] = f.Final
+		if len(c.finals) == c.liveCount() {
+			return c.finish()
+		}
+	default:
+		err = fmt.Errorf("distrib: worker %d sent unexpected frame kind %d", ev.Src, f.Kind)
+	}
+	return nil, err
+}
+
+// onTimer is the liveness beat: ping every live worker, then force-drop
+// whoever the detector has declared stalled — missed heartbeat window,
+// an overdue control-plane round, or a between-barriers laggard — into
+// the ordinary recovery path. To the rest of the run a stall-drop is
+// indistinguishable from a crash.
+func (c *coordinator) onTimer(now time.Time) error {
+	var dead []int
+	if c.o.Heartbeat > 0 {
+		ping := &transport.Frame{Kind: transport.FramePing, Gen: c.gen}
+		for p := range c.live {
+			if c.live[p] && c.hub.Send(p, ping) != nil {
+				dead = append(dead, p)
+			}
+		}
+	}
+	stalled := map[int]string{}
+	for _, p := range c.lv.silent(c.live, now) {
+		stalled[p] = "missed heartbeat window"
+	}
+	if c.lv.overdue(c.statsSince, now) {
+		for p := range c.live {
+			if c.live[p] && c.stats[p] == nil {
+				stalled[p] = "stats round overdue"
+			}
+		}
+	}
+	if c.pending != nil && c.lv.overdue(c.ckptSince, now) {
+		for p := range c.live {
+			if c.live[p] && !c.pending.have[p] {
+				stalled[p] = "checkpoint round overdue"
+			}
+		}
+	}
+	if c.lv.overdue(c.finalsSince, now) {
+		for p := range c.live {
+			if c.live[p] && c.finals[p] == nil {
+				stalled[p] = "final report overdue"
+			}
+		}
+	}
+	for _, p := range c.lv.laggards(c.live, c.hub.Progress(), now) {
+		if _, dup := stalled[p]; !dup && c.live[p] {
+			stalled[p] = "phase barrier overdue"
+		}
+	}
+	for p, why := range stalled {
+		if !c.live[p] {
+			continue // a recovery below may have rejoined or absorbed it
+		}
+		c.stallDrops++
+		if err := c.recoverFrom(p, fmt.Errorf("distrib: worker %d stalled: %s", p, why)); err != nil {
+			return err
+		}
+	}
+	for _, p := range dead {
+		if !c.live[p] {
+			continue
+		}
+		if err := c.recoverFrom(p, fmt.Errorf("distrib: worker %d unreachable at heartbeat", p)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c *coordinator) finish() (*Result, error) {
@@ -173,6 +335,10 @@ func (c *coordinator) finish() (*Result, error) {
 	res.Recoveries = c.recoveries
 	res.Rejoins = c.rejoins
 	res.Rebalances = c.rebalances
+	res.StallDrops = c.stallDrops
+	res.CheckpointBytes = c.ckptBytes
+	res.CheckpointFullParts = c.ckptFullParts
+	res.CheckpointDeltaParts = c.ckptDeltaParts
 	res.Epochs = c.epochs
 	return res, nil
 }
@@ -190,21 +356,34 @@ func (c *coordinator) onStats(src int, s *transport.EpochStats) error {
 				src, s.Tick, prev.Proc, prev.Tick)
 		}
 	}
+	if len(c.stats) == 0 {
+		c.statsSince = time.Now() // the round's deadline starts at its first frame
+	}
 	c.stats[src] = s
 	if len(c.stats) < c.liveCount() {
 		return nil
 	}
+	c.statsSince = time.Time{}
+	c.lv.roundReset(time.Now())
 
 	tick := s.Tick
 	c.epoch++
 	d := &transport.Directive{Tick: tick}
 	if c.o.CheckpointEveryEpochs > 0 && c.epoch%c.o.CheckpointEveryEpochs == 0 {
+		c.ckptOrdered++
+		c.ckptSeq++
 		d.Checkpoint = true
+		d.CkptSeq = c.ckptSeq
+		// Keyframe cadence: the first periodic checkpoint and every Nth
+		// after it ship full state; the rest ship deltas the coordinator
+		// reassembles on arrival.
+		d.CkptFull = c.o.CheckpointFullEvery <= 1 || (c.ckptOrdered-1)%c.o.CheckpointFullEvery == 0
 		// The checkpoint captures the cuts in force *before* any rebalance
 		// decided at this same barrier — exactly when the in-memory
 		// runtime snapshots master state.
 		c.pending = &ckptState{
 			tick:  tick,
+			seq:   c.ckptSeq,
 			cuts:  append([]float64(nil), c.cuts...),
 			parts: make([]transport.PartState, c.o.Partitions),
 			have:  make(map[int]bool),
@@ -212,6 +391,7 @@ func (c *coordinator) onStats(src int, s *transport.EpochStats) error {
 		for p := range c.pending.parts {
 			c.pending.parts[p].Part = -1 // piece not yet received
 		}
+		c.ckptSince = time.Now()
 	}
 	if c.o.LoadBalance && tick > c.lastBoundary && c.cuts != nil {
 		if cuts, ok := c.planRebalance(); ok {
@@ -271,17 +451,48 @@ func (c *coordinator) planRebalance() ([]float64, bool) {
 	return d.NewCuts, true
 }
 
-// onCheckpoint files one worker's checkpoint pieces; once every live
-// worker has reported, the assembled state becomes the rollback point.
-func (c *coordinator) onCheckpoint(src int, ck *transport.CheckpointMsg) error {
+// onCheckpoint files one worker's checkpoint pieces — reassembling delta
+// pieces into full state against the previous checkpoint as they arrive —
+// and, once every live worker has reported, installs the assembled state
+// as the rollback point. Holding only full state coordinator-side keeps
+// Restore frames and recovery identical whether the pieces came in whole
+// or as deltas.
+func (c *coordinator) onCheckpoint(src int, ck *transport.CheckpointMsg, bytes int) error {
 	if ck == nil || c.pending == nil || ck.Tick != c.pending.tick {
 		return nil // stale piece from an interrupted checkpoint round
 	}
+	c.ckptBytes += int64(bytes)
 	for _, ps := range ck.Parts {
 		if ps.Part < 0 || ps.Part >= len(c.pending.parts) {
 			return fmt.Errorf("distrib: worker %d checkpointed unknown partition %d", src, ps.Part)
 		}
-		c.pending.parts[ps.Part] = ps
+		if ps.Full {
+			c.ckptFullParts++
+			c.pending.parts[ps.Part] = transport.PartState{
+				Part: ps.Part, Visited: ps.Visited, Full: true, Values: ps.Values,
+			}
+			continue
+		}
+		// A delta names the base it was computed against; it must be the
+		// checkpoint this coordinator actually holds. A mismatch is a
+		// protocol bug, not a recoverable condition — replaying would
+		// reproduce it.
+		if ps.Base != c.ckpt.seq {
+			return fmt.Errorf("distrib: worker %d sent a delta against checkpoint %d, coordinator holds %d",
+				src, ps.Base, c.ckpt.seq)
+		}
+		base, ok := c.ckpt.parts[ps.Part].Values.([]*engine.Envelope)
+		if !ok && c.ckpt.parts[ps.Part].Values != nil {
+			return fmt.Errorf("distrib: checkpoint base for partition %d holds %T", ps.Part, c.ckpt.parts[ps.Part].Values)
+		}
+		vals, err := engine.ApplyDelta(base, ps.Delta)
+		if err != nil {
+			return fmt.Errorf("distrib: worker %d partition %d: %w", src, ps.Part, err)
+		}
+		c.ckptDeltaParts++
+		c.pending.parts[ps.Part] = transport.PartState{
+			Part: ps.Part, Visited: ps.Visited, Full: true, Values: vals,
+		}
 	}
 	c.pending.have[src] = true
 	if len(c.pending.have) < c.liveCount() {
@@ -294,6 +505,8 @@ func (c *coordinator) onCheckpoint(src int, ck *transport.CheckpointMsg) error {
 	}
 	c.pending.have = nil
 	c.ckpt, c.pending = c.pending, nil
+	c.ckptSince = time.Time{}
+	c.lv.roundReset(time.Now())
 	return nil
 }
 
@@ -320,12 +533,20 @@ func (c *coordinator) recoverFrom(src int, cause error) error {
 			}
 			c.live[p] = false
 			changed = true
+			// Close the old connection before re-dialing. For a
+			// socket-error death it is already gone; for a stall-drop it
+			// is still open, and closing it both silences the zombie and
+			// unwinds the stalled session so the daemon can accept the
+			// rejoin dial.
+			c.hub.Kill(p)
 			newGen := c.gen + 1
 			if !c.o.NoRejoin {
 				conn, err := dialWorker(c.o.Addrs[p], c.o.hello(p, newGen, c.place.Assign()), c.o.RejoinTimeout)
 				if err == nil {
+					conn.SetWriteTimeout(c.writeTimeout())
 					c.live[p] = true
 					c.seqs[p] = c.hub.Attach(p, conn)
+					c.lv.admit(p, time.Now())
 					c.rejoins++
 				}
 			}
@@ -349,6 +570,8 @@ func (c *coordinator) recoverFrom(src int, cause error) error {
 		c.stats = make(map[int]*transport.EpochStats)
 		c.finals = make(map[int]*transport.FinalReport)
 		c.pending = nil
+		c.statsSince, c.ckptSince, c.finalsSince = time.Time{}, time.Time{}, time.Time{}
+		c.lv.roundReset(time.Now())
 		// The rewind also rolls back decisions made after the checkpoint:
 		// truncate the decision log to the restored tick and recount, so
 		// Result.Epochs/Rebalances describe what is actually in force.
@@ -371,11 +594,12 @@ func (c *coordinator) recoverFrom(src int, cause error) error {
 				continue
 			}
 			rest := &transport.Restore{
-				Gen:    c.gen,
-				Tick:   c.ckpt.tick,
-				Cuts:   append([]float64(nil), c.ckpt.cuts...),
-				Assign: assign,
-				Live:   append([]bool(nil), c.live...),
+				Gen:     c.gen,
+				Tick:    c.ckpt.tick,
+				Cuts:    append([]float64(nil), c.ckpt.cuts...),
+				Assign:  assign,
+				Live:    append([]bool(nil), c.live...),
+				CkptSeq: c.ckpt.seq,
 			}
 			for _, q := range c.place.Owned(p) {
 				rest.Parts = append(rest.Parts, c.ckpt.parts[q])
@@ -387,6 +611,11 @@ func (c *coordinator) recoverFrom(src int, cause error) error {
 		dead = next
 		cause = fmt.Errorf("distrib: worker lost while broadcasting restore")
 	}
+	// The rejoin dial above can block this single-threaded loop for the
+	// full RejoinTimeout with pongs queued but unprocessed; survivors
+	// must not be judged by their pre-recovery timestamps when the timer
+	// fires next.
+	c.lv.graceAll(c.live, time.Now())
 	return nil
 }
 

@@ -75,6 +75,12 @@ type Options struct {
 	// only the initial tick-0 checkpoint is held, so recovery rewinds to
 	// the start).
 	CheckpointEveryEpochs int
+	// CheckpointFullEvery makes every Nth coordinated checkpoint a full
+	// keyframe; the ones between ship field-level deltas against the
+	// previous checkpoint (engine.DiffPartition), which the coordinator
+	// reassembles into full state on arrival. 1 ships full state every
+	// time (the v2 behavior); 0 means the default (8).
+	CheckpointFullEvery int
 	// NoRejoin disables re-dialing a dead worker's address before its
 	// partitions are re-placed on the survivors. By default the
 	// coordinator tries once: a daemon that only lost its connection (not
@@ -85,10 +91,31 @@ type Options struct {
 	// flapping link re-admitting and re-severing every generation —
 	// must eventually fail the run instead of looping forever.
 	MaxRecoveries int
-	// RejoinTimeout bounds the re-dial + handshake (default 2s).
+	// RejoinTimeout bounds the re-dial + handshake when re-admitting a
+	// dead worker. It defaults to DialTimeout: a daemon healthy enough
+	// for the initial dial deserves the same budget to rejoin (the old
+	// 2s default made rejoins fail against slowly-restarting workers the
+	// initial dial would have waited for).
 	RejoinTimeout time.Duration
 	// DialTimeout bounds dialing + handshaking each worker (default 10s).
 	DialTimeout time.Duration
+	// Heartbeat is the liveness ping interval. The coordinator pings
+	// every live worker each interval; the worker's transport reader
+	// answers even mid-phase, so silence means a frozen process or a
+	// dead path, not a slow epoch. 0 means the default (2s); negative
+	// disables heartbeats.
+	Heartbeat time.Duration
+	// HeartbeatMisses is how many consecutive silent intervals declare a
+	// worker dead (0 = default 5). The product Heartbeat×HeartbeatMisses
+	// is the detection window.
+	HeartbeatMisses int
+	// EpochTimeout bounds every control-plane round (stats collection,
+	// checkpoint assembly, final reports) and, via the hub's observed
+	// marker progress, the gap between barriers. A worker that blows it
+	// is force-dropped into the ordinary recovery path. It must exceed
+	// the longest healthy epoch; 0 means the default (60s); negative
+	// disables the deadline.
+	EpochTimeout time.Duration
 }
 
 // EpochDecision records what the control plane decided at one epoch
@@ -121,6 +148,17 @@ type Result struct {
 	Rejoins int
 	// Rebalances counts applied load-balancing repartitions.
 	Rebalances int
+	// StallDrops counts workers force-dropped by the liveness machinery
+	// (missed heartbeats or a blown epoch-round deadline) rather than by
+	// a socket error.
+	StallDrops int
+	// CheckpointBytes is the wire size of every checkpoint frame workers
+	// shipped; CheckpointFullParts and CheckpointDeltaParts split the
+	// received partition snapshots by kind. Together they measure what
+	// incremental checkpoints save over full-state shipping.
+	CheckpointBytes      int64
+	CheckpointFullParts  int
+	CheckpointDeltaParts int
 	// Epochs records the control plane's per-barrier decisions.
 	Epochs []EpochDecision
 }
@@ -197,7 +235,7 @@ func initialState(o Options) (cuts []float64, parts []transport.PartState, err e
 	}
 	parts = make([]transport.PartState, o.Partitions)
 	for p := 0; p < o.Partitions; p++ {
-		parts[p] = transport.PartState{Part: p, Values: eng.ExportPartition(p)}
+		parts[p] = transport.PartState{Part: p, Full: true, Values: eng.ExportPartition(p)}
 	}
 	return cuts, parts, nil
 }

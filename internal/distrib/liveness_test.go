@@ -1,0 +1,132 @@
+package distrib
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/bigreddata/brace/internal/transport"
+)
+
+// The detector takes explicit clocks, so these tests never sleep.
+
+func TestLivenessHeartbeatWindow(t *testing.T) {
+	base := time.Unix(1000, 0)
+	l := newLiveness(3, 500*time.Millisecond, 0, base)
+	live := []bool{true, true, true}
+
+	if got := l.silent(live, base.Add(400*time.Millisecond)); got != nil {
+		t.Errorf("silent before the window = %v, want none", got)
+	}
+	l.pong(1, base.Add(600*time.Millisecond))
+	if got := l.silent(live, base.Add(700*time.Millisecond)); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("silent = %v, want [0 2] (1 ponged)", got)
+	}
+	// Dead workers are not re-reported.
+	live[0] = false
+	if got := l.silent(live, base.Add(700*time.Millisecond)); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("silent = %v, want [2]", got)
+	}
+	// A re-admitted worker gets a fresh grace period.
+	l.admit(2, base.Add(700*time.Millisecond))
+	live[2] = true
+	if got := l.silent(live, base.Add(1100*time.Millisecond)); got != nil {
+		t.Errorf("silent right after admit = %v, want none", got)
+	}
+}
+
+func TestLivenessHeartbeatDisabled(t *testing.T) {
+	base := time.Unix(1000, 0)
+	l := newLiveness(2, 0, time.Second, base)
+	if got := l.silent([]bool{true, true}, base.Add(time.Hour)); got != nil {
+		t.Errorf("silent with heartbeat disabled = %v, want none", got)
+	}
+}
+
+func TestLivenessOverdueRounds(t *testing.T) {
+	base := time.Unix(1000, 0)
+	l := newLiveness(2, 0, 2*time.Second, base)
+	if l.overdue(time.Time{}, base.Add(time.Hour)) {
+		t.Error("an inactive round (zero start) can never be overdue")
+	}
+	if l.overdue(base, base.Add(1900*time.Millisecond)) {
+		t.Error("round within the deadline reported overdue")
+	}
+	if !l.overdue(base, base.Add(2100*time.Millisecond)) {
+		t.Error("round past the deadline not reported overdue")
+	}
+	off := newLiveness(2, 0, 0, base)
+	if off.overdue(base, base.Add(time.Hour)) {
+		t.Error("deadline disabled but round reported overdue")
+	}
+}
+
+func TestLivenessLaggards(t *testing.T) {
+	base := time.Unix(1000, 0)
+	l := newLiveness(3, 0, 2*time.Second, base)
+	live := []bool{true, true, true}
+	even := []transport.ProcProgress{{Gen: 1, Phase: 4}, {Gen: 1, Phase: 4}, {Gen: 1, Phase: 4}}
+	behind := []transport.ProcProgress{{Gen: 1, Phase: 4}, {Gen: 1, Phase: 3}, {Gen: 1, Phase: 4}}
+
+	// First observation is itself an advance: clock resets, nobody blamed.
+	if got := l.laggards(live, behind, base.Add(time.Second)); got != nil {
+		t.Errorf("laggards on first advance = %v, want none", got)
+	}
+	// Still within the deadline: nothing.
+	if got := l.laggards(live, behind, base.Add(2500*time.Millisecond)); got != nil {
+		t.Errorf("laggards within deadline = %v, want none", got)
+	}
+	// Past the deadline with no advance: the strictly-behind worker.
+	if got := l.laggards(live, behind, base.Add(3500*time.Millisecond)); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("laggards = %v, want [1]", got)
+	}
+	// All even and stuck: no laggard to blame (heartbeat/rounds cover it).
+	l2 := newLiveness(3, 0, 2*time.Second, base)
+	l2.laggards(live, even, base.Add(time.Second))
+	if got := l2.laggards(live, even, base.Add(time.Hour)); got != nil {
+		t.Errorf("laggards with even progress = %v, want none", got)
+	}
+	// A dead worker's stale progress never makes it a laggard.
+	l3 := newLiveness(3, 0, 2*time.Second, base)
+	l3.laggards(live, behind, base.Add(time.Second))
+	dead := []bool{true, false, true}
+	if got := l3.laggards(dead, behind, base.Add(time.Hour)); got != nil {
+		t.Errorf("laggards among dead = %v, want none", got)
+	}
+	// An older generation counts as strictly behind.
+	l4 := newLiveness(2, 0, 2*time.Second, base)
+	oldGen := []transport.ProcProgress{{Gen: 2, Phase: 1}, {Gen: 1, Phase: 9}}
+	l4.laggards([]bool{true, true}, oldGen, base.Add(time.Second))
+	if got := l4.laggards([]bool{true, true}, oldGen, base.Add(time.Hour)); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("laggards across generations = %v, want [1]", got)
+	}
+}
+
+// Any observed marker advance resets the barrier clock — a slow but
+// moving cluster is never force-dropped.
+func TestLivenessAdvanceResetsClock(t *testing.T) {
+	base := time.Unix(1000, 0)
+	l := newLiveness(2, 0, 2*time.Second, base)
+	live := []bool{true, true}
+	at := func(sec int, p0, p1 uint64) []int {
+		return l.laggards(live, []transport.ProcProgress{{Gen: 1, Phase: p0}, {Gen: 1, Phase: p1}},
+			base.Add(time.Duration(sec)*time.Second))
+	}
+	if got := at(1, 1, 1); got != nil {
+		t.Errorf("t=1: %v", got)
+	}
+	// Progress keeps advancing every check: clock keeps resetting even
+	// though proc 1 trails by one marker the whole time.
+	for sec := 2; sec <= 20; sec++ {
+		if got := at(sec, uint64(sec), uint64(sec-1)); got != nil {
+			t.Fatalf("t=%d: slow-but-moving cluster blamed: %v", sec, got)
+		}
+	}
+	// Then it truly stops: after the deadline the trailing proc is named.
+	if got := at(21, 20, 19); got != nil {
+		t.Fatalf("t=21 (within deadline): %v", got)
+	}
+	if got := at(23, 20, 19); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("t=23: laggards = %v, want [1]", got)
+	}
+}

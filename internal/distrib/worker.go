@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"github.com/bigreddata/brace/internal/engine"
 	"github.com/bigreddata/brace/internal/scenario"
@@ -20,10 +21,18 @@ type ServeOptions struct {
 	// (tests and one-shot jobs).
 	Once bool
 	// Wrap, when non-nil, wraps each session's transport before the
-	// engine sees it. Fault-injection tests use it (transport.SeverAt) to
-	// kill a worker's connection at a chosen phase; production passes
-	// nothing.
+	// engine sees it. Fault-injection tests use it (transport.SeverAt,
+	// transport.StallAt) to kill or freeze a worker at a chosen phase;
+	// production passes nothing.
 	Wrap func(tr transport.Transport, h *transport.Hello) transport.Transport
+	// CoordTimeout is the worker-side liveness watchdog: a session whose
+	// coordinator has been completely silent for this long is aborted,
+	// freeing the daemon for the next coordinator. With heartbeats on
+	// (the coordinator default) a healthy coordinator is never silent
+	// for more than the ping interval, so set this to a comfortable
+	// multiple of it. 0 disables the watchdog — a worker then waits on a
+	// dead coordinator forever, as before v3.
+	CoordTimeout time.Duration
 }
 
 // Serve runs the worker daemon's accept loop: one coordinator session at a
@@ -112,6 +121,12 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 	if so.Wrap != nil {
 		tr = so.Wrap(tcp, h)
 	}
+	if so.CoordTimeout > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go watchCoordinator(tcp, fc, so.CoordTimeout, stop)
+	}
+	ckpts := newCkptTracker()
 
 	// The barrier hook closes over the engine pointer, which is assigned
 	// right after construction; the hook only fires inside RunTicks.
@@ -125,7 +140,7 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 		Transport:  tr,
 		LocalParts: local,
 		EpochBarrier: func(tick uint64) error {
-			return workerBarrier(eng, tcp, h, tick)
+			return workerBarrier(eng, tcp, h, ckpts, tick)
 		},
 	})
 	if err != nil {
@@ -135,7 +150,7 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 	if rejoining {
 		// Joined mid-run: the initial population load is placeholder
 		// state; wait for the coordinator's Restore before ticking.
-		if err := awaitAndApplyRestore(eng, tcp, h); err != nil {
+		if err := awaitAndApplyRestore(eng, tcp, h, ckpts); err != nil {
 			return err
 		}
 	}
@@ -158,11 +173,11 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 			if err != nil {
 				return nil // connection closed: run complete
 			}
-			if err := applyRestore(eng, tcp, h, r); err != nil {
+			if err := applyRestore(eng, tcp, h, ckpts, r); err != nil {
 				return err
 			}
 		case errors.Is(err, transport.ErrRestore):
-			if err := awaitAndApplyRestore(eng, tcp, h); err != nil {
+			if err := awaitAndApplyRestore(eng, tcp, h, ckpts); err != nil {
 				return err
 			}
 		default:
@@ -172,20 +187,47 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 	}
 }
 
+// watchCoordinator is the worker-side liveness watchdog: it closes the
+// session connection once the coordinator has been silent past the
+// timeout, unwinding whatever the session is blocked on. Heartbeat pings
+// count as traffic, so with the coordinator defaults only a dead or
+// frozen coordinator ever trips it.
+func watchCoordinator(tcp *transport.TCP, fc *transport.Conn, timeout time.Duration, stop <-chan struct{}) {
+	poll := timeout / 4
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			if now.Sub(tcp.LastRecv()) > timeout {
+				_ = fc.Close()
+				return
+			}
+		}
+	}
+}
+
 // awaitAndApplyRestore blocks for the coordinator's Restore, rewinds the
 // engine to the checkpoint it carries, and re-fences the transport onto
 // the new generation.
-func awaitAndApplyRestore(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello) error {
+func awaitAndApplyRestore(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello, ckpts *ckptTracker) error {
 	r, err := tcp.AwaitRestore()
 	if err != nil {
 		return err
 	}
-	return applyRestore(eng, tcp, h, r)
+	return applyRestore(eng, tcp, h, ckpts, r)
 }
 
-// applyRestore rewinds the engine to the checkpoint a Restore carries and
-// re-fences the transport onto the new generation.
-func applyRestore(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello, r *transport.Restore) error {
+// applyRestore rewinds the engine to the checkpoint a Restore carries,
+// re-fences the transport onto the new generation, and re-baselines the
+// incremental-checkpoint tracker on the restored state (both sides now
+// hold it bit for bit, so the next checkpoint can delta immediately).
+func applyRestore(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello, ckpts *ckptTracker, r *transport.Restore) error {
 	states := make([]engine.PartitionState, 0, len(r.Parts))
 	for _, ps := range r.Parts {
 		envs, ok := ps.Values.([]*engine.Envelope)
@@ -197,6 +239,7 @@ func applyRestore(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hell
 	if err := eng.Restore(r.Tick, r.Cuts, ownedParts(r.Assign, h.Proc), states); err != nil {
 		return err
 	}
+	ckpts.reset(r.CkptSeq, r.Parts)
 	tcp.Reset(r)
 	return nil
 }
@@ -205,7 +248,7 @@ func applyRestore(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hell
 // down, directive applied (checkpoint state shipped with the cuts still in
 // pre-rebalance force, then new cuts installed — the same order the
 // in-memory master uses).
-func workerBarrier(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello, tick uint64) error {
+func workerBarrier(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello, ckpts *ckptTracker, tick uint64) error {
 	local := eng.LocalPartitions()
 	stats := &transport.EpochStats{Proc: h.Proc, Tick: tick, Parts: make([]transport.PartStats, 0, len(local))}
 	for _, p := range local {
@@ -226,14 +269,7 @@ func workerBarrier(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hel
 		return fmt.Errorf("distrib: directive for tick %d at barrier %d", d.Tick, tick)
 	}
 	if d.Checkpoint {
-		ck := &transport.CheckpointMsg{Proc: h.Proc, Tick: tick, Parts: make([]transport.PartState, 0, len(local))}
-		for _, p := range local {
-			ck.Parts = append(ck.Parts, transport.PartState{
-				Part:    p,
-				Visited: eng.PartitionVisited(p),
-				Values:  eng.ExportPartition(p),
-			})
-		}
+		ck := ckpts.snapshot(eng, h.Proc, tick, d.CkptSeq, d.CkptFull)
 		if err := tcp.Control(&transport.Frame{Kind: transport.FrameCheckpoint, Ckpt: ck}); err != nil {
 			return err
 		}

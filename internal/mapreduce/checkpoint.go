@@ -8,43 +8,177 @@ import (
 	"path/filepath"
 )
 
+// Differ is the pluggable differential codec incremental checkpoints run
+// on. Diff encodes cur against base (ok=false when the pair cannot be
+// delta-encoded, e.g. ambiguous identities — the caller falls back to a
+// full snapshot); Apply reconstructs exactly the encoded state, sharing
+// nothing with base. The engine's envelope codec (engine.EnvelopeDiffer)
+// is the production implementation, so disk checkpoints and the
+// distributed control plane ship the same bytes.
+type Differ[V any] interface {
+	Diff(base, cur []V) (delta []byte, ok bool)
+	Apply(base []V, delta []byte) ([]V, error)
+}
+
 // DiskCheckpoint is the persistent form of a coordinated checkpoint: each
 // worker writes its main memory independently once the master fixes the
 // tick boundary (§3.3: "the workers can write their checkpoints
 // independently without global synchronization"). In this single-process
 // reproduction the files are written from one goroutine, but the format is
 // per-worker exactly as the design prescribes.
+//
+// With a Differ configured, Save is incremental: a full keyframe every
+// FullEvery saves and a per-worker field-level delta file in between, so
+// a periodic checkpoint of a large, slowly-changing world costs bytes
+// proportional to what changed. Load replays keyframe + deltas back into
+// exactly the state of the last Save.
 type DiskCheckpoint[V any] struct {
 	Dir string
+	// Differ enables incremental saves (nil: every Save writes full
+	// state, the original format).
+	Differ Differ[V]
+	// FullEvery makes every Nth Save a keyframe (0 = default 8; 1 =
+	// every save full).
+	FullEvery int
+
+	prev   [][]V // state of the last save, unaliased with the runtime
+	chain  int   // current keyframe chain id (incremental mode; ≥ 1)
+	deltas int   // delta saves since the keyframe
 }
 
 type diskMeta struct {
 	Tick    uint64
 	Workers int
+	// Chain identifies the keyframe generation the delta chain builds
+	// on (0: the legacy flat format, worker-NNN.gob with no deltas).
+	// Each keyframe starts a new chain under fresh file names, so a
+	// save torn mid-keyframe never touches the files the last durable
+	// meta — written atomically, and last — still points at.
+	Chain int
+	// Deltas is the length of the delta chain after the keyframe files.
+	Deltas int
+}
+
+// keyframePath and deltaPath name the files of one chain. Chain 0 is
+// the legacy flat layout.
+func (d *DiskCheckpoint[V]) keyframePath(w, chain int) string {
+	if chain == 0 {
+		return filepath.Join(d.Dir, fmt.Sprintf("worker-%03d.gob", w))
+	}
+	return filepath.Join(d.Dir, fmt.Sprintf("worker-%03d.k%03d.gob", w, chain))
+}
+
+func (d *DiskCheckpoint[V]) deltaPath(w, chain, k int) string {
+	return filepath.Join(d.Dir, fmt.Sprintf("worker-%03d.k%03d.d%02d.gob", w, chain, k))
 }
 
 // Save writes the runtime's current state under dir. V must be
 // gob-encodable (the engine registers its envelope types).
-func (d DiskCheckpoint[V]) Save(r *Runtime[V]) error {
+func (d *DiskCheckpoint[V]) Save(r *Runtime[V]) error {
 	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	meta := diskMeta{Tick: r.Tick(), Workers: r.Workers()}
-	if err := writeGob(filepath.Join(d.Dir, "meta.gob"), meta); err != nil {
+	keyframe := d.Differ == nil || d.prev == nil || d.fullEvery() <= 1 || d.deltas >= d.fullEvery()-1
+
+	var deltaBlobs [][]byte
+	if !keyframe {
+		// Encode every worker before writing anything: one undiffable
+		// worker demotes the whole save to a keyframe, keeping the
+		// on-disk chain uniform.
+		deltaBlobs = make([][]byte, r.Workers())
+		for w := 0; w < r.Workers() && !keyframe; w++ {
+			blob, ok := d.Differ.Diff(d.prev[w], r.Values(w))
+			if !ok {
+				keyframe = true
+				break
+			}
+			deltaBlobs[w] = blob
+		}
+	}
+
+	chain, deltas := d.chain, d.deltas
+	if keyframe {
+		// A fresh chain id: the files of the chain the durable meta
+		// still references are never overwritten, so a save torn at any
+		// point leaves that chain loadable (legacy mode keeps the flat
+		// chain-0 names, and with it the original torn-save exposure).
+		deltas = 0
+		if d.Differ != nil {
+			chain++
+		}
+		for w := 0; w < r.Workers(); w++ {
+			if err := writeGob(d.keyframePath(w, chain), r.Values(w)); err != nil {
+				return err
+			}
+		}
+	} else {
+		deltas++
+		for w := 0; w < r.Workers(); w++ {
+			if err := writeGob(d.deltaPath(w, chain, deltas), deltaBlobs[w]); err != nil {
+				return err
+			}
+		}
+	}
+	// The atomically-renamed meta commits the save: everything before it
+	// was invisible to Load, everything after it is best-effort.
+	meta := diskMeta{Tick: r.Tick(), Workers: r.Workers(), Chain: chain, Deltas: deltas}
+	if err := writeGobAtomic(filepath.Join(d.Dir, "meta.gob"), meta); err != nil {
 		return err
 	}
-	for w := 0; w < r.Workers(); w++ {
-		path := filepath.Join(d.Dir, fmt.Sprintf("worker-%03d.gob", w))
-		if err := writeGob(path, r.Values(w)); err != nil {
-			return err
-		}
+	if keyframe && chain > 1 {
+		d.removeChain(chain - 1)
+	}
+	d.chain, d.deltas = chain, deltas
+	if d.Differ != nil {
+		return d.rebase(r)
 	}
 	return nil
 }
 
-// Load restores a runtime's worker memories from dir. The runtime must
-// have been built with the same worker count.
-func (d DiskCheckpoint[V]) Load(r *Runtime[V]) (tick uint64, err error) {
+// removeChain deletes a superseded chain's files, best-effort: they are
+// garbage once the meta points past them.
+func (d *DiskCheckpoint[V]) removeChain(chain int) {
+	for _, pat := range []string{
+		fmt.Sprintf("worker-*.k%03d.gob", chain),
+		fmt.Sprintf("worker-*.k%03d.d*.gob", chain),
+	} {
+		paths, err := filepath.Glob(filepath.Join(d.Dir, pat))
+		if err != nil {
+			continue
+		}
+		for _, p := range paths {
+			_ = os.Remove(p)
+		}
+	}
+}
+
+// rebase snapshots the just-saved state as the next diff baseline without
+// requiring a clone primitive: a fresh-encode round trip through the
+// Differ yields copies that share nothing with the live runtime.
+func (d *DiskCheckpoint[V]) rebase(r *Runtime[V]) error {
+	if d.prev == nil {
+		d.prev = make([][]V, r.Workers())
+	}
+	for w := 0; w < r.Workers(); w++ {
+		blob, ok := d.Differ.Diff(nil, r.Values(w))
+		if !ok {
+			d.prev = nil // cannot track; the next save falls back to a keyframe
+			return nil
+		}
+		vs, err := d.Differ.Apply(nil, blob)
+		if err != nil {
+			return fmt.Errorf("checkpoint: rebase: %w", err)
+		}
+		d.prev[w] = vs
+	}
+	return nil
+}
+
+// Load restores a runtime's worker memories from dir — reading the
+// keyframe files and replaying any delta chain — and primes the
+// incremental baseline so the next Save can continue the chain. The
+// runtime must have been built with the same worker count.
+func (d *DiskCheckpoint[V]) Load(r *Runtime[V]) (tick uint64, err error) {
 	var meta diskMeta
 	if err := readGob(filepath.Join(d.Dir, "meta.gob"), &meta); err != nil {
 		return 0, err
@@ -52,17 +186,59 @@ func (d DiskCheckpoint[V]) Load(r *Runtime[V]) (tick uint64, err error) {
 	if meta.Workers != r.Workers() {
 		return 0, fmt.Errorf("checkpoint: has %d workers, runtime has %d", meta.Workers, r.Workers())
 	}
+	if meta.Deltas > 0 && d.Differ == nil {
+		return 0, fmt.Errorf("checkpoint: %s has a %d-delta chain but no Differ is configured", d.Dir, meta.Deltas)
+	}
+	if meta.Chain == 0 && meta.Deltas > 0 {
+		return 0, fmt.Errorf("checkpoint: %s meta names a delta chain on the flat layout", d.Dir)
+	}
 	for w := 0; w < r.Workers(); w++ {
 		var vs []V
-		path := filepath.Join(d.Dir, fmt.Sprintf("worker-%03d.gob", w))
-		if err := readGob(path, &vs); err != nil {
+		if err := readGob(d.keyframePath(w, meta.Chain), &vs); err != nil {
 			return 0, err
+		}
+		for k := 1; k <= meta.Deltas; k++ {
+			var blob []byte
+			path := d.deltaPath(w, meta.Chain, k)
+			if err := readGob(path, &blob); err != nil {
+				return 0, err
+			}
+			if vs, err = d.Differ.Apply(vs, blob); err != nil {
+				return 0, fmt.Errorf("checkpoint: delta %d of %s: %w", k, path, err)
+			}
 		}
 		r.values[w] = vs
 	}
 	r.tick = meta.Tick
 	r.takeCheckpoint() // re-seed in-memory rollback point
+	if d.Differ != nil {
+		d.chain, d.deltas = meta.Chain, meta.Deltas
+		if err := d.rebase(r); err != nil {
+			return 0, err
+		}
+	}
 	return meta.Tick, nil
+}
+
+func (d *DiskCheckpoint[V]) fullEvery() int {
+	if d.FullEvery <= 0 {
+		return 8
+	}
+	return d.FullEvery
+}
+
+// writeGobAtomic writes through a temp file and renames, so readers see
+// either the old contents or the new — never a torn write. Used for the
+// meta file, whose durability defines which save "happened".
+func writeGobAtomic(path string, v any) error {
+	tmp := path + ".tmp"
+	if err := writeGob(tmp, v); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
 }
 
 func writeGob(path string, v any) error {

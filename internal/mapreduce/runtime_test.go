@@ -400,7 +400,8 @@ func TestDiskCheckpointWorkerMismatch(t *testing.T) {
 	if _, err := d.Load(r3); err == nil {
 		t.Error("worker-count mismatch accepted")
 	}
-	if _, err := (DiskCheckpoint[rec]{Dir: t.TempDir()}).Load(r); err == nil {
+	empty := DiskCheckpoint[rec]{Dir: t.TempDir()}
+	if _, err := empty.Load(r); err == nil {
 		t.Error("missing checkpoint accepted")
 	}
 }

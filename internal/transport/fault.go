@@ -1,5 +1,10 @@
 package transport
 
+import (
+	"fmt"
+	"sync"
+)
+
 // SeverAt is a fault-injection Transport wrapper for recovery tests: it
 // counts phase barriers and severs the wrapped transport — closing its
 // coordinator connection — immediately before the Nth EndPhase. To the
@@ -26,4 +31,57 @@ func (s *SeverAt) EndPhase() error {
 		_ = s.Transport.Close()
 	}
 	return s.Transport.EndPhase()
+}
+
+// Staller is implemented by transports that can simulate a silently
+// frozen process (TCP.Stall). StallAt uses it when available.
+type Staller interface {
+	Stall()
+}
+
+// StallAt is the silent twin of SeverAt: it freezes the wrapped transport
+// immediately before the Nth EndPhase *without* closing the socket — the
+// failure mode of a SIGSTOPped or silently-partitioned worker. The
+// coordinator sees no socket error, no EOF, nothing: every peer blocks at
+// the phase barrier waiting for a marker that will never come, and only
+// heartbeat/deadline liveness can break the hang. On transports without
+// Stall support the wrapper blocks the EndPhase itself until Close.
+type StallAt struct {
+	Transport
+	// Phase is the 1-based EndPhase call to stall at.
+	Phase int
+
+	n      int
+	once   sync.Once
+	closed chan struct{}
+}
+
+// EndPhase counts barriers and freezes at the chosen one.
+func (s *StallAt) EndPhase() error {
+	s.n++
+	if s.n == s.Phase {
+		if st, ok := s.Transport.(Staller); ok {
+			st.Stall()
+		} else {
+			s.init()
+			<-s.closed // block like a frozen process until Close
+			return fmt.Errorf("transport: stalled connection closed")
+		}
+	}
+	return s.Transport.EndPhase()
+}
+
+func (s *StallAt) init() {
+	s.once.Do(func() { s.closed = make(chan struct{}) })
+}
+
+// Close releases a fallback-blocked EndPhase along with the transport.
+func (s *StallAt) Close() error {
+	s.init()
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	return s.Transport.Close()
 }

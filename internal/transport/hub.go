@@ -22,36 +22,64 @@ type Hub struct {
 	parts  int
 	events chan HubEvent
 
-	mu     sync.Mutex
-	conns  []*Conn
-	live   []bool
-	seqs   []int // per-proc attach sequence; stamps disconnect events
-	assign []int
+	mu       sync.Mutex
+	conns    []*Conn
+	live     []bool
+	seqs     []int // per-proc attach sequence; fences stale disconnect events
+	assign   []int
+	progress []ProcProgress
 }
 
 // HubEvent is one control-plane occurrence: a control frame from a worker
 // (Frame non-nil) or a worker disconnect (Frame nil, Err the reason).
 // Seq is the attach sequence of the connection the event came from, so a
 // consumer that re-attached the process can discard disconnects queued by
-// the replaced connection.
+// the replaced connection. Bytes is the frame's size on the wire — the
+// coordinator meters checkpoint traffic with it.
 type HubEvent struct {
 	Src   int
 	Frame *Frame
 	Err   error
 	Seq   int
+	Bytes int
+}
+
+// ProcProgress is one worker's data-plane progress as the relay observes
+// it: the highest end-of-phase marker the worker has emitted and the
+// generation it was stamped with. The coordinator's epoch-round deadline
+// uses it to tell the laggard (marker missing) from the peers blocked
+// waiting on it (markers present) — the two are indistinguishable at the
+// control plane, where neither sends anything.
+type ProcProgress struct {
+	Gen   int
+	Phase uint64
+}
+
+// Before reports whether p is strictly behind q in (generation, phase)
+// order.
+func (p ProcProgress) Before(q ProcProgress) bool {
+	return p.Gen < q.Gen || (p.Gen == q.Gen && p.Phase < q.Phase)
 }
 
 // NewHub builds a relay for procs worker processes over parts partitions
 // under the given initial assignment. Connections are added with Attach.
 func NewHub(parts, procs int, assign []int) *Hub {
 	return &Hub{
-		parts:  parts,
-		events: make(chan HubEvent, 8*procs+64),
-		conns:  make([]*Conn, procs),
-		live:   make([]bool, procs),
-		seqs:   make([]int, procs),
-		assign: append([]int(nil), assign...),
+		parts:    parts,
+		events:   make(chan HubEvent, 8*procs+64),
+		conns:    make([]*Conn, procs),
+		live:     make([]bool, procs),
+		seqs:     make([]int, procs),
+		assign:   append([]int(nil), assign...),
+		progress: make([]ProcProgress, procs),
 	}
+}
+
+// Progress snapshots every worker's observed marker progress.
+func (h *Hub) Progress() []ProcProgress {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]ProcProgress(nil), h.progress...)
 }
 
 // Events delivers control frames and disconnects, in per-connection
@@ -94,6 +122,21 @@ func (h *Hub) Send(proc int, f *Frame) error {
 func (h *Hub) Broadcast(f *Frame) {
 	for _, c := range h.liveConns(-1) {
 		_ = c.conn.Send(f)
+	}
+}
+
+// Kill force-drops a worker the control plane has declared dead (a
+// stalled process misses heartbeats but its socket is still open): the
+// connection is closed and the slot marked dead *without* emitting a
+// disconnect event — the caller already knows. Closing the socket also
+// unwinds the worker's blocked session so its daemon can accept a rejoin
+// dial. Safe to call for a connection that is already gone.
+func (h *Hub) Kill(proc int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.live[proc] = false
+	if c := h.conns[proc]; c != nil {
+		_ = c.Close()
 	}
 }
 
@@ -151,7 +194,7 @@ func (h *Hub) drop(proc int, c *Conn) (bool, int) {
 // everything else to the control loop.
 func (h *Hub) relay(src int, c *Conn) {
 	for {
-		f, err := c.Recv()
+		f, n, err := c.RecvSized()
 		if err != nil {
 			if err == io.EOF {
 				err = fmt.Errorf("transport: worker %d disconnected mid-run", src)
@@ -186,6 +229,7 @@ func (h *Hub) relay(src int, c *Conn) {
 				}
 			}
 		case FrameEndPhase:
+			h.noteProgress(src, f.Gen, f.Phase)
 			for _, peer := range h.liveConns(src) {
 				if err := peer.conn.Send(f); err != nil {
 					if was, seq := h.drop(peer.proc, peer.conn); was {
@@ -194,7 +238,17 @@ func (h *Hub) relay(src int, c *Conn) {
 				}
 			}
 		default:
-			h.events <- HubEvent{Src: src, Frame: f}
+			h.events <- HubEvent{Src: src, Frame: f, Bytes: n}
 		}
+	}
+}
+
+// noteProgress records the highest (generation, phase) marker a worker
+// has emitted.
+func (h *Hub) noteProgress(src, gen int, phase uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.progress[src].Before(ProcProgress{Gen: gen, Phase: phase}) {
+		h.progress[src] = ProcProgress{Gen: gen, Phase: phase}
 	}
 }

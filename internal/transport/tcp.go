@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"github.com/bigreddata/brace/internal/cluster"
 )
@@ -54,6 +55,8 @@ type TCP struct {
 	directive *Directive     // pending epoch directive (slot of one)
 	restore   *Restore       // pending restore; wins over everything
 	readErr   error          // terminal reader state; sticky
+	stalled   bool           // fault injection: process frozen (StallAt)
+	lastRecv  time.Time      // time of the last frame from the coordinator
 }
 
 // phasedMsg tags an inbox entry with the phase it was sent in. A fast peer
@@ -84,17 +87,18 @@ func NewTCP(fc *Conn, proc, procs, parts int, assign []int, gen int) *TCP {
 		live[i] = true
 	}
 	t := &TCP{
-		proc:    proc,
-		procs:   procs,
-		parts:   parts,
-		fc:      fc,
-		metrics: cluster.NewMetrics(parts),
-		gen:     gen,
-		assign:  append([]int(nil), assign...),
-		live:    live,
-		inbox:   make([][]phasedMsg, parts),
-		failed:  make([]bool, parts),
-		markers: make(map[uint64]int),
+		proc:     proc,
+		procs:    procs,
+		parts:    parts,
+		fc:       fc,
+		metrics:  cluster.NewMetrics(parts),
+		gen:      gen,
+		assign:   append([]int(nil), assign...),
+		live:     live,
+		inbox:    make([][]phasedMsg, parts),
+		failed:   make([]bool, parts),
+		markers:  make(map[uint64]int),
+		lastRecv: time.Now(),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	go t.readLoop()
@@ -111,6 +115,17 @@ func (t *TCP) readLoop() {
 			t.failConn(err)
 			return
 		}
+		t.mu.Lock()
+		t.lastRecv = time.Now()
+		if t.stalled {
+			// A stalled process neither reacts to frames nor answers
+			// heartbeats; the socket keeps draining (the kernel would)
+			// but nothing reaches the engine. The coordinator must
+			// detect the silence and force-drop this worker.
+			t.mu.Unlock()
+			continue
+		}
+		t.mu.Unlock()
 		switch f.Kind {
 		case FrameData, FrameEndPhase, FrameDirective:
 			t.mu.Lock()
@@ -121,6 +136,14 @@ func (t *TCP) readLoop() {
 				t.future = append(t.future, f)
 			}
 			t.mu.Unlock()
+		case FramePing:
+			// Answered from the reader, not the engine: a Pong proves the
+			// *process* is alive even mid-phase. The epoch-round deadline,
+			// not the heartbeat, covers a live process whose engine hangs.
+			if err := t.fc.Send(&Frame{Kind: FramePong, Src: t.proc, Gen: f.Gen}); err != nil {
+				t.failConn(err)
+				return
+			}
 		case FrameRestore:
 			t.mu.Lock()
 			if f.Rest != nil && f.Rest.Gen > t.gen {
@@ -136,6 +159,43 @@ func (t *TCP) readLoop() {
 			return
 		}
 	}
+}
+
+// Stall freezes the transport's engine-facing surface, simulating a
+// SIGSTOPped or livelocked worker process without killing it: subsequent
+// Send/EndPhase/Control/Await* calls block until the connection dies, no
+// heartbeat Pongs are answered, and incoming frames are discarded. Unlike
+// SeverAt's closed socket, the coordinator gets no error to react to —
+// only its own liveness machinery can notice. The stall ends when the
+// coordinator closes the connection (force-drop), which unwinds every
+// blocked call with the read error so the daemon can accept a rejoin.
+func (t *TCP) Stall() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stalled = true
+	t.cond.Broadcast()
+}
+
+// LastRecv reports when the coordinator last sent anything — the worker
+// side's liveness evidence (with heartbeats on, a healthy coordinator is
+// never silent for long).
+func (t *TCP) LastRecv() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastRecv
+}
+
+// awaitUnstallLocked parks the calling engine operation while the
+// transport is stalled. Caller holds t.mu; returns the terminal error
+// once the connection dies.
+func (t *TCP) awaitUnstallLocked() error {
+	for t.stalled && t.readErr == nil {
+		t.cond.Wait()
+	}
+	if t.readErr != nil {
+		return t.readErr
+	}
+	return nil
 }
 
 // apply files one current-generation frame. Caller holds t.mu.
@@ -188,6 +248,11 @@ func (t *TCP) Send(m cluster.Message) error {
 		return fmt.Errorf("transport: send to unknown node %d", m.To)
 	}
 	t.mu.Lock()
+	if t.stalled {
+		err := t.awaitUnstallLocked()
+		t.mu.Unlock()
+		return err
+	}
 	if t.restore != nil {
 		t.mu.Unlock()
 		return ErrRestore
@@ -283,6 +348,11 @@ func (t *TCP) Metrics() *cluster.Metrics { return t.metrics }
 // It returns ErrRestore if the coordinator orders a restore while waiting.
 func (t *TCP) EndPhase() error {
 	t.mu.Lock()
+	if t.stalled {
+		err := t.awaitUnstallLocked()
+		t.mu.Unlock()
+		return err
+	}
 	if t.restore != nil {
 		t.mu.Unlock()
 		return ErrRestore
@@ -303,8 +373,11 @@ func (t *TCP) EndPhase() error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for t.markers[phase] < t.liveProcs()-1 && t.readErr == nil && t.restore == nil {
+	for t.markers[phase] < t.liveProcs()-1 && t.readErr == nil && t.restore == nil && !t.stalled {
 		t.cond.Wait()
+	}
+	if t.stalled {
+		return t.awaitUnstallLocked()
 	}
 	switch {
 	case t.restore != nil:
@@ -320,6 +393,11 @@ func (t *TCP) EndPhase() error {
 // stamped with this process's index and current generation.
 func (t *TCP) Control(f *Frame) error {
 	t.mu.Lock()
+	if t.stalled {
+		err := t.awaitUnstallLocked()
+		t.mu.Unlock()
+		return err
+	}
 	f.Src = t.proc
 	f.Gen = t.gen
 	t.mu.Unlock()
@@ -332,8 +410,11 @@ func (t *TCP) Control(f *Frame) error {
 func (t *TCP) AwaitDirective() (*Directive, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for t.directive == nil && t.restore == nil && t.readErr == nil {
+	for t.directive == nil && t.restore == nil && t.readErr == nil && !t.stalled {
 		t.cond.Wait()
+	}
+	if t.stalled {
+		return nil, t.awaitUnstallLocked()
 	}
 	switch {
 	case t.restore != nil:
@@ -354,8 +435,11 @@ func (t *TCP) AwaitDirective() (*Directive, error) {
 func (t *TCP) AwaitRestore() (*Restore, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for t.restore == nil && t.readErr == nil {
+	for t.restore == nil && t.readErr == nil && !t.stalled {
 		t.cond.Wait()
+	}
+	if t.stalled {
+		return nil, t.awaitUnstallLocked()
 	}
 	if t.restore != nil {
 		return t.restore, nil

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/bigreddata/brace/internal/cluster"
 )
@@ -17,8 +18,12 @@ import (
 // handshake rejects any other value. Version 2 added the coordinator-owned
 // control plane: partition assignment travels in the handshake instead of
 // being derived by block arithmetic, and epoch barriers exchange
-// Stats/Directive/Checkpoint/Restore frames.
-const ProtoVersion = 2
+// Stats/Directive/Checkpoint/Restore frames. Version 3 added liveness and
+// incremental checkpoints: Ping/Pong heartbeat frames (answered by the
+// worker's transport reader, so a frozen process goes silent) and
+// differential checkpoint payloads (PartState.Delta against a
+// coordinator-held base, with periodic full keyframes).
+const ProtoVersion = 3
 
 // maxFrame bounds a single frame so a corrupt length prefix cannot make a
 // reader allocate unbounded memory.
@@ -101,13 +106,31 @@ type Directive struct {
 	// Checkpoint orders the worker to ship its partitions' state to the
 	// coordinator (a CheckpointMsg) before continuing.
 	Checkpoint bool
+	// CkptSeq numbers the ordered checkpoint; workers echo it in
+	// PartState.Base so the coordinator can verify a delta builds on the
+	// base it actually holds.
+	CkptSeq uint64
+	// CkptFull forces a keyframe: every partition ships complete state
+	// instead of a delta against the previous checkpoint.
+	CkptFull bool
 }
 
-// PartState is one partition's checkpointed state on the wire.
+// PartState is one partition's checkpointed state on the wire: either a
+// complete snapshot (Full) or a differential one — a field-level delta
+// against the partition's state at checkpoint Base, encoded by
+// engine.DiffPartition. The coordinator reassembles deltas into full
+// state on arrival, so Restore frames always carry Full parts.
 type PartState struct {
 	Part    int
 	Visited int64
-	Values  any // []*engine.Envelope (gob-registered by internal/scenario)
+	// Full marks Values as the complete partition state.
+	Full   bool
+	Values any // []*engine.Envelope (gob-registered by internal/scenario)
+	// Base is the checkpoint sequence number the delta builds on; Delta
+	// is the packed per-agent field delta (engine delta codec). Unset
+	// when Full.
+	Base  uint64
+	Delta []byte
 }
 
 // CheckpointMsg flows worker → coordinator when a Directive orders a
@@ -134,8 +157,11 @@ type Restore struct {
 	// barrier counts markers from live peers only.
 	Live []bool
 	// Parts carry the checkpoint state for the partitions this worker now
-	// owns.
+	// owns. Restore parts are always Full.
 	Parts []PartState
+	// CkptSeq is the sequence number of the checkpoint being restored;
+	// workers re-baseline their incremental-checkpoint tracker on it.
+	CkptSeq uint64
 }
 
 // FrameKind discriminates wire frames.
@@ -143,7 +169,10 @@ type FrameKind uint8
 
 // Frame kinds. Hello/Ack only appear during the handshake; Data, EndPhase,
 // Final and Error make up the data plane; Stats, Directive, Checkpoint and
-// Restore are the coordinator's control plane.
+// Restore are the coordinator's control plane. Ping flows coordinator →
+// worker on the heartbeat interval and is answered with a Pong by the
+// worker's transport reader — not its engine — so liveness tracks the
+// process, not the tick loop (the epoch-round deadline covers the latter).
 const (
 	FrameHello FrameKind = iota + 1
 	FrameAck
@@ -155,6 +184,8 @@ const (
 	FrameDirective
 	FrameCheckpoint
 	FrameRestore
+	FramePing
+	FramePong
 )
 
 // Frame is the unit of the wire protocol: one gob-encoded, length-prefixed
@@ -181,12 +212,24 @@ type Frame struct {
 type Conn struct {
 	c  net.Conn
 	r  *bufio.Reader
-	mu sync.Mutex // serializes writes
+	mu sync.Mutex // serializes writes; also guards wt
+	wt time.Duration
 }
 
 // NewConn wraps a network connection for framed use.
 func NewConn(c net.Conn) *Conn {
 	return &Conn{c: c, r: bufio.NewReader(c)}
+}
+
+// SetWriteTimeout bounds every subsequent Send. A peer that stops draining
+// its socket — a SIGSTOPped process, a silent partition — eventually fills
+// the kernel buffers and would otherwise block the writer forever; with a
+// timeout the blocked Send fails instead, which the coordinator treats as
+// a worker failure. Zero disables the bound.
+func (fc *Conn) SetWriteTimeout(d time.Duration) {
+	fc.mu.Lock()
+	fc.wt = d
+	fc.mu.Unlock()
 }
 
 // Send writes one frame. It is safe for concurrent use. Header and body
@@ -202,6 +245,10 @@ func (fc *Conn) Send(f *Frame) error {
 	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
+	if fc.wt > 0 {
+		fc.c.SetWriteDeadline(time.Now().Add(fc.wt))
+		defer fc.c.SetWriteDeadline(time.Time{})
+	}
 	if _, err := fc.c.Write(b); err != nil {
 		return fmt.Errorf("transport: write frame: %w", err)
 	}
@@ -210,23 +257,31 @@ func (fc *Conn) Send(f *Frame) error {
 
 // Recv reads one frame. Only one goroutine may call Recv at a time.
 func (fc *Conn) Recv() (*Frame, error) {
+	f, _, err := fc.RecvSized()
+	return f, err
+}
+
+// RecvSized reads one frame and also reports its size on the wire
+// (length prefix included) — the coordinator meters checkpoint traffic
+// with it. Only one goroutine may call Recv/RecvSized at a time.
+func (fc *Conn) RecvSized() (*Frame, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(fc.r, hdr[:]); err != nil {
-		return nil, err // io.EOF on clean close
+		return nil, 0, err // io.EOF on clean close
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return nil, 0, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(fc.r, body); err != nil {
-		return nil, fmt.Errorf("transport: short frame: %w", err)
+		return nil, 0, fmt.Errorf("transport: short frame: %w", err)
 	}
 	var f Frame
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
-		return nil, fmt.Errorf("transport: decode frame: %w", err)
+		return nil, 0, fmt.Errorf("transport: decode frame: %w", err)
 	}
-	return &f, nil
+	return &f, int(n) + 4, nil
 }
 
 // Close closes the underlying connection.
