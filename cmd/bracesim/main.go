@@ -47,8 +47,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lb := fs.Bool("lb", false, "enable load balancing")
 	ckptEpochs := fs.Int("ckpt-epochs", 0, "coordinated checkpoint every N epochs (0 = initial checkpoint only)")
 	ckptFullEvery := fs.Int("ckpt-full-every", 0, "with -distribute: every Nth checkpoint is a full keyframe, the rest ship deltas (0 = default 8, 1 = always full)")
-	heartbeat := fs.Duration("heartbeat", 0, "with -distribute: liveness ping interval; a worker silent for 5 intervals is force-dropped (0 = default 2s, negative = off)")
-	epochTimeout := fs.Duration("epoch-timeout", 0, "with -distribute: max age of an epoch barrier round before laggards are force-dropped (0 = default 60s, negative = off)")
+	heartbeat := fs.Duration("heartbeat", 0, fmt.Sprintf(
+		"with -distribute: liveness ping interval; a worker silent for %d intervals is force-dropped (0 = default %v, negative = off)",
+		distrib.DefaultHeartbeatMisses, distrib.DefaultHeartbeat))
+	epochTimeout := fs.Duration("epoch-timeout", 0, fmt.Sprintf(
+		"with -distribute: max age of an epoch barrier round before laggards are force-dropped (0 = adaptive with a %v floor, negative = off)",
+		distrib.DefaultEpochTimeout))
 	dialTimeout := fs.Duration("dial-timeout", 0, "with -distribute: worker dial+handshake budget (0 = default 10s)")
 	rejoinTimeout := fs.Duration("rejoin-timeout", 0, "with -distribute: re-dial budget when re-admitting a dead worker (0 = same as -dial-timeout)")
 	vt := fs.Bool("vtime", false, "enable virtual-time cluster accounting")
@@ -120,6 +124,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		return 0
+	}
+
+	// Distributed-only flags are meaningless on the in-process engines;
+	// reject the combination like the -script/-vtime guards above instead
+	// of silently ignoring an operator's liveness or checkpoint settings.
+	distOnly := map[string]bool{
+		"worker-addrs": true, "heartbeat": true, "epoch-timeout": true,
+		"ckpt-full-every": true, "dial-timeout": true, "rejoin-timeout": true,
+	}
+	var misused []string
+	fs.Visit(func(f *flag.Flag) {
+		if distOnly[f.Name] {
+			misused = append(misused, "-"+f.Name)
+		}
+	})
+	if len(misused) > 0 {
+		return fail(stderr, fmt.Errorf("%s only applies with -distribute", strings.Join(misused, ", ")))
 	}
 
 	cfg := brace.Config{

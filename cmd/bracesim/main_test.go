@@ -2,8 +2,11 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+
+	"github.com/bigreddata/brace/internal/distrib"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -41,6 +44,53 @@ func TestUnknownModelFails(t *testing.T) {
 func TestUnknownIndexFails(t *testing.T) {
 	if code, _, _ := runCLI(t, "-index", "btree", "-ticks", "1"); code == 0 {
 		t.Fatal("unknown index accepted")
+	}
+}
+
+// Distributed-only flags used to be silently ignored without -distribute;
+// the combination is now rejected like -script/-vtime with -distribute.
+func TestDistributedOnlyFlagsRequireDistribute(t *testing.T) {
+	for _, args := range [][]string{
+		{"-heartbeat", "1s"},
+		{"-epoch-timeout", "30s"},
+		{"-ckpt-full-every", "4"},
+		{"-dial-timeout", "5s"},
+		{"-rejoin-timeout", "5s"},
+		{"-worker-addrs", "localhost:9"},
+	} {
+		flagName := args[0]
+		args = append(args, "-model", "epidemic", "-agents", "50", "-ticks", "1")
+		code, _, errOut := runCLI(t, args...)
+		if code == 0 {
+			t.Errorf("%s accepted without -distribute", flagName)
+			continue
+		}
+		if !strings.Contains(errOut, flagName) || !strings.Contains(errOut, "-distribute") {
+			t.Errorf("%s: error should name the flag and -distribute:\n%s", flagName, errOut)
+		}
+	}
+	// Several at once: every misused flag is named.
+	code, _, errOut := runCLI(t, "-heartbeat", "1s", "-worker-addrs", "x", "-ticks", "1")
+	if code == 0 || !strings.Contains(errOut, "-heartbeat") || !strings.Contains(errOut, "-worker-addrs") {
+		t.Errorf("combined misuse should name every flag:\n%s", errOut)
+	}
+}
+
+// The -heartbeat/-epoch-timeout help derives from the liveness defaults
+// actually in force instead of hardcoding stale numbers.
+func TestLivenessHelpDerivedFromDefaults(t *testing.T) {
+	code, _, errOut := runCLI(t, "-h")
+	if code != 0 {
+		t.Fatalf("-h exit = %d", code)
+	}
+	if want := fmt.Sprintf("silent for %d intervals", distrib.DefaultHeartbeatMisses); !strings.Contains(errOut, want) {
+		t.Errorf("-heartbeat help should say %q (distrib.DefaultHeartbeatMisses):\n%s", want, errOut)
+	}
+	if want := fmt.Sprintf("default %v", distrib.DefaultHeartbeat); !strings.Contains(errOut, want) {
+		t.Errorf("-heartbeat help should carry the %v default:\n%s", distrib.DefaultHeartbeat, errOut)
+	}
+	if want := fmt.Sprintf("adaptive with a %v floor", distrib.DefaultEpochTimeout); !strings.Contains(errOut, want) {
+		t.Errorf("-epoch-timeout help should carry the %v adaptive floor:\n%s", distrib.DefaultEpochTimeout, errOut)
 	}
 }
 

@@ -31,16 +31,20 @@ func Run(o Options) (*Result, error) {
 	}
 	switch {
 	case o.Heartbeat == 0:
-		o.Heartbeat = 2 * time.Second
+		o.Heartbeat = DefaultHeartbeat
 	case o.Heartbeat < 0:
 		o.Heartbeat = 0 // disabled
 	}
 	if o.HeartbeatMisses <= 0 {
-		o.HeartbeatMisses = 5
+		o.HeartbeatMisses = DefaultHeartbeatMisses
 	}
+	adaptive := false
 	switch {
 	case o.EpochTimeout == 0:
-		o.EpochTimeout = 60 * time.Second
+		// No explicit deadline: auto-tune from the observed barrier
+		// cadence, with the old fixed default as the floor.
+		o.EpochTimeout = DefaultEpochTimeout
+		adaptive = true
 	case o.EpochTimeout < 0:
 		o.EpochTimeout = 0 // disabled
 	}
@@ -67,7 +71,7 @@ func Run(o Options) (*Result, error) {
 		ckpt:   &ckptState{tick: 0, cuts: append([]float64(nil), cuts...), parts: parts},
 		stats:  make(map[int]*transport.EpochStats),
 		finals: make(map[int]*transport.FinalReport),
-		lv:     newLiveness(len(o.Addrs), o.Heartbeat*time.Duration(o.HeartbeatMisses), o.EpochTimeout, now),
+		lv:     newLiveness(len(o.Addrs), o.Heartbeat*time.Duration(o.HeartbeatMisses), o.EpochTimeout, adaptive, now),
 	}
 	c.hub = transport.NewHub(o.Partitions, len(o.Addrs), c.place.Assign())
 	defer c.hub.Close()

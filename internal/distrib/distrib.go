@@ -102,21 +102,34 @@ type Options struct {
 	// Heartbeat is the liveness ping interval. The coordinator pings
 	// every live worker each interval; the worker's transport reader
 	// answers even mid-phase, so silence means a frozen process or a
-	// dead path, not a slow epoch. 0 means the default (2s); negative
-	// disables heartbeats.
+	// dead path, not a slow epoch. 0 means the default
+	// (DefaultHeartbeat); negative disables heartbeats.
 	Heartbeat time.Duration
 	// HeartbeatMisses is how many consecutive silent intervals declare a
-	// worker dead (0 = default 5). The product Heartbeat×HeartbeatMisses
-	// is the detection window.
+	// worker dead (0 = DefaultHeartbeatMisses). The product
+	// Heartbeat×HeartbeatMisses is the detection window.
 	HeartbeatMisses int
 	// EpochTimeout bounds every control-plane round (stats collection,
 	// checkpoint assembly, final reports) and, via the hub's observed
 	// marker progress, the gap between barriers. A worker that blows it
-	// is force-dropped into the ordinary recovery path. It must exceed
-	// the longest healthy epoch; 0 means the default (60s); negative
-	// disables the deadline.
+	// is force-dropped into the ordinary recovery path.
+	//
+	// 0 selects adaptive deadlines: DefaultEpochTimeout as the floor,
+	// raised automatically when the observed barrier cadence says
+	// healthy epochs run long (slow boxes, big checkpoints, overlapped
+	// ticks hiding compute in the barrier window). An explicit positive
+	// value is a fixed deadline that must exceed the longest healthy
+	// epoch; negative disables the deadline.
 	EpochTimeout time.Duration
 }
+
+// Defaults for the liveness options; exported so the CLI derives its help
+// text (and tests their assertions) from the values actually in force.
+const (
+	DefaultHeartbeat       = 2 * time.Second
+	DefaultHeartbeatMisses = 5
+	DefaultEpochTimeout    = 60 * time.Second
+)
 
 // EpochDecision records what the control plane decided at one epoch
 // barrier.

@@ -26,11 +26,21 @@ import (
 //     behind, because the barrier protocol keeps healthy peers within one
 //     marker of each other.
 //
+// With adaptive set (the default when the caller did not pick an explicit
+// epoch timeout), the detector auto-tunes both deadlines from the observed
+// control-round cadence: an EWMA over the intervals between roundReset
+// calls. Tuning only ever *raises* a deadline above its configured base —
+// a slow box whose barriers legitimately take tens of seconds (overlapped
+// ticks hide compute behind the exchange, so a barrier can carry a whole
+// interior pass plus a checkpoint) must not trip a timeout sized for a
+// fast one, while the fixed bases keep today's behavior as the floor.
+//
 // All methods take the current time explicitly, so the bookkeeping is a
 // pure function of its inputs and unit-testable without sleeping.
 type liveness struct {
 	window       time.Duration // max pong silence (0 = heartbeat disabled)
 	epochTimeout time.Duration // max round/barrier age (0 = disabled)
+	adaptive     bool          // raise deadlines with the observed cadence
 
 	lastPong []time.Time
 
@@ -38,12 +48,27 @@ type liveness struct {
 	// a marker progress change, a completed round, or a recovery.
 	lastAdvance time.Time
 	progress    []transport.ProcProgress
+
+	// Observed control-round cadence (EWMA, adaptive mode only).
+	cadence   time.Duration
+	lastRound time.Time
 }
 
-func newLiveness(procs int, window, epochTimeout time.Duration, now time.Time) *liveness {
+// Deadline multipliers on the observed cadence (adaptive mode). A barrier
+// round normally completes within one cadence; epochScale rounds of total
+// silence is decisively stuck. The pong window scales gentler: pongs are
+// answered mid-phase by the transport reader, and only the coordinator's
+// single-threaded loop chewing a big round delays their processing.
+const (
+	epochScale = 8
+	pongScale  = 2
+)
+
+func newLiveness(procs int, window, epochTimeout time.Duration, adaptive bool, now time.Time) *liveness {
 	l := &liveness{
 		window:       window,
 		epochTimeout: epochTimeout,
+		adaptive:     adaptive,
 		lastPong:     make([]time.Time, procs),
 		lastAdvance:  now,
 		progress:     make([]transport.ProcProgress, procs),
@@ -52,6 +77,28 @@ func newLiveness(procs int, window, epochTimeout time.Duration, now time.Time) *
 		l.lastPong[i] = now
 	}
 	return l
+}
+
+// epochDeadline is the effective round/barrier deadline: the configured
+// base, raised (never lowered) to epochScale observed cadences.
+func (l *liveness) epochDeadline() time.Duration {
+	if l.adaptive {
+		if d := epochScale * l.cadence; d > l.epochTimeout {
+			return d
+		}
+	}
+	return l.epochTimeout
+}
+
+// pongWindow is the effective heartbeat-silence window: the configured
+// base, raised (never lowered) to pongScale observed cadences.
+func (l *liveness) pongWindow() time.Duration {
+	if l.adaptive {
+		if d := pongScale * l.cadence; d > l.window {
+			return d
+		}
+	}
+	return l.window
 }
 
 // admit resets a worker's clocks when it (re)joins: a fresh connection
@@ -83,20 +130,35 @@ func (l *liveness) graceAll(live []bool, now time.Time) {
 }
 
 // roundReset marks control-plane progress (a completed round, a recovery,
-// a directive answered): the barrier clock starts over.
+// a directive answered): the barrier clock starts over, and adaptive mode
+// folds the interval since the previous round into the cadence EWMA. A
+// recovery's round inflates one sample (it includes the rejoin dial);
+// the 1/4-weight EWMA washes it out within a few ordinary rounds, and in
+// the meantime the deadlines are merely more forgiving.
 func (l *liveness) roundReset(now time.Time) {
+	if l.adaptive && !l.lastRound.IsZero() {
+		if iv := now.Sub(l.lastRound); iv > 0 {
+			if l.cadence == 0 {
+				l.cadence = iv
+			} else {
+				l.cadence = (3*l.cadence + iv) / 4
+			}
+		}
+	}
+	l.lastRound = now
 	l.lastAdvance = now
 }
 
 // silent returns the live workers whose last Pong is older than the
-// heartbeat window.
+// (effective) heartbeat window.
 func (l *liveness) silent(live []bool, now time.Time) []int {
 	if l.window <= 0 {
 		return nil
 	}
+	w := l.pongWindow()
 	var out []int
 	for p, alive := range live {
-		if alive && now.Sub(l.lastPong[p]) > l.window {
+		if alive && now.Sub(l.lastPong[p]) > w {
 			out = append(out, p)
 		}
 	}
@@ -104,9 +166,9 @@ func (l *liveness) silent(live []bool, now time.Time) []int {
 }
 
 // overdue reports whether a round that started at since has blown the
-// epoch timeout.
+// (effective) epoch timeout.
 func (l *liveness) overdue(since time.Time, now time.Time) bool {
-	return l.epochTimeout > 0 && !since.IsZero() && now.Sub(since) > l.epochTimeout
+	return l.epochTimeout > 0 && !since.IsZero() && now.Sub(since) > l.epochDeadline()
 }
 
 // laggards checks the between-barriers stall case against a fresh marker
@@ -130,7 +192,7 @@ func (l *liveness) laggards(live []bool, cur []transport.ProcProgress, now time.
 		l.lastAdvance = now
 		return nil
 	}
-	if now.Sub(l.lastAdvance) <= l.epochTimeout {
+	if now.Sub(l.lastAdvance) <= l.epochDeadline() {
 		return nil
 	}
 	var max transport.ProcProgress

@@ -12,7 +12,7 @@ import (
 
 func TestLivenessHeartbeatWindow(t *testing.T) {
 	base := time.Unix(1000, 0)
-	l := newLiveness(3, 500*time.Millisecond, 0, base)
+	l := newLiveness(3, 500*time.Millisecond, 0, false, base)
 	live := []bool{true, true, true}
 
 	if got := l.silent(live, base.Add(400*time.Millisecond)); got != nil {
@@ -37,7 +37,7 @@ func TestLivenessHeartbeatWindow(t *testing.T) {
 
 func TestLivenessHeartbeatDisabled(t *testing.T) {
 	base := time.Unix(1000, 0)
-	l := newLiveness(2, 0, time.Second, base)
+	l := newLiveness(2, 0, time.Second, false, base)
 	if got := l.silent([]bool{true, true}, base.Add(time.Hour)); got != nil {
 		t.Errorf("silent with heartbeat disabled = %v, want none", got)
 	}
@@ -45,7 +45,7 @@ func TestLivenessHeartbeatDisabled(t *testing.T) {
 
 func TestLivenessOverdueRounds(t *testing.T) {
 	base := time.Unix(1000, 0)
-	l := newLiveness(2, 0, 2*time.Second, base)
+	l := newLiveness(2, 0, 2*time.Second, false, base)
 	if l.overdue(time.Time{}, base.Add(time.Hour)) {
 		t.Error("an inactive round (zero start) can never be overdue")
 	}
@@ -55,7 +55,7 @@ func TestLivenessOverdueRounds(t *testing.T) {
 	if !l.overdue(base, base.Add(2100*time.Millisecond)) {
 		t.Error("round past the deadline not reported overdue")
 	}
-	off := newLiveness(2, 0, 0, base)
+	off := newLiveness(2, 0, 0, false, base)
 	if off.overdue(base, base.Add(time.Hour)) {
 		t.Error("deadline disabled but round reported overdue")
 	}
@@ -63,7 +63,7 @@ func TestLivenessOverdueRounds(t *testing.T) {
 
 func TestLivenessLaggards(t *testing.T) {
 	base := time.Unix(1000, 0)
-	l := newLiveness(3, 0, 2*time.Second, base)
+	l := newLiveness(3, 0, 2*time.Second, false, base)
 	live := []bool{true, true, true}
 	even := []transport.ProcProgress{{Gen: 1, Phase: 4}, {Gen: 1, Phase: 4}, {Gen: 1, Phase: 4}}
 	behind := []transport.ProcProgress{{Gen: 1, Phase: 4}, {Gen: 1, Phase: 3}, {Gen: 1, Phase: 4}}
@@ -81,20 +81,20 @@ func TestLivenessLaggards(t *testing.T) {
 		t.Errorf("laggards = %v, want [1]", got)
 	}
 	// All even and stuck: no laggard to blame (heartbeat/rounds cover it).
-	l2 := newLiveness(3, 0, 2*time.Second, base)
+	l2 := newLiveness(3, 0, 2*time.Second, false, base)
 	l2.laggards(live, even, base.Add(time.Second))
 	if got := l2.laggards(live, even, base.Add(time.Hour)); got != nil {
 		t.Errorf("laggards with even progress = %v, want none", got)
 	}
 	// A dead worker's stale progress never makes it a laggard.
-	l3 := newLiveness(3, 0, 2*time.Second, base)
+	l3 := newLiveness(3, 0, 2*time.Second, false, base)
 	l3.laggards(live, behind, base.Add(time.Second))
 	dead := []bool{true, false, true}
 	if got := l3.laggards(dead, behind, base.Add(time.Hour)); got != nil {
 		t.Errorf("laggards among dead = %v, want none", got)
 	}
 	// An older generation counts as strictly behind.
-	l4 := newLiveness(2, 0, 2*time.Second, base)
+	l4 := newLiveness(2, 0, 2*time.Second, false, base)
 	oldGen := []transport.ProcProgress{{Gen: 2, Phase: 1}, {Gen: 1, Phase: 9}}
 	l4.laggards([]bool{true, true}, oldGen, base.Add(time.Second))
 	if got := l4.laggards([]bool{true, true}, oldGen, base.Add(time.Hour)); !reflect.DeepEqual(got, []int{1}) {
@@ -102,11 +102,60 @@ func TestLivenessLaggards(t *testing.T) {
 	}
 }
 
+// Adaptive deadlines only ever rise above the configured bases: with no
+// cadence observed they equal the bases exactly, and a slow observed
+// barrier cadence lifts them in proportion.
+func TestLivenessAdaptiveDeadlines(t *testing.T) {
+	base := time.Unix(1000, 0)
+	l := newLiveness(2, time.Second, 10*time.Second, true, base)
+
+	// No rounds observed yet: the fixed bases are in force.
+	if got := l.epochDeadline(); got != 10*time.Second {
+		t.Errorf("epochDeadline before any round = %v, want 10s", got)
+	}
+	if got := l.pongWindow(); got != time.Second {
+		t.Errorf("pongWindow before any round = %v, want 1s", got)
+	}
+
+	// Fast rounds (1s cadence): deadlines stay at their floors.
+	for i := 1; i <= 8; i++ {
+		l.roundReset(base.Add(time.Duration(i) * time.Second))
+	}
+	if got := l.epochDeadline(); got != 10*time.Second {
+		t.Errorf("epochDeadline under fast cadence = %v, want the 10s floor", got)
+	}
+
+	// Slow rounds (30s cadence): both deadlines rise with the EWMA.
+	at := base.Add(8 * time.Second)
+	for i := 1; i <= 16; i++ {
+		at = at.Add(30 * time.Second)
+		l.roundReset(at)
+	}
+	if got := l.epochDeadline(); got <= 10*time.Second {
+		t.Errorf("epochDeadline under slow cadence = %v, want > 10s", got)
+	}
+	if got := l.pongWindow(); got <= time.Second {
+		t.Errorf("pongWindow under slow cadence = %v, want > 1s", got)
+	}
+	if l.overdue(at, at.Add(11*time.Second)) {
+		t.Errorf("round 11s old under ~30s cadence must not be overdue")
+	}
+
+	// A fixed (non-adaptive) detector ignores cadence entirely.
+	f := newLiveness(2, time.Second, 10*time.Second, false, base)
+	for i := 1; i <= 16; i++ {
+		f.roundReset(base.Add(time.Duration(30*i) * time.Second))
+	}
+	if got := f.epochDeadline(); got != 10*time.Second {
+		t.Errorf("fixed epochDeadline = %v, want 10s", got)
+	}
+}
+
 // Any observed marker advance resets the barrier clock — a slow but
 // moving cluster is never force-dropped.
 func TestLivenessAdvanceResetsClock(t *testing.T) {
 	base := time.Unix(1000, 0)
-	l := newLiveness(2, 0, 2*time.Second, base)
+	l := newLiveness(2, 0, 2*time.Second, false, base)
 	live := []bool{true, true}
 	at := func(sec int, p0, p1 uint64) []int {
 		return l.laggards(live, []transport.ProcProgress{{Gen: 1, Phase: p0}, {Gen: 1, Phase: p1}},

@@ -261,19 +261,30 @@ func workerBarrier(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hel
 	if err := tcp.Control(&transport.Frame{Kind: transport.FrameStats, Stats: stats}); err != nil {
 		return err
 	}
+	// Pipeline the next tick's index build behind the coordinator
+	// round-trip: the barrier's cache invalidation and core prebuild run
+	// on a goroutine while this worker waits for the directive (and ships
+	// its checkpoint). The join must land before InstallCuts — its
+	// invalidation has to follow the build, exactly as on the in-memory
+	// master — and before the barrier returns.
+	join := eng.StartBarrierPrebuild(tick)
 	d, err := tcp.AwaitDirective()
 	if err != nil {
+		join()
 		return err
 	}
 	if d.Tick != tick {
+		join()
 		return fmt.Errorf("distrib: directive for tick %d at barrier %d", d.Tick, tick)
 	}
 	if d.Checkpoint {
 		ck := ckpts.snapshot(eng, h.Proc, tick, d.CkptSeq, d.CkptFull)
 		if err := tcp.Control(&transport.Frame{Kind: transport.FrameCheckpoint, Ckpt: ck}); err != nil {
+			join()
 			return err
 		}
 	}
+	join()
 	if d.NewCuts != nil {
 		return eng.InstallCuts(d.NewCuts)
 	}

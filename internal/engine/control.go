@@ -99,6 +99,10 @@ func (e *Distributed) InstallCuts(cuts []float64) error {
 	}
 	e.part = p
 	e.invalidateCaches() // migrations change copy sets; start the epoch cold
+	// Migrating agents reach their new owner over the wire, so the first
+	// tick under the new cuts runs single-pass (matching the in-memory
+	// master, which marks the rebalance tick the same way in onEpoch).
+	e.noSplitTick = e.rt.Tick()
 	return nil
 }
 
@@ -127,5 +131,11 @@ func (e *Distributed) Restore(tick uint64, cuts []float64, local []int, parts []
 	e.opts.LocalParts = local
 	e.lastEpochT = tick
 	e.invalidateCaches() // restored state must rebuild like an unfailed run
+	// The restored values sit consistently under the restored cuts, so the
+	// next tick self-sends every owned agent: the two-pass split resumes
+	// immediately, with the core lists prebuilt exactly as at an ordinary
+	// barrier.
+	e.noSplitTick = neverTick
+	e.prebuildCores()
 	return nil
 }

@@ -70,6 +70,11 @@ type Options struct {
 	// for 2-D median splits). Load balancing applies only when the
 	// function is a *partition.Strips.
 	InitialPartition partition.Func
+	// NoOverlap disables the overlapped two-pass tick (see overlap.go)
+	// even when its preconditions hold. The overlap changes scheduling,
+	// never results; this switch exists for the ablation experiment and
+	// for debugging.
+	NoOverlap bool
 }
 
 // EpochStat records one epoch for the Fig. 8 style series.
@@ -108,6 +113,18 @@ type Distributed struct {
 	envs  [][]queryEnv
 	bufs  []partBufs
 	isSum []bool
+
+	// Overlapped two-pass tick state (overlap.go). obufs[w] carries the
+	// interior/boundary split between the early and late pass; noSplitTick
+	// is the single tick that must not split (the one right after a live
+	// cut change, when owned agents may still arrive from peers);
+	// prebuiltTick marks the barrier whose invalidate+prebuild already ran
+	// on the worker side, so onEpoch must not redo it.
+	overlap      bool
+	obufs        []overlapBufs
+	noSplitTick  uint64
+	prebuiltTick uint64
+	overlapNanos int64
 
 	agentTicks   int64
 	visitedTotal int64
@@ -159,6 +176,9 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 		cixs:     make([]*spatial.CachedIndex, opts.Workers),
 		envs:     make([][]queryEnv, opts.Workers),
 		bufs:     make([]partBufs, opts.Workers),
+
+		noSplitTick:  neverTick,
+		prebuiltTick: neverTick,
 	}
 	e.isSum = sumMask(e.combs)
 	skin := resolveSkin(s, opts.Index, opts.CacheSkin)
@@ -202,6 +222,16 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 		e.vclock = cluster.NewVClock(opts.Workers, *opts.CostModel)
 	}
 
+	// Overlap gate: the two-pass tick needs the cached index (KD tree,
+	// bounded visibility, positive skin — never under a cost model), local
+	// effects, and a strip partitioning for the interior classification.
+	// The decision is a pure function of the options, so every process of
+	// a distributed run takes the same branch.
+	if _, isStrips := e.part.(*partition.Strips); !opts.NoOverlap && !e.nonLocal && isStrips && e.cixs[0] != nil {
+		e.overlap = true
+		e.obufs = make([]overlapBufs, opts.Workers)
+	}
+
 	job := mapreduce.Job[*Envelope]{
 		Name:    s.Name,
 		Map:     e.mapPhase,
@@ -211,6 +241,11 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 	}
 	if e.nonLocal {
 		job.Reduce2 = e.reduce2
+	}
+	if e.overlap {
+		job.Reduce1 = nil
+		job.Reduce1Early = e.reduce1Early
+		job.Reduce1Late = e.reduce1Late
 	}
 	cfg := mapreduce.Config{
 		Workers:               opts.Workers,
@@ -235,6 +270,13 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 		},
 		RestoreMaster: func(v any) {
 			e.invalidateCaches() // rolled-back state must rebuild like an unfailed run
+			// Restored values sit consistently under the restored cuts, so
+			// every owned agent self-sends on the next tick: the two-pass
+			// split may resume immediately, and the prebuilt core lists
+			// keep the cache-gate trajectory identical to an unfailed
+			// run's. Deferred so the prebuild sees the restored cuts.
+			e.noSplitTick = neverTick
+			defer e.prebuildCores()
 			if v == nil {
 				return
 			}
@@ -554,11 +596,6 @@ func (e *Distributed) RunTicks(n int) error {
 // onEpoch runs on the master at epoch boundaries: record statistics and,
 // when enabled, rebalance partitions.
 func (e *Distributed) onEpoch(tick uint64, v mapreduce.EpochView) {
-	// Epoch barriers are the deterministic cache-invalidation points: a
-	// restored run resumes at a barrier, so forcing a rebuild at every
-	// barrier makes its subsequent index work — and hence the balancer's
-	// cost inputs — identical to an unfailed run's.
-	e.invalidateCaches()
 	counts := v.OwnedCounts()
 	loads := make([]float64, len(counts))
 	for i, c := range counts {
@@ -585,6 +622,33 @@ func (e *Distributed) onEpoch(tick uint64, v mapreduce.EpochView) {
 
 	if e.opts.LoadBalance && tick > e.lastEpochT {
 		st.Rebalanced = e.rebalance()
+	}
+
+	// Epoch barriers are the deterministic cache-invalidation points: a
+	// restored run resumes at a barrier, so forcing a rebuild at every
+	// barrier makes its subsequent index work — and hence the balancer's
+	// cost inputs — identical to an unfailed run's. When the cuts survive
+	// the barrier the next tick's core build is already known, so the
+	// overlapped engine prebuilds it here; a worker process did both steps
+	// while awaiting the directive (StartBarrierPrebuild stamps
+	// prebuiltTick so they are not redone).
+	// A worker process never sees st.Rebalanced (the coordinator owns the
+	// decision and installs cuts through InstallCuts, which marks
+	// noSplitTick); either signal means this barrier changed the cuts and
+	// a prebuild would poison the adaptive gate with a build the next tick
+	// throws away.
+	cutsChanged := st.Rebalanced || e.noSplitTick == tick
+	if cutsChanged || e.prebuiltTick != tick {
+		e.invalidateCaches()
+		if e.overlap && !cutsChanged {
+			e.prebuildCores()
+		}
+	}
+	if st.Rebalanced {
+		// The tick right after a cut change cannot split: agents may reach
+		// their new owner from a peer, so no owned agent is provably
+		// local until the map phase drains.
+		e.noSplitTick = tick
 	}
 	e.lastEpochT = tick
 	e.epochs = append(e.epochs, st)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/geom"
 	"github.com/bigreddata/brace/internal/spatial"
 )
 
@@ -34,12 +35,26 @@ type queryEnv struct {
 	ix      spatial.Index        // built over copies (Point.ID = index into copies)
 	cached  *spatial.CachedIndex // non-nil: the engine runs the cached path
 	listsOK bool                 // the tick's build carries candidate lists
-	slot    int32                // self's index into copies (cached path)
+	slot    int32                // self's index into copies (-1: self is halo-owned)
 	stats   spatial.Stats        // per-env probe accounting (cached path)
 
-	self    *agent.Agent
-	scratch []int32
-	nnbuf   []spatial.Point
+	// Two-array mode for the overlapped late pass: the index covers only
+	// the core (self-sent) copies, and probes merge in the halo — the
+	// ID-sorted peer-sent copies — by linear scan.
+	halo   haloArrays
+	haloOn bool
+
+	self     *agent.Agent
+	scratch  []int32
+	hscratch []int32
+	nnbuf    []spatial.Point
+}
+
+// haloArrays is the probe-side view of a partition's peer-sent copies,
+// ascending by agent ID.
+type haloArrays struct {
+	agents []*agent.Agent
+	pos    []geom.Vec
 }
 
 var _ Env = (*queryEnv)(nil)
@@ -69,7 +84,11 @@ func (q *queryEnv) Nearby(radius float64, fn func(*agent.Agent)) {
 }
 
 func (q *queryEnv) rangeSorted(radius float64, fn func(*agent.Agent)) {
-	if q.cached != nil && q.listsOK && radius <= q.cached.ProbeRadius() {
+	if q.haloOn && len(q.halo.agents) > 0 {
+		q.rangeSortedHalo(radius, fn)
+		return
+	}
+	if q.cached != nil && q.listsOK && q.slot >= 0 && radius <= q.cached.ProbeRadius() {
 		// Verlet fast path: the list covers every point within the
 		// cache's probe radius of self's current position (cache
 		// invariant), is sorted by slot, and slots ascend with agent ID.
@@ -110,6 +129,64 @@ func (q *queryEnv) rangeSorted(radius float64, fn func(*agent.Agent)) {
 	}
 }
 
+// rangeSortedHalo is the two-array probe of the overlapped late pass:
+// core candidates come from the index (candidate list or circle query),
+// halo candidates from a linear distance scan — the halo is small, just
+// the replicas in the visibility band plus any post-rebalance migrants,
+// so a scan beats building a second index. Both sides ascend by agent ID
+// and the merge emits their union in ascending ID order: the exact
+// visible sequence a single combined index produces.
+func (q *queryEnv) rangeSortedHalo(radius float64, fn func(*agent.Agent)) {
+	pos := q.self.Pos(q.schema)
+	r2 := radius * radius
+	q.scratch = q.scratch[:0]
+	if q.cached != nil && q.listsOK && q.slot >= 0 && radius <= q.cached.ProbeRadius() {
+		cand, cur := q.cached.SlotCandidates(q.slot)
+		q.stats.Probes++
+		q.stats.Visited += int64(len(cand))
+		at := cur[q.slot]
+		for _, j := range cand {
+			dx, dy := cur[j].X-at.X, cur[j].Y-at.Y
+			if dx*dx+dy*dy <= r2 {
+				q.scratch = append(q.scratch, j)
+			}
+		}
+		// cand ascends by slot, so scratch is already ID-sorted.
+	} else if q.cached != nil {
+		var visited int64
+		q.scratch, visited = q.cached.RangeCircleInto(pos, radius, q.scratch)
+		q.stats.Probes++
+		q.stats.Visited += visited
+		slices.Sort(q.scratch)
+	} else {
+		q.ix.RangeCircle(pos, radius, func(p spatial.Point) {
+			q.scratch = append(q.scratch, p.ID)
+		})
+		slices.Sort(q.scratch)
+	}
+
+	q.hscratch = q.hscratch[:0]
+	q.stats.Visited += int64(len(q.halo.agents))
+	for j, hp := range q.halo.pos {
+		dx, dy := hp.X-pos.X, hp.Y-pos.Y
+		if dx*dx+dy*dy <= r2 {
+			q.hscratch = append(q.hscratch, int32(j))
+		}
+	}
+
+	core, halo := q.scratch, q.hscratch
+	i, j := 0, 0
+	for i < len(core) || j < len(halo) {
+		if j >= len(halo) || (i < len(core) && q.copies[core[i]].ID < q.halo.agents[halo[j]].ID) {
+			fn(q.copies[core[i]])
+			i++
+		} else {
+			fn(q.halo.agents[halo[j]])
+			j++
+		}
+	}
+}
+
 // Nearest implements Env.
 func (q *queryEnv) Nearest(k int, buf []*agent.Agent) []*agent.Agent {
 	if k <= 0 {
@@ -118,7 +195,7 @@ func (q *queryEnv) Nearest(k int, buf []*agent.Agent) []*agent.Agent {
 	pos := q.self.Pos(q.schema)
 	vis := q.schema.Visibility
 	cand := q.scratch[:0]
-	if q.cached != nil && q.listsOK && vis > 0 && vis <= q.cached.ProbeRadius() {
+	if q.cached != nil && q.listsOK && q.slot >= 0 && vis > 0 && vis <= q.cached.ProbeRadius() {
 		// The candidate list covers the visibility disc, and Env.Nearest
 		// never returns agents beyond it: every true k-nearest-in-vis is
 		// in the list (see the cache invariant), so collecting in-vis
@@ -133,6 +210,9 @@ func (q *queryEnv) Nearest(k int, buf []*agent.Agent) []*agent.Agent {
 			}
 		}
 	} else {
+		// k+1 core candidates suffice even in two-array mode: no core
+		// agent outside the k+1 nearest (k after self-exclusion) can make
+		// the combined top k, however many halo agents outrank it.
 		q.nnbuf = q.ix.Nearest(pos, k+1, q.nnbuf[:0])
 		for _, p := range q.nnbuf {
 			a := q.copies[p.ID]
@@ -145,23 +225,45 @@ func (q *queryEnv) Nearest(k int, buf []*agent.Agent) []*agent.Agent {
 			cand = append(cand, p.ID)
 		}
 	}
+	if q.haloOn && len(q.halo.agents) > 0 {
+		q.stats.Visited += int64(len(q.halo.agents))
+		vis2 := vis * vis
+		for j := range q.halo.agents {
+			if q.halo.agents[j].ID == q.self.ID {
+				continue // a halo-owned probe finds itself in the halo
+			}
+			if vis > 0 && q.halo.pos[j].Dist2(pos) > vis2 {
+				continue
+			}
+			cand = append(cand, ^int32(j))
+		}
+	}
 	// Canonical order: (distance, agent ID).
 	sort.Slice(cand, func(i, j int) bool {
-		di := q.copies[cand[i]].Pos(q.schema).Dist2(pos)
-		dj := q.copies[cand[j]].Pos(q.schema).Dist2(pos)
+		ai, aj := q.candAgent(cand[i]), q.candAgent(cand[j])
+		di, dj := ai.Pos(q.schema).Dist2(pos), aj.Pos(q.schema).Dist2(pos)
 		if di != dj {
 			return di < dj
 		}
-		return q.copies[cand[i]].ID < q.copies[cand[j]].ID
+		return ai.ID < aj.ID
 	})
 	if len(cand) > k {
 		cand = cand[:k]
 	}
-	for _, i := range cand {
-		buf = append(buf, q.copies[i])
+	for _, c := range cand {
+		buf = append(buf, q.candAgent(c))
 	}
 	q.scratch = cand[:0]
 	return buf
+}
+
+// candAgent resolves an encoded Nearest candidate: non-negative values
+// are core slots, negative ones (bitwise complement) index the halo.
+func (q *queryEnv) candAgent(c int32) *agent.Agent {
+	if c >= 0 {
+		return q.copies[c]
+	}
+	return q.halo.agents[^c]
 }
 
 // Assign implements Env.

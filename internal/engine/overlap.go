@@ -1,0 +1,252 @@
+// The overlapped two-pass tick. A bulk-synchronous tick wastes the map
+// phase's network window: every worker blocks at the phase barrier until
+// all peer envelopes arrive, even though most of its owned agents cannot
+// see across a partition cut and need nothing from the wire. The split
+// reduce computes those agents while boundary envelopes are in flight:
+//
+//	map (distribute/replicate)  ──FlushPhase──►  peers' markers in flight
+//	  early pass: build core index over self-sent envelopes,
+//	              classify interior vs boundary, probe interior
+//	──AwaitPhase──►  phase drained
+//	  late pass:  probe boundary + halo-owned agents against core ∪ halo,
+//	              update all owned agents in ascending ID order
+//
+// The split changes scheduling, never results: interior agents are
+// exactly those whose visibility disc lies strictly inside the strip, so
+// their candidate sets cannot contain a peer-sent copy, and the late
+// pass's two-array probes merge core and halo candidates in ascending
+// agent-ID order — the same visible sequence a single combined index
+// produces. Update order is immaterial (state-effect pattern; per-agent
+// RNG is a function of (seed, tick, ID)), so the final state is
+// bit-identical to the single-pass engine's.
+package engine
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/bigreddata/brace/internal/mapreduce"
+	"github.com/bigreddata/brace/internal/partition"
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+// neverTick is the "no tick" sentinel for noSplitTick/prebuiltTick.
+const neverTick = ^uint64(0)
+
+// overlapBufs carries one partition's state from the early to the late
+// pass of a tick. Reused every tick; purely allocation avoidance.
+type overlapBufs struct {
+	split     bool  // this tick's interior pass ran (no recent cut change)
+	listsOK   bool  // the early build carries candidate lists
+	before    int64 // index visited counter at early-pass start
+	coreOwned []*Envelope
+	interior  []int32 // owned slots probed by the early pass
+	boundary  []int32 // owned slots deferred to the late pass
+
+	halo      []*Envelope // every peer-sent envelope, ID-sorted
+	haloAg    haloArrays  // the probe-side view of halo (agents + positions)
+	haloOwned []*Envelope // non-replica members of halo (post-cut-change migrants)
+}
+
+// reduce1Early is the interior pass of the overlapped reduceᵗ₁, running in
+// the window between the map phase's local flush and the peer barrier on
+// exactly the envelopes this partition sent to itself. Owned agents always
+// self-send — an agent's owner at map time is the partition that just
+// updated it — except on the one tick right after a live cut change, so
+// self is the full owned set whenever the split is allowed. The pass
+// builds the core index over self and probes the agents whose visibility
+// disc lies strictly inside the partition's strip: those can never see a
+// peer-sent copy, so their query phases are exact without the halo.
+func (e *Distributed) reduce1Early(ctx *mapreduce.Ctx, self []*Envelope) {
+	start := time.Now()
+	w := ctx.Worker
+	ob := &e.obufs[w]
+	ob.before = e.ixs[w].Stats().Visited
+	copies, owned, ownedSlots := e.prepare(w, self)
+	cached := e.cixs[w]
+	ob.coreOwned = owned
+	ob.listsOK = cached.HasLists()
+	ob.split = ctx.Tick != e.noSplitTick
+	ob.interior = ob.interior[:0]
+	ob.boundary = ob.boundary[:0]
+	if !ob.split {
+		// First tick under freshly installed cuts: owned agents may still
+		// be in flight from their previous owners, so every probe must
+		// wait for the halo.
+		ob.boundary = append(ob.boundary, ownedSlots...)
+		atomic.AddInt64(&e.overlapNanos, int64(time.Since(start)))
+		return
+	}
+
+	// Classify by the exact visibility bound: a foreign agent is at least
+	// |Δx| away, so strictly more than vis from both cuts means nothing
+	// across either cut can be visible. Strict, because a foreign agent at
+	// exactly distance vis is visible (the radius comparisons are closed).
+	// Edge strips have ±Inf bounds, which classify everything interior on
+	// the unbounded side for free.
+	region := e.part.(*partition.Strips).Region(w)
+	vis := e.schema.Visibility
+	for _, slot := range ownedSlots {
+		x := copies[slot].Pos(e.schema).X
+		if x-region.Min.X > vis && region.Max.X-x > vis {
+			ob.interior = append(ob.interior, slot)
+		} else {
+			ob.boundary = append(ob.boundary, slot)
+		}
+	}
+
+	penvs := e.partEnvs(w)
+	interior := ob.interior
+	listsOK := ob.listsOK
+	spatial.ParallelFor(len(interior), probeGrain, func(chunk, lo, hi int) {
+		q := &penvs[chunk]
+		q.copies = copies
+		q.cached = cached
+		q.listsOK = listsOK
+		q.ix = e.ixs[w]
+		q.halo = haloArrays{}
+		q.haloOn = false
+		for _, slot := range interior[lo:hi] {
+			q.slot = slot
+			q.self = copies[slot]
+			e.model.Query(q.self, q)
+		}
+	})
+	atomic.AddInt64(&e.overlapNanos, int64(time.Since(start)))
+}
+
+// reduce1Late finishes the overlapped reduceᵗ₁ once the map phase has
+// fully drained. rest holds everything peers sent this partition: replica
+// copies and, on the tick right after a cut change, owned agents arriving
+// from their previous owners. Boundary (and halo-owned) query phases
+// merge the core candidate lists with a linear scan of the halo, then the
+// update phase runs for all owned agents in ascending ID order — exactly
+// the single-pass engine's visible sequences and fold orders.
+func (e *Distributed) reduce1Late(ctx *mapreduce.Ctx, rest []*Envelope, emit mapreduce.Emit[*Envelope]) {
+	w := ctx.Worker
+	ob := &e.obufs[w]
+	b := &e.bufs[w]
+	cached := e.cixs[w]
+
+	sort.Slice(rest, func(i, j int) bool { return rest[i].A.ID < rest[j].A.ID })
+	ob.halo = append(ob.halo[:0], rest...)
+	ob.haloAg.agents = ob.haloAg.agents[:0]
+	ob.haloAg.pos = ob.haloAg.pos[:0]
+	ob.haloOwned = ob.haloOwned[:0]
+	for _, env := range rest {
+		if !env.Replica {
+			if ob.split {
+				panic("engine: owned envelope arrived from a peer on a split tick")
+			}
+			ob.haloOwned = append(ob.haloOwned, env)
+		}
+		ob.haloAg.agents = append(ob.haloAg.agents, env.A)
+		ob.haloAg.pos = append(ob.haloAg.pos, env.A.Pos(e.schema))
+	}
+
+	penvs := e.partEnvs(w)
+	boundary, haloOwned := ob.boundary, ob.haloOwned
+	nb := len(boundary)
+	copies := b.copies
+	halo := ob.haloAg
+	listsOK := ob.listsOK
+	spatial.ParallelFor(nb+len(haloOwned), probeGrain, func(chunk, lo, hi int) {
+		q := &penvs[chunk]
+		q.copies = copies
+		q.cached = cached
+		q.listsOK = listsOK
+		q.ix = e.ixs[w]
+		q.halo = halo
+		q.haloOn = true
+		for i := lo; i < hi; i++ {
+			if i < nb {
+				q.slot = boundary[i]
+				q.self = copies[q.slot]
+			} else {
+				// A migrant owned agent has no core slot; its probes run
+				// index queries plus the halo scan.
+				q.slot = -1
+				q.self = haloOwned[i-nb].A
+			}
+			e.model.Query(q.self, q)
+		}
+		q.halo = haloArrays{}
+		q.haloOn = false
+	})
+
+	visited := e.ixs[w].Stats().Visited - ob.before
+	for i := range penvs {
+		visited += penvs[i].takeStats().Visited
+	}
+	e.wVisited[w] += visited
+	e.wOwned[w] += int64(len(ob.coreOwned) + len(haloOwned))
+
+	// Update phase for all owned agents, merging the two ID-sorted owned
+	// sets in ascending ID order.
+	co, ho := ob.coreOwned, haloOwned
+	i, j := 0, 0
+	for i < len(co) || j < len(ho) {
+		if j >= len(ho) || (i < len(co) && co[i].A.ID < ho[j].A.ID) {
+			e.updateAndEmit(ctx, co[i], emit)
+			i++
+		} else {
+			e.updateAndEmit(ctx, ho[j], emit)
+			j++
+		}
+	}
+	ob.coreOwned = nil
+}
+
+// prebuildCores rebuilds every local partition's core index and candidate
+// lists from the values it holds right now. At an epoch barrier (or right
+// after a restore) the next tick's self-sent envelope set is exactly
+// these values, so this build either is the next early pass's build —
+// same keys, same probe set, zero displacement, a guaranteed reuse — or,
+// when a directive then installs new cuts, is thrown away by the
+// invalidation that follows, leaving the adaptive gate in the same state
+// as an invalidate-only barrier. prepare sorts its argument in place and
+// a worker's checkpoint may still be serializing the live values, so the
+// build works on a copy of the slice.
+func (e *Distributed) prebuildCores() {
+	if !e.overlap {
+		return
+	}
+	for _, w := range e.LocalPartitions() {
+		vs := e.rt.Values(w)
+		envs := append(make([]*Envelope, 0, len(vs)), vs...)
+		e.prepare(w, envs)
+	}
+}
+
+// StartBarrierPrebuild begins the epoch-barrier cache invalidation and
+// core prebuild on a background goroutine, so a distributed worker
+// overlaps next tick's index build with the coordinator round-trip. The
+// returned join must be called before the engine ticks again — and before
+// InstallCuts, whose invalidation has to land after the build. No-op when
+// the overlapped path is off.
+func (e *Distributed) StartBarrierPrebuild(tick uint64) (join func()) {
+	if !e.overlap {
+		return func() {}
+	}
+	e.prebuiltTick = tick
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.invalidateCaches()
+		e.prebuildCores()
+	}()
+	return func() { <-done }
+}
+
+// Overlapped reports whether the two-pass (interior/boundary) tick is
+// active.
+func (e *Distributed) Overlapped() bool { return e.overlap }
+
+// OverlapSeconds returns the wall time spent in early (interior) passes —
+// compute the overlapped tick hides behind envelope exchange. Summed
+// across partitions, so with concurrent workers it can exceed elapsed
+// wall time.
+func (e *Distributed) OverlapSeconds() float64 {
+	return time.Duration(atomic.LoadInt64(&e.overlapNanos)).Seconds()
+}

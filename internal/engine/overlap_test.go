@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+// The overlapped two-pass tick changes scheduling, never results: with the
+// split disabled via NoOverlap the run must be bit-identical at every
+// worker count, including under load balancing where live cut changes
+// force no-split ticks.
+func TestOverlapAblationBitIdentical(t *testing.T) {
+	m := newFlockModel(8)
+	base := makePop(m.s, 140, 60, 9)
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{Index: spatial.KindKDTree, Seed: 17}},
+		{"lb", Options{Index: spatial.KindKDTree, Seed: 17, LoadBalance: true, EpochTicks: 3}},
+	} {
+		for _, workers := range []int{1, 3, 5} {
+			tc.opts.Workers = workers
+			on, err := NewDistributed(m, clonePop(base), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			offOpts := tc.opts
+			offOpts.NoOverlap = true
+			off, err := NewDistributed(m, clonePop(base), offOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !on.Overlapped() {
+				t.Fatalf("%s/%dw: overlap off despite KD strips local-effect config", tc.name, workers)
+			}
+			if off.Overlapped() {
+				t.Fatalf("%s/%dw: NoOverlap ignored", tc.name, workers)
+			}
+			if err := on.RunTicks(testTicks); err != nil {
+				t.Fatal(err)
+			}
+			if err := off.RunTicks(testTicks); err != nil {
+				t.Fatal(err)
+			}
+			popsExactlyEqual(t, tc.name+" overlap on vs off", off.Agents(), on.Agents())
+		}
+	}
+}
+
+// The two-pass tick under varying pool parallelism — the race-detector
+// canary for the overlap window, where the interior pass, the boundary
+// merge and the barrier prebuild all touch the per-partition cache state
+// from pool goroutines. CI runs this with -race.
+func TestOverlapTickAcrossParallelism(t *testing.T) {
+	defer spatial.SetParallelism(runtime.GOMAXPROCS(0))
+	m := newFlockModel(8)
+	base := makePop(m.s, 120, 60, 5)
+
+	seq, err := NewSequential(m, clonePop(base), spatial.KindKDTree, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.RunTicks(testTicks); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, par := range []int{1, 2, 8} {
+		spatial.SetParallelism(par)
+		dist, err := NewDistributed(m, clonePop(base), Options{
+			Workers: 4, Index: spatial.KindKDTree, Seed: 42, EpochTicks: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dist.Overlapped() {
+			t.Fatal("overlap expected on")
+		}
+		if err := dist.RunTicks(testTicks); err != nil {
+			t.Fatal(err)
+		}
+		popsExactlyEqual(t, "seq vs overlapped dist", seq.Agents(), dist.Agents())
+	}
+}

@@ -28,8 +28,14 @@ func New[V any](job Job[V], cfg Config) *Runtime[V] {
 	if cfg.Workers < 1 {
 		panic("mapreduce: Workers must be ≥ 1")
 	}
-	if job.Map == nil || job.Reduce1 == nil {
-		panic("mapreduce: job needs Map and Reduce1")
+	if job.Map == nil || (job.Reduce1 == nil && job.Reduce1Early == nil) {
+		panic("mapreduce: job needs Map and Reduce1 (or the Reduce1Early/Late pair)")
+	}
+	if (job.Reduce1Early == nil) != (job.Reduce1Late == nil) {
+		panic("mapreduce: Reduce1Early and Reduce1Late must be set together")
+	}
+	if job.Reduce1Early != nil && job.Reduce2 != nil {
+		panic("mapreduce: overlapped reduce1 is incompatible with Reduce2")
 	}
 	if cfg.EpochTicks <= 0 {
 		cfg.EpochTicks = 10
@@ -251,7 +257,23 @@ func (r *Runtime[V]) runTick() error {
 		r.values[w] = nil // ownership moves through the dataflow
 		r.flush(w, tagMapOut, out)
 	})
-	if err := r.tr.EndPhase(); err != nil {
+	if err := r.tr.FlushPhase(); err != nil {
+		return err
+	}
+	overlap := r.job.Reduce1Early != nil
+	if overlap {
+		// Overlap window: each worker's sends to itself are complete the
+		// moment the local flush returns, so the early (interior) pass
+		// computes while peer envelopes are still in flight.
+		r.eachWorker(func(w int) {
+			if r.tr.Failed(cluster.NodeID(w)) {
+				return
+			}
+			ctx := &Ctx{Tick: r.tick, Worker: w}
+			r.job.Reduce1Early(ctx, r.collectSelf(w, tagMapOut))
+		})
+	}
+	if err := r.tr.AwaitPhase(); err != nil {
 		return err
 	}
 	r.drainAll(stage, tagMapOut)
@@ -264,7 +286,11 @@ func (r *Runtime[V]) runTick() error {
 		}
 		ctx := &Ctx{Tick: r.tick, Worker: w}
 		out := newOutbox[V](r.cfg.Workers)
-		r.job.Reduce1(ctx, stage[w], out.emit)
+		if overlap {
+			r.job.Reduce1Late(ctx, stage[w], out.emit)
+		} else {
+			r.job.Reduce1(ctx, stage[w], out.emit)
+		}
 		r.flush(w, tagReduce1Out, out)
 	})
 	if err := r.tr.EndPhase(); err != nil {
@@ -353,6 +379,19 @@ func (r *Runtime[V]) flush(w int, tag int, o *outbox[V]) {
 			r.cfg.VClock.ChargeNetwork(cluster.NodeID(w), 1, int64(bytes))
 		}
 	}
+}
+
+// collectSelf drains only worker w's sends to itself — complete as soon
+// as the local FlushPhase returns, before any peer marker.
+func (r *Runtime[V]) collectSelf(w int, tag int) []V {
+	var out []V
+	for _, m := range r.tr.DrainSelf(cluster.NodeID(w)) {
+		if m.Tag != tag {
+			panic(fmt.Sprintf("mapreduce: worker %d got tag %d during phase %d", w, m.Tag, tag))
+		}
+		out = append(out, m.Payload.([]V)...)
+	}
+	return out
 }
 
 // collect drains worker w's inbox and concatenates batches with the given

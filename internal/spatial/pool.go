@@ -34,18 +34,34 @@ func Parallelism() int {
 }
 
 // SetParallelism overrides the pool size (default GOMAXPROCS). n < 1 means
-// 1: all spatial work runs on the calling goroutine. Intended for tests and
-// embedders that must bound BRACE's CPU use; safe to call between ticks.
+// 1: all spatial work runs on the calling goroutine. Changing the size
+// retires the current queue and its workers — in-flight tasks drain, and
+// the next submit rebuilds the queue at the new capacity (4×max) with a
+// fresh worker set — so a raise after a low-parallelism start actually
+// widens the fan-out instead of leaving the old undersized queue degrading
+// submissions to inline runs. Intended for tests and embedders that must
+// bound BRACE's CPU use; safe to call between ticks.
 func SetParallelism(n int) {
 	if n < 1 {
 		n = 1
 	}
 	queryPool.mu.Lock()
-	queryPool.max = n
+	if n != queryPool.max {
+		queryPool.max = n
+		if queryPool.tasks != nil {
+			// Workers exit once the closed channel drains; submit re-creates
+			// the queue sized to the new max and respawns on demand.
+			close(queryPool.tasks)
+			queryPool.tasks = nil
+			queryPool.workers = 0
+		}
+	}
 	queryPool.mu.Unlock()
 }
 
 // submit queues fn on the pool, starting workers up to the target size.
+// The enqueue happens under the lock so a concurrent SetParallelism can
+// never close the channel between the capacity check and the send.
 func (p *pool) submit(fn func()) {
 	p.mu.Lock()
 	if p.max == 0 {
@@ -64,12 +80,12 @@ func (p *pool) submit(fn func()) {
 			}
 		}(p.tasks)
 	}
-	tasks := p.tasks
-	p.mu.Unlock()
 	select {
-	case tasks <- fn:
+	case p.tasks <- fn:
+		p.mu.Unlock()
 	default:
 		// Queue full (heavily nested fan-out): run inline rather than block.
+		p.mu.Unlock()
 		fn()
 	}
 }

@@ -7,7 +7,8 @@ import (
 
 // SeverAt is a fault-injection Transport wrapper for recovery tests: it
 // counts phase barriers and severs the wrapped transport — closing its
-// coordinator connection — immediately before the Nth EndPhase. To the
+// coordinator connection — immediately before the Nth FlushPhase (or, with
+// Await set, between that phase's FlushPhase and its AwaitPhase). To the
 // coordinator this is indistinguishable from the worker process dying
 // mid-phase; to the worker every subsequent transport operation fails, so
 // its session unwinds exactly like a crash while the daemon survives to
@@ -15,22 +16,47 @@ import (
 //
 // Local-effect scenarios run two phases per tick (map, reduce₁) and
 // non-local ones three, so Phase = 2·tick+1 severs a local-effect worker
-// in the middle of that tick.
+// in the middle of that tick. With Await, the cut lands in the overlap
+// window of the two-pass tick: the phase's sends (and marker) are already
+// out, the interior pass has its inputs, but the boundary drain has not
+// happened yet.
 type SeverAt struct {
 	Transport
-	// Phase is the 1-based EndPhase call to sever at.
+	// Phase is the 1-based phase barrier to sever at.
 	Phase int
+	// Await severs between the chosen phase's FlushPhase and its
+	// AwaitPhase instead of before the FlushPhase.
+	Await bool
 
 	n int
 }
 
-// EndPhase counts barriers and cuts the connection at the chosen one.
-func (s *SeverAt) EndPhase() error {
+// FlushPhase counts barriers and, without Await, cuts the connection at
+// the chosen one.
+func (s *SeverAt) FlushPhase() error {
 	s.n++
-	if s.n == s.Phase {
+	if s.n == s.Phase && !s.Await {
 		_ = s.Transport.Close()
 	}
-	return s.Transport.EndPhase()
+	return s.Transport.FlushPhase()
+}
+
+// AwaitPhase cuts the connection before waiting when Await is set and the
+// chosen phase was just flushed.
+func (s *SeverAt) AwaitPhase() error {
+	if s.n == s.Phase && s.Await {
+		_ = s.Transport.Close()
+	}
+	return s.Transport.AwaitPhase()
+}
+
+// EndPhase keeps the wrapper transparent for callers that do not split
+// the barrier.
+func (s *SeverAt) EndPhase() error {
+	if err := s.FlushPhase(); err != nil {
+		return err
+	}
+	return s.AwaitPhase()
 }
 
 // Staller is implemented by transports that can simulate a silently
@@ -40,42 +66,75 @@ type Staller interface {
 }
 
 // StallAt is the silent twin of SeverAt: it freezes the wrapped transport
-// immediately before the Nth EndPhase *without* closing the socket — the
+// immediately before the Nth FlushPhase (or, with Await set, between that
+// phase's FlushPhase and AwaitPhase) *without* closing the socket — the
 // failure mode of a SIGSTOPped or silently-partitioned worker. The
 // coordinator sees no socket error, no EOF, nothing: every peer blocks at
 // the phase barrier waiting for a marker that will never come, and only
-// heartbeat/deadline liveness can break the hang. On transports without
-// Stall support the wrapper blocks the EndPhase itself until Close.
+// heartbeat/deadline liveness can break the hang. The Await variant is
+// the nastier case for the overlapped tick: the frozen worker's marker
+// *did* go out, so peers sail through the barrier and only the next one
+// hangs. On transports without Stall support the wrapper blocks the call
+// itself until Close.
 type StallAt struct {
 	Transport
-	// Phase is the 1-based EndPhase call to stall at.
+	// Phase is the 1-based phase barrier to stall at.
 	Phase int
+	// Await stalls between the chosen phase's FlushPhase and its
+	// AwaitPhase instead of before the FlushPhase.
+	Await bool
 
 	n      int
 	once   sync.Once
 	closed chan struct{}
 }
 
-// EndPhase counts barriers and freezes at the chosen one.
-func (s *StallAt) EndPhase() error {
+// FlushPhase counts barriers and, without Await, freezes at the chosen one.
+func (s *StallAt) FlushPhase() error {
 	s.n++
-	if s.n == s.Phase {
-		if st, ok := s.Transport.(Staller); ok {
-			st.Stall()
-		} else {
-			s.init()
-			<-s.closed // block like a frozen process until Close
-			return fmt.Errorf("transport: stalled connection closed")
+	if s.n == s.Phase && !s.Await {
+		if err := s.stall(); err != nil {
+			return err
 		}
 	}
-	return s.Transport.EndPhase()
+	return s.Transport.FlushPhase()
+}
+
+// AwaitPhase freezes before waiting when Await is set and the chosen
+// phase was just flushed.
+func (s *StallAt) AwaitPhase() error {
+	if s.n == s.Phase && s.Await {
+		if err := s.stall(); err != nil {
+			return err
+		}
+	}
+	return s.Transport.AwaitPhase()
+}
+
+// EndPhase keeps the wrapper transparent for callers that do not split
+// the barrier.
+func (s *StallAt) EndPhase() error {
+	if err := s.FlushPhase(); err != nil {
+		return err
+	}
+	return s.AwaitPhase()
+}
+
+func (s *StallAt) stall() error {
+	if st, ok := s.Transport.(Staller); ok {
+		st.Stall()
+		return nil
+	}
+	s.init()
+	<-s.closed // block like a frozen process until Close
+	return fmt.Errorf("transport: stalled connection closed")
 }
 
 func (s *StallAt) init() {
 	s.once.Do(func() { s.closed = make(chan struct{}) })
 }
 
-// Close releases a fallback-blocked EndPhase along with the transport.
+// Close releases a fallback-blocked barrier call along with the transport.
 func (s *StallAt) Close() error {
 	s.init()
 	select {

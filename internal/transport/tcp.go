@@ -347,6 +347,17 @@ func (t *TCP) Metrics() *cluster.Metrics { return t.metrics }
 // all Data frames of the phase are guaranteed to be in the local inboxes.
 // It returns ErrRestore if the coordinator orders a restore while waiting.
 func (t *TCP) EndPhase() error {
+	if err := t.FlushPhase(); err != nil {
+		return err
+	}
+	return t.AwaitPhase()
+}
+
+// FlushPhase advances the local phase counter and sends this process's
+// end-of-phase marker without waiting for peers. Self-sends of the phase
+// (collocated, already in the local inboxes) become drainable through
+// DrainSelf the moment it returns.
+func (t *TCP) FlushPhase() error {
 	t.mu.Lock()
 	if t.stalled {
 		err := t.awaitUnstallLocked()
@@ -367,12 +378,18 @@ func (t *TCP) EndPhase() error {
 	peers := t.liveProcs() > 1
 	t.mu.Unlock()
 	if peers {
-		if err := t.fc.Send(&Frame{Kind: FrameEndPhase, Src: t.proc, Gen: gen, Phase: phase}); err != nil {
-			return err
-		}
+		return t.fc.Send(&Frame{Kind: FrameEndPhase, Src: t.proc, Gen: gen, Phase: phase})
 	}
+	return nil
+}
+
+// AwaitPhase blocks until the end-of-phase marker of every live peer has
+// arrived for the phase the preceding FlushPhase ended. In-order relay
+// then guarantees all Data frames of the phase are in the local inboxes.
+func (t *TCP) AwaitPhase() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	phase := t.phase
 	for t.markers[phase] < t.liveProcs()-1 && t.readErr == nil && t.restore == nil && !t.stalled {
 		t.cond.Wait()
 	}
@@ -387,6 +404,26 @@ func (t *TCP) EndPhase() error {
 	}
 	delete(t.markers, phase)
 	return nil
+}
+
+// DrainSelf removes and returns partition n's messages to itself from the
+// phase the last FlushPhase ended (or earlier). All of a partition's sends
+// to itself are collocated, so they are complete without waiting for any
+// peer marker.
+func (t *TCP) DrainSelf(n cluster.NodeID) []cluster.Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []cluster.Message
+	var keep []phasedMsg
+	for _, pm := range t.inbox[n] {
+		if pm.phase <= t.phase && pm.m.From == n {
+			out = append(out, pm.m)
+		} else {
+			keep = append(keep, pm)
+		}
+	}
+	t.inbox[n] = keep
+	return out
 }
 
 // Control sends a control-plane frame (stats, checkpoint, final report),

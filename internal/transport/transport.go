@@ -55,8 +55,26 @@ type Transport interface {
 	// sends complete and before any drain. Networked transports flush
 	// outgoing frames and block until every peer process has ended the
 	// same phase, which (with in-order delivery) guarantees complete
-	// inboxes; Mem is a no-op.
+	// inboxes; Mem is a no-op. EndPhase ≡ FlushPhase followed by
+	// AwaitPhase; it remains for callers without overlap.
 	EndPhase() error
+	// FlushPhase is the first half of EndPhase: it declares this
+	// process's sends for the phase complete (networked transports emit
+	// their end-of-phase marker) without waiting for peers. After
+	// FlushPhase, DrainSelf is valid; full Drain requires AwaitPhase.
+	FlushPhase() error
+	// AwaitPhase is the second half of EndPhase: it blocks until every
+	// live peer has flushed the same phase, guaranteeing complete
+	// inboxes. Exactly one AwaitPhase must follow each FlushPhase.
+	AwaitPhase() error
+	// DrainSelf removes and returns the messages node n sent to itself
+	// in the phase just flushed. Self-sends never cross a process
+	// boundary, so they are complete as soon as the local FlushPhase
+	// returns — the overlap window the two-pass tick computes in while
+	// peer envelopes are still in flight. Valid between FlushPhase and
+	// AwaitPhase (and after); messages it returns are not returned again
+	// by Drain.
+	DrainSelf(n cluster.NodeID) []cluster.Message
 	// Close releases any resources (connections, goroutines).
 	Close() error
 }
