@@ -1,7 +1,9 @@
 // Command bracesim-worker is the BRACE worker daemon for distributed
-// runs: it listens for a coordinator (bracesim -distribute tcp), rebuilds
-// the requested scenario locally from the registry, computes its assigned
-// partition block over the TCP transport, and reports its final state.
+// runs: it listens for coordinators (bracesim -distribute tcp, or a
+// bracesimd fleet), rebuilds each requested scenario locally from the
+// registry, computes its assigned partition block over the TCP transport,
+// and reports its final state. Sessions are served concurrently, so one
+// daemon can host partitions of many simultaneous runs.
 //
 // Usage:
 //
@@ -11,6 +13,14 @@
 //
 // The daemon prints "listening on <addr>" once the socket is bound, so
 // scripts (and the loopback tests) can use port 0 and scrape the address.
+//
+// SIGTERM (and SIGINT) drain gracefully: the daemon stops accepting new
+// coordinators, lets every in-flight session finish its current epoch up
+// to the barrier — stats, directives, checkpoint shipping, cut installs
+// all complete — then closes the connections and exits 0. Each session's
+// coordinator sees the close as a worker death at a clean epoch boundary
+// and recovers the run on the surviving fleet from the barrier's
+// checkpoint. SIGKILL remains the unclean path the recovery tests cover.
 package main
 
 import (
@@ -20,23 +30,40 @@ import (
 	"io"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/bigreddata/brace/internal/distrib"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(mainWith(os.Args[1:]))
+}
+
+// mainWith wires the signal-driven drain around run; the SIGTERM test
+// re-execs straight into it.
+func mainWith(args []string) int {
+	drain := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "bracesim-worker: %v: draining (finishing in-flight epochs)\n", s)
+		close(drain)
+	}()
+	return run(args, drain, os.Stdout, os.Stderr)
 }
 
 // run is the testable CLI entry point; it returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// Closing drain makes the serve loop wind down at the next epoch barrier.
+func run(args []string, drain <-chan struct{}, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bracesim-worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	listen := fs.String("listen", "127.0.0.1:0", "address to accept the coordinator on")
+	listen := fs.String("listen", "127.0.0.1:0", "address to accept coordinators on")
 	once := fs.Bool("once", false, "exit after one coordinator session")
 	heartbeat := fs.Duration("heartbeat", 0,
-		"abort a session whose coordinator has been silent this long (0 = wait forever); "+
-			"the coordinator pings every 2s by default, so a small multiple of that is safe")
+		fmt.Sprintf("abort a session whose coordinator has been silent this long (0 = wait forever); "+
+			"the coordinator pings every %v by default, so a small multiple of that is safe", distrib.DefaultHeartbeat))
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -54,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Log:          stderr,
 		Once:         *once,
 		CoordTimeout: *heartbeat,
+		Drain:        drain,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "bracesim-worker:", err)

@@ -9,7 +9,7 @@ import (
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	code = run(args, &out, &errb)
+	code = run(args, nil, &out, &errb)
 	return code, out.String(), errb.String()
 }
 

@@ -13,16 +13,20 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 	"text/tabwriter"
 
 	"github.com/bigreddata/brace"
 	"github.com/bigreddata/brace/internal/distrib"
+	"github.com/bigreddata/brace/internal/service"
 	"github.com/bigreddata/brace/internal/transport"
 )
 
@@ -46,20 +50,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	index := fs.String("index", "kd", "spatial index: kd, scan, grid")
 	lb := fs.Bool("lb", false, "enable load balancing")
 	ckptEpochs := fs.Int("ckpt-epochs", 0, "coordinated checkpoint every N epochs (0 = initial checkpoint only)")
-	ckptFullEvery := fs.Int("ckpt-full-every", 0, "with -distribute: every Nth checkpoint is a full keyframe, the rest ship deltas (0 = default 8, 1 = always full)")
+	ckptFullEvery := fs.Int("ckpt-full-every", 0, fmt.Sprintf(
+		"with -distribute: every Nth checkpoint is a full keyframe, the rest ship deltas (0 = default %d, 1 = always full)",
+		distrib.DefaultCheckpointFullEvery))
 	heartbeat := fs.Duration("heartbeat", 0, fmt.Sprintf(
 		"with -distribute: liveness ping interval; a worker silent for %d intervals is force-dropped (0 = default %v, negative = off)",
 		distrib.DefaultHeartbeatMisses, distrib.DefaultHeartbeat))
 	epochTimeout := fs.Duration("epoch-timeout", 0, fmt.Sprintf(
 		"with -distribute: max age of an epoch barrier round before laggards are force-dropped (0 = adaptive with a %v floor, negative = off)",
 		distrib.DefaultEpochTimeout))
-	dialTimeout := fs.Duration("dial-timeout", 0, "with -distribute: worker dial+handshake budget (0 = default 10s)")
+	dialTimeout := fs.Duration("dial-timeout", 0, fmt.Sprintf(
+		"with -distribute: worker dial+handshake budget (0 = default %v)", distrib.DefaultDialTimeout))
 	rejoinTimeout := fs.Duration("rejoin-timeout", 0, "with -distribute: re-dial budget when re-admitting a dead worker (0 = same as -dial-timeout)")
 	vt := fs.Bool("vtime", false, "enable virtual-time cluster accounting")
 	seq := fs.Bool("seq", false, "use the sequential reference engine")
 	invert := fs.Bool("invert", false, "apply effect inversion to the BRASIL script")
 	span := fs.Float64("span", 100, "initial placement span for BRASIL agents")
 	distribute := fs.String("distribute", "", "run across real worker processes: 'tcp' (requires -worker-addrs)")
+	submit := fs.String("submit", "", "submit the run to a bracesimd service at this base URL (e.g. http://127.0.0.1:8080) instead of running it here")
 	workerAddrs := fs.String("worker-addrs", "", "comma-separated bracesim-worker addresses for -distribute tcp")
 	verbose := fs.Bool("v", false, "verbose output")
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +80,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *script == "" && *model == "list" {
 		listScenarios(stdout)
 		return 0
+	}
+
+	if *submit != "" {
+		switch {
+		case *distribute != "":
+			return fail(stderr, fmt.Errorf("-distribute and -submit are mutually exclusive"))
+		case *script != "":
+			return fail(stderr, fmt.Errorf("-script is unsupported with -submit: the service rebuilds scenarios from the registry"))
+		case *vt:
+			return fail(stderr, fmt.Errorf("-vtime is unsupported with -submit: service runs measure real time"))
+		}
+		return submitRun(*submit, service.RunSpec{
+			Scenario:            *model,
+			Agents:              *agents,
+			Extent:              *extent,
+			Seed:                *seed,
+			Ticks:               *ticks,
+			Partitions:          *workers,
+			Index:               *index,
+			LoadBalance:         *lb,
+			CheckpointEpochs:    *ckptEpochs,
+			CheckpointFullEvery: *ckptFullEvery,
+			Sequential:          *seq,
+		}, *verbose, stdout, stderr)
 	}
 
 	if *distribute != "" {
@@ -222,6 +254,40 @@ func listScenarios(w io.Writer) {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\n", sp.Name, locality, sp.DefaultAgents, sp.Description)
 	}
 	tw.Flush()
+}
+
+// submitRun is the -submit client: it POSTs the spec to a bracesimd
+// service and prints the accepted run's id and state. The run proceeds on
+// the service; status and observations come from GET /v1/runs/{id} and
+// /v1/runs/{id}/watch.
+func submitRun(base string, spec service.RunSpec, verbose bool, stdout, stderr io.Writer) int {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	url := strings.TrimSuffix(base, "/") + "/v1/runs"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fail(stderr, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(raw))))
+	}
+	var st service.RunStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fail(stderr, fmt.Errorf("bad service response: %w", err))
+	}
+	fmt.Fprintf(stdout, "submitted %s state=%s (status: %s/v1/runs/%s, watch: %s/v1/runs/%s/watch)\n",
+		st.ID, st.State, base, st.ID, base, st.ID)
+	if verbose {
+		fmt.Fprintf(stdout, "%s\n", raw)
+	}
+	return 0
 }
 
 // splitAddrs parses the -worker-addrs list, dropping empty entries.

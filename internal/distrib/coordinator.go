@@ -22,7 +22,10 @@ func Run(o Options) (*Result, error) {
 		return nil, err
 	}
 	if o.DialTimeout <= 0 {
-		o.DialTimeout = 10 * time.Second
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.Dial == nil {
+		o.Dial = dialWorker
 	}
 	if o.RejoinTimeout <= 0 {
 		// Unified with DialTimeout: a daemon worth waiting 10s for at
@@ -49,7 +52,7 @@ func Run(o Options) (*Result, error) {
 		o.EpochTimeout = 0 // disabled
 	}
 	if o.CheckpointFullEvery <= 0 {
-		o.CheckpointFullEvery = 8
+		o.CheckpointFullEvery = DefaultCheckpointFullEvery
 	}
 	if o.Balancer == (partition.Balancer{}) {
 		o.Balancer = partition.DefaultBalancer()
@@ -82,7 +85,7 @@ func Run(o Options) (*Result, error) {
 	// relay destination exists.
 	conns := make([]*transport.Conn, len(o.Addrs))
 	for i, addr := range o.Addrs {
-		conn, err := dialWorker(addr, o.hello(i, c.gen, c.place.Assign()), o.DialTimeout)
+		conn, err := o.Dial(addr, o.hello(i, c.gen, c.place.Assign()), o.DialTimeout)
 		if err != nil {
 			for _, open := range conns[:i] {
 				open.Close()
@@ -97,6 +100,10 @@ func Run(o Options) (*Result, error) {
 		c.live[i] = true
 		c.seqs[i] = c.hub.Attach(i, conn)
 		c.lv.admit(i, now)
+	}
+	// The tick-0 checkpoint is the first observable state of the run.
+	if o.OnCheckpoint != nil {
+		o.OnCheckpoint(0, livePopulation(c.ckpt.parts))
 	}
 	return c.run()
 }
@@ -190,6 +197,11 @@ func (c *coordinator) run() (*Result, error) {
 	}
 	for {
 		select {
+		case <-c.o.Cancel:
+			// Deliberate abort: drop every worker connection (the deferred
+			// hub close does it) and report the cancellation. Workers
+			// unwind through conn errors or their coordinator watchdogs.
+			return nil, ErrCanceled
 		case ev, ok := <-c.hub.Events():
 			if !ok {
 				return nil, fmt.Errorf("distrib: hub closed unexpectedly")
@@ -405,11 +417,15 @@ func (c *coordinator) onStats(src int, s *transport.EpochStats) error {
 		}
 	}
 	c.lastBoundary = tick
-	c.epochs = append(c.epochs, EpochDecision{
+	dec := EpochDecision{
 		Tick:       tick,
 		Rebalanced: d.NewCuts != nil,
 		Cuts:       append([]float64(nil), c.cuts...),
-	})
+	}
+	c.epochs = append(c.epochs, dec)
+	if c.o.OnEpoch != nil {
+		c.o.OnEpoch(dec)
+	}
 	c.stats = make(map[int]*transport.EpochStats)
 
 	frame := &transport.Frame{Kind: transport.FrameDirective, Gen: c.gen, Dir: d}
@@ -511,6 +527,9 @@ func (c *coordinator) onCheckpoint(src int, ck *transport.CheckpointMsg, bytes i
 	c.ckpt, c.pending = c.pending, nil
 	c.ckptSince = time.Time{}
 	c.lv.roundReset(time.Now())
+	if c.o.OnCheckpoint != nil {
+		c.o.OnCheckpoint(c.ckpt.tick, livePopulation(c.ckpt.parts))
+	}
 	return nil
 }
 
@@ -522,7 +541,7 @@ func (c *coordinator) onCheckpoint(src int, ck *transport.CheckpointMsg, bytes i
 func (c *coordinator) recoverFrom(src int, cause error) error {
 	maxRecoveries := c.o.MaxRecoveries
 	if maxRecoveries <= 0 {
-		maxRecoveries = 8
+		maxRecoveries = DefaultMaxRecoveries
 	}
 	dead := []int{src}
 	for len(dead) > 0 {
@@ -545,7 +564,7 @@ func (c *coordinator) recoverFrom(src int, cause error) error {
 			c.hub.Kill(p)
 			newGen := c.gen + 1
 			if !c.o.NoRejoin {
-				conn, err := dialWorker(c.o.Addrs[p], c.o.hello(p, newGen, c.place.Assign()), c.o.RejoinTimeout)
+				conn, err := c.o.Dial(c.o.Addrs[p], c.o.hello(p, newGen, c.place.Assign()), c.o.RejoinTimeout)
 				if err == nil {
 					conn.SetWriteTimeout(c.writeTimeout())
 					c.live[p] = true
@@ -556,6 +575,9 @@ func (c *coordinator) recoverFrom(src int, cause error) error {
 			}
 			if !c.live[p] {
 				c.place.Reassign(p, c.live)
+				if c.o.OnWorkerDown != nil {
+					c.o.OnWorkerDown(p, c.o.Addrs[p], cause)
+				}
 			}
 		}
 		if !changed {

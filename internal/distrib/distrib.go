@@ -27,6 +27,7 @@
 package distrib
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -45,6 +46,10 @@ type Options struct {
 	// Addrs are the worker daemons' listen addresses; worker process i is
 	// Addrs[i]. The coordinator computes the partition placement.
 	Addrs []string
+	// RunID scopes the run's worker sessions when the daemons serve many
+	// concurrent coordinators (the bracesimd fleet). Purely diagnostic on
+	// the wire; empty for single-run CLI coordinators.
+	RunID string
 	// Scenario is the registry name every process rebuilds locally.
 	Scenario string
 	// Agents, Extent, Seed size the scenario exactly as scenario.Config.
@@ -121,15 +126,52 @@ type Options struct {
 	// value is a fixed deadline that must exceed the longest healthy
 	// epoch; negative disables the deadline.
 	EpochTimeout time.Duration
+
+	// The fields below make the coordinator embeddable as a library — the
+	// bracesimd service runs one coordinator per admitted run, each wired
+	// to its own slice of a shared worker fleet.
+
+	// Cancel, when non-nil, aborts the run as soon as it is closed: the
+	// coordinator stops its event loop and drops every worker connection.
+	// Workers unwind through their coordinator watchdogs.
+	Cancel <-chan struct{}
+	// OnEpoch, when non-nil, observes every control-plane barrier decision
+	// as it is made (the same records Result.Epochs accumulates). Called
+	// from the coordinator loop; it must not block.
+	OnEpoch func(EpochDecision)
+	// OnCheckpoint, when non-nil, observes every checkpoint the
+	// coordinator installs — including the tick-0 initial state — as the
+	// run's full live population: non-replica, non-dead envelopes,
+	// ID-sorted. The slice and its envelopes alias coordinator-held
+	// checkpoint state: the callback must encode or copy what it keeps and
+	// must never mutate them. Called from the coordinator loop; it must
+	// not block. This is the observation-stream tap: with
+	// CheckpointEveryEpochs=1 and EpochTicks=1 it fires every tick.
+	OnCheckpoint func(tick uint64, envs []*engine.Envelope)
+	// OnWorkerDown, when non-nil, reports a worker that left the run for
+	// good: its connection died (or it stalled) and the rejoin dial did
+	// not bring it back, so its partitions moved to the survivors. A fleet
+	// scheduler uses it to steer future placements away from the address.
+	OnWorkerDown func(proc int, addr string, cause error)
+	// Dial, when non-nil, replaces the TCP dial+handshake used to reach
+	// workers (tests inject in-process pipes or fault injectors).
+	Dial func(addr string, h *transport.Hello, timeout time.Duration) (*transport.Conn, error)
 }
 
-// Defaults for the liveness options; exported so the CLI derives its help
-// text (and tests their assertions) from the values actually in force.
+// Defaults for the coordinator's tunable options; exported so every CLI
+// (bracesim, bracesim-worker, bracesimd) derives its flag help from the
+// values actually in force, and tests assert against them.
 const (
-	DefaultHeartbeat       = 2 * time.Second
-	DefaultHeartbeatMisses = 5
-	DefaultEpochTimeout    = 60 * time.Second
+	DefaultHeartbeat           = 2 * time.Second
+	DefaultHeartbeatMisses     = 5
+	DefaultEpochTimeout        = 60 * time.Second
+	DefaultDialTimeout         = 10 * time.Second
+	DefaultCheckpointFullEvery = 8
+	DefaultMaxRecoveries       = 8
 )
+
+// ErrCanceled reports a run deliberately aborted through Options.Cancel.
+var ErrCanceled = errors.New("distrib: run canceled")
 
 // EpochDecision records what the control plane decided at one epoch
 // barrier.
@@ -200,6 +242,7 @@ func (o *Options) validate() error {
 func (o *Options) hello(proc, gen int, assign []int) *transport.Hello {
 	return &transport.Hello{
 		Proto:       transport.ProtoVersion,
+		RunID:       o.RunID,
 		Proc:        proc,
 		NumProcs:    len(o.Addrs),
 		Partitions:  o.Partitions,
@@ -251,6 +294,24 @@ func initialState(o Options) (cuts []float64, parts []transport.PartState, err e
 		parts[p] = transport.PartState{Part: p, Full: true, Values: eng.ExportPartition(p)}
 	}
 	return cuts, parts, nil
+}
+
+// livePopulation flattens an assembled (all-Full) checkpoint into the
+// run's live population: non-replica, non-dead envelopes across all
+// partitions, ID-sorted. The result aliases the checkpoint's envelopes —
+// OnCheckpoint observers get exactly this view.
+func livePopulation(parts []transport.PartState) []*engine.Envelope {
+	var out []*engine.Envelope
+	for _, ps := range parts {
+		envs, _ := ps.Values.([]*engine.Envelope)
+		for _, env := range envs {
+			if env != nil && !env.Replica && !env.A.Dead {
+				out = append(out, env)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].A.ID < out[j].A.ID })
+	return out
 }
 
 // ownedParts returns the partitions assign maps to proc, ascending. The

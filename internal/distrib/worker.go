@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"github.com/bigreddata/brace/internal/engine"
@@ -33,33 +34,81 @@ type ServeOptions struct {
 	// multiple of it. 0 disables the watchdog — a worker then waits on a
 	// dead coordinator forever, as before v3.
 	CoordTimeout time.Duration
+	// Drain, when non-nil and closed, shuts the daemon down gracefully:
+	// the accept loop stops, and every active session exits at its next
+	// epoch barrier — after the barrier round completes (stats shipped,
+	// directive applied, checkpoint delivered), so the coordinator holds
+	// the freshest possible rollback state — by closing its connection
+	// *without* a FrameError. To the coordinator that exit is a crash, not
+	// a deterministic failure, so it recovers the run on the surviving
+	// fleet instead of aborting it. A session parked after its final
+	// report drains when the coordinator closes the run (or its watchdog
+	// trips).
+	Drain <-chan struct{}
 }
 
-// Serve runs the worker daemon's accept loop: one coordinator session at a
-// time, each a complete simulation (or a re-admission into a recovering
-// one). With once set it returns after the first session; otherwise it
-// serves until the listener closes. Session errors are logged and do not
-// stop the daemon — a failed run must not take the worker down with it,
-// and a coordinator recovering from this worker's death re-dials the same
-// daemon to re-admit it.
+// Serve runs the worker daemon's accept loop. Each accepted connection is
+// one coordinator session — a complete simulation, or a re-admission into
+// a recovering one — and sessions run concurrently: a fleet daemon hosts
+// partitions of many runs at once, each session its own framed stream.
+// With once set it serves a single session serially and returns its error;
+// otherwise it serves until the listener closes. Session errors are logged
+// and do not stop the daemon — a failed run must not take the worker down
+// with it, and a coordinator recovering from this worker's death re-dials
+// the same daemon to re-admit it.
 func Serve(lis net.Listener, logw io.Writer, once bool) error {
 	return ServeWith(lis, ServeOptions{Log: logw, Once: once})
 }
 
-// ServeWith is Serve with full options.
+// ServeWith is Serve with full options. When ServeOptions.Drain closes,
+// ServeWith stops accepting, waits for every active session to drain, and
+// returns nil.
 func ServeWith(lis net.Listener, so ServeOptions) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	if so.Drain != nil {
+		drainDone := make(chan struct{})
+		defer close(drainDone)
+		go func() {
+			select {
+			case <-so.Drain:
+				lis.Close() // unblocks Accept; sessions exit at their barriers
+			case <-drainDone:
+			}
+		}()
+	}
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
+			if draining(so.Drain) {
+				return nil // deliberate shutdown; wg wait covers the sessions
+			}
 			return err
 		}
-		err = serveConn(conn, so)
 		if so.Once {
-			return err // the caller reports it; logging here would duplicate
+			return serveConn(conn, so) // the caller reports it; logging here would duplicate
 		}
-		if err != nil && so.Log != nil {
-			fmt.Fprintf(so.Log, "bracesim-worker: session: %v\n", err)
-		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := serveConn(conn, so); err != nil && so.Log != nil {
+				fmt.Fprintf(so.Log, "bracesim-worker: session: %v\n", err)
+			}
+		}()
+	}
+}
+
+// errDraining is the sentinel a draining session's barrier hook returns:
+// the epoch round just completed and the daemon wants out.
+var errDraining = errors.New("distrib: worker draining")
+
+// draining reports whether the drain channel (possibly nil) has closed.
+func draining(d <-chan struct{}) bool {
+	select {
+	case <-d:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -140,7 +189,7 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 		Transport:  tr,
 		LocalParts: local,
 		EpochBarrier: func(tick uint64) error {
-			return workerBarrier(eng, tcp, h, ckpts, tick)
+			return workerBarrier(eng, tcp, h, ckpts, tick, so.Drain)
 		},
 	})
 	if err != nil {
@@ -176,6 +225,12 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 			if err := applyRestore(eng, tcp, h, ckpts, r); err != nil {
 				return err
 			}
+		case errors.Is(err, errDraining):
+			// Graceful drain: exit with the connection simply closed, no
+			// FrameError — an application error aborts the whole run
+			// deterministically, while a bare close reads as a crash the
+			// coordinator recovers from on the surviving fleet.
+			return nil
 		case errors.Is(err, transport.ErrRestore):
 			if err := awaitAndApplyRestore(eng, tcp, h, ckpts); err != nil {
 				return err
@@ -248,7 +303,7 @@ func applyRestore(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hell
 // down, directive applied (checkpoint state shipped with the cuts still in
 // pre-rebalance force, then new cuts installed — the same order the
 // in-memory master uses).
-func workerBarrier(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello, ckpts *ckptTracker, tick uint64) error {
+func workerBarrier(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hello, ckpts *ckptTracker, tick uint64, drain <-chan struct{}) error {
 	local := eng.LocalPartitions()
 	stats := &transport.EpochStats{Proc: h.Proc, Tick: tick, Parts: make([]transport.PartStats, 0, len(local))}
 	for _, p := range local {
@@ -286,7 +341,15 @@ func workerBarrier(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hel
 	}
 	join()
 	if d.NewCuts != nil {
-		return eng.InstallCuts(d.NewCuts)
+		if err := eng.InstallCuts(d.NewCuts); err != nil {
+			return err
+		}
+	}
+	if draining(drain) {
+		// The round is complete — the coordinator holds this barrier's
+		// checkpoint if it ordered one — so this is the graceful exit
+		// point: abandon the run here rather than mid-epoch.
+		return errDraining
 	}
 	return nil
 }

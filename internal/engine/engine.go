@@ -58,8 +58,13 @@ type Options struct {
 	// stats, await the directive); a returned error aborts RunTicks.
 	EpochBarrier func(tick uint64) error
 	// CacheSkin tunes the Verlet query cache (KD-tree index with bounded
-	// visibility only): 0 selects spatial.DefaultSkin, a negative value
-	// disables the cached path, a positive value is the skin radius s.
+	// visibility only): 0 selects spatial.DefaultSkin as the seed and
+	// auto-tunes per partition from observed per-tick displacement (each
+	// epoch re-seeds, observes a warmup window, then retunes — a pure
+	// function of forward execution from the last barrier, so recovered
+	// and load-balanced runs still do identical index work); a negative
+	// value disables the cached path; a positive value is the skin radius
+	// s, used verbatim with no auto-tuning.
 	// The cache is semantics-preserving — reuse requires an unchanged
 	// keyed copy set with every agent within s/2 of its build position,
 	// and every epoch barrier (plus restores and rebalances) invalidates
@@ -126,6 +131,20 @@ type Distributed struct {
 	prebuiltTick uint64
 	overlapNanos int64
 
+	// Skin auto-tuning (CacheSkin == 0): every invalidation re-seeds the
+	// skin to seedSkin, and skinWarmupTicks into each epoch the per-tick
+	// displacement observed so far picks the partition's skin for the rest
+	// of the epoch. Epoch-self-contained by construction, so runs reaching
+	// a barrier state through different histories retune identically.
+	autoSkin bool
+	seedSkin float64
+	// tunedSkin[w] is the last skin maybeRetune installed for partition w
+	// (0 until the first retune). Epoch barriers re-seed the live skin, so
+	// this is the only record of a retune that survives RunTicks — the
+	// runtime runs a barrier at the end of every RunTicks call. Written
+	// only by worker w's goroutine; read after RunTicks returns.
+	tunedSkin []float64
+
 	agentTicks   int64
 	visitedTotal int64
 	epochs       []EpochStat
@@ -190,9 +209,13 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 		// paper-faithful uncached accounting.
 		skin = 0
 	}
+	e.autoSkin = skin > 0 && opts.CacheSkin == 0 && opts.CostModel == nil
+	e.seedSkin = skin
+	e.tunedSkin = make([]float64, len(e.ixs))
 	for i := range e.ixs {
 		if skin > 0 {
 			e.cixs[i] = spatial.NewCached(cacheProbeRadius(s), skin)
+			e.cixs[i].SetStepTracking(e.autoSkin)
 			e.ixs[i] = e.cixs[i]
 		} else {
 			e.ixs[i] = spatial.New(opts.Index, indexCell(s))
@@ -353,6 +376,7 @@ func (e *Distributed) mapPhase(ctx *mapreduce.Ctx, env *Envelope, emit mapreduce
 // owners for reduce₂.
 func (e *Distributed) reduce1(ctx *mapreduce.Ctx, envs []*Envelope, emit mapreduce.Emit[*Envelope]) {
 	w := ctx.Worker
+	e.maybeRetune(w, ctx.Tick)
 	copies, owned, ownedSlots := e.prepare(w, envs)
 	before := e.ixs[w].Stats().Visited
 	cached := e.cixs[w]
@@ -562,10 +586,59 @@ func (e *Distributed) partEnvs(w int) []queryEnv {
 // load balancer's cost model.
 func (e *Distributed) invalidateCaches() {
 	for _, c := range e.cixs {
-		if c != nil {
+		if c == nil {
+			continue
+		}
+		if e.autoSkin {
+			c.SetSkin(e.seedSkin) // re-seed; SetSkin invalidates
+		} else {
 			c.Invalidate()
 		}
 	}
+}
+
+// skinWarmupTicks is the auto-tune observation window: the retune runs at
+// the start of the tick this many past the epoch barrier, on the steps the
+// warmup builds observed. Epochs shorter than the window never retune and
+// keep the seed skin.
+const skinWarmupTicks = 3
+
+// maybeRetune re-picks partition w's skin from the displacement observed
+// since the epoch barrier. Runs at the top of the tick's query phase —
+// before prepare builds the index — exactly once per epoch, at a fixed tick
+// offset from the barrier: the decision depends only on barrier state plus
+// forward execution, never on how the run reached the barrier (recovery,
+// rebalancing) or on whether the overlapped tick is active (its duplicate
+// zero-displacement prebuilds never raise the observed max).
+func (e *Distributed) maybeRetune(w int, tick uint64) {
+	if !e.autoSkin || tick != e.lastEpochT+skinWarmupTicks {
+		return
+	}
+	c := e.cixs[w]
+	samples, step := c.StepStats()
+	if samples == 0 {
+		return // population churned every warmup tick; keep the seed
+	}
+	s := autoSkinFor(step, c.ProbeRadius())
+	e.tunedSkin[w] = s
+	if s != c.Skin() {
+		c.SetSkin(s)
+	}
+}
+
+// autoSkinFor maps an observed max per-tick displacement to a skin: four
+// ticks of reuse at the observed speed, clamped so lists stay near the true
+// neighborhood (≤ ρ/2, the DefaultSkin cap) and a near-stationary workload
+// still gets a usable skin (≥ ρ/16).
+func autoSkinFor(step, probeRad float64) float64 {
+	s := 4 * step
+	if lo := probeRad / 16; s < lo {
+		s = lo
+	}
+	if hi := probeRad / 2; s > hi {
+		s = hi
+	}
+	return s
 }
 
 // CacheStats sums the query-cache counters across partitions (zero when

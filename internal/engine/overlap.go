@@ -61,6 +61,7 @@ type overlapBufs struct {
 func (e *Distributed) reduce1Early(ctx *mapreduce.Ctx, self []*Envelope) {
 	start := time.Now()
 	w := ctx.Worker
+	e.maybeRetune(w, ctx.Tick)
 	ob := &e.obufs[w]
 	ob.before = e.ixs[w].Stats().Visited
 	copies, owned, ownedSlots := e.prepare(w, self)

@@ -1,0 +1,247 @@
+// The observation stream: snapshot-then-delta fan-out of a run's per-tick
+// state to many subscribers, reusing the engine's checkpoint delta codec
+// as the streaming wire format.
+//
+// Every frame carries one engine-delta blob. A keyframe is the degenerate
+// delta against an empty baseline — DiffPartition(nil, state) — so one
+// codec, one decoder, and one set of loud-failure guarantees (unknown
+// agents, truncation, trailing bytes all error) cover both frame kinds.
+// Keyframes recur on a fixed cadence so late joiners start from the most
+// recent one instead of replaying the run; the frames since it are the
+// backlog a new subscriber receives before going live. Frames are strictly
+// sequenced: a delta names the frame it builds on, and StreamDecoder
+// refuses gaps, reordering and unseeded deltas rather than ever producing
+// silently wrong state.
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bigreddata/brace/internal/engine"
+)
+
+// DefaultKeyframeEvery is the keyframe cadence when a stream is built with
+// keyEvery <= 0: one keyframe, then seven deltas, repeating — the same
+// default ratio as the control plane's incremental checkpoints.
+const DefaultKeyframeEvery = 8
+
+// subBuffer is a subscriber's frame buffer. A subscriber that falls this
+// many frames behind a live stream is dropped (its channel is closed with
+// Lost set) — one slow reader must never stall the run or its peers.
+const subBuffer = 64
+
+// ObsFrame is one frame of a run's observation stream.
+type ObsFrame struct {
+	// Seq numbers frames from 1, consecutively; a decoder treats any gap
+	// as fatal.
+	Seq uint64 `json:"seq"`
+	// Tick is the simulation tick the state belongs to. After a recovery
+	// ticks can regress: re-executed epochs republish their checkpoints.
+	Tick uint64 `json:"tick"`
+	// Keyframe marks Data as a full snapshot (delta against nothing);
+	// otherwise Data is a delta against frame Base = Seq-1.
+	Keyframe bool   `json:"keyframe"`
+	Base     uint64 `json:"base,omitempty"`
+	// Data is the engine delta-codec blob (base64 in JSON).
+	Data []byte `json:"data"`
+}
+
+// Subscription is one subscriber's view of a stream: the backlog replays
+// state from the latest keyframe to the subscription point, then Live
+// carries every subsequent frame. Cancel detaches (idempotent, safe after
+// a drop). When Live closes, Lost reports whether the subscriber was
+// dropped for falling behind (vs. the stream simply ending).
+type Subscription struct {
+	Backlog []*ObsFrame
+	Live    <-chan *ObsFrame
+	Cancel  func()
+	Lost    func() bool
+}
+
+// ObsStream encodes observed states into frames and fans them out.
+// Publish is called from the run's coordinator loop; Subscribe/Cancel from
+// HTTP handlers. One mutex serializes them: encoding is quick (one delta
+// over the live population) and fan-out is non-blocking.
+type ObsStream struct {
+	mu       sync.Mutex
+	keyEvery int
+	seq      uint64
+	sinceKey int                // frames since the last keyframe
+	prev     []*engine.Envelope // deep copy of the last published state
+	backlog  []*ObsFrame        // latest keyframe + every frame after it
+	subs     map[*subscriber]struct{}
+	closed   bool
+}
+
+type subscriber struct {
+	ch   chan *ObsFrame
+	lost bool
+}
+
+// NewObsStream builds a stream with the given keyframe cadence (a keyframe
+// every keyEvery frames; <= 0 selects DefaultKeyframeEvery, 1 means every
+// frame is a keyframe).
+func NewObsStream(keyEvery int) *ObsStream {
+	if keyEvery <= 0 {
+		keyEvery = DefaultKeyframeEvery
+	}
+	return &ObsStream{keyEvery: keyEvery, subs: make(map[*subscriber]struct{})}
+}
+
+// Publish encodes one observed state and fans the frame out. envs must be
+// the run's live population, ID-sorted with unique IDs (the coordinator's
+// OnCheckpoint view); the slice is copied, not retained. Slow subscribers
+// are dropped here rather than waited for.
+func (s *ObsStream) Publish(tick uint64, envs []*engine.Envelope) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	key := s.prev == nil || s.sinceKey >= s.keyEvery-1
+	var blob []byte
+	if !key {
+		// Delta against the previous frame. Encoding can fail only on
+		// malformed input (duplicate IDs); fall back to a keyframe rather
+		// than dropping the observation.
+		var ok bool
+		blob, ok = engine.DiffPartition(s.prev, envs)
+		key = !ok
+	}
+	if key {
+		var ok bool
+		blob, ok = engine.DiffPartition(nil, envs)
+		if !ok {
+			return // duplicate/nil agents: not an encodable observation
+		}
+	}
+	s.seq++
+	f := &ObsFrame{Seq: s.seq, Tick: tick, Keyframe: key, Data: blob}
+	if key {
+		s.sinceKey = 0
+		s.backlog = s.backlog[:0]
+	} else {
+		f.Base = s.seq - 1
+		s.sinceKey++
+	}
+	s.backlog = append(s.backlog, f)
+	s.prev = engine.CloneEnvelopes(envs)
+	for sub := range s.subs {
+		select {
+		case sub.ch <- f:
+		default:
+			sub.lost = true
+			close(sub.ch)
+			delete(s.subs, sub)
+		}
+	}
+}
+
+// Subscribe attaches a new subscriber. The returned backlog and the live
+// channel are gap-free by construction: both are produced under the
+// stream's mutex, so the first live frame is exactly the one after the
+// backlog's last. Subscribing before the first Publish yields an empty
+// backlog; the first live frame is then seq 1, a keyframe.
+func (s *ObsStream) Subscribe() *Subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub := &subscriber{ch: make(chan *ObsFrame, subBuffer)}
+	backlog := append([]*ObsFrame(nil), s.backlog...)
+	if s.closed {
+		close(sub.ch)
+	} else {
+		s.subs[sub] = struct{}{}
+	}
+	return &Subscription{
+		Backlog: backlog,
+		Live:    sub.ch,
+		Cancel:  func() { s.drop(sub) },
+		Lost:    func() bool { s.mu.Lock(); defer s.mu.Unlock(); return sub.lost },
+	}
+}
+
+func (s *ObsStream) drop(sub *subscriber) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.subs[sub]; ok {
+		close(sub.ch)
+		delete(s.subs, sub)
+	}
+}
+
+// Close ends the stream: every subscriber's live channel closes after the
+// frames already delivered, and future subscribers get the final backlog
+// with an immediately closed live channel (they can still reconstruct the
+// final state).
+func (s *ObsStream) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for sub := range s.subs {
+		close(sub.ch)
+		delete(s.subs, sub)
+	}
+}
+
+// Frames returns how many frames the stream has published.
+func (s *ObsStream) Frames() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// StreamDecoder reconstructs per-tick state from a frame sequence. It is
+// deliberately strict — the stream format's correctness story depends on
+// failing loudly instead of drifting:
+//
+//   - the first frame must be a keyframe (deltas need a seeded baseline);
+//   - every subsequent frame's Seq must be exactly the last Seq+1 — a gap
+//     or reordering means the reconstruction would silently diverge;
+//   - a delta's Base must name the frame it actually builds on;
+//   - the blob itself is validated by the engine codec (unknown agents,
+//     truncation, trailing bytes all error).
+//
+// A keyframe re-seeds the decoder, so joining late from the most recent
+// keyframe — exactly what Subscription.Backlog provides — reconstructs
+// state bit-identical to a subscriber attached from the start.
+type StreamDecoder struct {
+	seeded bool
+	seq    uint64
+	envs   []*engine.Envelope
+}
+
+// Apply folds one frame in and returns the reconstructed state. The
+// returned slice is the decoder's internal state: read it, don't keep it
+// across Apply calls without copying.
+func (d *StreamDecoder) Apply(f *ObsFrame) ([]*engine.Envelope, error) {
+	if f.Keyframe {
+		envs, err := engine.ApplyDelta(nil, f.Data)
+		if err != nil {
+			return nil, fmt.Errorf("service: keyframe seq %d: %w", f.Seq, err)
+		}
+		d.seeded, d.seq, d.envs = true, f.Seq, envs
+		return envs, nil
+	}
+	if !d.seeded {
+		return nil, fmt.Errorf("service: stream must start at a keyframe, got delta seq %d", f.Seq)
+	}
+	if f.Seq != d.seq+1 {
+		return nil, fmt.Errorf("service: frame gap: got seq %d after %d", f.Seq, d.seq)
+	}
+	if f.Base != d.seq {
+		return nil, fmt.Errorf("service: delta seq %d builds on %d, decoder holds %d", f.Seq, f.Base, d.seq)
+	}
+	envs, err := engine.ApplyDelta(d.envs, f.Data)
+	if err != nil {
+		return nil, fmt.Errorf("service: delta seq %d: %w", f.Seq, err)
+	}
+	d.seq, d.envs = f.Seq, envs
+	return envs, nil
+}
+
+// Seq returns the last applied frame's sequence number (0 before any).
+func (d *StreamDecoder) Seq() uint64 { return d.seq }

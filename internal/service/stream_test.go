@@ -1,0 +1,312 @@
+package service
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/engine"
+)
+
+// fakeRun produces a deterministic evolving population: n agents whose
+// state drifts every tick, with one birth and one death along the way —
+// the change kinds the delta codec must carry.
+type fakeRun struct {
+	tick uint64
+	envs []*engine.Envelope
+}
+
+func newFakeRun(n int) *fakeRun {
+	r := &fakeRun{}
+	for i := 0; i < n; i++ {
+		r.envs = append(r.envs, &engine.Envelope{A: &agent.Agent{
+			ID:     agent.ID(i + 1),
+			State:  []float64{float64(i), 0, 0},
+			Effect: []float64{0},
+		}})
+	}
+	return r
+}
+
+// step advances one tick and returns the population (ID-sorted, as the
+// coordinator's OnCheckpoint delivers it).
+func (r *fakeRun) step() (uint64, []*engine.Envelope) {
+	r.tick++
+	for _, e := range r.envs {
+		e.A.State[1] += 0.5 * float64(e.A.ID)
+		e.A.State[2] = math.Sin(float64(r.tick))
+	}
+	if r.tick == 3 { // birth
+		born := &engine.Envelope{A: &agent.Agent{
+			ID:     agent.ID(1000 + r.tick),
+			State:  []float64{9, 9, 9},
+			Effect: []float64{0},
+		}}
+		r.envs = append(r.envs, born)
+	}
+	if r.tick == 5 && len(r.envs) > 1 { // death
+		r.envs = r.envs[1:]
+	}
+	return r.tick, r.envs
+}
+
+func bitsEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func requireSameState(t *testing.T, label string, want, got []*engine.Envelope) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: population sizes differ: want %d, got %d", label, len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.A.ID != g.A.ID || w.A.Dead != g.A.Dead ||
+			!bitsEq(w.A.State, g.A.State) || !bitsEq(w.A.Effect, g.A.Effect) {
+			t.Fatalf("%s: agent %d differs:\n  want %v\n  got  %v", label, i, w.A, g.A)
+		}
+	}
+}
+
+// publishTicks drives n ticks of a fake run into the stream, returning a
+// deep copy of each published state for later comparison.
+func publishTicks(s *ObsStream, r *fakeRun, n int) [][]*engine.Envelope {
+	var states [][]*engine.Envelope
+	for i := 0; i < n; i++ {
+		tick, envs := r.step()
+		s.Publish(tick, envs)
+		states = append(states, engine.CloneEnvelopes(envs))
+	}
+	return states
+}
+
+func TestStreamKeyframeCadence(t *testing.T) {
+	s := NewObsStream(4)
+	sub := s.Subscribe()
+	publishTicks(s, newFakeRun(6), 10)
+	s.Close()
+	var frames []*ObsFrame
+	for f := range sub.Live {
+		frames = append(frames, f)
+	}
+	if len(frames) != 10 {
+		t.Fatalf("frames = %d, want 10", len(frames))
+	}
+	for i, f := range frames {
+		wantKey := i%4 == 0 // frames 1, 5, 9 with keyEvery=4
+		if f.Keyframe != wantKey {
+			t.Errorf("frame seq %d keyframe = %v, want %v", f.Seq, f.Keyframe, wantKey)
+		}
+		if f.Seq != uint64(i+1) {
+			t.Errorf("frame %d seq = %d, want %d", i, f.Seq, i+1)
+		}
+		if !f.Keyframe && f.Base != f.Seq-1 {
+			t.Errorf("delta seq %d base = %d, want %d", f.Seq, f.Base, f.Seq-1)
+		}
+	}
+}
+
+// The core decode invariant: a subscriber attached from the start
+// reconstructs every published state bit-identically, through births,
+// deaths and keyframe boundaries.
+func TestStreamDecodeBitIdentical(t *testing.T) {
+	s := NewObsStream(3)
+	sub := s.Subscribe()
+	states := publishTicks(s, newFakeRun(5), 9)
+	s.Close()
+	var dec StreamDecoder
+	i := 0
+	for f := range sub.Live {
+		got, err := dec.Apply(f)
+		if err != nil {
+			t.Fatalf("frame seq %d: %v", f.Seq, err)
+		}
+		requireSameState(t, "tick", states[i], got)
+		i++
+	}
+	if i != len(states) {
+		t.Fatalf("decoded %d frames, want %d", i, len(states))
+	}
+	if sub.Lost() {
+		t.Error("subscriber marked lost on a clean close")
+	}
+}
+
+// Late joiners: a subscriber attaching mid-run gets a backlog that starts
+// at the most recent keyframe, and from there reconstructs state
+// bit-identical to a subscriber attached from tick one.
+func TestStreamLateJoinFromKeyframe(t *testing.T) {
+	s := NewObsStream(4)
+	r := newFakeRun(5)
+	states := publishTicks(s, r, 7) // keyframes at seq 1 and 5
+	late := s.Subscribe()
+	if len(late.Backlog) != 3 { // seqs 5, 6, 7
+		t.Fatalf("backlog = %d frames, want 3", len(late.Backlog))
+	}
+	if !late.Backlog[0].Keyframe || late.Backlog[0].Seq != 5 {
+		t.Fatalf("backlog must start at the latest keyframe, got seq %d keyframe=%v",
+			late.Backlog[0].Seq, late.Backlog[0].Keyframe)
+	}
+	var dec StreamDecoder
+	var got []*engine.Envelope
+	var err error
+	for _, f := range late.Backlog {
+		if got, err = dec.Apply(f); err != nil {
+			t.Fatalf("backlog seq %d: %v", f.Seq, err)
+		}
+	}
+	requireSameState(t, "join point", states[6], got)
+
+	// Live continuation across the backlog/live boundary is gap-free.
+	states = append(states, publishTicks(s, r, 4)...)
+	s.Close()
+	i := 7
+	for f := range late.Live {
+		if got, err = dec.Apply(f); err != nil {
+			t.Fatalf("live seq %d: %v", f.Seq, err)
+		}
+		requireSameState(t, "live tick", states[i], got)
+		i++
+	}
+	if i != len(states) {
+		t.Fatalf("decoded through %d states, want %d", i, len(states))
+	}
+}
+
+// Stream-format strictness (the satellite requirement): gaps, reordering,
+// unseeded deltas, wrong bases and corrupted blobs must all fail loudly —
+// never silently diverging state.
+func TestStreamDecoderRejectsBrokenSequences(t *testing.T) {
+	s := NewObsStream(100) // one keyframe, then deltas
+	sub := s.Subscribe()
+	publishTicks(s, newFakeRun(4), 6)
+	s.Close()
+	var frames []*ObsFrame
+	for f := range sub.Live {
+		frames = append(frames, f)
+	}
+
+	fresh := func(upTo int) *StreamDecoder {
+		d := &StreamDecoder{}
+		for _, f := range frames[:upTo] {
+			if _, err := d.Apply(f); err != nil {
+				t.Fatalf("prefix seq %d: %v", f.Seq, err)
+			}
+		}
+		return d
+	}
+
+	t.Run("gap", func(t *testing.T) {
+		d := fresh(2)
+		if _, err := d.Apply(frames[3]); err == nil || !strings.Contains(err.Error(), "gap") {
+			t.Fatalf("skipping seq 3 must fail loudly, got %v", err)
+		}
+	})
+	t.Run("out-of-order", func(t *testing.T) {
+		d := fresh(4)
+		if _, err := d.Apply(frames[2]); err == nil {
+			t.Fatal("replaying an earlier delta must fail")
+		}
+	})
+	t.Run("unseeded delta", func(t *testing.T) {
+		d := &StreamDecoder{}
+		if _, err := d.Apply(frames[1]); err == nil || !strings.Contains(err.Error(), "keyframe") {
+			t.Fatalf("delta without a keyframe must fail, got %v", err)
+		}
+	})
+	t.Run("wrong base", func(t *testing.T) {
+		d := fresh(3)
+		bad := *frames[3]
+		bad.Base = 1
+		if _, err := d.Apply(&bad); err == nil || !strings.Contains(err.Error(), "builds on") {
+			t.Fatalf("mismatched base must fail, got %v", err)
+		}
+	})
+	t.Run("truncated blob", func(t *testing.T) {
+		d := fresh(3)
+		bad := *frames[3]
+		bad.Data = bad.Data[:len(bad.Data)-1]
+		if _, err := d.Apply(&bad); err == nil {
+			t.Fatal("truncated delta must fail")
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		d := fresh(3)
+		bad := *frames[3]
+		bad.Data = append(append([]byte(nil), bad.Data...), 0xFF)
+		if _, err := d.Apply(&bad); err == nil {
+			t.Fatal("trailing bytes must fail")
+		}
+	})
+}
+
+// A subscriber that stops draining is dropped — channel closed, Lost set —
+// while the stream and its other subscribers continue unharmed.
+func TestStreamSlowSubscriberDropped(t *testing.T) {
+	s := NewObsStream(8)
+	slow := s.Subscribe()
+	r := newFakeRun(3)
+	publishTicks(s, r, subBuffer+8) // overflow the slow subscriber's buffer
+
+	if !slow.Lost() {
+		t.Fatal("lagging subscriber was not dropped")
+	}
+	n := 0
+	for range slow.Live {
+		n++
+	}
+	if n != subBuffer {
+		t.Errorf("slow subscriber drained %d frames, want the %d buffered before the drop", n, subBuffer)
+	}
+
+	// The stream is still live for a new subscriber.
+	sub := s.Subscribe()
+	var dec StreamDecoder
+	var last []*engine.Envelope
+	for _, f := range sub.Backlog {
+		var err error
+		if last, err = dec.Apply(f); err != nil {
+			t.Fatalf("post-drop backlog seq %d: %v", f.Seq, err)
+		}
+	}
+	tick, envs := r.step()
+	s.Publish(tick, envs)
+	f := <-sub.Live
+	var err error
+	if last, err = dec.Apply(f); err != nil {
+		t.Fatalf("post-drop live frame: %v", err)
+	}
+	requireSameState(t, "post-drop", envs, last)
+	s.Close()
+}
+
+func TestStreamSubscribeAfterClose(t *testing.T) {
+	s := NewObsStream(0)
+	states := publishTicks(s, newFakeRun(3), 5)
+	s.Close()
+	sub := s.Subscribe()
+	if _, open := <-sub.Live; open {
+		t.Fatal("live channel of a closed stream must be closed")
+	}
+	var dec StreamDecoder
+	var got []*engine.Envelope
+	for _, f := range sub.Backlog {
+		var err error
+		if got, err = dec.Apply(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	requireSameState(t, "final state", states[len(states)-1], got)
+	if sub.Lost() {
+		t.Error("close is not a drop")
+	}
+}

@@ -22,8 +22,12 @@ import (
 // incremental checkpoints: Ping/Pong heartbeat frames (answered by the
 // worker's transport reader, so a frozen process goes silent) and
 // differential checkpoint payloads (PartState.Delta against a
-// coordinator-held base, with periodic full keyframes).
-const ProtoVersion = 3
+// coordinator-held base, with periodic full keyframes). Version 4 made
+// workers multi-run: a worker daemon serves concurrent coordinator
+// sessions (one per accepted connection, each its own framed stream), the
+// handshake scopes a session to a run via Hello.RunID, and a draining
+// worker finishes the in-flight epoch barrier before closing.
+const ProtoVersion = 4
 
 // maxFrame bounds a single frame so a corrupt length prefix cannot make a
 // reader allocate unbounded memory.
@@ -35,6 +39,11 @@ const maxFrame = 1 << 30
 // thing that must cross the wire afterwards.
 type Hello struct {
 	Proto int
+	// RunID scopes this session to one run when a worker daemon serves
+	// several concurrent coordinators (the bracesimd fleet). Sessions are
+	// per-connection, so frames never mix across runs; the ID exists for
+	// logs and diagnostics. Empty for single-run CLI coordinators.
+	RunID string
 	// Proc is this worker process's index in [0, NumProcs).
 	Proc     int
 	NumProcs int
