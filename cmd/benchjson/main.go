@@ -13,9 +13,17 @@
 //
 // Throughput is the benchmark's agent-ticks/s metric when it reports one,
 // else 1e9/ns_per_op. The gate fails when new < old × (1 − tolerance);
-// improvements never fail. Benchmarks present in the baseline but missing
-// from the run fail the gate (a deleted benchmark must be removed from
-// the baseline deliberately); new benchmarks are reported and pass.
+// improvements never fail. A benchmark that held its throughput but grew
+// its allocations beyond old × (1 + tolerance) + 2 fails too — allocation
+// regressions are how throughput regressions start, and the +2 grace
+// keeps near-zero baselines from flagging on a single stray allocation.
+// Benchmarks present in the baseline but missing from the run fail the
+// gate (a deleted benchmark must be removed from the baseline
+// deliberately); new benchmarks are reported and pass.
+//
+// -cpu threads a GOMAXPROCS sweep through to `go test -cpu`; each setting
+// parses as its own entry (the -N name suffix is retained), so a
+// multi-core baseline gates every core count it recorded.
 package main
 
 import (
@@ -65,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	bench := fs.String("bench", "BenchmarkScenario$", "go test -bench regexp")
 	benchtime := fs.String("benchtime", "2s", "go test -benchtime")
 	count := fs.Int("count", 1, "go test -count")
+	cpu := fs.String("cpu", "", "go test -cpu list for a GOMAXPROCS sweep (e.g. 1,2,4)")
 	pkg := fs.String("pkg", ".", "package to benchmark")
 	input := fs.String("input", "", "parse this saved `go test -bench` output instead of running")
 	out := fs.String("out", "", "write the JSON artifact here")
@@ -89,7 +98,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var text string
-	benchArgs := fmt.Sprintf("-bench %s -benchtime %s -count %d -benchmem %s", *bench, *benchtime, *count, *pkg)
+	benchArgs := fmt.Sprintf("-bench %s -benchtime %s -count %d -benchmem", *bench, *benchtime, *count)
+	if *cpu != "" {
+		benchArgs += " -cpu " + *cpu
+	}
+	benchArgs += " " + *pkg
 	if *input != "" {
 		raw, err := os.ReadFile(*input)
 		if err != nil {
@@ -98,9 +111,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		text = string(raw)
 	} else {
-		cmd := exec.Command("go", "test", "-run=NONE",
+		goArgs := []string{"test", "-run=NONE",
 			"-bench", *bench, "-benchtime", *benchtime,
-			"-count", strconv.Itoa(*count), "-benchmem", *pkg)
+			"-count", strconv.Itoa(*count), "-benchmem"}
+		if *cpu != "" {
+			goArgs = append(goArgs, "-cpu", *cpu)
+		}
+		goArgs = append(goArgs, *pkg)
+		cmd := exec.Command("go", goArgs...)
 		var sb strings.Builder
 		cmd.Stdout = &sb
 		cmd.Stderr = stderr
@@ -148,11 +166,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		failures := Gate(doctored, f, *tolerance, io.Discard)
 		if len(failures) != len(f.Benchmarks) {
-			fmt.Fprintf(stderr, "benchjson: gate self-test FAILED: doctored baseline flagged %d of %d benchmarks\n",
+			fmt.Fprintf(stderr, "benchjson: throughput gate self-test FAILED: doctored baseline flagged %d of %d benchmarks\n",
 				len(failures), len(f.Benchmarks))
 			return 1
 		}
-		fmt.Fprintf(stdout, "gate self-test OK: doctored baseline flagged all %d benchmarks\n", len(f.Benchmarks))
+		// Same drill for the allocation gate: a run doctored to allocate
+		// wildly more than this one must be flagged on every benchmark.
+		bloated := &File{Schema: f.Schema, Benchmarks: make([]Result, len(f.Benchmarks))}
+		for i, r := range f.Benchmarks {
+			r.AllocsPerOp = r.AllocsPerOp*10 + 1000
+			bloated.Benchmarks[i] = r
+		}
+		failures = Gate(f, bloated, *tolerance, io.Discard)
+		if len(failures) != len(f.Benchmarks) {
+			fmt.Fprintf(stderr, "benchjson: allocs gate self-test FAILED: bloated run flagged %d of %d benchmarks\n",
+				len(failures), len(f.Benchmarks))
+			return 1
+		}
+		fmt.Fprintf(stdout, "gate self-test OK: doctored comparisons flagged all %d benchmarks on both throughput and allocs\n", len(f.Benchmarks))
 	}
 
 	if base != nil {
@@ -184,7 +215,10 @@ func readFile(path string) (*File, error) {
 	return &f, nil
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+// benchLine keeps any -N GOMAXPROCS suffix in the name: under a -cpu
+// sweep the same benchmark runs once per core count and each setting is
+// its own baseline entry.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
 
 // Parse extracts benchmark results and the platform header from `go test
 // -bench` text output.
@@ -248,8 +282,11 @@ func (r Result) Throughput() float64 {
 	return 0
 }
 
-// Gate compares a run against the baseline and returns one message per
-// failure. It prints a comparison table to w as a side effect.
+// Gate compares a run against the baseline and returns at most one
+// message per benchmark: a throughput regression beyond tolerance, or —
+// when throughput held — an allocs/op regression beyond
+// base × (1 + tolerance) + 2. It prints a comparison table to w as a
+// side effect.
 func Gate(base, got *File, tolerance float64, w io.Writer) []string {
 	byName := make(map[string]Result, len(got.Benchmarks))
 	for _, r := range got.Benchmarks {
@@ -262,22 +299,28 @@ func Gate(base, got *File, tolerance float64, w io.Writer) []string {
 	sort.Strings(names)
 
 	var failures []string
-	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "baseline", "current", "ratio")
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %16s\n", "benchmark", "baseline", "current", "ratio", "allocs/op")
 	for _, b := range base.Benchmarks {
 		n, ok := byName[b.Name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run", b.Name))
-			fmt.Fprintf(w, "%-40s %14.0f %14s %8s\n", b.Name, b.Throughput(), "MISSING", "-")
+			fmt.Fprintf(w, "%-40s %14.0f %14s %8s %16s\n", b.Name, b.Throughput(), "MISSING", "-", "-")
 			continue
 		}
 		ratio := 0.0
 		if b.Throughput() > 0 {
 			ratio = n.Throughput() / b.Throughput()
 		}
-		fmt.Fprintf(w, "%-40s %14.0f %14.0f %7.2fx\n", b.Name, b.Throughput(), n.Throughput(), ratio)
-		if n.Throughput() < b.Throughput()*(1-tolerance) {
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %7.2fx %7d->%-7d\n",
+			b.Name, b.Throughput(), n.Throughput(), ratio, b.AllocsPerOp, n.AllocsPerOp)
+		allocCeil := float64(b.AllocsPerOp)*(1+tolerance) + 2
+		switch {
+		case n.Throughput() < b.Throughput()*(1-tolerance):
 			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f (%.2fx, floor %.2fx)",
 				b.Name, b.Throughput(), n.Throughput(), ratio, 1-tolerance))
+		case float64(n.AllocsPerOp) > allocCeil:
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %d -> %d (ceiling %.0f)",
+				b.Name, b.AllocsPerOp, n.AllocsPerOp, allocCeil))
 		}
 		delete(byName, b.Name)
 	}
@@ -287,7 +330,7 @@ func Gate(base, got *File, tolerance float64, w io.Writer) []string {
 	}
 	sort.Strings(extra)
 	for _, name := range extra {
-		fmt.Fprintf(w, "%-40s %14s %14.0f %8s\n", name, "(new)", byName[name].Throughput(), "-")
+		fmt.Fprintf(w, "%-40s %14s %14.0f %8s %16d\n", name, "(new)", byName[name].Throughput(), "-", byName[name].AllocsPerOp)
 	}
 	return failures
 }

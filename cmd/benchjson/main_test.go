@@ -34,8 +34,9 @@ func TestParse(t *testing.T) {
 		epi.BytesPerOp != 157908 || epi.AllocsPerOp != 4411 {
 		t.Fatalf("epidemic parsed wrong: %+v", epi)
 	}
-	// The -8 GOMAXPROCS suffix must be stripped.
-	if f.Benchmarks[1].Name != "Scenario/fish" {
+	// The -8 GOMAXPROCS suffix is retained: under a -cpu sweep each core
+	// count is its own baseline entry.
+	if f.Benchmarks[1].Name != "Scenario/fish-8" {
 		t.Fatalf("fish name = %q", f.Benchmarks[1].Name)
 	}
 	// A benchmark without the custom metric falls back to ops/s.
@@ -67,6 +68,41 @@ func TestGate(t *testing.T) {
 	fails = Gate(base, missing, 0.25, new(bytes.Buffer))
 	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
 		t.Fatalf("missing benchmark not caught: %v", fails)
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	base := Parse(sampleOutput)
+	// A 10× allocation blow-up with unchanged throughput fails.
+	bloat := Parse(strings.Replace(sampleOutput, "8229 allocs/op", "82290 allocs/op", 1))
+	fails := Gate(base, bloat, 0.25, new(bytes.Buffer))
+	if len(fails) != 1 || !strings.Contains(fails[0], "allocs/op") || !strings.Contains(fails[0], "Scenario/fish-8") {
+		t.Fatalf("alloc regression not caught: %v", fails)
+	}
+	// Within the ceiling (base × 1.25 + 2): passes.
+	small := Parse(strings.Replace(sampleOutput, "8229 allocs/op", "9000 allocs/op", 1))
+	if fails := Gate(base, small, 0.25, new(bytes.Buffer)); len(fails) != 0 {
+		t.Fatalf("within-ceiling allocs failed the gate: %v", fails)
+	}
+	// The +2 grace: a near-zero baseline tolerates a stray allocation.
+	zeroBase := Parse(strings.Replace(sampleOutput, "8229 allocs/op", "0 allocs/op", 1))
+	oneNow := Parse(strings.Replace(sampleOutput, "8229 allocs/op", "2 allocs/op", 1))
+	if fails := Gate(zeroBase, oneNow, 0.25, new(bytes.Buffer)); len(fails) != 0 {
+		t.Fatalf("grace allocation failed the gate: %v", fails)
+	}
+	// ... but not a real leak on a zero baseline.
+	manyNow := Parse(strings.Replace(sampleOutput, "8229 allocs/op", "50 allocs/op", 1))
+	if fails := Gate(zeroBase, manyNow, 0.25, new(bytes.Buffer)); len(fails) != 1 {
+		t.Fatalf("leak on zero baseline not caught: %v", fails)
+	}
+	// A throughput regression takes precedence: one message per benchmark.
+	both := Parse(strings.NewReplacer(
+		"140283 agent-ticks/s", "1 agent-ticks/s",
+		"8229 allocs/op", "82290 allocs/op",
+	).Replace(sampleOutput))
+	fails = Gate(base, both, 0.25, new(bytes.Buffer))
+	if len(fails) != 1 || strings.Contains(fails[0], "allocs/op") {
+		t.Fatalf("double regression double-counted: %v", fails)
 	}
 }
 

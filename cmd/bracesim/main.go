@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 4, "worker nodes")
 	seed := fs.Uint64("seed", 42, "simulation seed")
 	index := fs.String("index", "kd", "spatial index: kd, scan, grid")
+	part := fs.String("part", "strips", "partitioning: strips (1-D quantile cuts, load-balanceable), kd2d (2-D median splits)")
 	lb := fs.Bool("lb", false, "enable load balancing")
 	ckptEpochs := fs.Int("ckpt-epochs", 0, "coordinated checkpoint every N epochs (0 = initial checkpoint only)")
 	ckptFullEvery := fs.Int("ckpt-full-every", 0, fmt.Sprintf(
@@ -125,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Partitions:            *workers,
 			Ticks:                 *ticks,
 			Index:                 *index,
+			Part:                  *part,
 			Sequential:            *seq,
 			LoadBalance:           *lb,
 			CheckpointEveryEpochs: *ckptEpochs,
@@ -182,6 +184,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Checkpoint:  *ckptEpochs,
 		VirtualTime: *vt,
 		Sequential:  *seq,
+	}
+	switch *part {
+	case "", "strips":
+	case "kd2d":
+		if *seq {
+			return fail(stderr, fmt.Errorf("-part kd2d needs the distributed engine; drop -seq"))
+		}
+		cfg.TwoDPartition = true
+	default:
+		return fail(stderr, fmt.Errorf("unknown -part %q (supported: strips, kd2d)", *part))
 	}
 	ix, err := brace.ParseIndex(*index)
 	if err != nil {

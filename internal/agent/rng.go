@@ -15,10 +15,17 @@ type RNG struct {
 // NewRNG derives a stream from the simulation seed, tick number and agent
 // ID. Mixing through splitmix steps decorrelates nearby (tick, id) pairs.
 func NewRNG(seed uint64, tick uint64, id ID) *RNG {
-	r := &RNG{state: seed}
-	r.state = mix(r.state ^ mix(tick+0x9e3779b97f4a7c15))
-	r.state = mix(r.state ^ mix(uint64(id)+0xbf58476d1ce4e5b9))
-	return &RNG{state: r.state}
+	r := SeedRNG(seed, tick, id)
+	return &r
+}
+
+// SeedRNG is NewRNG by value: the engines re-seed one reused RNG per
+// update instead of heap-allocating a fresh generator for every agent on
+// every tick. The stream is identical to NewRNG's.
+func SeedRNG(seed uint64, tick uint64, id ID) RNG {
+	s := mix(seed ^ mix(tick+0x9e3779b97f4a7c15))
+	s = mix(s ^ mix(uint64(id)+0xbf58476d1ce4e5b9))
+	return RNG{state: s}
 }
 
 func mix(z uint64) uint64 {

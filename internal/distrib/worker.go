@@ -147,6 +147,10 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 	if err != nil {
 		return reject(err)
 	}
+	ipart, err := initialPartition(h.Part, m, pop, h.Partitions)
+	if err != nil {
+		return reject(err)
+	}
 	if err := fc.Send(&transport.Frame{Kind: transport.FrameAck}); err != nil {
 		return err
 	}
@@ -181,13 +185,14 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 	// right after construction; the hook only fires inside RunTicks.
 	var eng *engine.Distributed
 	eng, err = engine.NewDistributed(m, pop, engine.Options{
-		Workers:    h.Partitions,
-		Index:      kind,
-		Seed:       h.Seed,
-		EpochTicks: h.EpochTicks,
-		Sequential: h.Sequential,
-		Transport:  tr,
-		LocalParts: local,
+		Workers:          h.Partitions,
+		Index:            kind,
+		Seed:             h.Seed,
+		EpochTicks:       h.EpochTicks,
+		Sequential:       h.Sequential,
+		Transport:        tr,
+		LocalParts:       local,
+		InitialPartition: ipart,
 		EpochBarrier: func(tick uint64) error {
 			return workerBarrier(eng, tcp, h, ckpts, tick, so.Drain)
 		},
@@ -387,6 +392,14 @@ func checkHello(h *transport.Hello) (scenario.Spec, spatial.Kind, error) {
 	kind, err := spatial.ParseKind(h.Index)
 	if err != nil {
 		return none, 0, err
+	}
+	switch h.Part {
+	case "", "strips", "kd2d":
+	default:
+		return none, 0, fmt.Errorf("unknown partitioning %q", h.Part)
+	}
+	if h.Part == "kd2d" && h.LoadBalance {
+		return none, 0, fmt.Errorf("load balancing is incompatible with kd2d partitioning")
 	}
 	return sp, kind, nil
 }

@@ -80,6 +80,10 @@ type Options struct {
 	// never results; this switch exists for the ablation experiment and
 	// for debugging.
 	NoOverlap bool
+	// NoColumnar disables the columnar query path (see cols.go) even for
+	// models implementing ColumnarModel — the equivalence suite's
+	// ablation knob. Columnar and classic query phases are bit-identical.
+	NoColumnar bool
 }
 
 // EpochStat records one epoch for the Fig. 8 style series.
@@ -118,6 +122,9 @@ type Distributed struct {
 	envs  [][]queryEnv
 	bufs  []partBufs
 	isSum []bool
+	// colM is non-nil when the model runs the columnar query path; the
+	// per-partition columns live in bufs[w].cols (see cols.go).
+	colM ColumnarModel
 
 	// Overlapped two-pass tick state (overlap.go). obufs[w] carries the
 	// interior/boundary split between the early and late pass; noSplitTick
@@ -200,6 +207,9 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 		prebuiltTick: neverTick,
 	}
 	e.isSum = sumMask(e.combs)
+	if !opts.NoColumnar {
+		e.colM = columnarModel(m)
+	}
 	skin := resolveSkin(s, opts.Index, opts.CacheSkin)
 	if opts.CostModel != nil {
 		// Virtual-time accounting charges candidates-visited through a
@@ -247,10 +257,12 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 
 	// Overlap gate: the two-pass tick needs the cached index (KD tree,
 	// bounded visibility, positive skin — never under a cost model), local
-	// effects, and a strip partitioning for the interior classification.
-	// The decision is a pure function of the options, so every process of
-	// a distributed run takes the same branch.
-	if _, isStrips := e.part.(*partition.Strips); !opts.NoOverlap && !e.nonLocal && isStrips && e.cixs[0] != nil {
+	// effects, and a rectilinear partitioning whose Locate agrees with
+	// rectangle membership, so reduce1Early's per-rectangle distance checks
+	// against Region bounds are sound (Strips and KD2D qualify; Grid's
+	// edge clamping does not). The decision is a pure function of the
+	// options, so every process of a distributed run takes the same branch.
+	if !opts.NoOverlap && !e.nonLocal && overlapPartitioning(e.part) && e.cixs[0] != nil {
 		e.overlap = true
 		e.obufs = make([]overlapBufs, opts.Workers)
 	}
@@ -333,6 +345,12 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 	}
 	sorted := append(agent.Population(nil), pop...)
 	sort.Sort(sorted)
+	// Morton-pack the storage once before loading: each partition owns a
+	// spatially contiguous region, so a Z-ordered arena keeps its agents
+	// (and their halo neighbors) dense in memory. Unlike the sequential
+	// engine there is no periodic repack — delta checkpoints and in-flight
+	// envelopes hold references into the current layout across ticks.
+	agent.PackMorton(s, sorted)
 	for _, a := range sorted {
 		p := e.part.Locate(a.Pos(s))
 		if localPart[p] {
@@ -340,6 +358,22 @@ func NewDistributed(m Model, pop []*agent.Agent, opts Options) (*Distributed, er
 		}
 	}
 	return e, nil
+}
+
+// overlapPartitioning reports whether p supports the overlapped tick's
+// interior classification: a foreign agent must provably lie on or beyond
+// a face of Region(w), so "self more than vis from every face" proves no
+// foreign agent is visible. Strips and KD2D qualify — their Locate
+// compares coordinates against the exact cut values Region returns, so
+// the bound is exact. Grid recomputes cell faces from the bounds with
+// fresh floating-point arithmetic, which can disagree with Locate's
+// truncation by an ulp; it stays on the single-pass path.
+func overlapPartitioning(p partition.Func) bool {
+	switch p.(type) {
+	case *partition.Strips, *partition.KD2D:
+		return true
+	}
+	return false
 }
 
 // indexCell picks a grid-index cell size near the visibility bound.
@@ -388,12 +422,22 @@ func (e *Distributed) reduce1(ctx *mapreduce.Ctx, envs []*Envelope, emit mapredu
 		// local-effects model (each writes only its own effect fields), so
 		// they fan out over the spatial worker pool, one probe env per
 		// chunk. Per-agent fold order is unchanged — bit-identical state.
+		cols := e.bufs[w].cols
 		spatial.ParallelFor(len(ownedSlots), probeGrain, func(chunk, lo, hi int) {
 			q := &penvs[chunk]
 			q.copies = copies
 			q.cached = cached
 			q.listsOK = listsOK
 			q.ix = e.ixs[w]
+			q.cols = cols
+			if e.colM != nil {
+				for oi := lo; oi < hi; oi++ {
+					q.slot = ownedSlots[oi]
+					q.self = copies[q.slot]
+					e.colM.QueryCols((*Cols)(q), q.slot)
+				}
+				return
+			}
 			for oi := lo; oi < hi; oi++ {
 				q.slot = ownedSlots[oi]
 				q.self = copies[q.slot]
@@ -406,10 +450,15 @@ func (e *Distributed) reduce1(ctx *mapreduce.Ctx, envs []*Envelope, emit mapredu
 		q.cached = cached
 		q.listsOK = listsOK
 		q.ix = e.ixs[w]
+		q.cols = e.bufs[w].cols
 		for _, slot := range ownedSlots {
 			q.slot = slot
 			q.self = copies[slot]
-			e.model.Query(q.self, q)
+			if e.colM != nil {
+				e.colM.QueryCols((*Cols)(q), slot)
+			} else {
+				e.model.Query(q.self, q)
+			}
 		}
 	}
 
@@ -492,14 +541,10 @@ func (e *Distributed) reduce2(ctx *mapreduce.Ctx, envs []*Envelope, emit mapredu
 // emits the owned copy to its (possibly new) owner partition.
 func (e *Distributed) updateAndEmit(ctx *mapreduce.Ctx, oe *Envelope, emit mapreduce.Emit[*Envelope]) {
 	a := oe.A
-	u := UpdateCtx{
-		Tick:   ctx.Tick,
-		RNG:    agent.NewRNG(e.opts.Seed, ctx.Tick, a.ID),
-		schema: e.schema,
-		self:   a.ID,
-	}
+	u := &e.bufs[ctx.Worker].uctx
+	u.reset(e.opts.Seed, ctx.Tick, e.schema, a.ID)
 	oldPos := a.Pos(e.schema)
-	e.model.Update(a, &u)
+	e.model.Update(a, u)
 	if r := e.schema.Reach; r > 0 {
 		// Reachability crop (§4.1): the update may move the agent at most
 		// r along each axis.
@@ -526,6 +571,12 @@ type partBufs struct {
 	ownedSlot []int32
 	copies    []*agent.Agent
 	owned     []*Envelope
+	// cols are the tick's gathered state columns (columnar models only);
+	// the late overlap pass appends the halo rows.
+	cols [][]float64
+	// uctx is the partition's reused update context (reducers for one
+	// worker never run concurrently); reset re-seeds it per agent.
+	uctx UpdateCtx
 }
 
 // prepare sorts this reducer's copies by agent ID, (re)builds the spatial
@@ -536,7 +587,6 @@ func (e *Distributed) prepare(w int, envs []*Envelope) (copies []*agent.Agent, o
 	sort.Slice(envs, func(i, j int) bool { return envs[i].A.ID < envs[j].A.ID })
 	b := &e.bufs[w]
 	n := len(envs)
-	b.pts = resize(b.pts, n)
 	b.copies = resize(b.copies, n)
 	b.ownedSlot = b.ownedSlot[:0]
 	b.owned = b.owned[:0]
@@ -546,7 +596,6 @@ func (e *Distributed) prepare(w int, envs []*Envelope) (copies []*agent.Agent, o
 	}
 	for i, env := range envs {
 		b.copies[i] = env.A
-		b.pts[i] = spatial.Point{Pos: env.A.Pos(e.schema), ID: int32(i)}
 		if cached != nil {
 			b.keys[i] = int64(env.A.ID)
 		}
@@ -555,12 +604,29 @@ func (e *Distributed) prepare(w int, envs []*Envelope) (copies []*agent.Agent, o
 			b.owned = append(b.owned, env)
 		}
 	}
+	// Columnar models gather columns before the build so the index build
+	// reads the position columns directly.
+	if e.colM != nil {
+		b.cols = gatherCols(b.cols, e.schema, b.copies)
+	}
+	fillPts := func() {
+		b.pts = resize(b.pts, n)
+		for i, a := range b.copies {
+			b.pts[i] = spatial.Point{Pos: a.Pos(e.schema), ID: int32(i)}
+		}
+	}
 	if cached != nil {
 		// Keys are agent IDs and the probe set is the owned slots: any
 		// membership or ownership change rebuilds; replica drift beyond
 		// skin/2 rebuilds; everything else reuses.
-		cached.BuildKeyed(b.pts, b.keys, b.ownedSlot)
+		if e.colM != nil {
+			cached.BuildKeyedCols(b.cols[e.schema.PosX], b.cols[e.schema.PosY], b.keys, b.ownedSlot)
+		} else {
+			fillPts()
+			cached.BuildKeyed(b.pts, b.keys, b.ownedSlot)
+		}
 	} else {
+		fillPts()
 		e.ixs[w].Build(b.pts)
 	}
 	return b.copies, b.owned, b.ownedSlot

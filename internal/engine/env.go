@@ -48,6 +48,12 @@ type queryEnv struct {
 	scratch  []int32
 	hscratch []int32
 	nnbuf    []spatial.Point
+
+	// Columnar mode (see cols.go): per-state-field columns over
+	// copies+halo rows, shared read-only across a tick's probe envs, and
+	// the per-env merged visible-row buffer.
+	cols [][]float64
+	vbuf []int32
 }
 
 // haloArrays is the probe-side view of a partition's peer-sent copies,

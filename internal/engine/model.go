@@ -92,6 +92,24 @@ type UpdateCtx struct {
 	self   agent.ID
 	spawns []*agent.Agent
 	nspawn int
+	// rngv is the generator RNG points at when the engines reuse one
+	// UpdateCtx across agents (reset re-seeds it in place, so the update
+	// loop allocates nothing per agent).
+	rngv agent.RNG
+}
+
+// reset re-arms a reused UpdateCtx for the next agent: re-seed the
+// in-place RNG, clear the spawn batch (spawned agents were already emitted
+// by the caller), and retarget the identity fields. The stream each agent
+// sees is exactly what a freshly allocated UpdateCtx would produce.
+func (u *UpdateCtx) reset(seed, tick uint64, schema *agent.Schema, self agent.ID) {
+	u.Tick = tick
+	u.rngv = agent.SeedRNG(seed, tick, self)
+	u.RNG = &u.rngv
+	u.schema = schema
+	u.self = self
+	u.spawns = u.spawns[:0]
+	u.nspawn = 0
 }
 
 // Spawn allocates a new agent that joins the simulation next tick. The

@@ -27,7 +27,6 @@ import (
 	"time"
 
 	"github.com/bigreddata/brace/internal/mapreduce"
-	"github.com/bigreddata/brace/internal/partition"
 	"github.com/bigreddata/brace/internal/spatial"
 )
 
@@ -47,6 +46,9 @@ type overlapBufs struct {
 	halo      []*Envelope // every peer-sent envelope, ID-sorted
 	haloAg    haloArrays  // the probe-side view of halo (agents + positions)
 	haloOwned []*Envelope // non-replica members of halo (post-cut-change migrants)
+	// haloOwnedRow[i] is haloOwned[i]'s index within haloAg — a migrant's
+	// columnar self row is len(copies)+haloOwnedRow[i].
+	haloOwnedRow []int32
 }
 
 // reduce1Early is the interior pass of the overlapped reduceᵗ₁, running in
@@ -81,16 +83,20 @@ func (e *Distributed) reduce1Early(ctx *mapreduce.Ctx, self []*Envelope) {
 	}
 
 	// Classify by the exact visibility bound: a foreign agent is at least
-	// |Δx| away, so strictly more than vis from both cuts means nothing
-	// across either cut can be visible. Strict, because a foreign agent at
-	// exactly distance vis is visible (the radius comparisons are closed).
-	// Edge strips have ±Inf bounds, which classify everything interior on
-	// the unbounded side for free.
-	region := e.part.(*partition.Strips).Region(w)
+	// as far as its distance to this partition's region, so strictly more
+	// than vis from every face of Region(w) means nothing outside can be
+	// visible. Strict, because a foreign agent at exactly distance vis is
+	// visible (the radius comparisons are closed). Strips reduce to the
+	// two-cut x test (their y bounds are ±Inf, which classify everything
+	// interior on the unbounded sides for free); KD2D leaf rectangles test
+	// all four faces. Sound whenever Locate agrees with rectangle
+	// membership — the overlap gate admits only such partitionings.
+	region := e.part.Region(w)
 	vis := e.schema.Visibility
 	for _, slot := range ownedSlots {
-		x := copies[slot].Pos(e.schema).X
-		if x-region.Min.X > vis && region.Max.X-x > vis {
+		pos := copies[slot].Pos(e.schema)
+		if pos.X-region.Min.X > vis && region.Max.X-pos.X > vis &&
+			pos.Y-region.Min.Y > vis && region.Max.Y-pos.Y > vis {
 			ob.interior = append(ob.interior, slot)
 		} else {
 			ob.boundary = append(ob.boundary, slot)
@@ -100,14 +106,24 @@ func (e *Distributed) reduce1Early(ctx *mapreduce.Ctx, self []*Envelope) {
 	penvs := e.partEnvs(w)
 	interior := ob.interior
 	listsOK := ob.listsOK
+	cols := e.bufs[w].cols
 	spatial.ParallelFor(len(interior), probeGrain, func(chunk, lo, hi int) {
 		q := &penvs[chunk]
 		q.copies = copies
 		q.cached = cached
 		q.listsOK = listsOK
 		q.ix = e.ixs[w]
+		q.cols = cols
 		q.halo = haloArrays{}
 		q.haloOn = false
+		if e.colM != nil {
+			for _, slot := range interior[lo:hi] {
+				q.slot = slot
+				q.self = copies[slot]
+				e.colM.QueryCols((*Cols)(q), slot)
+			}
+			return
+		}
 		for _, slot := range interior[lo:hi] {
 			q.slot = slot
 			q.self = copies[slot]
@@ -135,42 +151,59 @@ func (e *Distributed) reduce1Late(ctx *mapreduce.Ctx, rest []*Envelope, emit map
 	ob.haloAg.agents = ob.haloAg.agents[:0]
 	ob.haloAg.pos = ob.haloAg.pos[:0]
 	ob.haloOwned = ob.haloOwned[:0]
+	ob.haloOwnedRow = ob.haloOwnedRow[:0]
 	for _, env := range rest {
 		if !env.Replica {
 			if ob.split {
 				panic("engine: owned envelope arrived from a peer on a split tick")
 			}
 			ob.haloOwned = append(ob.haloOwned, env)
+			ob.haloOwnedRow = append(ob.haloOwnedRow, int32(len(ob.haloAg.agents)))
 		}
 		ob.haloAg.agents = append(ob.haloAg.agents, env.A)
 		ob.haloAg.pos = append(ob.haloAg.pos, env.A.Pos(e.schema))
+	}
+	if e.colM != nil {
+		// Halo copies become rows len(copies)+j so boundary query phases
+		// can read their state through the columns.
+		b.cols = appendHaloCols(b.cols, ob.haloAg.agents)
 	}
 
 	penvs := e.partEnvs(w)
 	boundary, haloOwned := ob.boundary, ob.haloOwned
 	nb := len(boundary)
 	copies := b.copies
+	ncore := int32(len(copies))
 	halo := ob.haloAg
 	listsOK := ob.listsOK
+	cols := b.cols
 	spatial.ParallelFor(nb+len(haloOwned), probeGrain, func(chunk, lo, hi int) {
 		q := &penvs[chunk]
 		q.copies = copies
 		q.cached = cached
 		q.listsOK = listsOK
 		q.ix = e.ixs[w]
+		q.cols = cols
 		q.halo = halo
 		q.haloOn = true
 		for i := lo; i < hi; i++ {
+			selfRow := int32(-1)
 			if i < nb {
 				q.slot = boundary[i]
 				q.self = copies[q.slot]
+				selfRow = q.slot
 			} else {
 				// A migrant owned agent has no core slot; its probes run
 				// index queries plus the halo scan.
 				q.slot = -1
 				q.self = haloOwned[i-nb].A
+				selfRow = ncore + ob.haloOwnedRow[i-nb]
 			}
-			e.model.Query(q.self, q)
+			if e.colM != nil {
+				e.colM.QueryCols((*Cols)(q), selfRow)
+			} else {
+				e.model.Query(q.self, q)
+			}
 		}
 		q.halo = haloArrays{}
 		q.haloOn = false

@@ -43,6 +43,12 @@ type Sequential struct {
 	ix     spatial.Index
 	cached *spatial.CachedIndex
 	envs   []queryEnv
+	uctx   UpdateCtx // reused across agents; reset re-seeds per agent
+
+	// colM is non-nil when the model runs the columnar query path; cols
+	// holds the tick's gathered state columns (see cols.go).
+	colM ColumnarModel
+	cols [][]float64
 
 	// Per-tick build buffers, reused across ticks.
 	pts    []spatial.Point
@@ -87,9 +93,14 @@ func NewSequentialCache(m Model, pop []*agent.Agent, index spatial.Kind, seed ui
 		e.cached = spatial.NewCached(cacheProbeRadius(s), skin)
 		e.ix = e.cached
 	}
+	e.colM = columnarModel(m)
 	e.envs = append(e.envs, newQueryEnv(s, combs, e.isSum, e.nonLocal))
 	return e, nil
 }
+
+// DisableColumnar forces the classic per-agent Env path even for models
+// implementing ColumnarModel — the equivalence suite's ablation knob.
+func (e *Sequential) DisableColumnar() { e.colM = nil }
 
 // resolveSkin applies the engine-wide cache policy: the cached query path
 // requires the KD-tree index and a bounded visibility; cacheSkin < 0
@@ -118,6 +129,11 @@ func cacheProbeRadius(s *agent.Schema) float64 {
 // below it, fan-out overhead beats the win.
 const probeGrain = 64
 
+// packInterval is the Morton-relayout cadence in ticks: long enough to
+// amortize the O(n log n) repack, short enough that drift (agents moving
+// away from their arena neighbors) stays modest.
+const packInterval = 64
+
 // RunTicks advances the simulation n full ticks.
 func (e *Sequential) RunTicks(n int) error {
 	start := time.Now()
@@ -130,13 +146,24 @@ func (e *Sequential) RunTicks(n int) error {
 }
 
 func (e *Sequential) runTick() {
+	// Relayout epoch: repack agent storage in Morton order of current
+	// positions so neighbors in space are neighbors in memory for the next
+	// packInterval ticks of candidate walks. Pure relayout — no value or
+	// ordering change (see agent.PackMorton).
+	if e.tick%packInterval == 0 {
+		agent.PackMorton(e.schema, e.agents)
+	}
 	// Query phase over the whole world.
 	n := len(e.agents)
-	e.pts = resize(e.pts, n)
 	e.copies = resize(e.copies, n)
 	for i, a := range e.agents {
-		e.pts[i] = spatial.Point{Pos: a.Pos(e.schema), ID: int32(i)}
 		e.copies[i] = a
+	}
+	// Columnar models gather state columns before the index build so the
+	// build itself reads the position columns (BuildKeyedCols) instead of
+	// walking the agents again.
+	if e.colM != nil {
+		e.cols = gatherCols(e.cols, e.schema, e.copies)
 	}
 	listsOK := false
 	if e.cached != nil {
@@ -144,13 +171,18 @@ func (e *Sequential) runTick() {
 		for i, a := range e.agents {
 			e.keys[i] = int64(a.ID)
 		}
-		e.cached.BuildKeyed(e.pts, e.keys, nil)
+		if e.colM != nil {
+			e.cached.BuildKeyedCols(e.cols[e.schema.PosX], e.cols[e.schema.PosY], e.keys, nil)
+		} else {
+			e.fillPts()
+			e.cached.BuildKeyed(e.pts, e.keys, nil)
+		}
 		listsOK = e.cached.HasLists()
 	} else {
+		e.fillPts()
 		e.ix.Build(e.pts)
 	}
 	before := e.ix.Stats().Visited
-
 	if e.cached != nil && !e.nonLocal {
 		for len(e.envs) < spatial.Parallelism() {
 			e.envs = append(e.envs, newQueryEnv(e.schema, e.combs, e.isSum, e.nonLocal))
@@ -161,6 +193,15 @@ func (e *Sequential) runTick() {
 			env.cached = e.cached
 			env.listsOK = listsOK
 			env.ix = e.ix
+			env.cols = e.cols
+			if e.colM != nil {
+				for i := lo; i < hi; i++ {
+					env.self = e.copies[i]
+					env.slot = int32(i)
+					e.colM.QueryCols((*Cols)(env), int32(i))
+				}
+				return
+			}
 			for i := lo; i < hi; i++ {
 				env.self = e.copies[i]
 				env.slot = int32(i)
@@ -173,10 +214,15 @@ func (e *Sequential) runTick() {
 		env.cached = e.cached
 		env.listsOK = listsOK
 		env.ix = e.ix
+		env.cols = e.cols
 		for i, a := range e.agents {
 			env.self = a
 			env.slot = int32(i)
-			e.model.Query(a, env)
+			if e.colM != nil {
+				e.colM.QueryCols((*Cols)(env), int32(i))
+			} else {
+				e.model.Query(a, env)
+			}
 		}
 	}
 	visited := e.ix.Stats().Visited - before
@@ -190,14 +236,9 @@ func (e *Sequential) runTick() {
 	var spawned agent.Population
 	alive := e.agents[:0]
 	for _, a := range e.agents {
-		u := UpdateCtx{
-			Tick:   e.tick,
-			RNG:    agent.NewRNG(e.seed, e.tick, a.ID),
-			schema: e.schema,
-			self:   a.ID,
-		}
+		e.uctx.reset(e.seed, e.tick, e.schema, a.ID)
 		oldPos := a.Pos(e.schema)
-		e.model.Update(a, &u)
+		e.model.Update(a, &e.uctx)
 		if r := e.schema.Reach; r > 0 {
 			a.SetPos(e.schema, a.Pos(e.schema).Clamp(geom.Square(oldPos, r)))
 		}
@@ -205,10 +246,23 @@ func (e *Sequential) runTick() {
 		if !a.Dead {
 			alive = append(alive, a)
 		}
-		spawned = append(spawned, u.spawns...)
+		spawned = append(spawned, e.uctx.spawns...)
 	}
 	e.agents = append(alive, spawned...)
-	sort.Sort(e.agents)
+	// The in-place death filter preserves ID order, so the canonical sort
+	// is only needed when the tick spawned agents.
+	if len(spawned) > 0 {
+		sort.Sort(e.agents)
+	}
+}
+
+// fillPts materializes the tick's point set from the agents (the
+// non-columnar build path).
+func (e *Sequential) fillPts() {
+	e.pts = resize(e.pts, len(e.agents))
+	for i, a := range e.agents {
+		e.pts[i] = spatial.Point{Pos: a.Pos(e.schema), ID: int32(i)}
+	}
 }
 
 // resize returns s with length n, reusing capacity.

@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"testing"
+
+	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/cluster"
+	"github.com/bigreddata/brace/internal/engine"
+	"github.com/bigreddata/brace/internal/spatial"
+)
+
+// TestColumnarEquivalence is the struct-of-arrays analogue of
+// TestCrossEngineEquivalence: for every registered scenario, the columnar
+// query path (the default for local-effect models that implement
+// engine.ColumnarModel) must compute bit-identical state to the classic
+// per-agent Env path, on the sequential engine and on the distributed
+// engine at 1, 2 and 8 workers. The columnar path is a pure layout
+// optimization — any divergence, even one ulp, is a bug.
+func TestColumnarEquivalence(t *testing.T) {
+	const ticks = 10
+	for _, sp := range All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			for _, seed := range []uint64{3, 17} {
+				m, base, err := sp.New(testConfig(sp, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, ok := m.(engine.ColumnarModel); !ok {
+					t.Skipf("%s does not implement ColumnarModel", sp.Name)
+				}
+
+				ref, err := engine.NewSequential(m, clonePop(base), spatial.KindKDTree, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.DisableColumnar()
+				col, err := engine.NewSequential(m, clonePop(base), spatial.KindKDTree, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.RunTicks(ticks); err != nil {
+					t.Fatal(err)
+				}
+				if err := col.RunTicks(ticks); err != nil {
+					t.Fatal(err)
+				}
+				if len(ref.Agents()) == 0 {
+					t.Fatalf("seed %d: population died out; test config mis-tuned", seed)
+				}
+				assertExact(t, sp.Name+"/seq", seed, 0, ref.Agents(), col.Agents())
+
+				for _, workers := range []int{1, 2, 8} {
+					run := func(noColumnar bool) []*agent.Agent {
+						t.Helper()
+						e, err := engine.NewDistributed(m, clonePop(base), engine.Options{
+							Workers: workers, Index: spatial.KindKDTree, Seed: seed,
+							NoColumnar: noColumnar,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := e.RunTicks(ticks); err != nil {
+							t.Fatal(err)
+						}
+						return e.Agents()
+					}
+					assertExact(t, sp.Name+"/dist", seed, workers, run(true), run(false))
+				}
+			}
+		})
+	}
+}
+
+// TestFishTickSteadyStateAllocs pins the columnar tick's allocation
+// behavior: once buffers have warmed up, a fish tick on the sequential
+// engine allocates (near) nothing — the columns, candidate lists, probe
+// scratch and update context are all reused. Parallelism is forced to 1
+// so the worker pool cannot contribute scheduling allocations; the
+// measured window sits strictly between Morton repack epochs (tick 16 to
+// tick 48 with packInterval 64), so the repack's arena is excluded too.
+func TestFishTickSteadyStateAllocs(t *testing.T) {
+	old := spatial.Parallelism()
+	spatial.SetParallelism(1)
+	defer spatial.SetParallelism(old)
+
+	sp, ok := Lookup("fish")
+	if !ok {
+		t.Fatal("fish not registered")
+	}
+	m, pop, err := sp.New(Config{Agents: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := engine.NewSequential(m, pop, spatial.KindKDTree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunTicks(16); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(32, func() {
+		if err := e.RunTicks(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The bound leaves headroom for amortized Verlet-list growth (a list
+	// append can still cross a capacity boundary as the school spreads)
+	// while catching any per-agent or per-probe regression: 500 agents
+	// would blow straight past it.
+	if avg > 16 {
+		t.Errorf("steady-state fish tick allocates %.1f times/op, want ≤ 16", avg)
+	}
+}
+
+// TestColumnarEquivalenceLoadBalanceAndRecovery runs the same ablation
+// through the two dataflows that restructure a run mid-flight: the 1-D
+// load balancer (repartitioning at epoch barriers) and checkpoint
+// recovery after a worker crash. Both must stay bit-identical with the
+// columnar path on or off.
+func TestColumnarEquivalenceLoadBalanceAndRecovery(t *testing.T) {
+	const (
+		workers    = 4
+		ticks      = 20
+		epochTicks = 5
+		crashTick  = 12
+		seed       = 13
+	)
+	for _, sp := range All() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			m, _, err := sp.New(testConfig(sp, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := m.(engine.ColumnarModel); !ok {
+				t.Skipf("%s does not implement ColumnarModel", sp.Name)
+			}
+			run := func(noColumnar, lb bool, failures *cluster.FailurePlan) []*agent.Agent {
+				t.Helper()
+				m, pop, err := sp.New(testConfig(sp, seed))
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := engine.NewDistributed(m, pop, engine.Options{
+					Workers: workers, Index: spatial.KindKDTree, Seed: seed,
+					EpochTicks:            epochTicks,
+					LoadBalance:           lb,
+					CheckpointEveryEpochs: 1,
+					Failures:              failures,
+					NoColumnar:            noColumnar,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := e.RunTicks(ticks); err != nil {
+					t.Fatal(err)
+				}
+				if failures != nil && e.Runtime().Recoveries() < 1 {
+					t.Fatalf("expected at least one recovery, got %d", e.Runtime().Recoveries())
+				}
+				return e.Agents()
+			}
+
+			lbRef := run(true, true, nil)
+			lbCol := run(false, true, nil)
+			if len(lbRef) == 0 {
+				t.Fatal("population died out; test config mis-tuned")
+			}
+			assertExact(t, sp.Name+"/lb", seed, workers, lbRef, lbCol)
+
+			recRef := run(true, false, cluster.NewFailurePlan().CrashAt(crashTick, 2))
+			recCol := run(false, false, cluster.NewFailurePlan().CrashAt(crashTick, 2))
+			assertExact(t, sp.Name+"/recovery", seed, workers, recRef, recCol)
+		})
+	}
+}

@@ -126,6 +126,35 @@ func (m *Model) Query(self *agent.Agent, env engine.Env) {
 	})
 }
 
+// QueryCols implements engine.ColumnarModel: Query streamed over the
+// state columns. The non-susceptible early return happens before any
+// probe, exactly as in Query, so probe accounting matches too. The local
+// exposure accumulator folds the same terms in the same order starting
+// from zero that the per-neighbor Assign sequence folds into the θ = 0
+// effect, so the aggregate is bit-identical.
+func (m *Model) QueryCols(env *engine.Cols, self int32) {
+	status := env.State(m.status)
+	if status[self] != Susceptible {
+		return
+	}
+	r := m.P.InfectRadius
+	xs, ys := env.State(m.x), env.State(m.y)
+	sx, sy := xs[self], ys[self]
+	var exposure float64
+	for _, j := range env.Nearby(r) {
+		if j == self || status[j] != Infected {
+			continue
+		}
+		dx, dy := xs[j]-sx, ys[j]-sy
+		d := math.Sqrt(dx*dx + dy*dy)
+		if d > r {
+			continue
+		}
+		exposure += 1 - d/r
+	}
+	env.Assign(self, m.exposure, exposure)
+}
+
 // Update implements engine.Model: progress the disease, then random-walk.
 func (m *Model) Update(self *agent.Agent, u *engine.UpdateCtx) {
 	switch self.State[m.status] {
@@ -200,4 +229,7 @@ func (m *Model) Counts(pop []*agent.Agent) (s, i, r int) {
 	return
 }
 
-var _ engine.Model = (*Model)(nil)
+var (
+	_ engine.Model         = (*Model)(nil)
+	_ engine.ColumnarModel = (*Model)(nil)
+)

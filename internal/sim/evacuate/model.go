@@ -111,6 +111,35 @@ func (m *Model) Query(self *agent.Agent, env engine.Env) {
 	})
 }
 
+// QueryCols implements engine.ColumnarModel: the social-force
+// accumulation streamed over the state columns. Same visible rows, same
+// arithmetic; the local accumulators fold the same additions in the same
+// order the per-neighbor Assigns fold into the θ = 0 effects, so the
+// result is bit-identical.
+func (m *Model) QueryCols(env *engine.Cols, self int32) {
+	xs, ys := env.State(m.x), env.State(m.y)
+	sx, sy := xs[self], ys[self]
+	r := m.P.RepelRadius
+	var repx, repy, crowd float64
+	for _, j := range env.Visible() {
+		if j == self {
+			continue
+		}
+		dx, dy := sx-xs[j], sy-ys[j]
+		d := math.Sqrt(dx*dx + dy*dy)
+		if d == 0 || d > r {
+			continue
+		}
+		w := (1 - d/r) / d
+		repx += dx * w
+		repy += dy * w
+		crowd++
+	}
+	env.Assign(self, m.repx, repx)
+	env.Assign(self, m.repy, repy)
+	env.Assign(self, m.crowd, crowd)
+}
+
 // nearestExit returns the exit closest to pos (ties broken by declaration
 // order, which is deterministic).
 func (m *Model) nearestExit(pos geom.Vec) geom.Vec {
@@ -186,4 +215,7 @@ func (m *Model) NewPopulation(n int, seed uint64) []*agent.Agent {
 // Pos returns a pedestrian's position.
 func (m *Model) Pos(a *agent.Agent) geom.Vec { return a.Pos(m.s) }
 
-var _ engine.Model = (*Model)(nil)
+var (
+	_ engine.Model         = (*Model)(nil)
+	_ engine.ColumnarModel = (*Model)(nil)
+)

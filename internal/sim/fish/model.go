@@ -144,6 +144,51 @@ func (m *Model) Query(self *agent.Agent, env engine.Env) {
 	env.Assign(self, m.cntSoc, acc.cntSoc)
 }
 
+// QueryCols implements engine.ColumnarModel: the same accumulation as
+// Query, streamed over the state columns. Same visible rows in the same
+// ascending-ID order, same arithmetic on the same float64 values, so the
+// effects are bit-identical — without the per-neighbor indirect call, the
+// two pointer chases into each neighbor's State, or the escaping closure
+// frame. This is the hottest loop of the benchmark suite.
+func (m *Model) QueryCols(env *engine.Cols, self int32) {
+	xs, ys := env.State(m.x), env.State(m.y)
+	hxs, hys := env.State(m.hx), env.State(m.hy)
+	sx, sy := xs[self], ys[self]
+	a2 := m.P.Alpha * m.P.Alpha
+	var avx, avy, cntAv float64
+	var atx, aty, alx, aly, cntSoc float64
+	for _, j := range env.Visible() {
+		if j == self {
+			continue
+		}
+		dx, dy := xs[j]-sx, ys[j]-sy
+		d2 := dx*dx + dy*dy
+		if d2 == 0 {
+			continue
+		}
+		d := math.Sqrt(d2)
+		if d2 < a2 {
+			avx += -dx / d
+			avy += -dy / d
+			cntAv++
+			continue
+		}
+		atx += dx / d
+		aty += dy / d
+		alx += hxs[j]
+		aly += hys[j]
+		cntSoc++
+	}
+	env.Assign(self, m.avx, avx)
+	env.Assign(self, m.avy, avy)
+	env.Assign(self, m.cntAv, cntAv)
+	env.Assign(self, m.atx, atx)
+	env.Assign(self, m.aty, aty)
+	env.Assign(self, m.alx, alx)
+	env.Assign(self, m.aly, aly)
+	env.Assign(self, m.cntSoc, cntSoc)
+}
+
 // Update implements engine.Model: compose the desired direction per
 // Couzin's priority rule, blend the informed preference, perturb, move.
 func (m *Model) Update(self *agent.Agent, u *engine.UpdateCtx) {
@@ -210,4 +255,7 @@ func (m *Model) Pos(a *agent.Agent) geom.Vec { return a.Pos(m.s) }
 // Class returns 0 for uninformed fish, ±1 for the two informed classes.
 func (m *Model) Class(a *agent.Agent) float64 { return a.State[m.class] }
 
-var _ engine.Model = (*Model)(nil)
+var (
+	_ engine.Model         = (*Model)(nil)
+	_ engine.ColumnarModel = (*Model)(nil)
+)

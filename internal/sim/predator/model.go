@@ -143,6 +143,39 @@ func (m *Model) Query(self *agent.Agent, env engine.Env) {
 	})
 }
 
+// QueryCols implements engine.ColumnarModel. The engine only takes the
+// columnar path for local-effect models, i.e. the inverted variant; the
+// classic script (hurt assigned to the victim, a non-local effect) always
+// runs through Query. The bite predicate is inlined over the columns with
+// the same arithmetic as bites — dx negates exactly, so both directions
+// of the pair test agree bit-for-bit with the pointer path.
+func (m *Model) QueryCols(env *engine.Cols, self int32) {
+	xs, ys := env.State(m.x), env.State(m.y)
+	es := env.State(m.energy)
+	sx, sy, se := xs[self], ys[self], es[self]
+	r2 := m.P.BiteRadius * m.P.BiteRadius
+	var fed, hurt float64
+	for _, j := range env.Nearby(m.P.BiteRadius) {
+		if j == self {
+			continue
+		}
+		dx, dy := sx-xs[j], sy-ys[j]
+		if dx*dx+dy*dy > r2 {
+			continue
+		}
+		if se > es[j] {
+			fed += m.P.BiteGain
+		}
+		if m.Inverted && es[j] > se {
+			hurt += m.P.BiteDamage
+		}
+	}
+	env.Assign(self, m.fed, fed)
+	if m.Inverted {
+		env.Assign(self, m.hurt, hurt)
+	}
+}
+
 // Update implements engine.Model: settle the tick's energy budget, then
 // die, split, or move.
 func (m *Model) Update(self *agent.Agent, u *engine.UpdateCtx) {
@@ -196,4 +229,5 @@ func (m *Model) Energy(a *agent.Agent) float64 { return a.State[m.energy] }
 var (
 	_ engine.Model         = (*Model)(nil)
 	_ engine.NonLocalModel = (*Model)(nil)
+	_ engine.ColumnarModel = (*Model)(nil)
 )

@@ -99,6 +99,55 @@ func (m *Model) Query(self *agent.Agent, env engine.Env) {
 	}
 }
 
+// QueryCols implements engine.ColumnarModel: the three-lane perception
+// streamed over the state columns. Same visible rows in the same
+// ascending-ID order, same arithmetic and the same single Assign per
+// effect field as Query, so the perceived values are bit-identical.
+func (m *Model) QueryCols(env *engine.Cols, self int32) {
+	xs := env.State(m.x)
+	lanes := env.State(m.lane)
+	vs := env.State(m.v)
+	sx := xs[self]
+	lane := int(lanes[self])
+
+	var leadGap, leadV, rearGap, sumV [3]float64
+	var cnt [3]float64
+	for i := range leadGap {
+		leadGap[i] = math.Inf(1)
+		rearGap[i] = math.Inf(1)
+		leadV[i] = math.Inf(1)
+	}
+
+	for _, j := range env.Visible() {
+		if j == self {
+			continue
+		}
+		rel := int(lanes[j]) - lane + 1
+		if rel < 0 || rel > 2 {
+			continue
+		}
+		dx := xs[j] - sx
+		sumV[rel] += vs[j]
+		cnt[rel]++
+		if dx >= 0 {
+			if dx < leadGap[rel] {
+				leadGap[rel] = dx
+				leadV[rel] = vs[j]
+			}
+		} else if -dx < rearGap[rel] {
+			rearGap[rel] = -dx
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		env.Assign(self, m.effLeadGap[i], leadGap[i])
+		env.Assign(self, m.effLeadV[i], leadV[i])
+		env.Assign(self, m.effRearGap[i], rearGap[i])
+		env.Assign(self, m.effAvgV[i], sumV[i])
+		env.Assign(self, m.effCnt[i], cnt[i])
+	}
+}
+
 // Update implements engine.Model: decide and move, recycling vehicles that
 // leave the downstream end.
 func (m *Model) Update(self *agent.Agent, u *engine.UpdateCtx) {
@@ -168,4 +217,7 @@ func (m *Model) Speed(a *agent.Agent) float64 { return a.State[m.v] }
 // Changes returns a vehicle's cumulative lane-change count.
 func (m *Model) Changes(a *agent.Agent) float64 { return a.State[m.changes] }
 
-var _ engine.Model = (*Model)(nil)
+var (
+	_ engine.Model         = (*Model)(nil)
+	_ engine.ColumnarModel = (*Model)(nil)
+)

@@ -93,6 +93,16 @@ type CachedIndex struct {
 	hits  [][]int32
 	vis   []int64
 
+	// Uniform-grid scratch for the list build (see buildListsGrid).
+	cellStart []int32
+	cellCur   []int32
+	cellPts   []int32
+	cellXs    []float64
+	cellYs    []float64
+
+	// Point scratch for BuildKeyedCols (column-fed builds).
+	colPts []Point
+
 	stats Stats // probe/visited counters; atomic (see Stats)
 	cs    CacheStats
 }
@@ -211,8 +221,11 @@ func (c *CachedIndex) BuildKeyed(pts []Point, keys []int64, probe []int32) bool 
 	// whose construction cost dwarfed the per-tick scan work means the
 	// workload outruns the skin every tick with neighborhoods too small
 	// to amortize construction (e.g. a fast random walk with a tiny
-	// infection radius) — stop paying for lists.
-	if c.listsOn && c.buildSeen && c.reuseRun == 0 && c.buildCost > 2*c.listWork {
+	// infection radius) — stop paying for lists. The 3/2 threshold tracks
+	// the grid build's interior visit-to-entry ratio of 6.25/π ≈ 2: a
+	// same-order build is tolerable (it replaces the tick's tree walks),
+	// a clearly costlier one is not.
+	if c.listsOn && c.buildSeen && c.reuseRun == 0 && 2*c.buildCost > 3*c.listWork {
 		c.listsOn = false
 	}
 	c.rebuild(pts, keys, probe)
@@ -220,6 +233,19 @@ func (c *CachedIndex) BuildKeyed(pts []Point, keys []int64, probe []int32) bool 
 	c.buildSeen = true
 	c.reuseRun = 0
 	return true
+}
+
+// BuildKeyedCols is BuildKeyed fed straight from state columns: point i is
+// (xs[i], ys[i]) with slot ID i. The engines' columnar path hands its
+// position columns to the index without materializing a caller-side point
+// slice; the values are the same float64s an agent-side build would read,
+// so the resulting tree and lists are identical.
+func (c *CachedIndex) BuildKeyedCols(xs, ys []float64, keys []int64, probe []int32) bool {
+	c.colPts = grow(c.colPts, len(xs))
+	for i := range xs {
+		c.colPts[i] = Point{Pos: geom.Vec{X: xs[i], Y: ys[i]}, ID: int32(i)}
+	}
+	return c.BuildKeyed(c.colPts, keys, probe)
 }
 
 // Build implements Index: an unkeyed build always rebuilds (without
@@ -358,6 +384,9 @@ func (c *CachedIndex) buildLists() {
 	}
 
 	R := c.probeRad + c.skin
+	if c.buildListsGrid(R) {
+		return
+	}
 	chunks := Parallelism()
 	if m := n / listBuildGrain; m < chunks {
 		chunks = m
@@ -421,6 +450,196 @@ func (c *CachedIndex) buildLists() {
 	}
 	c.buildCost, c.listWork = visited, entries
 	c.charge(int64(n), visited)
+}
+
+// buildListsGrid is the dense-layout list construction: a uniform grid
+// with cell edge R/2 replaces the per-point tree probe. Binning is a
+// counting sort (stable, so cell membership ascends by slot) that also
+// copies the coordinates into bin order, so the pair sweep streams
+// contiguous columns instead of gathering points by slot. Each point
+// sweeps its 5×5 cell neighborhood — a pair within R spans at most two
+// cells per axis at edge R/2, and the finer cells shrink the tested area
+// from 9R² (3×3 at edge R) to 6.25R². Cells of one window row are
+// adjacent in the bin layout, so each row is a single contiguous span.
+// The candidate sweep runs j ascending exactly like the tree path, and
+// the order in which a given j tests its i-candidates never reaches the
+// output (each hit appends j to a distinct lists[i]), so the lists hold
+// the identical entries in the identical order; only the construction
+// cost (and its Visited accounting, which counts bin members examined
+// instead of tree candidates) changes. Returns false for layouts so
+// sparse that cells would far outnumber points — there the tree's pruning
+// wins and the caller keeps the tree sweep.
+func (c *CachedIndex) buildListsGrid(R float64) bool {
+	n := c.n
+	if n == 0 || R <= 0 {
+		return false
+	}
+	h := R / 2
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range c.built[:n] {
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
+	}
+	fx := math.Floor((maxX-minX)/h) + 1
+	fy := math.Floor((maxY-minY)/h) + 1
+	if !(fx > 0 && fy > 0) || fx*fy > float64(16*n+64) {
+		return false
+	}
+	nx, ny := int(fx), int(fy)
+	ncells := nx * ny
+
+	cellOf := func(p geom.Vec) (int, int) {
+		cx, cy := int((p.X-minX)/h), int((p.Y-minY)/h)
+		if cx >= nx {
+			cx = nx - 1
+		}
+		if cy >= ny {
+			cy = ny - 1
+		}
+		return cx, cy
+	}
+	c.cellStart = grow(c.cellStart, ncells+1)
+	for i := range c.cellStart {
+		c.cellStart[i] = 0
+	}
+	for _, p := range c.built[:n] {
+		cx, cy := cellOf(p)
+		c.cellStart[cy*nx+cx+1]++
+	}
+	for i := 1; i <= ncells; i++ {
+		c.cellStart[i] += c.cellStart[i-1]
+	}
+	c.cellCur = grow(c.cellCur, ncells)
+	copy(c.cellCur, c.cellStart[:ncells])
+	c.cellPts = grow(c.cellPts, n)
+	c.cellXs = grow(c.cellXs, n)
+	c.cellYs = grow(c.cellYs, n)
+	for i := 0; i < n; i++ {
+		p := c.built[i]
+		cx, cy := cellOf(p)
+		k := c.cellCur[cy*nx+cx]
+		c.cellPts[k] = int32(i)
+		c.cellXs[k] = p.X
+		c.cellYs[k] = p.Y
+		c.cellCur[cy*nx+cx]++
+	}
+
+	R2 := R * R
+	// cellWindow returns the clamped 5×5 cell neighborhood of p.
+	cellWindow := func(p geom.Vec) (xlo, xhi, ylo, yhi int) {
+		cx, cy := cellOf(p)
+		ylo, yhi = cy-2, cy+2
+		if ylo < 0 {
+			ylo = 0
+		}
+		if yhi >= ny {
+			yhi = ny - 1
+		}
+		xlo, xhi = cx-2, cx+2
+		if xlo < 0 {
+			xlo = 0
+		}
+		if xhi >= nx {
+			xhi = nx - 1
+		}
+		return
+	}
+	sweep := func(lo, hi int, emit func(i int32, j int)) int64 {
+		var visited int64
+		for j := lo; j < hi; j++ {
+			p := c.built[j]
+			xlo, xhi, ylo, yhi := cellWindow(p)
+			for yy := ylo; yy <= yhi; yy++ {
+				base := yy * nx
+				s, e := c.cellStart[base+xlo], c.cellStart[base+xhi+1]
+				xs, ys := c.cellXs[s:e], c.cellYs[s:e]
+				visited += int64(e - s)
+				for k, x := range xs {
+					dx, dy := x-p.X, ys[k]-p.Y
+					if dx*dx+dy*dy <= R2 {
+						if i := c.cellPts[int(s)+k]; c.mask[i] {
+							emit(i, j)
+						}
+					}
+				}
+			}
+		}
+		return visited
+	}
+
+	chunks := Parallelism()
+	if m := n / listBuildGrain; m < chunks {
+		chunks = m
+	}
+	if chunks <= 1 {
+		// Serial sweep, written out rather than routed through sweep's emit
+		// closure: the indirect call per list entry is measurable (~15% of
+		// the build) and the serial path is the common one on small hosts.
+		// The all-slots-probe case (every sequential tick) additionally
+		// drops the per-candidate mask load.
+		var visited, entries int64
+		lists := c.lists
+		maskAll := !c.hasProbe
+		for j := 0; j < n; j++ {
+			p := c.built[j]
+			xlo, xhi, ylo, yhi := cellWindow(p)
+			for yy := ylo; yy <= yhi; yy++ {
+				base := yy * nx
+				s, e := c.cellStart[base+xlo], c.cellStart[base+xhi+1]
+				xs, ys := c.cellXs[s:e], c.cellYs[s:e]
+				visited += int64(e - s)
+				if maskAll {
+					for k, x := range xs {
+						dx, dy := x-p.X, ys[k]-p.Y
+						if dx*dx+dy*dy <= R2 {
+							i := c.cellPts[int(s)+k]
+							lists[i] = append(lists[i], int32(j))
+							entries++
+						}
+					}
+				} else {
+					for k, x := range xs {
+						dx, dy := x-p.X, ys[k]-p.Y
+						if dx*dx+dy*dy <= R2 {
+							if i := c.cellPts[int(s)+k]; c.mask[i] {
+								lists[i] = append(lists[i], int32(j))
+								entries++
+							}
+						}
+					}
+				}
+			}
+		}
+		c.buildCost, c.listWork = visited, entries
+		c.charge(int64(n), visited)
+		return true
+	}
+
+	// Parallel: private (i, j) pair buffers per j-chunk, merged in chunk
+	// order — ascending j, identical lists to the serial sweep.
+	for len(c.pairs) < chunks {
+		c.pairs = append(c.pairs, nil)
+	}
+	c.vis = grow(c.vis, chunks)
+	ParallelFor(n, listBuildGrain, func(chunk, lo, hi int) {
+		pairs := c.pairs[chunk][:0]
+		c.vis[chunk] = sweep(lo, hi, func(i int32, j int) {
+			pairs = append(pairs, int64(i)<<32|int64(j))
+		})
+		c.pairs[chunk] = pairs
+	})
+	var visited, entries int64
+	for chunk := 0; chunk < chunks; chunk++ {
+		for _, pr := range c.pairs[chunk] {
+			c.lists[pr>>32] = append(c.lists[pr>>32], int32(pr&0xffffffff))
+		}
+		visited += c.vis[chunk]
+		entries += int64(len(c.pairs[chunk]))
+	}
+	c.buildCost, c.listWork = visited, entries
+	c.charge(int64(n), visited)
+	return true
 }
 
 // SlotCandidates returns slot's sorted candidate list and the shared

@@ -1,7 +1,6 @@
 package spatial
 
 import (
-	"sort"
 	"sync"
 
 	"github.com/bigreddata/brace/internal/geom"
@@ -128,9 +127,19 @@ func selectMedian(pts []Point, k int, axis int8) {
 	lo, hi := 0, len(pts)-1
 	for hi > lo {
 		if hi-lo < 12 {
-			sort.Slice(pts[lo:hi+1], func(i, j int) bool {
-				return key(pts[lo+i], axis) < key(pts[lo+j], axis)
-			})
+			// Insertion sort: sort.Slice's reflection-based swapper
+			// allocates, and this fallback runs once per leaf per rebuild —
+			// it was the tree build's only steady-state allocation.
+			for i := lo + 1; i <= hi; i++ {
+				p := pts[i]
+				kp := key(p, axis)
+				j := i - 1
+				for j >= lo && key(pts[j], axis) > kp {
+					pts[j+1] = pts[j]
+					j--
+				}
+				pts[j+1] = p
+			}
 			return
 		}
 		// Median-of-three pivot.

@@ -72,6 +72,13 @@ type Hello struct {
 	EpochTicks int
 	Index      string // kd | scan | grid
 	Sequential bool
+	// Part names the partitioning scheme: "" or "strips" for quantile
+	// x-strips (the default, required for LoadBalance), "kd2d" for 2-D
+	// recursive median splits. Every process derives the identical
+	// function from the identical initial population, so only the name
+	// crosses the wire. Gob-additive: a v4 coordinator that never sets it
+	// interoperates with older captures.
+	Part string
 }
 
 // FinalReport is a worker's end-of-run message: its owned values, how far
