@@ -11,8 +11,10 @@ package brace
 // cmd/experiments -full.
 
 import (
+	"net"
 	"testing"
 
+	"github.com/bigreddata/brace/internal/distrib"
 	"github.com/bigreddata/brace/internal/experiments"
 )
 
@@ -256,5 +258,60 @@ func BenchmarkPredatorInverted(b *testing.B) {
 		if err := sim.Run(1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Distributed data-plane benchmarks ----
+
+// startBenchWorkers launches n multi-session worker daemons on loopback
+// for the distributed benchmarks (mesh runs dial peer links, so the
+// daemons must serve concurrent connections).
+func startBenchWorkers(b *testing.B, n int) []string {
+	b.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { lis.Close() })
+		addrs[i] = lis.Addr().String()
+		go distrib.ServeWith(lis, distrib.ServeOptions{})
+	}
+	return addrs
+}
+
+// BenchmarkDistribFish8w measures coordinator-visible throughput of the
+// fish workload distributed over real loopback sockets, 8 partitions on 2
+// worker daemons — once with the star data plane (neighbor envelopes
+// relayed through the coordinator) and once with the peer mesh carrying
+// them directly. The pair is the PR's ablation: same run, same wire
+// format, only the envelope path differs.
+func BenchmarkDistribFish8w(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mesh bool
+	}{{"star", false}, {"mesh", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			addrs := startBenchWorkers(b, 2)
+			const ticks = 10
+			var agentTicks int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := distrib.Run(distrib.Options{
+					Addrs:    addrs,
+					Scenario: "fish",
+					Agents:   2000, Seed: 1,
+					Partitions: 8, Ticks: ticks,
+					Tunables: distrib.Tunables{Mesh: mode.mesh},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				agentTicks += int64(len(res.Agents)) * ticks
+			}
+			b.ReportMetric(float64(agentTicks)/b.Elapsed().Seconds(), "agent-ticks/s")
+		})
 	}
 }

@@ -177,13 +177,15 @@ func New(m Model, pop []*Agent, cfg Config) (*Simulation, error) {
 		return &Simulation{seq: seq}, nil
 	}
 	opts := engine.Options{
-		Workers:               cfg.Workers,
-		Index:                 cfg.Index.spatial(),
-		Seed:                  cfg.Seed,
-		EpochTicks:            cfg.EpochTicks,
-		CheckpointEveryEpochs: cfg.Checkpoint,
-		LoadBalance:           cfg.LoadBalance,
-		CacheSkin:             cfg.CacheSkin,
+		Workers: cfg.Workers,
+		Index:   cfg.Index.spatial(),
+		Seed:    cfg.Seed,
+		Tunables: cluster.Tunables{
+			EpochTicks:            cfg.EpochTicks,
+			CheckpointEveryEpochs: cfg.Checkpoint,
+			CacheSkin:             cfg.CacheSkin,
+		},
+		LoadBalance: cfg.LoadBalance,
 	}
 	if cfg.TwoDPartition {
 		s := m.Schema()

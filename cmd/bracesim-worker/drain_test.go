@@ -166,9 +166,8 @@ func TestSIGTERMMidRunDrainsEpochAndRecovers(t *testing.T) {
 			Addrs:    []string{survivor.addr, victim.addr},
 			Scenario: "epidemic",
 			Agents:   agents, Seed: seed,
-			Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-			CheckpointEveryEpochs: 1,
-			RejoinTimeout:         time.Second,
+			Partitions: parts, Ticks: ticks,
+			Tunables: distrib.Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1, RejoinTimeout: time.Second},
 		})
 		done <- outcome{res, err}
 	}()

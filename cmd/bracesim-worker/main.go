@@ -61,6 +61,8 @@ func run(args []string, drain <-chan struct{}, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", "127.0.0.1:0", "address to accept coordinators on")
 	once := fs.Bool("once", false, "exit after one coordinator session")
+	register := fs.String("register", "", "announce this daemon to a coordinator/service registry at this address instead of being named in -worker-addrs")
+	advertise := fs.String("advertise", "", "session address to announce with -register (default: the -listen address; set it when listening on a wildcard)")
 	heartbeat := fs.Duration("heartbeat", 0,
 		fmt.Sprintf("abort a session whose coordinator has been silent this long (0 = wait forever); "+
 			"the coordinator pings every %v by default, so a small multiple of that is safe", distrib.DefaultHeartbeat))
@@ -82,6 +84,8 @@ func run(args []string, drain <-chan struct{}, stdout, stderr io.Writer) int {
 		Once:         *once,
 		CoordTimeout: *heartbeat,
 		Drain:        drain,
+		Register:     *register,
+		Advertise:    *advertise,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "bracesim-worker:", err)

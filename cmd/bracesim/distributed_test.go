@@ -20,6 +20,12 @@ import (
 // real multi-process distribution without shelling out to the go tool.
 const workerProcEnv = "BRACESIM_TEST_WORKER"
 
+// workerRegisterEnv switches the re-exec'd worker from a single-session
+// daemon to a registering multi-session one: it announces itself at the
+// env value's registry address and routes peer links, which mesh runs
+// need (a peer dial is a second connection to the same listener).
+const workerRegisterEnv = "BRACESIM_TEST_WORKER_REGISTER"
+
 func TestMain(m *testing.M) {
 	if os.Getenv(workerProcEnv) != "" {
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -28,7 +34,12 @@ func TestMain(m *testing.M) {
 			os.Exit(1)
 		}
 		fmt.Printf("listening on %s\n", lis.Addr())
-		if err := distrib.Serve(lis, os.Stderr, true); err != nil {
+		if reg := os.Getenv(workerRegisterEnv); reg != "" {
+			err = distrib.ServeWith(lis, distrib.ServeOptions{Log: os.Stderr, Register: reg})
+		} else {
+			err = distrib.Serve(lis, os.Stderr, true)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -47,11 +58,12 @@ type workerProc struct {
 }
 
 // spawnWorker starts one real worker OS process and returns it once the
-// daemon reports its bound port.
-func spawnWorker(t *testing.T) *workerProc {
+// daemon reports its bound port. Extra env entries select daemon modes
+// (workerRegisterEnv).
+func spawnWorker(t *testing.T, env ...string) *workerProc {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
-	cmd.Env = append(os.Environ(), workerProcEnv+"=1")
+	cmd.Env = append(append(os.Environ(), workerProcEnv+"=1"), env...)
 	out, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -186,8 +198,8 @@ func TestDistributeTCPWorkerKillRecovery(t *testing.T) {
 			Addrs:    []string{ws[0].addr, ws[1].addr, ws[2].addr},
 			Scenario: "epidemic",
 			Agents:   agents, Seed: seed,
-			Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-			CheckpointEveryEpochs: 1,
+			Partitions: parts, Ticks: ticks,
+			Tunables: distrib.Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1},
 		})
 		done <- outcome{res, err}
 	}()
@@ -276,14 +288,15 @@ func TestDistributeTCPWorkerStallRecovery(t *testing.T) {
 			Addrs:    []string{ws[0].addr, ws[1].addr, ws[2].addr},
 			Scenario: "epidemic",
 			Agents:   agents, Seed: seed,
-			Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-			CheckpointEveryEpochs: 1,
-			Heartbeat:             100 * time.Millisecond,
-			EpochTimeout:          30 * time.Second,
-			// The frozen worker's kernel still completes the rejoin
-			// dial's TCP handshake; only the handshake timeout unmasks
-			// it. Keep that short so the test spends its time simulating.
-			RejoinTimeout: time.Second,
+			Partitions: parts, Ticks: ticks,
+			// RejoinTimeout is short because the frozen worker's kernel
+			// still completes the rejoin dial's TCP handshake; only the
+			// handshake timeout unmasks it.
+			Tunables: distrib.Tunables{
+				EpochTicks: epoch, CheckpointEveryEpochs: 1,
+				Heartbeat: 100 * time.Millisecond, EpochTimeout: 30 * time.Second,
+				RejoinTimeout: time.Second,
+			},
 		})
 		done <- outcome{res, err}
 	}()
@@ -381,5 +394,99 @@ func TestDistributeLoadBalanceFlag(t *testing.T) {
 	}
 	if !strings.Contains(out, "stalls=0") || !strings.Contains(out, "ckpt=") {
 		t.Errorf("summary should report liveness and checkpoint counters:\n%s", out)
+	}
+}
+
+// TestDistributeTCPMeshRegistration is the tentpole's real-process
+// acceptance: worker OS processes discovered through -register (no
+// -worker-addrs anywhere), the data plane on direct peer links between
+// them, and the assembled state bit-identical to the in-memory engine.
+// Steady state must relay zero data frames through the coordinator.
+func TestDistributeTCPMeshRegistration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	rlis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := distrib.NewRegistry(rlis)
+	t.Cleanup(reg.Close)
+
+	spawnWorker(t, workerRegisterEnv+"="+reg.Addr())
+	spawnWorker(t, workerRegisterEnv+"="+reg.Addr())
+	if _, err := reg.Await(2, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := distrib.Run(distrib.Options{
+		Registry: reg,
+		Scenario: "epidemic",
+		Agents:   120, Seed: 9,
+		Partitions: 4, Ticks: 6,
+		Tunables: distrib.Tunables{Mesh: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs != 2 {
+		t.Fatalf("procs = %d, want 2 discovered workers", res.Procs)
+	}
+	if res.RelayedDataFrames != 0 {
+		t.Errorf("coordinator relayed %d data frames; a healthy mesh carries its own data plane",
+			res.RelayedDataFrames)
+	}
+
+	mem, err := brace.NewScenario("epidemic",
+		brace.ScenarioConfig{Agents: 120, Seed: 9}, brace.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	want := mem.Agents()
+	if len(res.Agents) != len(want) {
+		t.Fatalf("population sizes differ: mesh %d vs mem %d", len(res.Agents), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(res.Agents[i]) {
+			t.Fatalf("agent %d differs across data planes:\n  mem: %v\n  mesh: %v",
+				want[i].ID, want[i], res.Agents[i])
+		}
+	}
+}
+
+// The same discovery path through the CLI flags: `-registry` owns the
+// registry socket, `-await-workers` gates on fleet width, `-mesh` moves
+// the data plane onto peer links. Workers retry their registry dial, so
+// they can be spawned before the coordinator binds the socket.
+func TestDistributeTCPMeshRegistrationCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	// Reserve a port for the registry, free it, and hand it to the CLI;
+	// the workers' registration dials retry until the coordinator binds.
+	rlis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	regAddr := rlis.Addr().String()
+	rlis.Close()
+
+	spawnWorker(t, workerRegisterEnv+"="+regAddr)
+	spawnWorker(t, workerRegisterEnv+"="+regAddr)
+
+	code, out, errOut := runCLI(t,
+		"-distribute", "tcp", "-registry", regAddr, "-await-workers", "2", "-mesh",
+		"-model", "epidemic", "-agents", "120", "-ticks", "6", "-workers", "4", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "registry on "+regAddr) {
+		t.Errorf("registry banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "distributed ticks=6") || !strings.Contains(out, "procs=2") {
+		t.Errorf("summary line missing:\n%s", out)
 	}
 }

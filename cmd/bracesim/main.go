@@ -19,10 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"github.com/bigreddata/brace"
 	"github.com/bigreddata/brace/internal/distrib"
@@ -67,9 +69,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seq := fs.Bool("seq", false, "use the sequential reference engine")
 	invert := fs.Bool("invert", false, "apply effect inversion to the BRASIL script")
 	span := fs.Float64("span", 100, "initial placement span for BRASIL agents")
-	distribute := fs.String("distribute", "", "run across real worker processes: 'tcp' (requires -worker-addrs)")
+	distribute := fs.String("distribute", "", "run across real worker processes: 'tcp' (requires -worker-addrs or -registry)")
 	submit := fs.String("submit", "", "submit the run to a bracesimd service at this base URL (e.g. http://127.0.0.1:8080) instead of running it here")
 	workerAddrs := fs.String("worker-addrs", "", "comma-separated bracesim-worker addresses for -distribute tcp")
+	registry := fs.String("registry", "", "with -distribute: listen here for worker registrations (bracesim-worker -register) instead of naming every address in -worker-addrs")
+	awaitWorkers := fs.Int("await-workers", 0, "with -registry: wait for this many registered workers before starting the run")
+	mesh := fs.Bool("mesh", false, "with -distribute: peer-mesh data plane — workers exchange neighbor envelopes directly and only the control plane crosses the coordinator")
 	verbose := fs.Bool("v", false, "verbose output")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -118,23 +123,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, fmt.Errorf("-vtime is unsupported with -distribute: distributed runs measure real time"))
 		}
 		o := distrib.Options{
-			Addrs:                 splitAddrs(*workerAddrs),
-			Scenario:              *model,
-			Agents:                *agents,
-			Extent:                *extent,
-			Seed:                  *seed,
-			Partitions:            *workers,
-			Ticks:                 *ticks,
-			Index:                 *index,
-			Part:                  *part,
-			Sequential:            *seq,
-			LoadBalance:           *lb,
-			CheckpointEveryEpochs: *ckptEpochs,
-			CheckpointFullEvery:   *ckptFullEvery,
-			Heartbeat:             *heartbeat,
-			EpochTimeout:          *epochTimeout,
-			DialTimeout:           *dialTimeout,
-			RejoinTimeout:         *rejoinTimeout,
+			Addrs:       splitAddrs(*workerAddrs),
+			Scenario:    *model,
+			Agents:      *agents,
+			Extent:      *extent,
+			Seed:        *seed,
+			Partitions:  *workers,
+			Ticks:       *ticks,
+			Index:       *index,
+			Part:        *part,
+			Sequential:  *seq,
+			LoadBalance: *lb,
+			Tunables: distrib.Tunables{
+				CheckpointEveryEpochs: *ckptEpochs,
+				CheckpointFullEvery:   *ckptFullEvery,
+				Heartbeat:             *heartbeat,
+				EpochTimeout:          *epochTimeout,
+				DialTimeout:           *dialTimeout,
+				RejoinTimeout:         *rejoinTimeout,
+				Mesh:                  *mesh,
+			},
+		}
+		if *registry != "" {
+			rlis, err := net.Listen("tcp", *registry)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			reg := distrib.NewRegistry(rlis)
+			defer reg.Close()
+			o.Registry = reg
+			// Printed before any waiting so operators (and the process
+			// tests) can point workers' -register here.
+			fmt.Fprintf(stdout, "registry on %s\n", reg.Addr())
+			if *awaitWorkers > 0 {
+				addrs, err := reg.Await(*awaitWorkers, 60*time.Second)
+				if err != nil {
+					return fail(stderr, err)
+				}
+				o.Addrs = append(o.Addrs, addrs...)
+			}
+		} else if *awaitWorkers > 0 {
+			return fail(stderr, fmt.Errorf("-await-workers requires -registry"))
+		}
+		if len(o.Addrs) == 0 {
+			return fail(stderr, fmt.Errorf("-distribute tcp needs workers: -worker-addrs, or -registry with -await-workers"))
 		}
 		if *verbose {
 			if sp, ok := brace.LookupScenario(*model); ok {
@@ -166,6 +198,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	distOnly := map[string]bool{
 		"worker-addrs": true, "heartbeat": true, "epoch-timeout": true,
 		"ckpt-full-every": true, "dial-timeout": true, "rejoin-timeout": true,
+		"registry": true, "await-workers": true, "mesh": true,
 	}
 	var misused []string
 	fs.Visit(func(f *flag.Flag) {

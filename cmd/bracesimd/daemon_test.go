@@ -26,6 +26,10 @@ import (
 // hosting sessions of many concurrent runs.
 const workerProcEnv = "BRACESIMD_TEST_WORKER"
 
+// workerRegisterEnv makes the re-exec'd worker announce itself at the
+// env value's registry address instead of being named in -worker-addrs.
+const workerRegisterEnv = "BRACESIMD_TEST_WORKER_REGISTER"
+
 func TestMain(m *testing.M) {
 	if os.Getenv(workerProcEnv) != "" {
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
@@ -34,7 +38,12 @@ func TestMain(m *testing.M) {
 			os.Exit(1)
 		}
 		fmt.Printf("listening on %s\n", lis.Addr())
-		if err := distrib.Serve(lis, os.Stderr, false); err != nil {
+		if reg := os.Getenv(workerRegisterEnv); reg != "" {
+			err = distrib.ServeWith(lis, distrib.ServeOptions{Log: os.Stderr, Register: reg})
+		} else {
+			err = distrib.Serve(lis, os.Stderr, false)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -52,10 +61,10 @@ type workerProc struct {
 	sessions chan struct{}
 }
 
-func spawnWorker(t *testing.T) *workerProc {
+func spawnWorker(t *testing.T, env ...string) *workerProc {
 	t.Helper()
 	cmd := exec.Command(os.Args[0])
-	cmd.Env = append(os.Environ(), workerProcEnv+"=1")
+	cmd.Env = append(append(os.Environ(), workerProcEnv+"=1"), env...)
 	out, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -270,7 +279,8 @@ func soloEquivalent(t *testing.T, scenarioName string, agents int, seed uint64, 
 		Addrs:    addrs,
 		Scenario: scenarioName,
 		Agents:   agents, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
+		Partitions: parts, Ticks: ticks,
+		Tunables: distrib.Tunables{EpochTicks: epoch},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -419,5 +429,84 @@ func TestDaemonFlagValidation(t *testing.T) {
 	}
 	if code := run([]string{"-no-such"}, nil, io.Discard, io.Discard); code != 2 {
 		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+}
+
+// The self-contained fleet now wires itself through registration: with
+// -mesh the local workers' sessions exchange envelopes directly, the run
+// completes over HTTP as before, and /v1/fleet reports every worker as
+// registered.
+func TestDaemonLocalWorkersRegistryMesh(t *testing.T) {
+	base := startDaemon(t, "-listen", "127.0.0.1:0", "-local-workers", "2", "-mesh")
+	st := postRun(t, base, `{"scenario":"epidemic","agents":90,"seed":4,"ticks":20,"epoch_ticks":5}`)
+	waitDone(t, base, st.ID, 60*time.Second)
+
+	resp, err := http.Get(base + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fleet []service.WorkerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 2 {
+		t.Fatalf("fleet = %v, want 2 workers", fleet)
+	}
+	for _, w := range fleet {
+		if !w.Registered {
+			t.Errorf("worker %s not marked registered", w.Addr)
+		}
+	}
+}
+
+// An externally-owned registry fleet: real worker OS processes announce
+// themselves at the daemon's -registry socket (no -worker-addrs, no
+// -local-workers) and a mesh run completes over them.
+func TestDaemonRegistryMeshWorkerProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	// Reserve a port for the registry, free it, and hand it to the
+	// daemon; the workers' registration dials retry until it binds.
+	rlis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	regAddr := rlis.Addr().String()
+	rlis.Close()
+
+	spawnWorker(t, workerRegisterEnv+"="+regAddr)
+	spawnWorker(t, workerRegisterEnv+"="+regAddr)
+
+	base := startDaemon(t, "-listen", "127.0.0.1:0", "-registry", regAddr, "-mesh")
+
+	// Wait for both announcements to land: runs submitted into an empty
+	// fleet are rejected, not queued.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/fleet")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fleet []service.WorkerInfo
+		err = json.NewDecoder(resp.Body).Decode(&fleet)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fleet) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached 2 workers: %v", fleet)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	st := postRun(t, base, `{"scenario":"epidemic","agents":90,"seed":4,"ticks":20,"epoch_ticks":5}`)
+	waitDone(t, base, st.ID, 60*time.Second)
+	if final := watchFinal(t, base, st.ID); len(final) == 0 {
+		t.Fatal("no final population")
 	}
 }

@@ -61,6 +61,8 @@ func run(args []string, shutdown <-chan struct{}, stdout, stderr io.Writer) int 
 	listen := fs.String("listen", "127.0.0.1:8080", "address to serve the HTTP API on")
 	workerAddrs := fs.String("worker-addrs", "", "comma-separated bracesim-worker addresses forming the fleet")
 	localWorkers := fs.Int("local-workers", 0, "spin up this many in-process workers instead of -worker-addrs (self-contained service)")
+	registryAddr := fs.String("registry", "", "listen address for worker registration (bracesim-worker -register); implied on a loopback ephemeral port by -local-workers")
+	mesh := fs.Bool("mesh", false, "peer-mesh data plane: workers exchange neighbor envelopes directly, the daemon keeps only the control plane")
 	maxRuns := fs.Int("max-runs", 0, "max concurrently running simulations (0 = default 4); admitted runs beyond it queue")
 	queueDepth := fs.Int("queue", 0, "max queued runs (0 = default 16); submissions beyond it are rejected")
 	runWorkers := fs.Int("run-workers", 0, "default per-run worker budget when a spec omits one (0 = the whole fleet)")
@@ -86,8 +88,27 @@ func run(args []string, shutdown <-chan struct{}, stdout, stderr io.Writer) int 
 	if len(addrs) > 0 && *localWorkers > 0 {
 		return fail(stderr, fmt.Errorf("-worker-addrs and -local-workers are mutually exclusive"))
 	}
-	if len(addrs) == 0 && *localWorkers <= 0 {
-		return fail(stderr, fmt.Errorf("a fleet is required: -worker-addrs or -local-workers"))
+	if len(addrs) == 0 && *localWorkers <= 0 && *registryAddr == "" {
+		return fail(stderr, fmt.Errorf("a fleet is required: -worker-addrs, -local-workers, or -registry"))
+	}
+
+	// The registry is how workers find the service (and vice versa):
+	// external daemons dial it with -register, and the -local-workers
+	// fleet announces itself through it too — one discovery path instead
+	// of a static list. Workers registering later grow the fleet live.
+	var reg *distrib.Registry
+	if *registryAddr != "" || *localWorkers > 0 {
+		bind := *registryAddr
+		if bind == "" {
+			bind = "127.0.0.1:0"
+		}
+		rlis, err := net.Listen("tcp", bind)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		reg = distrib.NewRegistry(rlis)
+		defer reg.Close()
+		fmt.Fprintf(stdout, "registry on %s\n", reg.Addr())
 	}
 
 	// A -local-workers fleet lives inside the daemon process: each worker
@@ -102,30 +123,39 @@ func run(args []string, shutdown <-chan struct{}, stdout, stderr io.Writer) int 
 		if err != nil {
 			return fail(stderr, err)
 		}
-		addrs = append(addrs, lis.Addr().String())
 		workerWG.Add(1)
 		go func() {
 			defer workerWG.Done()
-			if err := distrib.ServeWith(lis, distrib.ServeOptions{Log: stderr, Drain: drain}); err != nil {
+			if err := distrib.ServeWith(lis, distrib.ServeOptions{Log: stderr, Drain: drain, Register: reg.Addr()}); err != nil {
 				fmt.Fprintln(stderr, "bracesimd: local worker:", err)
 			}
 		}()
 	}
 	if *localWorkers > 0 {
-		fmt.Fprintf(stdout, "local fleet: %s\n", strings.Join(addrs, ","))
+		// Gate on the fleet actually announcing itself — the same path an
+		// external worker takes — so the manager below starts fully wired.
+		local, err := reg.Await(*localWorkers, 30*time.Second)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "local fleet: %s\n", strings.Join(local, ","))
 	}
 
 	mgr, err := service.NewManager(service.Config{
 		WorkerAddrs:       addrs,
+		Registry:          reg,
 		MaxRuns:           *maxRuns,
 		QueueDepth:        *queueDepth,
 		SessionsPerWorker: *sessionsPer,
 		DefaultRunWorkers: *runWorkers,
 		KeyframeEvery:     *keyframeEvery,
-		Heartbeat:         *heartbeat,
-		EpochTimeout:      *epochTimeout,
-		DialTimeout:       *dialTimeout,
-		Log:               stderr,
+		Tunables: distrib.Tunables{
+			Heartbeat:    *heartbeat,
+			EpochTimeout: *epochTimeout,
+			DialTimeout:  *dialTimeout,
+			Mesh:         *mesh,
+		},
+		Log: stderr,
 	})
 	if err != nil {
 		return fail(stderr, err)

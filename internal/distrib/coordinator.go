@@ -1,6 +1,8 @@
 package distrib
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"net"
 	"time"
@@ -18,8 +20,19 @@ import (
 // is the master of §3.3, interacting with workers only at epoch
 // boundaries.
 func Run(o Options) (*Result, error) {
+	if o.Registry != nil && len(o.Addrs) == 0 {
+		for _, w := range o.Registry.Workers() {
+			o.Addrs = append(o.Addrs, w.Addr)
+		}
+	}
 	if err := o.validate(); err != nil {
 		return nil, err
+	}
+	if o.Mesh && o.RunID == "" {
+		// Peer links address sessions by (run, process) on the target
+		// daemon, so a mesh run must have a distinguishable identity even
+		// when the caller did not name one.
+		o.RunID = randomRunID()
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = DefaultDialTimeout
@@ -169,10 +182,11 @@ type coordinator struct {
 	ckptSeq     uint64 // sequence of the last *ordered* checkpoint
 	ckptOrdered int    // periodic checkpoints ordered (keyframe cadence)
 
-	recoveries, rejoins, rebalances, stallDrops int
-	ckptBytes                                   int64
-	ckptFullParts, ckptDeltaParts               int
-	epochs                                      []EpochDecision
+	recoveries, rejoins, rebalances, stallDrops, joins int
+
+	ckptBytes                     int64
+	ckptFullParts, ckptDeltaParts int
+	epochs                        []EpochDecision
 }
 
 func (c *coordinator) liveCount() int {
@@ -195,8 +209,16 @@ func (c *coordinator) run() (*Result, error) {
 		defer t.Stop()
 		timer = t.C
 	}
+	var joins <-chan RegisteredWorker
+	if c.o.Registry != nil {
+		joins = c.o.Registry.Events() // nil channel otherwise: the case never fires
+	}
 	for {
 		select {
+		case w := <-joins:
+			if err := c.admit(w); err != nil {
+				return nil, err
+			}
 		case <-c.o.Cancel:
 			// Deliberate abort: drop every worker connection (the deferred
 			// hub close does it) and report the cancellation. Workers
@@ -352,6 +374,10 @@ func (c *coordinator) finish() (*Result, error) {
 	res.Rejoins = c.rejoins
 	res.Rebalances = c.rebalances
 	res.StallDrops = c.stallDrops
+	res.Joins = c.joins
+	traffic := c.hub.Traffic()
+	res.RelayedDataFrames = traffic.DataFrames
+	res.RelayedDataBytes = traffic.DataBytes
 	res.CheckpointBytes = c.ckptBytes
 	res.CheckpointFullParts = c.ckptFullParts
 	res.CheckpointDeltaParts = c.ckptDeltaParts
@@ -591,50 +617,7 @@ func (c *coordinator) recoverFrom(src int, cause error) error {
 		// discard half-assembled barrier state, rewind to the checkpoint.
 		c.gen++
 		c.recoveries++
-		c.hub.SetAssign(c.place.Assign())
-		c.cuts = append([]float64(nil), c.ckpt.cuts...)
-		c.stats = make(map[int]*transport.EpochStats)
-		c.finals = make(map[int]*transport.FinalReport)
-		c.pending = nil
-		c.statsSince, c.ckptSince, c.finalsSince = time.Time{}, time.Time{}, time.Time{}
-		c.lv.roundReset(time.Now())
-		// The rewind also rolls back decisions made after the checkpoint:
-		// truncate the decision log to the restored tick and recount, so
-		// Result.Epochs/Rebalances describe what is actually in force.
-		kept := c.epochs[:0]
-		rebalances := 0
-		for _, e := range c.epochs {
-			if e.Tick <= c.ckpt.tick {
-				kept = append(kept, e)
-				if e.Rebalanced {
-					rebalances++
-				}
-			}
-		}
-		c.epochs = kept
-		c.rebalances = rebalances
-
-		assign := c.place.Assign()
-		for p := range c.live {
-			if !c.live[p] {
-				continue
-			}
-			rest := &transport.Restore{
-				Gen:     c.gen,
-				Tick:    c.ckpt.tick,
-				Cuts:    append([]float64(nil), c.ckpt.cuts...),
-				Assign:  assign,
-				Live:    append([]bool(nil), c.live...),
-				CkptSeq: c.ckpt.seq,
-			}
-			for _, q := range c.place.Owned(p) {
-				rest.Parts = append(rest.Parts, c.ckpt.parts[q])
-			}
-			if err := c.hub.Send(p, &transport.Frame{Kind: transport.FrameRestore, Gen: c.gen, Rest: rest}); err != nil {
-				next = append(next, p)
-			}
-		}
-		dead = next
+		dead = append(next, c.rewind()...)
 		cause = fmt.Errorf("distrib: worker lost while broadcasting restore")
 	}
 	// The rejoin dial above can block this single-threaded loop for the
@@ -643,6 +626,120 @@ func (c *coordinator) recoverFrom(src int, cause error) error {
 	// fires next.
 	c.lv.graceAll(c.live, time.Now())
 	return nil
+}
+
+// rewind restores the fleet onto the current placement from the last
+// complete checkpoint under the (already bumped) generation: half-
+// assembled barrier state is discarded, the decision log is truncated to
+// the restored tick, and every live worker gets a Restore carrying its
+// partitions — plus the peer roster in mesh runs, so transports re-fence
+// their peer links alongside their generation. Workers whose Restore
+// could not be sent are returned for the caller's recovery loop.
+func (c *coordinator) rewind() []int {
+	c.hub.SetAssign(c.place.Assign())
+	c.cuts = append([]float64(nil), c.ckpt.cuts...)
+	c.stats = make(map[int]*transport.EpochStats)
+	c.finals = make(map[int]*transport.FinalReport)
+	c.pending = nil
+	c.statsSince, c.ckptSince, c.finalsSince = time.Time{}, time.Time{}, time.Time{}
+	c.lv.roundReset(time.Now())
+	// The rewind also rolls back decisions made after the checkpoint:
+	// truncate the decision log to the restored tick and recount, so
+	// Result.Epochs/Rebalances describe what is actually in force.
+	kept := c.epochs[:0]
+	rebalances := 0
+	for _, e := range c.epochs {
+		if e.Tick <= c.ckpt.tick {
+			kept = append(kept, e)
+			if e.Rebalanced {
+				rebalances++
+			}
+		}
+	}
+	c.epochs = kept
+	c.rebalances = rebalances
+
+	assign := c.place.Assign()
+	var failed []int
+	for p := range c.live {
+		if !c.live[p] {
+			continue
+		}
+		rest := &transport.Restore{
+			Gen:     c.gen,
+			Tick:    c.ckpt.tick,
+			Cuts:    append([]float64(nil), c.ckpt.cuts...),
+			Assign:  assign,
+			Live:    append([]bool(nil), c.live...),
+			CkptSeq: c.ckpt.seq,
+		}
+		if c.o.Mesh {
+			rest.Peers = append([]string(nil), c.o.Addrs...)
+		}
+		for _, q := range c.place.Owned(p) {
+			rest.Parts = append(rest.Parts, c.ckpt.parts[q])
+		}
+		if err := c.hub.Send(p, &transport.Frame{Kind: transport.FrameRestore, Gen: c.gen, Rest: rest}); err != nil {
+			failed = append(failed, p)
+		}
+	}
+	return failed
+}
+
+// admit places a worker that registered mid-run into the running fleet:
+// the coordinator grows its tables, dials the newcomer one generation
+// ahead — exactly a rejoin handshake, so the session parks for a Restore
+// instead of ticking placeholder state — hands it its fair share of
+// partitions through the same Join path a re-admitted worker uses, and
+// rewinds everyone onto the grown placement from the last checkpoint.
+func (c *coordinator) admit(w RegisteredWorker) error {
+	for _, a := range c.o.Addrs {
+		if a == w.Addr {
+			return nil // already placed, or the initial registration's event
+		}
+	}
+	proc := len(c.o.Addrs)
+	c.o.Addrs = append(c.o.Addrs, w.Addr)
+	c.live = append(c.live, false)
+	c.seqs = append(c.seqs, 0)
+	c.hub.Grow(proc + 1)
+	c.lv.grow(proc+1, time.Now())
+
+	conn, err := c.o.Dial(w.Addr, c.o.hello(proc, c.gen+1, c.place.Assign()), c.o.DialTimeout)
+	if err != nil {
+		// Vanished between registering and the dial: forget the slot ever
+		// existed so a later registration can try again cleanly.
+		c.o.Addrs = c.o.Addrs[:proc]
+		c.live = c.live[:proc]
+		c.seqs = c.seqs[:proc]
+		return nil
+	}
+	conn.SetWriteTimeout(c.writeTimeout())
+	c.live[proc] = true
+	c.seqs[proc] = c.hub.Attach(proc, conn)
+	c.lv.admit(proc, time.Now())
+	c.place.Join(proc, c.live)
+	c.joins++
+
+	c.gen++
+	failed := c.rewind()
+	c.lv.graceAll(c.live, time.Now()) // the dial blocked the loop; see recoverFrom
+	for _, p := range failed {
+		if err := c.recoverFrom(p, fmt.Errorf("distrib: worker %d lost while admitting worker %d", p, proc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// randomRunID names an anonymous mesh run. Collisions only matter within
+// one daemon fleet at one moment, so 64 random bits are plenty.
+func randomRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("run-%d", time.Now().UnixNano())
+	}
+	return "run-" + hex.EncodeToString(b[:])
 }
 
 // dialWorker connects to one worker daemon and completes the handshake:

@@ -61,8 +61,11 @@ type Options struct {
 	Partitions int
 	// Ticks to simulate.
 	Ticks int
-	// EpochTicks is the master interaction interval (0 = engine default).
-	EpochTicks int
+	// Tunables carries the shared knob set — epoch cadence, checkpoint
+	// cadence and keyframe interval, cache skin, liveness timeouts,
+	// recovery bounds, and the mesh switch. See cluster.Tunables for the
+	// per-field contracts; zero values select the Default* constants.
+	Tunables
 	// Index selects the spatial index: kd (default when empty), scan, grid.
 	Index string
 	// Sequential makes each worker process tick its partitions one at a
@@ -80,57 +83,16 @@ type Options struct {
 	LoadBalance bool
 	// Balancer tunes load balancing; zero value means DefaultBalancer.
 	Balancer partition.Balancer
-	// CheckpointEveryEpochs orders a coordinated checkpoint — workers ship
-	// their partitions' state to the coordinator — every k epochs (0 =
-	// only the initial tick-0 checkpoint is held, so recovery rewinds to
-	// the start).
-	CheckpointEveryEpochs int
-	// CheckpointFullEvery makes every Nth coordinated checkpoint a full
-	// keyframe; the ones between ship field-level deltas against the
-	// previous checkpoint (engine.DiffPartition), which the coordinator
-	// reassembles into full state on arrival. 1 ships full state every
-	// time (the v2 behavior); 0 means the default (8).
-	CheckpointFullEvery int
 	// NoRejoin disables re-dialing a dead worker's address before its
 	// partitions are re-placed on the survivors. By default the
 	// coordinator tries once: a daemon that only lost its connection (not
 	// its process) is re-admitted with its old partitions.
 	NoRejoin bool
-	// MaxRecoveries bounds failure recoveries per run (0 = default 8):
-	// a worker that keeps dying at the same replayed point — e.g. a
-	// flapping link re-admitting and re-severing every generation —
-	// must eventually fail the run instead of looping forever.
-	MaxRecoveries int
-	// RejoinTimeout bounds the re-dial + handshake when re-admitting a
-	// dead worker. It defaults to DialTimeout: a daemon healthy enough
-	// for the initial dial deserves the same budget to rejoin (the old
-	// 2s default made rejoins fail against slowly-restarting workers the
-	// initial dial would have waited for).
-	RejoinTimeout time.Duration
-	// DialTimeout bounds dialing + handshaking each worker (default 10s).
-	DialTimeout time.Duration
-	// Heartbeat is the liveness ping interval. The coordinator pings
-	// every live worker each interval; the worker's transport reader
-	// answers even mid-phase, so silence means a frozen process or a
-	// dead path, not a slow epoch. 0 means the default
-	// (DefaultHeartbeat); negative disables heartbeats.
-	Heartbeat time.Duration
-	// HeartbeatMisses is how many consecutive silent intervals declare a
-	// worker dead (0 = DefaultHeartbeatMisses). The product
-	// Heartbeat×HeartbeatMisses is the detection window.
-	HeartbeatMisses int
-	// EpochTimeout bounds every control-plane round (stats collection,
-	// checkpoint assembly, final reports) and, via the hub's observed
-	// marker progress, the gap between barriers. A worker that blows it
-	// is force-dropped into the ordinary recovery path.
-	//
-	// 0 selects adaptive deadlines: DefaultEpochTimeout as the floor,
-	// raised automatically when the observed barrier cadence says
-	// healthy epochs run long (slow boxes, big checkpoints, overlapped
-	// ticks hiding compute in the barrier window). An explicit positive
-	// value is a fixed deadline that must exceed the longest healthy
-	// epoch; negative disables the deadline.
-	EpochTimeout time.Duration
+	// Registry, when non-nil, is the coordinator-side worker registry:
+	// Addrs may be left empty and are filled from registered workers, and
+	// a worker that registers mid-run is admitted into the running
+	// placement through the rejoin path.
+	Registry *Registry
 
 	// The fields below make the coordinator embeddable as a library — the
 	// bracesimd service runs one coordinator per admitted run, each wired
@@ -163,16 +125,22 @@ type Options struct {
 	Dial func(addr string, h *transport.Hello, timeout time.Duration) (*transport.Conn, error)
 }
 
-// Defaults for the coordinator's tunable options; exported so every CLI
-// (bracesim, bracesim-worker, bracesimd) derives its flag help from the
-// values actually in force, and tests assert against them.
+// Tunables is the shared knob set embedded by Options, engine.Options and
+// the service run config; aliased here so coordinator callers need not
+// import internal/cluster.
+type Tunables = cluster.Tunables
+
+// Defaults for the coordinator's tunable options, re-exported from the
+// shared cluster.Tunables home so every CLI (bracesim, bracesim-worker,
+// bracesimd) derives its flag help from the values actually in force, and
+// tests assert against them.
 const (
-	DefaultHeartbeat           = 2 * time.Second
-	DefaultHeartbeatMisses     = 5
-	DefaultEpochTimeout        = 60 * time.Second
-	DefaultDialTimeout         = 10 * time.Second
-	DefaultCheckpointFullEvery = 8
-	DefaultMaxRecoveries       = 8
+	DefaultHeartbeat           = cluster.DefaultHeartbeat
+	DefaultHeartbeatMisses     = cluster.DefaultHeartbeatMisses
+	DefaultEpochTimeout        = cluster.DefaultEpochTimeout
+	DefaultDialTimeout         = cluster.DefaultDialTimeout
+	DefaultCheckpointFullEvery = cluster.DefaultCheckpointFullEvery
+	DefaultMaxRecoveries       = cluster.DefaultMaxRecoveries
 )
 
 // ErrCanceled reports a run deliberately aborted through Options.Cancel.
@@ -212,6 +180,16 @@ type Result struct {
 	// (missed heartbeats or a blown epoch-round deadline) rather than by
 	// a socket error.
 	StallDrops int
+	// Joins counts workers admitted into the run after it started (a
+	// mid-run registration placed through the join path).
+	Joins int
+	// RelayedDataFrames/RelayedDataBytes count the data-plane envelope
+	// frames the coordinator relayed. In a star run that is all of them;
+	// in a healthy mesh run both stay zero — the chaos suite's evidence
+	// that envelopes really traveled peer-to-peer — and any nonzero count
+	// under an injected peer-link fault is the relay fallback working.
+	RelayedDataFrames int64
+	RelayedDataBytes  int64
 	// CheckpointBytes is the wire size of every checkpoint frame workers
 	// shipped; CheckpointFullParts and CheckpointDeltaParts split the
 	// received partition snapshots by kind. Together they measure what
@@ -274,8 +252,9 @@ func initialPartition(part string, m engine.Model, pop []*agent.Agent, workers i
 // hello builds worker proc's handshake for the given generation and
 // placement.
 func (o *Options) hello(proc, gen int, assign []int) *transport.Hello {
-	return &transport.Hello{
+	h := &transport.Hello{
 		Proto:       transport.ProtoVersion,
+		Caps:        o.caps(),
 		RunID:       o.RunID,
 		Proc:        proc,
 		NumProcs:    len(o.Addrs),
@@ -289,10 +268,30 @@ func (o *Options) hello(proc, gen int, assign []int) *transport.Hello {
 		Seed:        o.Seed,
 		Ticks:       o.Ticks,
 		EpochTicks:  o.EpochTicks,
+		CacheSkin:   o.CacheSkin,
 		Index:       o.Index,
 		Sequential:  o.Sequential,
 		Part:        o.Part,
 	}
+	if o.Mesh {
+		// The peer roster: Peers[i] is process i's daemon address, which
+		// the worker's transport dials lazily for direct neighbor
+		// exchange. Its presence is what switches a session into mesh mode.
+		h.Peers = append([]string(nil), o.Addrs...)
+	}
+	return h
+}
+
+// caps is the capability set this coordinator requires of its workers.
+// Incremental checkpoints and the split FlushPhase/AwaitPhase barrier are
+// baseline in v5; the mesh capability is demanded only when the run
+// actually uses the peer-to-peer data plane.
+func (o *Options) caps() []string {
+	caps := []string{transport.CapIncrCkpt, transport.CapOverlapAwait}
+	if o.Mesh {
+		caps = append(caps, transport.CapMesh)
+	}
+	return caps
 }
 
 // initialState derives the run's tick-0 checkpoint on the coordinator: the
@@ -320,7 +319,7 @@ func initialState(o Options) (cuts []float64, parts []transport.PartState, err e
 		Workers:          o.Partitions,
 		Index:            kind,
 		Seed:             o.Seed,
-		EpochTicks:       o.EpochTicks,
+		Tunables:         Tunables{EpochTicks: o.EpochTicks, CacheSkin: o.CacheSkin},
 		InitialPartition: ipart,
 	})
 	if err != nil {

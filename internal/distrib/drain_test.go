@@ -71,9 +71,8 @@ func TestWorkerDrainMidRunRecovers(t *testing.T) {
 			Addrs:    addrs,
 			Scenario: "epidemic",
 			Agents:   agents, Seed: seed,
-			Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-			CheckpointEveryEpochs: 1,
-			RejoinTimeout:         500 * time.Millisecond,
+			Partitions: parts, Ticks: ticks,
+			Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1, RejoinTimeout: 500 * time.Millisecond},
 		})
 		done <- outcome{res, err}
 	}()
@@ -171,9 +170,8 @@ func TestWorkerDrainSharedByTwoRuns(t *testing.T) {
 				RunID:    j.scenario,
 				Scenario: j.scenario,
 				Agents:   j.agents, Seed: j.seed,
-				Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-				CheckpointEveryEpochs: 1,
-				RejoinTimeout:         500 * time.Millisecond,
+				Partitions: parts, Ticks: ticks,
+				Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1, RejoinTimeout: 500 * time.Millisecond},
 			})
 			done[i] <- outcome{res, err}
 		}()

@@ -101,6 +101,15 @@ func (l *liveness) pongWindow() time.Duration {
 	return l.window
 }
 
+// grow widens the detector to procs worker slots (a mid-run join); new
+// slots start with fresh clocks.
+func (l *liveness) grow(procs int, now time.Time) {
+	for len(l.lastPong) < procs {
+		l.lastPong = append(l.lastPong, now)
+		l.progress = append(l.progress, transport.ProcProgress{})
+	}
+}
+
 // admit resets a worker's clocks when it (re)joins: a fresh connection
 // earns a fresh grace period.
 func (l *liveness) admit(p int, now time.Time) {

@@ -152,7 +152,8 @@ func TestLoopbackTCPLoadBalanceEquivalence(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			mem := memEngine(t, name, agents, extent, seed, engine.Options{
-				Workers: parts, Seed: seed, EpochTicks: epoch,
+				Workers: parts, Seed: seed,
+				Tunables:    engine.Tunables{EpochTicks: epoch},
 				LoadBalance: true, Balancer: bal,
 			})
 			if err := mem.RunTicks(ticks); err != nil {
@@ -162,7 +163,8 @@ func TestLoopbackTCPLoadBalanceEquivalence(t *testing.T) {
 				Addrs:    startWorkers(t, 2),
 				Scenario: name,
 				Agents:   agents, Extent: extent, Seed: seed,
-				Partitions: parts, Ticks: ticks, EpochTicks: epoch,
+				Partitions: parts, Ticks: ticks,
+				Tunables:    Tunables{EpochTicks: epoch},
 				LoadBalance: true, Balancer: bal,
 			})
 			if err != nil {

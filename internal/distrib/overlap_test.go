@@ -52,7 +52,7 @@ func TestStallBetweenInteriorAndBoundary(t *testing.T) {
 		epoch  = 3
 	)
 	ref := memEngine(t, "epidemic", agents, extent, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch,
+		Workers: parts, Seed: seed, Tunables: Tunables{EpochTicks: epoch},
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -65,8 +65,8 @@ func TestStallBetweenInteriorAndBoundary(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 2, stallProcInWindow(1, 15)),
 		Scenario: "epidemic",
 		Agents:   agents, Extent: extent, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-		CheckpointEveryEpochs: 1,
+		Partitions: parts, Ticks: ticks,
+		Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1},
 	}
 	fastLiveness(&o)
 	res, err := Run(o)
@@ -98,7 +98,7 @@ func TestSeverBetweenInteriorAndBoundary(t *testing.T) {
 		epoch  = 3
 	)
 	ref := memEngine(t, "epidemic", agents, extent, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch, LoadBalance: true,
+		Workers: parts, Seed: seed, Tunables: Tunables{EpochTicks: epoch}, LoadBalance: true,
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -108,9 +108,9 @@ func TestSeverBetweenInteriorAndBoundary(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 2, severProcInWindow(1, 15)),
 		Scenario: "epidemic",
 		Agents:   agents, Extent: extent, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-		CheckpointEveryEpochs: 1,
-		LoadBalance:           true,
+		Partitions: parts, Ticks: ticks,
+		Tunables:    Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1},
+		LoadBalance: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +133,7 @@ func TestStallInWindowAbsorbed(t *testing.T) {
 		epoch  = 2
 	)
 	ref := memEngine(t, "evacuate", agents, extent, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch,
+		Workers: parts, Seed: seed, Tunables: Tunables{EpochTicks: epoch},
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -143,9 +143,9 @@ func TestStallInWindowAbsorbed(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 3, stallProcInWindow(1, 9)), // map barrier mid tick 5
 		Scenario: "evacuate",
 		Agents:   agents, Extent: extent, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-		CheckpointEveryEpochs: 1,
-		NoRejoin:              true,
+		Partitions: parts, Ticks: ticks,
+		Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1},
+		NoRejoin: true,
 	}
 	fastLiveness(&o)
 	res, err := Run(o)

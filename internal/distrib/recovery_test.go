@@ -88,7 +88,8 @@ func TestRecoverySeveredWorkerRejoins(t *testing.T) {
 		epoch  = 3
 	)
 	ref := memEngine(t, "epidemic", agents, extent, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch,
+		Workers: parts, Seed: seed,
+		Tunables: engine.Tunables{EpochTicks: epoch},
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -100,8 +101,8 @@ func TestRecoverySeveredWorkerRejoins(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 2, severProcAt(1, 15)),
 		Scenario: "epidemic",
 		Agents:   agents, Extent: extent, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-		CheckpointEveryEpochs: 1,
+		Partitions: parts, Ticks: ticks,
+		Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +134,8 @@ func TestRecoverySeveredWorkerAbsorbed(t *testing.T) {
 		epoch  = 2
 	)
 	ref := memEngine(t, "evacuate", agents, extent, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch,
+		Workers: parts, Seed: seed,
+		Tunables: engine.Tunables{EpochTicks: epoch},
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -143,9 +145,9 @@ func TestRecoverySeveredWorkerAbsorbed(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 3, severProcAt(1, 9)), // mid tick 4
 		Scenario: "evacuate",
 		Agents:   agents, Extent: extent, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-		CheckpointEveryEpochs: 1,
-		NoRejoin:              true,
+		Partitions: parts, Ticks: ticks,
+		Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1},
+		NoRejoin: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -165,7 +167,7 @@ func TestRecoverySeveredWorkerAbsorbed(t *testing.T) {
 // A failure with no periodic checkpoints rewinds all the way to tick 0 —
 // the coordinator always holds the initial state.
 func TestRecoveryFromInitialCheckpoint(t *testing.T) {
-	ref := memEngine(t, "epidemic", 60, 30, 7, engine.Options{Workers: 3, Seed: 7, EpochTicks: 4})
+	ref := memEngine(t, "epidemic", 60, 30, 7, engine.Options{Workers: 3, Seed: 7, Tunables: Tunables{EpochTicks: 4}})
 	if err := ref.RunTicks(8); err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +175,8 @@ func TestRecoveryFromInitialCheckpoint(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 3, severProcAt(2, 11)), // mid tick 5
 		Scenario: "epidemic",
 		Agents:   60, Extent: 30, Seed: 7,
-		Partitions: 3, Ticks: 8, EpochTicks: 4,
+		Partitions: 3, Ticks: 8,
+		Tunables: Tunables{EpochTicks: 4},
 		// CheckpointEveryEpochs: 0 — only the tick-0 state exists.
 		NoRejoin: true,
 	})
@@ -194,7 +197,8 @@ func TestRecoveryFromInitialCheckpoint(t *testing.T) {
 func TestRecoveryWithLoadBalance(t *testing.T) {
 	bal := partition.Balancer{MigrateCostPerAgent: 1e-9, HorizonTicks: 1000, MinRelativeGain: 0.01}
 	ref := memEngine(t, "epidemic", 96, 30, 5, engine.Options{
-		Workers: 4, Seed: 5, EpochTicks: 3, LoadBalance: true, Balancer: bal,
+		Workers: 4, Seed: 5, LoadBalance: true, Balancer: bal,
+		Tunables: engine.Tunables{EpochTicks: 3},
 	})
 	if err := ref.RunTicks(12); err != nil {
 		t.Fatal(err)
@@ -203,9 +207,9 @@ func TestRecoveryWithLoadBalance(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 2, severProcAt(0, 15)),
 		Scenario: "epidemic",
 		Agents:   96, Extent: 30, Seed: 5,
-		Partitions: 4, Ticks: 12, EpochTicks: 3,
+		Partitions: 4, Ticks: 12,
+		Tunables:    Tunables{EpochTicks: 3, CheckpointEveryEpochs: 1},
 		LoadBalance: true, Balancer: bal,
-		CheckpointEveryEpochs: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -230,9 +234,8 @@ func TestRecoveryGivesUpOnFlappingWorker(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 2, flappy),
 		Scenario: "epidemic",
 		Agents:   60, Extent: 30, Seed: 7,
-		Partitions: 4, Ticks: 8, EpochTicks: 2,
-		CheckpointEveryEpochs: 1,
-		MaxRecoveries:         3,
+		Partitions: 4, Ticks: 8,
+		Tunables: Tunables{EpochTicks: 2, CheckpointEveryEpochs: 1, MaxRecoveries: 3},
 	})
 	if err == nil || !strings.Contains(err.Error(), "giving up") {
 		t.Fatalf("err = %v, want recovery budget exhaustion", err)
@@ -255,7 +258,7 @@ func TestRecoveryDoubleDeath(t *testing.T) {
 		}
 		return tr
 	}
-	ref := memEngine(t, "epidemic", 90, 30, 13, engine.Options{Workers: 6, Seed: 13, EpochTicks: 2})
+	ref := memEngine(t, "epidemic", 90, 30, 13, engine.Options{Workers: 6, Seed: 13, Tunables: Tunables{EpochTicks: 2}})
 	if err := ref.RunTicks(10); err != nil {
 		t.Fatal(err)
 	}
@@ -263,9 +266,9 @@ func TestRecoveryDoubleDeath(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 3, wrap),
 		Scenario: "epidemic",
 		Agents:   90, Extent: 30, Seed: 13,
-		Partitions: 6, Ticks: 10, EpochTicks: 2,
-		CheckpointEveryEpochs: 1,
-		NoRejoin:              true,
+		Partitions: 6, Ticks: 10,
+		Tunables: Tunables{EpochTicks: 2, CheckpointEveryEpochs: 1},
+		NoRejoin: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -46,7 +46,8 @@ func TestStallDetectedAndRejoined(t *testing.T) {
 		epoch  = 3
 	)
 	ref := memEngine(t, "epidemic", agents, extent, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch,
+		Workers: parts, Seed: seed,
+		Tunables: engine.Tunables{EpochTicks: epoch},
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -58,8 +59,8 @@ func TestStallDetectedAndRejoined(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 2, stallProcAt(1, 15)),
 		Scenario: "epidemic",
 		Agents:   agents, Extent: extent, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-		CheckpointEveryEpochs: 1,
+		Partitions: parts, Ticks: ticks,
+		Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1},
 	}
 	fastLiveness(&o)
 	res, err := Run(o)
@@ -96,7 +97,8 @@ func TestStallDetectedAndAbsorbed(t *testing.T) {
 		epoch  = 2
 	)
 	ref := memEngine(t, "evacuate", agents, extent, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch,
+		Workers: parts, Seed: seed,
+		Tunables: engine.Tunables{EpochTicks: epoch},
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -106,9 +108,9 @@ func TestStallDetectedAndAbsorbed(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 3, stallProcAt(1, 9)), // mid tick 4
 		Scenario: "evacuate",
 		Agents:   agents, Extent: extent, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-		CheckpointEveryEpochs: 1,
-		NoRejoin:              true,
+		Partitions: parts, Ticks: ticks,
+		Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1},
+		NoRejoin: true,
 	}
 	fastLiveness(&o)
 	res, err := Run(o)
@@ -139,7 +141,8 @@ func TestStallDuringCheckpointRound(t *testing.T) {
 		epoch  = 2
 	)
 	ref := memEngine(t, "epidemic", agents, extent, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch,
+		Workers: parts, Seed: seed,
+		Tunables: engine.Tunables{EpochTicks: epoch},
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -154,9 +157,9 @@ func TestStallDuringCheckpointRound(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 2, stallProcAt(0, 8)),
 		Scenario: "epidemic",
 		Agents:   agents, Extent: extent, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-		CheckpointEveryEpochs: 1,
-		NoRejoin:              true,
+		Partitions: parts, Ticks: ticks,
+		Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1},
+		NoRejoin: true,
 	}
 	fastLiveness(&o)
 	res, err := Run(o)
@@ -189,8 +192,9 @@ func TestWorkerCoordinatorWatchdog(t *testing.T) {
 	h := &transport.Hello{
 		Proto: transport.ProtoVersion, Proc: 0, NumProcs: 1,
 		Partitions: 1, Assign: []int{0}, Gen: 1,
-		Scenario: "epidemic", Agents: 2000, Seed: 1, Ticks: 1 << 30, EpochTicks: 1 << 29,
-		Index: "kd",
+		Scenario: "epidemic", Agents: 2000, Seed: 1, Ticks: 1 << 30,
+		EpochTicks: 1 << 29,
+		Index:      "kd",
 	}
 	if err := fc.Send(&transport.Frame{Kind: transport.FrameHello, Hello: h}); err != nil {
 		t.Fatal(err)
@@ -235,9 +239,8 @@ func TestIncrementalCheckpointBytesOnFish(t *testing.T) {
 			Addrs:    startWorkers(t, 2),
 			Scenario: "fish",
 			Agents:   agents, Seed: seed,
-			Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-			CheckpointEveryEpochs: 1,
-			CheckpointFullEvery:   fullEvery,
+			Partitions: parts, Ticks: ticks,
+			Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1, CheckpointFullEvery: fullEvery},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -248,7 +251,8 @@ func TestIncrementalCheckpointBytesOnFish(t *testing.T) {
 	delta := run(0) // default keyframe cadence: 1 keyframe, then deltas
 
 	ref := memEngine(t, "fish", agents, 0, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch,
+		Workers: parts, Seed: seed,
+		Tunables: engine.Tunables{EpochTicks: epoch},
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -286,7 +290,8 @@ func TestRecoveryFromDeltaAssembledCheckpoint(t *testing.T) {
 		epoch  = 2
 	)
 	ref := memEngine(t, "epidemic", agents, extent, seed, engine.Options{
-		Workers: parts, Seed: seed, EpochTicks: epoch,
+		Workers: parts, Seed: seed,
+		Tunables: engine.Tunables{EpochTicks: epoch},
 	})
 	if err := ref.RunTicks(ticks); err != nil {
 		t.Fatal(err)
@@ -298,9 +303,9 @@ func TestRecoveryFromDeltaAssembledCheckpoint(t *testing.T) {
 		Addrs:    startChaosWorkers(t, 2, severProcAt(1, 21)),
 		Scenario: "epidemic",
 		Agents:   agents, Extent: extent, Seed: seed,
-		Partitions: parts, Ticks: ticks, EpochTicks: epoch,
-		CheckpointEveryEpochs: 1,
-		CheckpointFullEvery:   100, // keyframe only at the first checkpoint
+		Partitions: parts, Ticks: ticks,
+		// keyframe only at the first checkpoint
+		Tunables: Tunables{EpochTicks: epoch, CheckpointEveryEpochs: 1, CheckpointFullEvery: 100},
 	})
 	if err != nil {
 		t.Fatal(err)

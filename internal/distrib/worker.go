@@ -34,6 +34,19 @@ type ServeOptions struct {
 	// multiple of it. 0 disables the watchdog — a worker then waits on a
 	// dead coordinator forever, as before v3.
 	CoordTimeout time.Duration
+	// Register, when non-empty, is a registry address (see Registry) the
+	// daemon announces itself to instead of being pre-wired into a
+	// coordinator's -worker-addrs: it dials the registry, announces the
+	// address it serves sessions on, and keeps the connection open
+	// streaming load updates (active sessions, open peer links). The
+	// registry drops the entry when the connection dies; the daemon
+	// redials with backoff, so a restarted registry re-learns its fleet.
+	Register string
+	// Advertise is the session address announced to the registry.
+	// Defaults to the listener's address — right for loopback tests,
+	// wrong for a daemon bound to a wildcard, which must say what the
+	// rest of the fleet can actually dial.
+	Advertise string
 	// Drain, when non-nil and closed, shuts the daemon down gracefully:
 	// the accept loop stops, and every active session exits at its next
 	// epoch barrier — after the barrier round completes (stats shipped,
@@ -45,6 +58,93 @@ type ServeOptions struct {
 	// report drains when the coordinator closes the run (or its watchdog
 	// trips).
 	Drain <-chan struct{}
+
+	// sessions routes incoming peer-link dials (FramePeerHello) to the
+	// coordinator session they belong to. ServeWith installs one per
+	// daemon; a bare ServeConn has none and rejects peer links.
+	sessions *sessionSet
+}
+
+// sessionKey names one coordinator session within a daemon: peer links
+// address sessions by (run, process).
+func sessionKey(runID string, proc int) string {
+	return fmt.Sprintf("%s/%d", runID, proc)
+}
+
+// peerAwaitTimeout bounds how long an incoming peer link waits for its
+// session: peers dial as soon as their own handshakes complete, possibly
+// before this daemon's session for the same run has finished its
+// handshake, so arrival-before-registration is a race to absorb, not an
+// error — but a peer link for a run this daemon will never host must not
+// hold a connection forever.
+const peerAwaitTimeout = 10 * time.Second
+
+// sessionSet is a daemon's live coordinator sessions, keyed by
+// sessionKey. It exists for two consumers: incoming peer links await the
+// session they belong to, and the registration loop reports session and
+// peer-link counts as the daemon's load.
+type sessionSet struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	m    map[string]*transport.TCP
+}
+
+func newSessionSet() *sessionSet {
+	s := &sessionSet{m: make(map[string]*transport.TCP)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *sessionSet) put(key string, t *transport.TCP) {
+	s.mu.Lock()
+	s.m[key] = t
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// drop removes the session only if it still owns the key — a rejoined
+// session for the same (run, process) replaces the dead one, and the dead
+// session's deferred drop must not evict its replacement.
+func (s *sessionSet) drop(key string, t *transport.TCP) {
+	s.mu.Lock()
+	if s.m[key] == t {
+		delete(s.m, key)
+	}
+	s.mu.Unlock()
+}
+
+// await blocks until the keyed session exists or the timeout elapses.
+func (s *sessionSet) await(key string, timeout time.Duration) (*transport.TCP, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.m[key] == nil && time.Now().Before(deadline) {
+		s.cond.Wait()
+	}
+	if t := s.m[key]; t != nil {
+		return t, nil
+	}
+	return nil, fmt.Errorf("distrib: no session %s on this daemon", key)
+}
+
+// load snapshots the daemon's self-reported registry load.
+func (s *sessionSet) load() (sessions, peerLinks int) {
+	s.mu.Lock()
+	tcps := make([]*transport.TCP, 0, len(s.m))
+	for _, t := range s.m {
+		tcps = append(tcps, t)
+	}
+	s.mu.Unlock()
+	for _, t := range tcps {
+		peerLinks += t.PeerLinks()
+	}
+	return len(tcps), peerLinks
 }
 
 // Serve runs the worker daemon's accept loop. Each accepted connection is
@@ -64,8 +164,20 @@ func Serve(lis net.Listener, logw io.Writer, once bool) error {
 // ServeWith stops accepting, waits for every active session to drain, and
 // returns nil.
 func ServeWith(lis net.Listener, so ServeOptions) error {
+	if so.sessions == nil {
+		so.sessions = newSessionSet()
+	}
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	if so.Register != "" {
+		adv := so.Advertise
+		if adv == "" {
+			adv = lis.Addr().String()
+		}
+		regStop := make(chan struct{})
+		defer close(regStop)
+		go register(so.Register, adv, so.sessions, regStop)
+	}
 	if so.Drain != nil {
 		drainDone := make(chan struct{})
 		defer close(drainDone)
@@ -98,6 +210,62 @@ func ServeWith(lis net.Listener, so ServeOptions) error {
 	}
 }
 
+// registerInterval paces the daemon's load updates to its registry.
+const registerInterval = time.Second
+
+// register maintains the daemon's registry connection: announce the
+// session address, then stream load updates until stop closes; any
+// failure redials with capped backoff.
+func register(registry, advertise string, ss *sessionSet, stop <-chan struct{}) {
+	backoff := 100 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", registry, 5*time.Second)
+		if err != nil {
+			select {
+			case <-stop:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+			continue
+		}
+		backoff = 100 * time.Millisecond
+		fc := transport.NewConn(conn)
+		announce(fc, advertise, ss, stop)
+		fc.Close()
+	}
+}
+
+// announce streams Registration frames on one registry connection until
+// it fails or the daemon stops.
+func announce(fc *transport.Conn, advertise string, ss *sessionSet, stop <-chan struct{}) {
+	t := time.NewTicker(registerInterval)
+	defer t.Stop()
+	for {
+		sessions, links := ss.load()
+		if err := fc.Send(&transport.Frame{Kind: transport.FrameRegister, Reg: &transport.Registration{
+			Addr:      advertise,
+			Caps:      transport.SupportedCaps(),
+			Sessions:  sessions,
+			PeerLinks: links,
+		}}); err != nil {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
 // errDraining is the sentinel a draining session's barrier hook returns:
 // the epoch round just completed and the daemon wants out.
 var errDraining = errors.New("distrib: worker draining")
@@ -123,12 +291,19 @@ func ServeConn(conn net.Conn, logw io.Writer) error {
 // arrives — and report the final owned envelopes.
 func serveConn(conn net.Conn, so ServeOptions) error {
 	fc := transport.NewConn(conn)
-	defer fc.Close()
 
 	f, err := fc.Recv()
 	if err != nil {
+		fc.Close()
 		return fmt.Errorf("handshake: %w", err)
 	}
+	if f.Kind == transport.FramePeerHello && f.Peer != nil {
+		// Not a coordinator session: a fleet peer dialing one of this
+		// daemon's sessions for direct neighbor exchange. On success the
+		// session's transport owns the connection.
+		return servePeer(fc, f.Peer, so)
+	}
+	defer fc.Close()
 	if f.Kind != transport.FrameHello || f.Hello == nil {
 		fc.Send(&transport.Frame{Kind: transport.FrameAck, Err: "expected hello"})
 		return fmt.Errorf("handshake: unexpected frame kind %d", f.Kind)
@@ -151,7 +326,7 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 	if err != nil {
 		return reject(err)
 	}
-	if err := fc.Send(&transport.Frame{Kind: transport.FrameAck}); err != nil {
+	if err := fc.Send(&transport.Frame{Kind: transport.FrameAck, Caps: transport.SupportedCaps()}); err != nil {
 		return err
 	}
 	local := ownedParts(h.Assign, h.Proc)
@@ -170,6 +345,14 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 		tGen = h.Gen - 1
 	}
 	tcp := transport.NewTCP(fc, h.Proc, h.NumProcs, h.Partitions, h.Assign, tGen)
+	if len(h.Peers) > 0 {
+		tcp.EnableMesh(h.RunID, h.Peers)
+	}
+	if so.sessions != nil && h.RunID != "" {
+		key := sessionKey(h.RunID, h.Proc)
+		so.sessions.put(key, tcp)
+		defer so.sessions.drop(key, tcp)
+	}
 	var tr transport.Transport = tcp
 	if so.Wrap != nil {
 		tr = so.Wrap(tcp, h)
@@ -188,7 +371,7 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 		Workers:          h.Partitions,
 		Index:            kind,
 		Seed:             h.Seed,
-		EpochTicks:       h.EpochTicks,
+		Tunables:         Tunables{EpochTicks: h.EpochTicks, CacheSkin: h.CacheSkin},
 		Sequential:       h.Sequential,
 		Transport:        tr,
 		LocalParts:       local,
@@ -245,6 +428,28 @@ func serveConn(conn net.Conn, so ServeOptions) error {
 			return err
 		}
 	}
+}
+
+// servePeer attaches an incoming peer-link connection to the session it
+// addresses. The dialing peer learned this daemon's address from the
+// coordinator's roster, so the session normally exists — but peers dial
+// as soon as their own handshakes complete, so a short wait absorbs the
+// race with this daemon's handshake for the same run. On success the
+// session transport owns the connection and reads it until it dies.
+func servePeer(fc *transport.Conn, ph *transport.PeerHello, so ServeOptions) error {
+	reject := func(err error) error {
+		_ = fc.Send(&transport.Frame{Kind: transport.FrameAck, Err: err.Error()})
+		_ = fc.Close()
+		return fmt.Errorf("peer link: %w", err)
+	}
+	if so.sessions == nil {
+		return reject(errors.New("distrib: this daemon does not route peer links"))
+	}
+	tcp, err := so.sessions.await(sessionKey(ph.RunID, ph.To), peerAwaitTimeout)
+	if err != nil {
+		return reject(err)
+	}
+	return tcp.AcceptPeer(fc, ph)
 }
 
 // watchCoordinator is the worker-side liveness watchdog: it closes the
@@ -363,7 +568,10 @@ func workerBarrier(eng *engine.Distributed, tcp *transport.TCP, h *transport.Hel
 func checkHello(h *transport.Hello) (scenario.Spec, spatial.Kind, error) {
 	var none scenario.Spec
 	if h.Proto != transport.ProtoVersion {
-		return none, 0, fmt.Errorf("protocol %d, this worker speaks %d", h.Proto, transport.ProtoVersion)
+		return none, 0, &transport.VersionError{Got: h.Proto, Want: transport.ProtoVersion}
+	}
+	if missing := transport.MissingCaps(h.Caps, transport.SupportedCaps()); len(missing) > 0 {
+		return none, 0, &transport.CapabilityError{Missing: missing}
 	}
 	if h.NumProcs < 1 || h.Proc < 0 || h.Proc >= h.NumProcs {
 		return none, 0, fmt.Errorf("bad process index %d of %d", h.Proc, h.NumProcs)

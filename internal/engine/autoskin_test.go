@@ -35,7 +35,7 @@ func TestAutoSkinModesBitIdentical(t *testing.T) {
 	run := func(cacheSkin float64) agent.Population {
 		t.Helper()
 		e, err := NewDistributed(m, clonePop(base), Options{
-			Workers: 4, Index: spatial.KindKDTree, Seed: 17, CacheSkin: cacheSkin,
+			Workers: 4, Index: spatial.KindKDTree, Seed: 17, Tunables: Tunables{CacheSkin: cacheSkin},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -61,8 +61,8 @@ func TestAutoSkinGating(t *testing.T) {
 		want bool
 	}{
 		{"default", Options{Workers: 2, Index: spatial.KindKDTree, Seed: 3}, true},
-		{"explicit skin", Options{Workers: 2, Index: spatial.KindKDTree, Seed: 3, CacheSkin: 2}, false},
-		{"cache off", Options{Workers: 2, Index: spatial.KindKDTree, Seed: 3, CacheSkin: -1}, false},
+		{"explicit skin", Options{Workers: 2, Index: spatial.KindKDTree, Seed: 3, Tunables: Tunables{CacheSkin: 2}}, false},
+		{"cache off", Options{Workers: 2, Index: spatial.KindKDTree, Seed: 3, Tunables: Tunables{CacheSkin: -1}}, false},
 		{"non-kd index", Options{Workers: 2, Index: spatial.KindGrid, Seed: 3}, false},
 	} {
 		e, err := NewDistributed(m, makePop(m.s, 40, 30, 4), tc.opts)

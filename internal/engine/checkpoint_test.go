@@ -129,7 +129,7 @@ func TestEngineIncrementalDiskCheckpointResume(t *testing.T) {
 func TestEpochOwnedCountsConsistent(t *testing.T) {
 	m := newFlockModel(6)
 	e, err := NewDistributed(m, makePop(m.s, 90, 45, 22), Options{
-		Workers: 4, Index: spatial.KindKDTree, Seed: 5, EpochTicks: 3,
+		Workers: 4, Index: spatial.KindKDTree, Seed: 5, Tunables: Tunables{EpochTicks: 3},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +162,7 @@ func TestLoadBalancerDeterministic(t *testing.T) {
 		}
 		e, err := NewDistributed(m, pop, Options{
 			Workers: 4, Index: spatial.KindKDTree, Seed: 6,
-			LoadBalance: true, EpochTicks: 4,
+			LoadBalance: true, Tunables: Tunables{EpochTicks: 4},
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -15,6 +15,10 @@ import (
 )
 
 // Options configures a Distributed engine.
+// Tunables aliases the shared knob set Options embeds, so engine callers
+// can write engine.Tunables{...} without importing internal/cluster.
+type Tunables = cluster.Tunables
+
 type Options struct {
 	// Workers is the number of worker nodes (= spatial partitions).
 	Workers int
@@ -23,11 +27,13 @@ type Options struct {
 	Index spatial.Kind
 	// Seed drives all simulation randomness.
 	Seed uint64
-	// EpochTicks is the master interaction interval (default 10).
-	EpochTicks int
-	// CheckpointEveryEpochs enables coordinated checkpoints (0 = off; an
-	// initial rollback point is still kept).
-	CheckpointEveryEpochs int
+	// Tunables is the knob set shared with distrib.Options and the
+	// service run config. The engine reads EpochTicks (the master
+	// interaction interval, default 10), CheckpointEveryEpochs (0 = off;
+	// an initial rollback point is still kept) and CacheSkin (see below);
+	// the network timeouts and the mesh switch belong to the distributed
+	// layers and are ignored here.
+	cluster.Tunables
 	// LoadBalance enables the one-dimensional load balancer at epoch
 	// boundaries.
 	LoadBalance bool
@@ -57,19 +63,19 @@ type Options struct {
 	// Distributed workers use it for the coordinator round-trip (ship
 	// stats, await the directive); a returned error aborts RunTicks.
 	EpochBarrier func(tick uint64) error
-	// CacheSkin tunes the Verlet query cache (KD-tree index with bounded
-	// visibility only): 0 selects spatial.DefaultSkin as the seed and
-	// auto-tunes per partition from observed per-tick displacement (each
-	// epoch re-seeds, observes a warmup window, then retunes — a pure
-	// function of forward execution from the last barrier, so recovered
-	// and load-balanced runs still do identical index work); a negative
-	// value disables the cached path; a positive value is the skin radius
-	// s, used verbatim with no auto-tuning.
+	// Tunables.CacheSkin tunes the Verlet query cache (KD-tree index with
+	// bounded visibility only): 0 selects spatial.DefaultSkin as the seed
+	// and auto-tunes per partition from observed per-tick displacement
+	// (each epoch re-seeds, observes a warmup window, then retunes — a
+	// pure function of forward execution from the last barrier, so
+	// recovered and load-balanced runs still do identical index work); a
+	// negative value disables the cached path; a positive value is the
+	// skin radius s, used verbatim with no auto-tuning.
 	// The cache is semantics-preserving — reuse requires an unchanged
 	// keyed copy set with every agent within s/2 of its build position,
 	// and every epoch barrier (plus restores and rebalances) invalidates
 	// it, so recovered and load-balanced runs stay bit-identical.
-	CacheSkin float64
+
 	// InitialPartition overrides the automatic quantile strip
 	// partitioning with any partitioning function (e.g. partition.KD2D
 	// for 2-D median splits). Load balancing applies only when the

@@ -492,7 +492,7 @@ func TestLoadBalancingReducesImbalance(t *testing.T) {
 	cm := cluster.DefaultCostModel()
 	e, err := NewDistributed(m, pop, Options{
 		Workers: 4, Index: spatial.KindKDTree, Seed: 3,
-		LoadBalance: true, EpochTicks: 5, CostModel: &cm,
+		LoadBalance: true, Tunables: Tunables{EpochTicks: 5}, CostModel: &cm,
 		InitialPartition: mustStrips(t, []float64{75, 150, 225}),
 	})
 	if err != nil {
@@ -539,7 +539,7 @@ func TestFailureRecoveryThroughEngine(t *testing.T) {
 	base := makePop(m.s, 60, 30, 10)
 	clean, err := NewDistributed(m, clonePop(base), Options{
 		Workers: 3, Index: spatial.KindKDTree, Seed: 13,
-		EpochTicks: 4, CheckpointEveryEpochs: 1,
+		Tunables: Tunables{EpochTicks: 4, CheckpointEveryEpochs: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -549,7 +549,7 @@ func TestFailureRecoveryThroughEngine(t *testing.T) {
 	}
 	faulty, err := NewDistributed(m, clonePop(base), Options{
 		Workers: 3, Index: spatial.KindKDTree, Seed: 13,
-		EpochTicks: 4, CheckpointEveryEpochs: 1,
+		Tunables: Tunables{EpochTicks: 4, CheckpointEveryEpochs: 1},
 		Failures: cluster.NewFailurePlan().CrashAt(6, 1),
 	})
 	if err != nil {
@@ -569,7 +569,7 @@ func TestEngineStatsAccessors(t *testing.T) {
 	cmodel := cluster.DefaultCostModel()
 	e, err := NewDistributed(m, makePop(m.s, 50, 25, 11), Options{
 		Workers: 2, Index: spatial.KindKDTree, Seed: 1, CostModel: &cmodel,
-		EpochTicks: 5,
+		Tunables: Tunables{EpochTicks: 5},
 	})
 	if err != nil {
 		t.Fatal(err)

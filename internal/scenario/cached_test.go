@@ -44,7 +44,7 @@ func TestCachedQueryEquivalence(t *testing.T) {
 
 				for _, workers := range []int{1, 2, 8} {
 					dPlain, err := engine.NewDistributed(m, clonePop(base), engine.Options{
-						Workers: workers, Index: spatial.KindKDTree, Seed: seed, CacheSkin: -1,
+						Workers: workers, Index: spatial.KindKDTree, Seed: seed, Tunables: engine.Tunables{CacheSkin: -1},
 					})
 					if err != nil {
 						t.Fatal(err)
@@ -90,7 +90,7 @@ func TestCachedEquivalenceUnderLoadBalance(t *testing.T) {
 			run := func(skin float64) *engine.Distributed {
 				e, err := engine.NewDistributed(m, clonePop(base), engine.Options{
 					Workers: 4, Index: spatial.KindKDTree, Seed: 11,
-					LoadBalance: true, EpochTicks: 5, CacheSkin: skin,
+					LoadBalance: true, Tunables: engine.Tunables{EpochTicks: 5, CacheSkin: skin},
 				})
 				if err != nil {
 					t.Fatal(err)

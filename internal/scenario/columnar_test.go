@@ -144,11 +144,10 @@ func TestColumnarEquivalenceLoadBalanceAndRecovery(t *testing.T) {
 				}
 				e, err := engine.NewDistributed(m, pop, engine.Options{
 					Workers: workers, Index: spatial.KindKDTree, Seed: seed,
-					EpochTicks:            epochTicks,
-					LoadBalance:           lb,
-					CheckpointEveryEpochs: 1,
-					Failures:              failures,
-					NoColumnar:            noColumnar,
+					Tunables:    engine.Tunables{EpochTicks: epochTicks, CheckpointEveryEpochs: 1},
+					LoadBalance: lb,
+					Failures:    failures,
+					NoColumnar:  noColumnar,
 				})
 				if err != nil {
 					t.Fatal(err)

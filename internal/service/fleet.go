@@ -21,6 +21,11 @@ type WorkerInfo struct {
 	Down bool `json:"down"`
 	// LastError is the cause that marked the worker down, if any.
 	LastError string `json:"last_error,omitempty"`
+	// Registered marks a worker that announced itself through the
+	// registry (-register) rather than being pre-wired via -worker-addrs.
+	Registered bool `json:"registered,omitempty"`
+	// PeerLinks is the worker-reported count of open mesh peer links.
+	PeerLinks int `json:"peer_links,omitempty"`
 }
 
 // fleet tracks per-worker load and health for the scheduler.
@@ -71,6 +76,30 @@ func (f *fleet) place(n int) (addrs []string, idxs []int, err error) {
 		f.workers[i].Sessions++
 	}
 	return addrs, idxs, nil
+}
+
+// admit adds a self-registered worker to the pool, or revives it if a
+// previous incarnation at the same address was marked down: a daemon that
+// re-registers is provably a live process again.
+func (f *fleet) admit(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.workers {
+		if f.workers[i].Addr == addr {
+			f.workers[i].Registered = true
+			f.workers[i].Down = false
+			f.workers[i].LastError = ""
+			return
+		}
+	}
+	f.workers = append(f.workers, WorkerInfo{Addr: addr, Registered: true})
+}
+
+// size is the fleet width (up or down).
+func (f *fleet) size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.workers)
 }
 
 // release returns a finished run's session slots to the pool.

@@ -121,12 +121,18 @@ type Config struct {
 	// (0 = DefaultKeyframeEvery).
 	KeyframeEvery int
 
-	// Liveness/recovery knobs passed through to every run's coordinator;
-	// zero values take the distrib.Default* values.
-	Heartbeat       time.Duration
-	HeartbeatMisses int
-	EpochTimeout    time.Duration
-	DialTimeout     time.Duration
+	// Tunables carries the shared knob set passed through to every run's
+	// coordinator — liveness timeouts, checkpoint keyframe cadence, the
+	// mesh switch; zero values take the cluster.Default* values. The
+	// per-run cadence knobs (EpochTicks, CheckpointEveryEpochs) come from
+	// each RunSpec instead and are ignored here.
+	distrib.Tunables
+
+	// Registry, when non-nil, is the worker registry the daemon's fleet
+	// grows from: registered workers join the fleet as they announce
+	// themselves, and every run coordinator gets the registry for mid-run
+	// admissions. WorkerAddrs may be empty when a registry is set.
+	Registry *distrib.Registry
 
 	// Log receives run lifecycle lines (nil: silent).
 	Log io.Writer
@@ -170,10 +176,12 @@ type run struct {
 	finished  time.Time
 }
 
-// NewManager builds a manager over the given fleet.
+// NewManager builds a manager over the given fleet. With a Registry the
+// fleet may start empty: workers join it as they register, and each
+// registration pumps the queue in case a waiting run now fits.
 func NewManager(cfg Config) (*Manager, error) {
-	if len(cfg.WorkerAddrs) == 0 {
-		return nil, fmt.Errorf("service: no worker addresses")
+	if len(cfg.WorkerAddrs) == 0 && cfg.Registry == nil {
+		return nil, fmt.Errorf("service: no worker addresses and no registry")
 	}
 	if cfg.MaxRuns <= 0 {
 		cfg.MaxRuns = 4
@@ -181,15 +189,32 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
-	if cfg.DefaultRunWorkers <= 0 || cfg.DefaultRunWorkers > len(cfg.WorkerAddrs) {
-		cfg.DefaultRunWorkers = len(cfg.WorkerAddrs)
-	}
-	return &Manager{
+	m := &Manager{
 		cfg:   cfg,
 		fleet: newFleet(cfg.WorkerAddrs, cfg.SessionsPerWorker),
 		runs:  make(map[string]*run),
-	}, nil
+	}
+	if cfg.Registry != nil {
+		for _, w := range cfg.Registry.Workers() {
+			m.fleet.admit(w.Addr)
+		}
+		go func() {
+			for w := range cfg.Registry.Events() {
+				m.fleet.admit(w.Addr)
+				m.mu.Lock()
+				if !m.closed {
+					m.pumpLocked()
+				}
+				m.mu.Unlock()
+			}
+		}()
+	}
+	return m, nil
 }
+
+// fleetSize is the current fleet width — static fleets fix it at
+// construction, registry-fed fleets grow it as workers announce themselves.
+func (m *Manager) fleetSize() int { return m.fleet.size() }
 
 // normalize validates a spec and fills defaults. Validation failures are
 // client errors (HTTP 400).
@@ -200,8 +225,11 @@ func (m *Manager) normalize(spec RunSpec) (RunSpec, error) {
 	if spec.Ticks <= 0 {
 		return spec, fmt.Errorf("service: ticks must be > 0")
 	}
+	fleetN := m.fleetSize()
 	if spec.Workers == 0 {
-		spec.Workers = m.cfg.DefaultRunWorkers
+		if spec.Workers = m.cfg.DefaultRunWorkers; spec.Workers <= 0 || spec.Workers > fleetN {
+			spec.Workers = fleetN
+		}
 		// A spec that asks for fewer partitions than the default worker
 		// budget (e.g. bracesim -submit -workers 2 against a wide fleet)
 		// means a narrow run, not an invalid one.
@@ -209,8 +237,8 @@ func (m *Manager) normalize(spec RunSpec) (RunSpec, error) {
 			spec.Workers = spec.Partitions
 		}
 	}
-	if spec.Workers < 1 || spec.Workers > len(m.cfg.WorkerAddrs) {
-		return spec, fmt.Errorf("service: worker budget %d outside fleet of %d", spec.Workers, len(m.cfg.WorkerAddrs))
+	if spec.Workers < 1 || spec.Workers > fleetN {
+		return spec, fmt.Errorf("service: worker budget %d outside fleet of %d", spec.Workers, fleetN)
 	}
 	if spec.Partitions == 0 {
 		spec.Partitions = spec.Workers
@@ -295,26 +323,29 @@ func (m *Manager) execute(r *run) {
 	spec, addrs := r.spec, r.workers
 	r.mu.Unlock()
 	res, err := distrib.Run(distrib.Options{
-		Addrs:                 addrs,
-		RunID:                 r.id,
-		Scenario:              spec.Scenario,
-		Agents:                spec.Agents,
-		Extent:                spec.Extent,
-		Seed:                  spec.Seed,
-		Partitions:            spec.Partitions,
-		Ticks:                 spec.Ticks,
-		EpochTicks:            spec.EpochTicks,
-		Index:                 spec.Index,
-		Sequential:            spec.Sequential,
-		LoadBalance:           spec.LoadBalance,
-		CheckpointEveryEpochs: spec.CheckpointEpochs,
-		CheckpointFullEvery:   spec.CheckpointFullEvery,
-		Heartbeat:             m.cfg.Heartbeat,
-		HeartbeatMisses:       m.cfg.HeartbeatMisses,
-		EpochTimeout:          m.cfg.EpochTimeout,
-		DialTimeout:           m.cfg.DialTimeout,
-		Cancel:                r.cancel,
-		OnCheckpoint:          r.stream.Publish,
+		Addrs:       addrs,
+		RunID:       r.id,
+		Scenario:    spec.Scenario,
+		Agents:      spec.Agents,
+		Extent:      spec.Extent,
+		Seed:        spec.Seed,
+		Partitions:  spec.Partitions,
+		Ticks:       spec.Ticks,
+		Index:       spec.Index,
+		Sequential:  spec.Sequential,
+		LoadBalance: spec.LoadBalance,
+		Tunables: distrib.Tunables{
+			EpochTicks:            spec.EpochTicks,
+			CheckpointEveryEpochs: spec.CheckpointEpochs,
+			CheckpointFullEvery:   spec.CheckpointFullEvery,
+			Heartbeat:             m.cfg.Heartbeat,
+			HeartbeatMisses:       m.cfg.HeartbeatMisses,
+			EpochTimeout:          m.cfg.EpochTimeout,
+			DialTimeout:           m.cfg.DialTimeout,
+			Mesh:                  m.cfg.Mesh,
+		},
+		Cancel:       r.cancel,
+		OnCheckpoint: r.stream.Publish,
 		OnEpoch: func(d distrib.EpochDecision) {
 			r.mu.Lock()
 			r.lastTick = d.Tick
@@ -444,8 +475,23 @@ func (m *Manager) Watch(id string) (*Subscription, error) {
 	return r.stream.Subscribe(), nil
 }
 
-// Fleet returns the fleet's worker states.
-func (m *Manager) Fleet() []WorkerInfo { return m.fleet.snapshot() }
+// Fleet returns the fleet's worker states. Registry-fed workers get their
+// self-reported peer-link counts overlaid on the scheduler's session view.
+func (m *Manager) Fleet() []WorkerInfo {
+	ws := m.fleet.snapshot()
+	if m.cfg.Registry != nil {
+		links := make(map[string]int)
+		for _, w := range m.cfg.Registry.Workers() {
+			links[w.Addr] = w.PeerLinks
+		}
+		for i := range ws {
+			if n, ok := links[ws[i].Addr]; ok && ws[i].Registered {
+				ws[i].PeerLinks = n
+			}
+		}
+	}
+	return ws
+}
 
 // Close cancels every run and waits for their coordinators to unwind.
 func (m *Manager) Close() {

@@ -108,7 +108,8 @@ func TestTwoConcurrentRunsShareFleetBitIdentical(t *testing.T) {
 			Addrs:    startFleet(t, 4),
 			Scenario: tc.spec.Scenario,
 			Agents:   tc.spec.Agents, Seed: tc.spec.Seed,
-			Partitions: tc.spec.Partitions, Ticks: tc.spec.Ticks, EpochTicks: tc.spec.EpochTicks,
+			Partitions: tc.spec.Partitions, Ticks: tc.spec.Ticks,
+			Tunables: distrib.Tunables{EpochTicks: tc.spec.EpochTicks},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -414,5 +415,74 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 	if code, body := get("/v1/runs"); code != 200 || !strings.Contains(body, st.ID) {
 		t.Errorf("list: %d %s", code, body)
+	}
+}
+
+// A registry-fed fleet end to end: the manager starts with no worker
+// addresses at all, daemons announce themselves, a mesh run completes
+// bit-identical to a star-fleet equivalent, and /v1/fleet's data reports
+// the workers as registered.
+func TestRegistryFedFleetMeshRun(t *testing.T) {
+	rlis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := distrib.NewRegistry(rlis)
+	t.Cleanup(reg.Close)
+	for i := 0; i < 2; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { lis.Close() })
+		go distrib.ServeWith(lis, distrib.ServeOptions{Register: reg.Addr()})
+	}
+	if _, err := reg.Await(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewManager(Config{
+		Registry: reg,
+		Tunables: distrib.Tunables{Mesh: true},
+		Log:      io.Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spec := RunSpec{Scenario: "epidemic", Agents: 120, Seed: 9, Ticks: 12, Partitions: 4, EpochTicks: 3}
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, m, st.ID, 60*time.Second)
+	if fin.State != StateDone {
+		t.Fatalf("state = %s (error: %q)", fin.State, fin.Error)
+	}
+
+	solo, err := distrib.Run(distrib.Options{
+		Addrs:    startFleet(t, 2),
+		Scenario: spec.Scenario,
+		Agents:   spec.Agents, Seed: spec.Seed,
+		Partitions: spec.Partitions, Ticks: spec.Ticks,
+		Tunables: distrib.Tunables{EpochTicks: spec.EpochTicks},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Result(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSamePopulation(t, "registry-fed mesh", solo.Agents, res.Agents)
+	if res.RelayedDataFrames != 0 {
+		t.Errorf("coordinator relayed %d data frames in a healthy mesh", res.RelayedDataFrames)
+	}
+
+	for _, w := range m.Fleet() {
+		if !w.Registered {
+			t.Errorf("worker %s not marked registered", w.Addr)
+		}
 	}
 }

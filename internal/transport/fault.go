@@ -144,3 +144,83 @@ func (s *StallAt) Close() error {
 	}
 	return s.Transport.Close()
 }
+
+// PeerFaulter is implemented by transports whose data plane has directed
+// peer links that fault injection can break one at a time (TCP in mesh
+// mode). CutPeer closes the outgoing link to dst; StallPeer makes its next
+// send "succeed" on the wire but fail at the sender — the write-deadline
+// failure mode that leaves a maybe-delivered frame behind.
+type PeerFaulter interface {
+	CutPeer(dst int)
+	StallPeer(dst int)
+}
+
+// SeverPeerAt is SeverAt's peer-link twin for the mesh chaos suite: it
+// counts phase barriers and, immediately before the Nth FlushPhase, cuts
+// this process's outgoing peer link to Peer. The run must not notice —
+// traffic to Peer falls back to the coordinator relay mid-epoch and the
+// count-based barrier stays exact — which is precisely what the suite
+// asserts (bit-identical final state, nonzero relayed data frames).
+type SeverPeerAt struct {
+	Transport
+	// Peer is the destination process whose link is cut.
+	Peer int
+	// Phase is the 1-based phase barrier to cut at.
+	Phase int
+
+	n int
+}
+
+// FlushPhase counts barriers and cuts the peer link at the chosen one.
+func (s *SeverPeerAt) FlushPhase() error {
+	s.n++
+	if s.n == s.Phase {
+		if pf, ok := s.Transport.(PeerFaulter); ok {
+			pf.CutPeer(s.Peer)
+		}
+	}
+	return s.Transport.FlushPhase()
+}
+
+// EndPhase keeps the wrapper transparent for callers that do not split
+// the barrier.
+func (s *SeverPeerAt) EndPhase() error {
+	if err := s.FlushPhase(); err != nil {
+		return err
+	}
+	return s.AwaitPhase()
+}
+
+// StallPeerAt is SeverPeerAt's silent variant: before the Nth FlushPhase
+// the outgoing link to Peer starts failing *after* each write reaches the
+// socket, so the frame may arrive twice — once directly, once through the
+// relay re-send — and the receiver's sequence dedup must keep exactly one.
+type StallPeerAt struct {
+	Transport
+	// Peer is the destination process whose link goes bad.
+	Peer int
+	// Phase is the 1-based phase barrier to stall at.
+	Phase int
+
+	n int
+}
+
+// FlushPhase counts barriers and degrades the peer link at the chosen one.
+func (s *StallPeerAt) FlushPhase() error {
+	s.n++
+	if s.n == s.Phase {
+		if pf, ok := s.Transport.(PeerFaulter); ok {
+			pf.StallPeer(s.Peer)
+		}
+	}
+	return s.Transport.FlushPhase()
+}
+
+// EndPhase keeps the wrapper transparent for callers that do not split
+// the barrier.
+func (s *StallPeerAt) EndPhase() error {
+	if err := s.FlushPhase(); err != nil {
+		return err
+	}
+	return s.AwaitPhase()
+}

@@ -6,18 +6,21 @@ import (
 	"sync"
 )
 
-// Hub is the coordinator's relay: a star topology with the coordinator at
-// the center and one framed connection per worker process. Each inbound
-// connection is read by its own goroutine that forwards data-plane frames
-// synchronously — so per-source frame order, which the TCP transport's
-// marker protocol depends on, is preserved end to end — and surfaces
-// everything else (control frames, disconnects) as HubEvents for the
-// coordinator's control loop to consume.
+// Hub is the coordinator's star: one framed connection per worker
+// process, each read by its own goroutine. In star runs it relays the
+// whole data plane — addressed Data frames and per-peer EndPhase markers
+// go to their Dst — and in mesh runs it is the control plane plus a relay
+// *fallback*: workers exchange data directly and the hub carries only
+// stats/directives/checkpoints/heartbeats, progress notes (Dst = -1
+// markers), and whatever traffic a failed peer link diverts back to it.
+// The count-based barrier protocol (see TCP) is path-independent, so the
+// fallback needs no ordering guarantees from the hub. Everything that is
+// not relayable surfaces as HubEvents for the coordinator's control loop.
 //
-// Routing is dynamic: Data frames go to the process the current assignment
-// maps their destination partition to, and the assignment can be swapped
-// mid-run (SetAssign) when the control plane re-places partitions after a
-// failure or re-admits a worker (Attach).
+// Routing is dynamic: frames carry their destination, the assignment
+// table backs up unaddressed ones, and both the table (SetAssign) and the
+// connection set (Attach, Grow) can change mid-run when the control plane
+// re-places partitions after a failure or admits a worker.
 type Hub struct {
 	parts  int
 	events chan HubEvent
@@ -28,6 +31,26 @@ type Hub struct {
 	seqs     []int // per-proc attach sequence; fences stale disconnect events
 	assign   []int
 	progress []ProcProgress
+	traffic  HubTraffic
+}
+
+// HubTraffic is the relay's frame accounting, split by plane. In a healthy
+// mesh run the data-plane counters stay at zero in steady state — envelope
+// traffic and markers travel peer-to-peer and only progress notes and
+// control frames reach the star — which the chaos suite asserts; any
+// DataFrames that do appear are the relay fallback earning its keep.
+type HubTraffic struct {
+	// DataFrames/DataBytes count relayed envelope (FrameData) traffic.
+	DataFrames, DataBytes int64
+	// MarkerFrames counts relayed end-of-phase markers (star mode, or a
+	// mesh pair whose direct link failed).
+	MarkerFrames int64
+	// ProgressFrames counts mesh progress notes (Dst = -1): markers the
+	// hub records for liveness and relays nowhere.
+	ProgressFrames int64
+	// ControlFrames counts stats/checkpoint/final/pong frames surfaced to
+	// the coordinator loop.
+	ControlFrames int64
 }
 
 // HubEvent is one control-plane occurrence: a control frame from a worker
@@ -80,6 +103,27 @@ func (h *Hub) Progress() []ProcProgress {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append([]ProcProgress(nil), h.progress...)
+}
+
+// Traffic snapshots the relay's per-plane frame accounting.
+func (h *Hub) Traffic() HubTraffic {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.traffic
+}
+
+// Grow widens the hub to procs worker slots (a worker registered mid-run);
+// existing connections and their attach sequences are untouched. No-op if
+// the hub is already that wide.
+func (h *Hub) Grow(procs int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for len(h.conns) < procs {
+		h.conns = append(h.conns, nil)
+		h.live = append(h.live, false)
+		h.seqs = append(h.seqs, 0)
+		h.progress = append(h.progress, ProcProgress{})
+	}
 }
 
 // Events delivers control frames and disconnects, in per-connection
@@ -215,7 +259,15 @@ func (h *Hub) relay(src int, c *Conn) {
 				return
 			}
 			h.mu.Lock()
-			dst := h.assign[f.Msg.To]
+			h.traffic.DataFrames++
+			h.traffic.DataBytes += int64(n)
+			// The sender addressed the frame (Dst) under the same
+			// generation's assignment this hub routes by; fall back to the
+			// routing table for safety.
+			dst := f.Dst
+			if dst < 0 || dst >= len(h.conns) {
+				dst = h.assign[f.Msg.To]
+			}
 			dc := h.conns[dst]
 			if !h.live[dst] {
 				dc = nil // owner died; the frame's generation is doomed anyway
@@ -230,14 +282,32 @@ func (h *Hub) relay(src int, c *Conn) {
 			}
 		case FrameEndPhase:
 			h.noteProgress(src, f.Gen, f.Phase)
-			for _, peer := range h.liveConns(src) {
-				if err := peer.conn.Send(f); err != nil {
-					if was, seq := h.drop(peer.proc, peer.conn); was {
-						h.events <- HubEvent{Src: peer.proc, Err: fmt.Errorf("transport: relay to worker %d: %w", peer.proc, err), Seq: seq}
+			if f.Dst < 0 {
+				// A mesh progress note: liveness evidence only, relayed
+				// nowhere.
+				h.mu.Lock()
+				h.traffic.ProgressFrames++
+				h.mu.Unlock()
+				continue
+			}
+			h.mu.Lock()
+			h.traffic.MarkerFrames++
+			var dc *Conn
+			if f.Dst < len(h.conns) && h.live[f.Dst] {
+				dc = h.conns[f.Dst]
+			}
+			h.mu.Unlock()
+			if dc != nil {
+				if err := dc.Send(f); err != nil {
+					if was, seq := h.drop(f.Dst, dc); was {
+						h.events <- HubEvent{Src: f.Dst, Err: fmt.Errorf("transport: relay to worker %d: %w", f.Dst, err), Seq: seq}
 					}
 				}
 			}
 		default:
+			h.mu.Lock()
+			h.traffic.ControlFrames++
+			h.mu.Unlock()
 			h.events <- HubEvent{Src: src, Frame: f, Bytes: n}
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 	"time"
 
@@ -16,47 +17,94 @@ import (
 // from the checkpoint.
 var ErrRestore = errors.New("transport: restore directive pending")
 
+// peerDialTimeout bounds dialing + handshaking a peer worker. A peer that
+// cannot be reached in this budget is marked down for the generation and
+// its traffic falls back to the coordinator relay — slower, never wrong.
+const peerDialTimeout = 5 * time.Second
+
 // TCP is the Transport a worker process runs the mapreduce runtime on in a
 // distributed (multi-process) BRACE cluster. The process computes the
 // partitions the coordinator assigned to it; a send between two of its own
 // partitions stays in memory (collocation), a send to any other partition
-// travels as a Data frame through the coordinator to the owning process.
+// travels as a Data frame addressed to the owning process — directly over
+// a peer link when the mesh is on, through the coordinator relay otherwise.
 // The assignment is coordinator-owned state: it arrives in the handshake
 // and can change mid-run through a Restore.
 //
-// Phase completeness uses end-of-phase markers instead of shared-memory
-// barriers: EndPhase sends a marker after this process's sends and blocks
-// until the markers of all live peers arrive. The coordinator relays
-// frames preserving per-source order and TCP delivers in order, so once a
-// peer's marker is here, all of its Data frames for the phase are too.
+// Phase completeness is counted, not ordered: every FlushPhase sends each
+// live peer an end-of-phase marker declaring how many Data frames this
+// process addressed to it during the phase, and AwaitPhase completes when
+// every live peer's marker has arrived *and* the declared number of unique
+// Data frames has been received from it. Counting makes the barrier
+// path-independent: a phase's frames may arrive over the direct peer link,
+// over the coordinator relay, or both (after a mid-phase link failure the
+// sender re-sends via the relay), in any interleaving. Per-(src→dst)
+// sequence numbers deduplicate the maybe-delivered frame a failed link
+// leaves behind, so re-sending is at-most-once on arrival.
 //
 // Every data-plane frame is stamped with the run's protocol generation.
 // After a failure the coordinator bumps the generation and restores
 // everyone from the last checkpoint; frames from older generations still
 // in flight are dropped, and frames from a generation this process has not
 // reached yet (a peer that restored first and raced ahead) are buffered
-// and replayed by Reset.
+// and replayed by Reset. Peer links are per-generation too: a link dialed
+// for generation g is torn down by the first send of generation g+1, so a
+// dead epoch's in-flight peer traffic fences exactly like relayed traffic.
 type TCP struct {
-	proc, procs int
-	parts       int
-	fc          *Conn
-	metrics     *cluster.Metrics
+	proc  int
+	parts int
+	fc    *Conn
+
+	metrics *cluster.Metrics
 
 	mu        sync.Mutex
 	cond      *sync.Cond
+	procs     int
 	gen       int
 	assign    []int
 	live      []bool
 	inbox     [][]phasedMsg
 	failed    []bool
 	phase     uint64
-	markers   map[uint64]int // phase → peer markers received (this gen)
-	future    []*Frame       // data-plane frames from a generation ahead
-	directive *Directive     // pending epoch directive (slot of one)
-	restore   *Restore       // pending restore; wins over everything
-	readErr   error          // terminal reader state; sticky
-	stalled   bool           // fault injection: process frozen (StallAt)
-	lastRecv  time.Time      // time of the last frame from the coordinator
+	sent      []uint32                  // per-destination-process Data frames this phase
+	seqTo     []uint64                  // per-destination-process Data sequence (this gen)
+	dedup     []recvSeq                 // per-source-process receive dedup (this gen)
+	marks     map[uint64]map[int]uint32 // phase → src → declared Data count
+	recvd     map[uint64]map[int]uint32 // phase → src → unique Data frames received
+	future    []*Frame                  // data-plane frames from a generation ahead
+	directive *Directive                // pending epoch directive (slot of one)
+	restore   *Restore                  // pending restore; wins over everything
+	readErr   error                     // terminal reader state; sticky
+	stalled   bool                      // fault injection: process frozen (StallAt)
+	lastRecv  time.Time                 // time of the last frame from the coordinator
+
+	mesh   bool
+	runID  string
+	peers  []string // data-plane addresses by process ("" = unreachable)
+	peerIn map[*Conn]bool
+
+	lmu   sync.Mutex
+	links []*peerLink
+}
+
+// peerLink is the outgoing half of one directed worker↔worker connection:
+// this process's frames to one destination. Dialed lazily by the first
+// send of a generation; a failure marks it down for that generation and
+// the sender falls back to the coordinator relay.
+type peerLink struct {
+	mu      sync.Mutex
+	conn    *Conn
+	gen     int
+	down    bool
+	stalled bool // fault injection: writes "succeed" but report failure
+}
+
+// recvSeq deduplicates one source's Data frames: next is the watermark
+// (lowest unseen sequence number) and pending holds out-of-order arrivals
+// above it, compacted as the watermark advances.
+type recvSeq struct {
+	next    uint64
+	pending map[uint64]bool
 }
 
 // phasedMsg tags an inbox entry with the phase it was sent in. A fast peer
@@ -97,12 +145,40 @@ func NewTCP(fc *Conn, proc, procs, parts int, assign []int, gen int) *TCP {
 		live:     live,
 		inbox:    make([][]phasedMsg, parts),
 		failed:   make([]bool, parts),
-		markers:  make(map[uint64]int),
+		sent:     make([]uint32, procs),
+		seqTo:    make([]uint64, procs),
+		dedup:    newDedup(procs),
+		marks:    make(map[uint64]map[int]uint32),
+		recvd:    make(map[uint64]map[int]uint32),
+		peerIn:   make(map[*Conn]bool),
+		links:    make([]*peerLink, procs),
 		lastRecv: time.Now(),
 	}
 	t.cond = sync.NewCond(&t.mu)
 	go t.readLoop()
 	return t
+}
+
+func newDedup(procs int) []recvSeq {
+	d := make([]recvSeq, procs)
+	for i := range d {
+		d[i].next = 1
+	}
+	return d
+}
+
+// EnableMesh turns on the peer-mesh data plane: envelope traffic and phase
+// markers go directly to the peer addresses in the roster (indexed by
+// process), with the coordinator relay as the fallback for peers that
+// cannot be reached. runID scopes this process's peer handshakes to its
+// run on daemons serving many sessions. Must be called before the first
+// Send; the roster can be refreshed later through Reset.
+func (t *TCP) EnableMesh(runID string, peers []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mesh = true
+	t.runID = runID
+	t.peers = append([]string(nil), peers...)
 }
 
 func (t *TCP) readLoop() {
@@ -128,14 +204,7 @@ func (t *TCP) readLoop() {
 		t.mu.Unlock()
 		switch f.Kind {
 		case FrameData, FrameEndPhase, FrameDirective:
-			t.mu.Lock()
-			switch {
-			case f.Gen == t.gen:
-				t.apply(f)
-			case f.Gen > t.gen:
-				t.future = append(t.future, f)
-			}
-			t.mu.Unlock()
+			t.ingest(f)
 		case FramePing:
 			// Answered from the reader, not the engine: a Pong proves the
 			// *process* is alive even mid-phase. The epoch-round deadline,
@@ -159,6 +228,20 @@ func (t *TCP) readLoop() {
 			return
 		}
 	}
+}
+
+// ingest generation-fences one data-plane frame, whichever path delivered
+// it: current generation applies, a future one (a peer that restored first
+// and raced ahead) buffers for Reset to replay, a stale one is dropped.
+func (t *TCP) ingest(f *Frame) {
+	t.mu.Lock()
+	switch {
+	case f.Gen == t.gen:
+		t.apply(f)
+	case f.Gen > t.gen:
+		t.future = append(t.future, f)
+	}
+	t.mu.Unlock()
 }
 
 // Stall freezes the transport's engine-facing surface, simulating a
@@ -202,17 +285,70 @@ func (t *TCP) awaitUnstallLocked() error {
 func (t *TCP) apply(f *Frame) {
 	switch f.Kind {
 	case FrameData:
+		// Sequence-deduplicate before anything else: a frame re-sent over
+		// the relay after a peer-link failure may already have arrived.
+		if f.Src >= 0 && f.Src < len(t.dedup) && f.Seq > 0 {
+			if !t.dedup[f.Src].accept(f.Seq) {
+				return
+			}
+			// Count the unique arrival toward its phase's declared total —
+			// before the failed-partition filter below: the sender counted
+			// the frame when it put it on the wire, and barrier
+			// completeness tracks transport-level delivery, not whether
+			// the application kept the message.
+			t.recvdAdd(f.Phase, f.Src)
+		}
 		m := f.Msg
 		if m.To >= 0 && int(m.To) < len(t.inbox) && !t.failed[m.To] {
 			t.inbox[m.To] = append(t.inbox[m.To], phasedMsg{phase: f.Phase, m: m})
 		}
+		t.cond.Broadcast()
 	case FrameEndPhase:
-		t.markers[f.Phase]++
+		// Assignment, not increment: a marker that traveled both paths
+		// (direct and relay re-send) must land exactly once.
+		mk := t.marks[f.Phase]
+		if mk == nil {
+			mk = make(map[int]uint32)
+			t.marks[f.Phase] = mk
+		}
+		mk[f.Src] = f.Count
 		t.cond.Broadcast()
 	case FrameDirective:
 		t.directive = f.Dir
 		t.cond.Broadcast()
 	}
+}
+
+// accept reports whether seq is new, advancing the watermark and
+// compacting the pending set.
+func (d *recvSeq) accept(seq uint64) bool {
+	if seq < d.next || d.pending[seq] {
+		return false
+	}
+	if seq == d.next {
+		d.next++
+		for d.pending[d.next] {
+			delete(d.pending, d.next)
+			d.next++
+		}
+		return true
+	}
+	if d.pending == nil {
+		d.pending = make(map[uint64]bool)
+	}
+	d.pending[seq] = true
+	return true
+}
+
+// recvdAdd counts one unique Data arrival from src toward phase. Caller
+// holds t.mu.
+func (t *TCP) recvdAdd(phase uint64, src int) {
+	rc := t.recvd[phase]
+	if rc == nil {
+		rc = make(map[int]uint32)
+		t.recvd[phase] = rc
+	}
+	rc[src]++
 }
 
 func (t *TCP) failConn(err error) {
@@ -242,7 +378,8 @@ func (t *TCP) liveProcs() int {
 }
 
 // Send enqueues locally when the destination partition is assigned to this
-// process and ships a Data frame otherwise.
+// process and ships an addressed Data frame to the owning process
+// otherwise.
 func (t *TCP) Send(m cluster.Message) error {
 	if m.To < 0 || int(m.To) >= t.parts {
 		return fmt.Errorf("transport: send to unknown node %d", m.To)
@@ -265,7 +402,8 @@ func (t *TCP) Send(m cluster.Message) error {
 		t.mu.Unlock()
 		return nil
 	}
-	local := t.assign[m.To] == t.proc
+	dst := t.assign[m.To]
+	local := dst == t.proc
 	// Sends happen inside the phase that the *next* EndPhase ends.
 	phase := t.phase + 1
 	gen := t.gen
@@ -277,8 +415,244 @@ func (t *TCP) Send(m cluster.Message) error {
 		t.mu.Unlock()
 		return nil
 	}
+	t.sent[dst]++
+	t.seqTo[dst]++
+	f := &Frame{Kind: FrameData, Src: t.proc, Gen: gen, Phase: phase, Dst: dst, Seq: t.seqTo[dst], Msg: m}
 	t.mu.Unlock()
-	return t.fc.Send(&Frame{Kind: FrameData, Src: t.proc, Gen: gen, Phase: phase, Msg: m})
+	return t.sendFrame(dst, f)
+}
+
+// sendFrame routes one addressed data-plane frame: over the direct peer
+// link when the mesh is on and the peer is reachable, through the
+// coordinator relay otherwise. A mid-send link failure falls back to the
+// relay with the same frame — the receiver's sequence dedup absorbs the
+// maybe-delivered original.
+func (t *TCP) sendFrame(dst int, f *Frame) error {
+	if t.isMesh() {
+		if c := t.peerConn(dst, f.Gen); c != nil {
+			l := t.linkFor(dst)
+			l.mu.Lock()
+			stalled := l.stalled
+			l.mu.Unlock()
+			if stalled {
+				// Fault injection: the write reaches the socket (the frame
+				// may be delivered) but the sender sees a failure, exactly
+				// like a write deadline expiring on a congested link.
+				_ = c.Send(f)
+				t.downPeer(dst, f.Gen, c)
+			} else if err := c.Send(f); err == nil {
+				return nil
+			} else {
+				t.downPeer(dst, f.Gen, c)
+			}
+		}
+	}
+	return t.fc.Send(f)
+}
+
+// isMesh reports whether the mesh data plane is on.
+func (t *TCP) isMesh() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mesh
+}
+
+// linkFor returns the (always non-nil) link record for dst, growing the
+// table if a Restore admitted new processes.
+func (t *TCP) linkFor(dst int) *peerLink {
+	t.lmu.Lock()
+	defer t.lmu.Unlock()
+	for len(t.links) <= dst {
+		t.links = append(t.links, nil)
+	}
+	if t.links[dst] == nil {
+		t.links[dst] = &peerLink{}
+	}
+	return t.links[dst]
+}
+
+// peerConn returns an established peer connection to dst for generation
+// gen, dialing lazily. nil means the peer is unreachable this generation
+// (or was cut by fault injection): use the relay.
+func (t *TCP) peerConn(dst, gen int) *Conn {
+	l := t.linkFor(dst)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.gen != gen {
+		// A link of another generation is stale no matter its state: close
+		// it so the dead epoch's in-flight frames fence at the receiver,
+		// and start this generation fresh.
+		if l.conn != nil {
+			_ = l.conn.Close()
+			l.conn = nil
+		}
+		l.down = false
+		l.stalled = false
+		l.gen = gen
+	}
+	if l.down {
+		return nil
+	}
+	if l.conn != nil {
+		return l.conn
+	}
+	t.mu.Lock()
+	var addr string
+	if dst < len(t.peers) {
+		addr = t.peers[dst]
+	}
+	runID, from := t.runID, t.proc
+	t.mu.Unlock()
+	if addr == "" {
+		l.down = true
+		return nil
+	}
+	nc, err := net.DialTimeout("tcp", addr, peerDialTimeout)
+	if err != nil {
+		l.down = true
+		return nil
+	}
+	_ = nc.SetDeadline(time.Now().Add(peerDialTimeout))
+	pc := NewConn(nc)
+	err = pc.Send(&Frame{Kind: FramePeerHello, Peer: &PeerHello{RunID: runID, From: from, To: dst, Gen: gen}})
+	if err == nil {
+		var ack *Frame
+		if ack, err = pc.Recv(); err == nil && (ack.Kind != FrameAck || ack.Err != "") {
+			err = fmt.Errorf("transport: peer %d rejected link: %s", dst, ack.Err)
+		}
+	}
+	if err != nil {
+		_ = pc.Close()
+		l.down = true
+		return nil
+	}
+	_ = nc.SetDeadline(time.Time{})
+	l.conn = pc
+	return pc
+}
+
+// downPeer marks dst's link down for gen and closes the failed connection;
+// subsequent sends of the generation use the relay.
+func (t *TCP) downPeer(dst, gen int, c *Conn) {
+	l := t.linkFor(dst)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn == c {
+		l.conn = nil
+	}
+	if l.gen == gen {
+		l.down = true
+	}
+	_ = c.Close()
+}
+
+// CutPeer severs this process's outgoing link to dst for the current
+// generation: the connection closes (frames already written are delivered)
+// and subsequent traffic to dst falls back to the coordinator relay.
+// Fault injection for the peer-link chaos suite.
+func (t *TCP) CutPeer(dst int) {
+	t.mu.Lock()
+	gen := t.gen
+	t.mu.Unlock()
+	l := t.linkFor(dst)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.conn != nil {
+		_ = l.conn.Close()
+		l.conn = nil
+	}
+	l.gen = gen
+	l.down = true
+}
+
+// StallPeer makes this process's outgoing link to dst fail like a
+// stopped-draining socket: the next send's bytes reach the wire but the
+// sender observes an error, marks the link down, and re-sends through the
+// relay — exercising the receiver's duplicate suppression. Fault injection
+// for the peer-link chaos suite.
+func (t *TCP) StallPeer(dst int) {
+	t.mu.Lock()
+	gen := t.gen
+	t.mu.Unlock()
+	l := t.linkFor(dst)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.gen = gen
+	l.stalled = true
+}
+
+// AcceptPeer attaches an incoming peer connection (its PeerHello already
+// read by the daemon) to this transport: the link's frames are read by a
+// dedicated goroutine and generation-fenced exactly like relayed ones.
+// The Ack completing the peer handshake is sent here.
+func (t *TCP) AcceptPeer(fc *Conn, ph *PeerHello) error {
+	if ph.To != t.proc {
+		err := fmt.Errorf("transport: peer link for process %d reached process %d", ph.To, t.proc)
+		_ = fc.Send(&Frame{Kind: FrameAck, Err: err.Error()})
+		_ = fc.Close()
+		return err
+	}
+	if err := fc.Send(&Frame{Kind: FrameAck}); err != nil {
+		_ = fc.Close()
+		return err
+	}
+	t.mu.Lock()
+	t.peerIn[fc] = true
+	t.mu.Unlock()
+	go t.readPeer(fc)
+	return nil
+}
+
+// readPeer drains one incoming peer link until it dies. Only data-plane
+// frames are legal on a peer link; they fence by generation like every
+// other path. Errors are not terminal for the transport — the sender falls
+// back to the relay, and the barrier accounting stays exact either way.
+func (t *TCP) readPeer(fc *Conn) {
+	defer func() {
+		t.mu.Lock()
+		delete(t.peerIn, fc)
+		t.mu.Unlock()
+		_ = fc.Close()
+	}()
+	for {
+		f, err := fc.Recv()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		stalled := t.stalled
+		t.mu.Unlock()
+		if stalled {
+			continue // a frozen process ignores peer traffic too
+		}
+		switch f.Kind {
+		case FrameData, FrameEndPhase:
+			t.ingest(f)
+		default:
+			return
+		}
+	}
+}
+
+// PeerLinks counts this transport's open peer connections, incoming and
+// outgoing — the load figure the daemon reports to the registry.
+func (t *TCP) PeerLinks() int {
+	t.mu.Lock()
+	n := len(t.peerIn)
+	t.mu.Unlock()
+	t.lmu.Lock()
+	defer t.lmu.Unlock()
+	for _, l := range t.links {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		if l.conn != nil {
+			n++
+		}
+		l.mu.Unlock()
+	}
+	return n
 }
 
 // Drain removes and returns the messages queued for partition n that
@@ -342,10 +716,10 @@ func (t *TCP) Failed(n cluster.NodeID) bool {
 // Metrics returns this process's traffic counters.
 func (t *TCP) Metrics() *cluster.Metrics { return t.metrics }
 
-// EndPhase sends this process's end-of-phase marker and blocks until the
-// matching marker of every live peer process has arrived, at which point
-// all Data frames of the phase are guaranteed to be in the local inboxes.
-// It returns ErrRestore if the coordinator orders a restore while waiting.
+// EndPhase sends this process's end-of-phase markers and blocks until the
+// phase is complete from every live peer: all markers in, all declared
+// Data frames in the local inboxes. It returns ErrRestore if the
+// coordinator orders a restore while waiting.
 func (t *TCP) EndPhase() error {
 	if err := t.FlushPhase(); err != nil {
 		return err
@@ -353,10 +727,12 @@ func (t *TCP) EndPhase() error {
 	return t.AwaitPhase()
 }
 
-// FlushPhase advances the local phase counter and sends this process's
-// end-of-phase marker without waiting for peers. Self-sends of the phase
-// (collocated, already in the local inboxes) become drainable through
-// DrainSelf the moment it returns.
+// FlushPhase advances the local phase counter and sends every live peer an
+// end-of-phase marker declaring this process's Data-frame count to it,
+// without waiting. Self-sends of the phase (collocated, already in the
+// local inboxes) become drainable through DrainSelf the moment it returns.
+// In mesh mode an extra Dst=-1 marker goes to the coordinator so its
+// liveness machinery still observes barrier progress it no longer relays.
 func (t *TCP) FlushPhase() error {
 	t.mu.Lock()
 	if t.stalled {
@@ -375,22 +751,46 @@ func (t *TCP) FlushPhase() error {
 	t.phase++
 	phase := t.phase
 	gen := t.gen
-	peers := t.liveProcs() > 1
+	mesh := t.mesh
+	type mark struct {
+		dst   int
+		count uint32
+	}
+	var outs []mark
+	for p := 0; p < t.procs && p < len(t.live); p++ {
+		if p != t.proc && t.live[p] {
+			outs = append(outs, mark{dst: p, count: t.sent[p]})
+		}
+	}
+	for p := range t.sent {
+		t.sent[p] = 0
+	}
 	t.mu.Unlock()
-	if peers {
-		return t.fc.Send(&Frame{Kind: FrameEndPhase, Src: t.proc, Gen: gen, Phase: phase})
+	for _, o := range outs {
+		f := &Frame{Kind: FrameEndPhase, Src: t.proc, Gen: gen, Phase: phase, Dst: o.dst, Count: o.count}
+		if err := t.sendFrame(o.dst, f); err != nil {
+			return err
+		}
+	}
+	if mesh && len(outs) > 0 {
+		// Control-plane progress note; the hub records it and relays
+		// nothing.
+		if err := t.fc.Send(&Frame{Kind: FrameEndPhase, Src: t.proc, Gen: gen, Phase: phase, Dst: -1}); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// AwaitPhase blocks until the end-of-phase marker of every live peer has
-// arrived for the phase the preceding FlushPhase ended. In-order relay
-// then guarantees all Data frames of the phase are in the local inboxes.
+// AwaitPhase blocks until the phase the preceding FlushPhase ended is
+// complete: every live peer's marker has arrived and its declared number
+// of unique Data frames is in the local inboxes — whichever mix of peer
+// links and coordinator relay delivered them.
 func (t *TCP) AwaitPhase() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	phase := t.phase
-	for t.markers[phase] < t.liveProcs()-1 && t.readErr == nil && t.restore == nil && !t.stalled {
+	for !t.phaseDoneLocked(phase) && t.readErr == nil && t.restore == nil && !t.stalled {
 		t.cond.Wait()
 	}
 	if t.stalled {
@@ -402,8 +802,27 @@ func (t *TCP) AwaitPhase() error {
 	case t.readErr != nil:
 		return t.readErr
 	}
-	delete(t.markers, phase)
+	delete(t.marks, phase)
+	delete(t.recvd, phase)
 	return nil
+}
+
+// phaseDoneLocked reports whether every live peer's marker for phase has
+// arrived with its declared Data count satisfied. Caller holds t.mu.
+func (t *TCP) phaseDoneLocked(phase uint64) bool {
+	for p := 0; p < len(t.live); p++ {
+		if p == t.proc || !t.live[p] {
+			continue
+		}
+		count, ok := t.marks[phase][p]
+		if !ok {
+			return false
+		}
+		if t.recvd[phase][p] < count {
+			return false
+		}
+	}
+	return true
 }
 
 // DrainSelf removes and returns partition n's messages to itself from the
@@ -427,7 +846,8 @@ func (t *TCP) DrainSelf(n cluster.NodeID) []cluster.Message {
 }
 
 // Control sends a control-plane frame (stats, checkpoint, final report),
-// stamped with this process's index and current generation.
+// stamped with this process's index and current generation. Control
+// frames always ride the coordinator star, mesh or not.
 func (t *TCP) Control(f *Frame) error {
 	t.mu.Lock()
 	if t.stalled {
@@ -484,18 +904,33 @@ func (t *TCP) AwaitRestore() (*Restore, error) {
 	return nil, t.readErr
 }
 
-// Reset installs a restore: new generation, assignment and live set; phase
-// counters, markers, inboxes and any stale directive are discarded, and
-// buffered frames of the new generation (from peers that restored first)
-// are replayed. The engine state itself is restored by the caller.
+// Reset installs a restore: new generation, assignment, live set and (mesh)
+// peer roster; phase counters, markers, sequence state, inboxes and any
+// stale directive are discarded, and buffered frames of the new generation
+// (from peers that restored first) are replayed. The process table grows
+// when the restore admits processes beyond the handshake's count (a worker
+// that registered mid-run). Stale peer links tear down lazily: the first
+// send of the new generation closes and re-dials them, and their leftover
+// in-flight frames fence on Gen at the receiver. The engine state itself
+// is restored by the caller.
 func (t *TCP) Reset(r *Restore) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.gen = r.Gen
 	t.assign = append([]int(nil), r.Assign...)
 	t.live = append([]bool(nil), r.Live...)
+	if n := len(r.Live); n > t.procs {
+		t.procs = n
+	}
 	t.phase = 0
-	t.markers = make(map[uint64]int)
+	t.sent = make([]uint32, t.procs)
+	t.seqTo = make([]uint64, t.procs)
+	t.dedup = newDedup(t.procs)
+	t.marks = make(map[uint64]map[int]uint32)
+	t.recvd = make(map[uint64]map[int]uint32)
+	if r.Peers != nil {
+		t.peers = append([]string(nil), r.Peers...)
+	}
 	for i := range t.inbox {
 		t.inbox[i] = nil
 	}
@@ -516,6 +951,32 @@ func (t *TCP) Reset(r *Restore) {
 	t.cond.Broadcast()
 }
 
-// Close tears down the coordinator connection; the reader goroutine exits
-// on the resulting read error.
-func (t *TCP) Close() error { return t.fc.Close() }
+// Close tears down the coordinator connection and every peer link; reader
+// goroutines exit on the resulting read errors.
+func (t *TCP) Close() error {
+	err := t.fc.Close()
+	t.lmu.Lock()
+	links := append([]*peerLink(nil), t.links...)
+	t.lmu.Unlock()
+	for _, l := range links {
+		if l == nil {
+			continue
+		}
+		l.mu.Lock()
+		if l.conn != nil {
+			_ = l.conn.Close()
+			l.conn = nil
+		}
+		l.mu.Unlock()
+	}
+	t.mu.Lock()
+	ins := make([]*Conn, 0, len(t.peerIn))
+	for c := range t.peerIn {
+		ins = append(ins, c)
+	}
+	t.mu.Unlock()
+	for _, c := range ins {
+		_ = c.Close()
+	}
+	return err
+}

@@ -26,8 +26,72 @@ import (
 // workers multi-run: a worker daemon serves concurrent coordinator
 // sessions (one per accepted connection, each its own framed stream), the
 // handshake scopes a session to a run via Hello.RunID, and a draining
-// worker finishes the in-flight epoch barrier before closing.
-const ProtoVersion = 4
+// worker finishes the in-flight epoch barrier before closing. Version 5
+// added capability negotiation (Hello.Caps, answered by the worker's
+// supported set on the Ack) and the peer-mesh data plane: per-destination
+// end-of-phase markers with declared frame counts, per-(src,dst) data
+// sequence numbers, worker registration (FrameRegister) and direct
+// worker↔worker sessions (FramePeerHello).
+const ProtoVersion = 5
+
+// Capability names negotiated in the v5 handshake. The coordinator lists
+// the capabilities the run requires in Hello.Caps; a worker that lacks any
+// of them rejects the session with a CapabilityError, and echoes its full
+// supported set on the Ack either way.
+const (
+	// CapMesh: the worker can serve direct peer sessions and run the
+	// addressed per-peer phase accounting.
+	CapMesh = "mesh"
+	// CapIncrCkpt: the worker can ship differential checkpoint payloads
+	// against a coordinator-held base.
+	CapIncrCkpt = "incr-ckpt"
+	// CapOverlapAwait: the worker's transport splits EndPhase into
+	// FlushPhase/AwaitPhase so the engine can overlap interior compute
+	// with boundary exchange.
+	CapOverlapAwait = "overlap-await"
+)
+
+// SupportedCaps is this binary's full capability set.
+func SupportedCaps() []string { return []string{CapMesh, CapIncrCkpt, CapOverlapAwait} }
+
+// VersionError reports a handshake between binaries speaking different
+// protocol versions.
+type VersionError struct {
+	Got, Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("transport: protocol version %d, this end speaks %d", e.Got, e.Want)
+}
+
+// CapabilityError reports a handshake requiring capabilities this end does
+// not implement.
+type CapabilityError struct {
+	Missing []string
+}
+
+func (e *CapabilityError) Error() string {
+	return fmt.Sprintf("transport: required capabilities not supported: %v", e.Missing)
+}
+
+// MissingCaps returns the entries of want absent from have (order
+// preserved); nil when every requirement is met.
+func MissingCaps(want, have []string) []string {
+	var missing []string
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if h == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, w)
+		}
+	}
+	return missing
+}
 
 // maxFrame bounds a single frame so a corrupt length prefix cannot make a
 // reader allocate unbounded memory.
@@ -79,6 +143,40 @@ type Hello struct {
 	// crosses the wire. Gob-additive: a v4 coordinator that never sets it
 	// interoperates with older captures.
 	Part string
+	// Caps are the capabilities this run requires of the worker (v5); a
+	// worker missing any rejects the handshake with a CapabilityError.
+	Caps []string
+	// CacheSkin is the engine's Verlet-cache knob, forwarded so every
+	// process resolves the identical skin (0 = auto-tune, the default).
+	CacheSkin float64
+	// Peers are the worker daemons' data-plane addresses, indexed by
+	// process: with the mesh capability on, process i dials Peers[j]
+	// directly for its j-bound envelope traffic. Empty in star runs.
+	Peers []string
+}
+
+// PeerHello opens a direct worker↔worker data-plane session (v5, mesh):
+// the dialing process announces which run, direction and generation the
+// link carries; the accepting daemon routes it to the matching session's
+// transport or rejects it. One link is one direction — process i's frames
+// to process j — so each side's reader has a single writer peer.
+type PeerHello struct {
+	RunID string
+	From  int
+	To    int
+	Gen   int
+}
+
+// Registration announces (and then keeps updating) a worker daemon on the
+// coordinator's registry socket: the address the daemon serves sessions
+// on, its capability set, and its self-reported load. The daemon streams
+// updated Registration frames on the same connection as sessions and peer
+// links come and go.
+type Registration struct {
+	Addr      string
+	Caps      []string
+	Sessions  int
+	PeerLinks int
 }
 
 // FinalReport is a worker's end-of-run message: its owned values, how far
@@ -178,6 +276,10 @@ type Restore struct {
 	// CkptSeq is the sequence number of the checkpoint being restored;
 	// workers re-baseline their incremental-checkpoint tracker on it.
 	CkptSeq uint64
+	// Peers is the refreshed data-plane roster (mesh runs): recovery and
+	// mid-run admissions change who serves which process index, so every
+	// Restore re-announces it. Empty in star runs.
+	Peers []string
 }
 
 // FrameKind discriminates wire frames.
@@ -202,6 +304,12 @@ const (
 	FrameRestore
 	FramePing
 	FramePong
+	// FramePeerHello opens a direct worker↔worker data-plane link (v5
+	// mesh); answered with a FrameAck like the coordinator handshake.
+	FramePeerHello
+	// FrameRegister announces a worker daemon to the coordinator-side
+	// registry and streams its load updates.
+	FrameRegister
 )
 
 // Frame is the unit of the wire protocol: one gob-encoded, length-prefixed
@@ -211,6 +319,20 @@ type Frame struct {
 	Src   int    // sending worker process
 	Gen   int    // protocol generation; receivers drop stale generations
 	Phase uint64 // EndPhase sequence number
+	// Dst addresses a frame to one destination process (v5). A Data
+	// frame's Dst names the process owning Msg.To so relays route without
+	// consulting the assignment; an EndPhase marker's Dst names the peer
+	// whose inbox it closes, with -1 meaning "progress note only" (the
+	// mesh's control-plane copy to the coordinator).
+	Dst int
+	// Count, on an EndPhase marker, declares how many Data frames Src
+	// addressed to Dst this phase; the receiver's barrier completes only
+	// after that many unique frames arrived, whichever path they took.
+	Count uint32
+	// Seq orders Data frames per (Src → owning process) within a
+	// generation, starting at 1; receivers deduplicate on it so a frame
+	// resent over the relay after a peer-link failure applies only once.
+	Seq   uint64
 	Msg   cluster.Message
 	Hello *Hello
 	Final *FinalReport
@@ -218,7 +340,10 @@ type Frame struct {
 	Dir   *Directive
 	Ckpt  *CheckpointMsg
 	Rest  *Restore
-	Err   string // FrameAck (empty = ok) and FrameError
+	Peer  *PeerHello    // FramePeerHello
+	Reg   *Registration // FrameRegister
+	Caps  []string      // FrameAck: the responder's supported capability set
+	Err   string        // FrameAck (empty = ok) and FrameError
 }
 
 // Conn frames a network connection: each Frame travels as a 4-byte
