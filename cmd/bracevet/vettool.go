@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"github.com/bigreddata/brace/internal/lint"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for each package when driving
+// a -vettool (the x/tools unitchecker wire format). Only the fields
+// bracevet needs are declared.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes the single package described by a cmd/go vet config
+// file. Types for imports come from the export data cmd/go already built
+// (PackageFile), so this path needs no go list and is fast enough for
+// `go vet -vettool` across a whole tree.
+func runVetTool(cfgPath string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "bracevet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// cmd/go expects the facts file to exist even though bracevet's
+	// analyzers produce no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	pkg := &lint.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset}
+	for _, f := range cfg.GoFiles {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			pkg.Errors = append(pkg.Errors, err)
+			continue
+		}
+		pkg.Files = append(pkg.Files, af)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tconf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor(compiler, build.Default.GOARCH),
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	pkg.Types, _ = tconf.Check(cfg.ImportPath, fset, pkg.Files, pkg.Info)
+	if len(pkg.Errors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+
+	diags := lint.Run(lint.All(), []*lint.Package{pkg})
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

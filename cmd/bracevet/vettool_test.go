@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoVetVettool drives the real cmd/go vettool protocol end-to-end: a
+// built bracevet binary, `go vet -vettool=...`, a doctored module that
+// must fail with a maporder finding, and a clean module that must pass.
+// This is what makes `go vet -vettool=$(which bracevet) ./...` a
+// supported invocation rather than a README claim.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "bracevet")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building bracevet: %v\n%s", err, out)
+	}
+
+	t.Run("doctored module fails", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod":         "module example.com/vetdoctored\n\ngo 1.21\n",
+			"engine/emit.go": doctoredEngine,
+		})
+		out, err := runGoVet(t, bin, dir)
+		if err == nil {
+			t.Fatalf("go vet -vettool passed on a doctored violation:\n%s", out)
+		}
+		if !strings.Contains(out, "range over map") {
+			t.Fatalf("go vet output missing the maporder finding:\n%s", out)
+		}
+	})
+
+	t.Run("clean module passes", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module example.com/vetclean\n\ngo 1.21\n",
+			"engine/emit.go": `package engine
+
+func Emit(xs []float64, sink func(int, float64)) {
+	for i, v := range xs {
+		sink(i, v)
+	}
+}
+`,
+		})
+		if out, err := runGoVet(t, bin, dir); err != nil {
+			t.Fatalf("go vet -vettool failed on a clean module: %v\n%s", err, out)
+		}
+	})
+}
+
+func runGoVet(t *testing.T, bin, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}

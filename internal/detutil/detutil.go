@@ -1,0 +1,34 @@
+// Package detutil holds the deterministic-iteration helpers the bracevet
+// maporder analyzer (internal/lint) steers map-loop fixes toward. Go
+// randomizes map iteration order per run; any loop whose body's effect
+// order can reach simulation state, wire traffic, or serialized bytes
+// iterates one of these sorted views instead, so every site fixes the
+// invariant the same way rather than re-rolling a sort in place.
+package detutil
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order. The map itself is not
+// touched; iterate the returned slice and index the map.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// SortedKeysFunc returns m's keys ordered by the provided less function,
+// for key types without a natural order.
+func SortedKeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}

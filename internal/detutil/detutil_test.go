@@ -1,0 +1,61 @@
+package detutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[int]string{3: "c", 1: "a", 2: "b"}
+	if got, want := SortedKeys(m), []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	s := map[string]int{"b": 2, "a": 1}
+	if got, want := SortedKeys(s), []string{"a", "b"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKeys = %v, want %v", got, want)
+	}
+	if got := SortedKeys(map[int]int{}); len(got) != 0 {
+		t.Errorf("SortedKeys(empty) = %v", got)
+	}
+
+	type namedMap map[uint64]struct{}
+	nm := namedMap{9: {}, 4: {}}
+	if got, want := SortedKeys(nm), []uint64{4, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKeys(named) = %v, want %v", got, want)
+	}
+}
+
+func TestSortedKeysFunc(t *testing.T) {
+	type key struct{ a, b int }
+	m := map[key]string{{2, 1}: "x", {1, 2}: "y", {1, 1}: "z"}
+	got := SortedKeysFunc(m, func(p, q key) bool {
+		if p.a != q.a {
+			return p.a < q.a
+		}
+		return p.b < q.b
+	})
+	want := []key{{1, 1}, {1, 2}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKeysFunc = %v, want %v", got, want)
+	}
+}
+
+// TestSortedKeysIsStableAcrossRuns hammers the helper with a map big
+// enough that Go's randomized iteration would betray an ordering bug.
+func TestSortedKeysIsStableAcrossRuns(t *testing.T) {
+	m := make(map[int]int)
+	for i := 0; i < 1000; i++ {
+		m[i*7919%104729] = i
+	}
+	first := SortedKeys(m)
+	for run := 0; run < 10; run++ {
+		if !reflect.DeepEqual(SortedKeys(m), first) {
+			t.Fatalf("run %d: key order differs", run)
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1] >= first[i] {
+			t.Fatalf("keys not strictly ascending at %d: %d >= %d", i, first[i-1], first[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/bigreddata/brace/internal/detutil"
 	"github.com/bigreddata/brace/internal/engine"
 	"github.com/bigreddata/brace/internal/partition"
 	"github.com/bigreddata/brace/internal/transport"
@@ -295,7 +296,7 @@ func (c *coordinator) onEvent(ev transport.HubEvent) (*Result, error) {
 			return c.finish()
 		}
 	default:
-		err = fmt.Errorf("distrib: worker %d sent unexpected frame kind %d", ev.Src, f.Kind)
+		err = &transport.ProtocolError{Kind: f.Kind, Where: fmt.Sprintf("coordinator control loop (worker %d)", ev.Src)}
 	}
 	return nil, err
 }
@@ -345,7 +346,10 @@ func (c *coordinator) onTimer(now time.Time) error {
 			stalled[p] = "phase barrier overdue"
 		}
 	}
-	for p, why := range stalled {
+	// Sorted: with several simultaneous stalls the recovery order decides
+	// survivor-absorb placement, which must not depend on map iteration.
+	for _, p := range detutil.SortedKeys(stalled) {
+		why := stalled[p]
 		if !c.live[p] {
 			continue // a recovery below may have rejoined or absorbed it
 		}
@@ -392,8 +396,8 @@ func (c *coordinator) onStats(src int, s *transport.EpochStats) error {
 	if s == nil {
 		return fmt.Errorf("distrib: worker %d sent empty stats", src)
 	}
-	for _, prev := range c.stats {
-		if prev.Tick != s.Tick {
+	for _, p := range detutil.SortedKeys(c.stats) {
+		if prev := c.stats[p]; prev.Tick != s.Tick {
 			return fmt.Errorf("distrib: lockstep violation: worker %d at tick %d, worker %d at %d",
 				src, s.Tick, prev.Proc, prev.Tick)
 		}
@@ -481,8 +485,8 @@ func (c *coordinator) planRebalance() ([]float64, bool) {
 	}
 	xs := make([][]float64, c.o.Partitions)
 	visited := make([]int64, c.o.Partitions)
-	for _, s := range c.stats {
-		for _, ps := range s.Parts {
+	for _, p := range detutil.SortedKeys(c.stats) {
+		for _, ps := range c.stats[p].Parts {
 			if ps.Part < 0 || ps.Part >= c.o.Partitions {
 				continue
 			}

@@ -34,6 +34,7 @@ import (
 
 	"github.com/bigreddata/brace/internal/agent"
 	"github.com/bigreddata/brace/internal/cluster"
+	"github.com/bigreddata/brace/internal/detutil"
 	"github.com/bigreddata/brace/internal/engine"
 	"github.com/bigreddata/brace/internal/geom"
 	"github.com/bigreddata/brace/internal/partition"
@@ -371,12 +372,7 @@ func ownedParts(assign []int, proc int) []int {
 func assemble(finals map[int]*transport.FinalReport) (*Result, error) {
 	res := &Result{Procs: len(finals)}
 	first := true
-	procs := make([]int, 0, len(finals))
-	for proc := range finals {
-		procs = append(procs, proc)
-	}
-	sort.Ints(procs)
-	for _, proc := range procs {
+	for _, proc := range detutil.SortedKeys(finals) {
 		f := finals[proc]
 		if first {
 			res.Ticks = f.Ticks

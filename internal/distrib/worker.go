@@ -137,7 +137,7 @@ func (s *sessionSet) await(key string, timeout time.Duration) (*transport.TCP, e
 func (s *sessionSet) load() (sessions, peerLinks int) {
 	s.mu.Lock()
 	tcps := make([]*transport.TCP, 0, len(s.m))
-	for _, t := range s.m {
+	for _, t := range s.m { //bracevet:allow maporder commutative sum of per-session load figures; order unobservable
 		tcps = append(tcps, t)
 	}
 	s.mu.Unlock()

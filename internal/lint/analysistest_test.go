@@ -1,0 +1,93 @@
+package lint
+
+// An analysistest-style harness: each analyzer has a testdata module
+// (its own go.mod, ignored by the repo's build because it lives under
+// testdata/) whose source files carry `// want "substring"` comments on
+// the lines a diagnostic must land on. The harness loads the module with
+// the real loader, runs one analyzer, and diffs findings against wants in
+// both directions, so a silently dead analyzer fails its suite exactly
+// like a noisy one.
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var wantRe = regexp.MustCompile(`// want (".*")$`)
+var wantStrRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// runTestdata runs a single analyzer over testdata/<name> and checks its
+// diagnostics against the want comments in that module's files.
+func runTestdata(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := Targets(pkgs)
+	if len(targets) == 0 {
+		t.Fatalf("no packages loaded from %s", dir)
+	}
+	for _, p := range targets {
+		for _, e := range p.Errors {
+			t.Errorf("package %s: %v", p.PkgPath, e)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Collect wants straight from the comment ASTs.
+	wants := make(map[wantKey][]string)
+	for _, p := range targets {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					k := wantKey{file: pos.Filename, line: pos.Line}
+					for _, q := range wantStrRe.FindAllStringSubmatch(m[1], -1) {
+						wants[k] = append(wants[k], q[1])
+					}
+				}
+			}
+		}
+	}
+
+	diags := Run([]*Analyzer{a}, pkgs)
+	for _, d := range diags {
+		k := wantKey{file: d.Pos.Filename, line: d.Pos.Line}
+		ws := wants[k]
+		matched := -1
+		for i, w := range ws {
+			if strings.Contains(d.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(ws[:matched], ws[matched+1:]...)
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w)
+		}
+	}
+}

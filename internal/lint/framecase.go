@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FrameCase enforces that every `switch` over the transport frame
+// discriminator (transport.FrameKind) either covers all declared frame
+// kinds or carries a default arm that actually does something — so a new
+// frame kind added to the protocol can never be silently swallowed by a
+// relay or reader loop. A default consisting solely of a bare
+// return/break/continue is treated as a silent drop and flagged: the arm
+// must at minimum surface a typed protocol error (transport.ProtocolError)
+// or route the frame somewhere observable.
+var FrameCase = &Analyzer{
+	Name: "framecase",
+	Doc:  "switches on transport.FrameKind must be exhaustive or fail loudly in default",
+	Run:  runFrameCase,
+}
+
+// frameKindType reports whether t is the wire frame discriminator: a
+// named type called FrameKind (or FrameType) declared in a transport
+// package. Matching by name+package element keeps the analyzer working
+// on testdata modules.
+func frameKindType(t types.Type) (*types.TypeName, bool) {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil, false
+	}
+	if obj.Name() != "FrameKind" && obj.Name() != "FrameType" {
+		return nil, false
+	}
+	path := obj.Pkg().Path()
+	if path != "transport" && !strings.HasSuffix(path, "/transport") {
+		return nil, false
+	}
+	return obj, true
+}
+
+func runFrameCase(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[sw.Tag]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			obj, ok := frameKindType(tv.Type)
+			if !ok {
+				return true
+			}
+
+			// Every constant of the FrameKind type declared in its
+			// package, by exact constant value.
+			declared := make(map[string]string) // value -> const name
+			scope := obj.Pkg().Scope()
+			for _, name := range scope.Names() {
+				c, ok := scope.Lookup(name).(*types.Const)
+				if !ok || !types.Identical(c.Type(), tv.Type) {
+					continue
+				}
+				declared[c.Val().ExactString()] = name
+			}
+
+			covered := make(map[string]bool)
+			var def *ast.CaseClause
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					def = cc
+					continue
+				}
+				for _, e := range cc.List {
+					if etv, ok := pass.Pkg.Info.Types[e]; ok && etv.Value != nil {
+						covered[etv.Value.ExactString()] = true
+					}
+				}
+			}
+
+			var missing []string
+			for val, name := range declared {
+				if !covered[val] {
+					missing = append(missing, name)
+				}
+			}
+			sort.Strings(missing)
+
+			switch {
+			case def == nil && len(missing) > 0:
+				pass.Reportf(sw.Switch, "switch on %s.%s is not exhaustive (missing %s) and has no default: a new frame kind would be silently dropped; add a default returning a typed protocol error", obj.Pkg().Name(), obj.Name(), strings.Join(missing, ", "))
+			case def != nil && silentDefault(def):
+				pass.Reportf(def.Case, "default arm of switch on %s.%s silently drops the frame; return or log a typed protocol error instead", obj.Pkg().Name(), obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// silentDefault reports whether a default arm's body does nothing
+// observable: empty, or only bare control flow (break/continue/goto, or a
+// `return` carrying no values). Any call, assignment, send, or
+// value-bearing return counts as loud enough — the analyzer checks that
+// the drop is at least acted on, not what the action is.
+func silentDefault(cc *ast.CaseClause) bool {
+	if len(cc.Body) == 0 {
+		return true
+	}
+	for _, stmt := range cc.Body {
+		switch s := stmt.(type) {
+		case *ast.BranchStmt:
+			// break/continue/goto: pure control flow.
+		case *ast.ReturnStmt:
+			if len(s.Results) > 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

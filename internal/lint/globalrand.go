@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags uses of math/rand's (and math/rand/v2's) global,
+// process-seeded source in the deterministic packages. Simulation
+// randomness must flow from the run's seed through an explicitly
+// constructed generator (rand.New(rand.NewSource(seed)), or the repo's
+// agent RNG) so replays and distributed re-executions draw identical
+// streams. Constructors are fine; the package-level draw/seed functions
+// are not.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "no global math/rand source in deterministic non-test code; use a per-run seeded generator",
+	Run:  runGlobalRand,
+}
+
+// globalRandOK lists the math/rand package-level functions that do not
+// touch the shared global source.
+var globalRandOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runGlobalRand(pass *Pass) error {
+	if !deterministicPkg(pass.Pkg.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand are seeded-instance draws; only
+			// package-scope functions hit the global source.
+			if obj.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if globalRandOK[obj.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s draws from the process-global rand source; use a per-run seeded *rand.Rand (or annotate //%s globalrand <reason>)", obj.Pkg().Name(), obj.Name(), AllowDirective)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package lint is bracevet's analysis framework: a stdlib-only package
+// loader plus a small analyzer API in the spirit of
+// golang.org/x/tools/go/analysis. The repo pins no external modules and the
+// build environment is offline, so instead of depending on x/tools the
+// framework loads packages with `go list -json -deps` and type-checks them
+// from source with go/types. The analyzers themselves (maporder, framecase,
+// wallclock, globalrand) mechanically enforce the determinism and wire
+// protocol invariants every equivalence suite in this repo leans on.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	// Info is populated only for target (non-DepOnly) packages; analyzer
+	// passes need it, dependency type-checking does not.
+	Info    *types.Info
+	DepOnly bool
+	// Errors holds parse/type errors. Targets must be error-free for a
+	// lint run to be trustworthy, so drivers fail loudly on any.
+	Errors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *listedErr
+}
+
+type listedErr struct {
+	Err string
+}
+
+// Load enumerates the packages matching patterns (resolved relative to
+// dir) together with all their dependencies, then parses and type-checks
+// them from source in dependency order. It shells out to the go command
+// for package metadata only — no network, no module downloads. CGo is
+// disabled so every listed file is plain Go the type checker can digest.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{"unsafe": types.Unsafe}
+	var pkgs []*Package
+
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		p := &Package{
+			PkgPath: lp.ImportPath,
+			Name:    lp.Name,
+			Dir:     lp.Dir,
+			Fset:    fset,
+			DepOnly: lp.DepOnly,
+		}
+		if lp.Error != nil {
+			p.Errors = append(p.Errors, fmt.Errorf("%s", lp.Error.Err))
+		}
+		for _, f := range lp.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(lp.Dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				p.Errors = append(p.Errors, err)
+				continue
+			}
+			p.Files = append(p.Files, af)
+		}
+		importMap := lp.ImportMap
+		imp := importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+			if tp, ok := checked[path]; ok && tp != nil {
+				return tp, nil
+			}
+			return nil, fmt.Errorf("package %q not loaded", path)
+		})
+		if !lp.DepOnly {
+			p.Info = &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+				Implicits:  make(map[ast.Node]types.Object),
+			}
+		}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+			Error: func(err error) {
+				p.Errors = append(p.Errors, err)
+			},
+		}
+		tp, _ := conf.Check(lp.ImportPath, fset, p.Files, p.Info)
+		p.Types = tp
+		checked[lp.ImportPath] = tp
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Targets filters a Load result down to the packages named by the
+// patterns (the ones analyzers run on).
+func Targets(pkgs []*Package) []*Package {
+	var out []*Package
+	for _, p := range pkgs {
+		if !p.DepOnly {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

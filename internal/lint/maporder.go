@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `for … range` over a map inside the deterministic
+// packages. Go randomizes map iteration order per run, so any map range
+// whose body emits envelopes, builds placements, serializes checkpoints,
+// or otherwise feeds simulation state breaks the bit-identity invariant
+// in a way no single-seed test reliably catches. The fix is to iterate
+// detutil.SortedKeys (or an equivalent sorted slice); sites whose output
+// order provably cannot matter carry a //bracevet:allow maporder
+// annotation with the proof sketched as the reason.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map in deterministic packages (engine, mapreduce, distrib, transport, scenario, sim, spatial, partition, agent, service)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !deterministicPkg(pass.Pkg.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.Range, "range over map %s has randomized order in a deterministic package; iterate detutil.SortedKeys(m) or annotate //%s maporder <reason>", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)), AllowDirective)
+			}
+			return true
+		})
+	}
+	return nil
+}

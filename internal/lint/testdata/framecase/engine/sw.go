@@ -1,0 +1,84 @@
+// Package engine exercises framecase: switches over the transport frame
+// discriminator must be exhaustive or fail loudly in default.
+package engine
+
+import (
+	"errors"
+
+	"example.com/framecase/transport"
+)
+
+func NonExhaustiveNoDefault(k transport.FrameKind) int {
+	switch k { // want "not exhaustive"
+	case transport.FrameHello:
+		return 1
+	case transport.FrameData:
+		return 2
+	}
+	return 0
+}
+
+func SilentDefaultBareReturn(k transport.FrameKind) {
+	switch k {
+	case transport.FrameHello:
+		work()
+	default: // want "silently drops"
+		return
+	}
+}
+
+func SilentDefaultLoop(ks []transport.FrameKind) {
+	for _, k := range ks {
+		switch k {
+		case transport.FrameData:
+			work()
+		default: // want "silently drops"
+			continue
+		}
+	}
+}
+
+func Exhaustive(k transport.FrameKind) int {
+	switch k {
+	case transport.FrameHello:
+		return 1
+	case transport.FrameData, transport.FrameEndPhase:
+		return 2
+	case transport.FramePing:
+		return 3
+	}
+	return 0
+}
+
+func LoudDefault(k transport.FrameKind) error {
+	switch k {
+	case transport.FrameHello:
+		return nil
+	default:
+		return errors.New("unexpected frame kind")
+	}
+}
+
+func AnnotatedSilent(k transport.FrameKind) {
+	switch k {
+	case transport.FrameHello:
+		work()
+	//bracevet:allow framecase handshake probe; every other kind is legitimately ignored here
+	default:
+		return
+	}
+}
+
+func OtherTypeUnchecked(n transport.NotAFrame, m uint8) int {
+	switch n {
+	case transport.NotA:
+		return 1
+	}
+	switch m {
+	case 1:
+		return 2
+	}
+	return 0
+}
+
+func work() {}

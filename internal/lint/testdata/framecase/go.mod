@@ -1,0 +1,3 @@
+module example.com/framecase
+
+go 1.21

@@ -1,0 +1,20 @@
+// Package transport declares a miniature frame discriminator mirroring
+// the real wire protocol's FrameKind.
+package transport
+
+type FrameKind uint8
+
+const (
+	FrameHello FrameKind = iota + 1
+	FrameData
+	FrameEndPhase
+	FramePing
+)
+
+// NotAFrame is an unrelated named type switches may range over freely.
+type NotAFrame uint8
+
+const (
+	NotA NotAFrame = iota
+	NotB
+)

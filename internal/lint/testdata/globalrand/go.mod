@@ -1,0 +1,3 @@
+module example.com/globalrand
+
+go 1.21

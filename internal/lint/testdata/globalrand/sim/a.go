@@ -1,0 +1,25 @@
+// Package sim exercises globalrand inside a deterministic package.
+package sim
+
+import "math/rand"
+
+func Flagged() float64 {
+	x := rand.Float64()                // want "draws from the process-global rand source"
+	n := rand.Intn(10)                 // want "draws from the process-global rand source"
+	rand.Shuffle(n, func(i, j int) {}) // want "draws from the process-global rand source"
+	return x
+}
+
+func SeededIsFine(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() + float64(rng.Intn(10))
+}
+
+func Annotated() int {
+	return rand.Int() //bracevet:allow globalrand jitter for a retry backoff; never reaches simulation state
+}
+
+func AllowedWithoutReason() int {
+	//bracevet:allow globalrand
+	return rand.Int() // want "missing its required reason"
+}

@@ -1,0 +1,9 @@
+// Package tools is outside the deterministic set; the global source is
+// tolerated here.
+package tools
+
+import "math/rand"
+
+func Jitter() int {
+	return rand.Intn(100)
+}

@@ -1,0 +1,50 @@
+// Package engine exercises maporder inside a deterministic package.
+package engine
+
+func Flagged(m map[string]int) int {
+	total := 0
+	for k, v := range m { // want "range over map"
+		total += len(k) + v
+	}
+	type state map[int]bool
+	s := state{1: true}
+	for k := range s { // want "range over map"
+		total += k
+	}
+	return total
+}
+
+func AllowedWithReason(m map[string]int) int {
+	total := 0
+	for _, v := range m { //bracevet:allow maporder commutative sum; order unobservable
+		total += v
+	}
+	//bracevet:allow maporder annotation on the line above also suppresses
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func AllowedWithoutReason(m map[string]int) int {
+	total := 0
+	//bracevet:allow maporder
+	for _, v := range m { // want "missing its required reason"
+		total += v
+	}
+	return total
+}
+
+func NotAMap(xs []int, s string, ch chan int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	for range s {
+		total++
+	}
+	for v := range ch {
+		total += v
+	}
+	return total
+}

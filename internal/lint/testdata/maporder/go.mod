@@ -1,0 +1,3 @@
+module example.com/maporder
+
+go 1.21

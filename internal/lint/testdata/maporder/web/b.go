@@ -1,0 +1,10 @@
+// Package web is outside the deterministic set: map ranges are fine here.
+package web
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

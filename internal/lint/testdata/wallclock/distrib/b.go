@@ -1,0 +1,9 @@
+// Package distrib is control plane: liveness deadlines read the wall
+// clock by design, so wallclock does not apply here.
+package distrib
+
+import "time"
+
+func Deadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout)
+}

@@ -1,0 +1,36 @@
+// Package engine exercises wallclock inside a simulation-state package.
+package engine
+
+import "time"
+
+var epoch time.Time
+
+func Flagged() float64 {
+	now := time.Now()      // want "time.Now reads the wall clock"
+	d := time.Since(epoch) // want "time.Since reads the wall clock"
+	_ = time.Until(epoch)  // want "time.Until reads the wall clock"
+	return now.Sub(epoch).Seconds() + d.Seconds()
+}
+
+func FlaggedValueUse() func() time.Time {
+	return time.Now // want "time.Now reads the wall clock"
+}
+
+func AllowedMetrics() time.Duration {
+	start := time.Now() //bracevet:allow wallclock metrics-only: throughput gauge
+	work()
+	return time.Since(start) //bracevet:allow wallclock metrics-only: throughput gauge
+}
+
+func AllowedWithoutReason() time.Time {
+	//bracevet:allow wallclock
+	return time.Now() // want "missing its required reason"
+}
+
+func FineUses(t time.Time) time.Duration {
+	// Arithmetic on supplied times and timers that never read the wall
+	// clock directly are fine.
+	return t.Add(3 * time.Second).Sub(t)
+}
+
+func work() {}

@@ -1,0 +1,3 @@
+module example.com/wallclock
+
+go 1.21

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock flags reads of the real clock (time.Now, time.Since,
+// time.Until) in simulation-state packages. A wall-clock value that
+// reaches agent state, envelope contents, placement decisions, or
+// checkpoint bytes makes two runs of the same seed diverge, which the
+// cross-engine equivalence suites can only catch probabilistically.
+// Metrics-only timing (throughput counters, phase-duration gauges) is
+// legitimate and carries a //bracevet:allow wallclock annotation naming
+// it so; the control plane (distrib, transport, service) is out of scope
+// entirely because liveness deadlines and adaptive timeouts are its job.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "no time.Now/time.Since/time.Until in simulation-state packages except annotated metrics-only sites",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	if !simStatePkg(pass.Pkg.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			switch obj.Name() {
+			case "Now", "Since", "Until":
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock in a simulation-state package; derive timing from ticks/virtual time, or annotate //%s wallclock <reason> for metrics-only use", obj.Name(), AllowDirective)
+			}
+			return true
+		})
+	}
+	return nil
+}

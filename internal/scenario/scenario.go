@@ -17,10 +17,10 @@ package scenario
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"github.com/bigreddata/brace/internal/agent"
+	"github.com/bigreddata/brace/internal/detutil"
 	"github.com/bigreddata/brace/internal/engine"
 )
 
@@ -122,10 +122,9 @@ func All() []Spec {
 	mu.RLock()
 	defer mu.RUnlock()
 	out := make([]Spec, 0, len(registry))
-	for _, sp := range registry {
-		out = append(out, sp)
+	for _, name := range detutil.SortedKeys(registry) {
+		out = append(out, registry[name])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

@@ -127,7 +127,7 @@ func (s *ObsStream) Publish(tick uint64, envs []*engine.Envelope) {
 	}
 	s.backlog = append(s.backlog, f)
 	s.prev = engine.CloneEnvelopes(envs)
-	for sub := range s.subs {
+	for sub := range s.subs { //bracevet:allow maporder every subscriber gets the same frame; delivery order unobservable
 		select {
 		case sub.ch <- f:
 		default:
@@ -181,7 +181,7 @@ func (s *ObsStream) Close() {
 		return
 	}
 	s.closed = true
-	for sub := range s.subs {
+	for sub := range s.subs { //bracevet:allow maporder teardown fan-out; closes are independent and order unobservable
 		close(sub.ch)
 		delete(s.subs, sub)
 	}

@@ -224,7 +224,7 @@ func (t *TCP) readLoop() {
 			t.failConn(fmt.Errorf("transport: peer error: %s", f.Err))
 			return
 		default:
-			t.failConn(fmt.Errorf("transport: unexpected frame kind %d mid-run", f.Kind))
+			t.failConn(&ProtocolError{Kind: f.Kind, Where: "coordinator-link reader"})
 			return
 		}
 	}
@@ -315,6 +315,15 @@ func (t *TCP) apply(f *Frame) {
 		t.cond.Broadcast()
 	case FrameDirective:
 		t.directive = f.Dir
+		t.cond.Broadcast()
+	default:
+		// Unreachable while the reader loops filter what reaches ingest;
+		// a new frame kind routed here must kill the session loudly, not
+		// vanish. Caller holds t.mu, so fail inline rather than through
+		// failConn.
+		if t.readErr == nil {
+			t.readErr = &ProtocolError{Kind: f.Kind, Where: "TCP.apply"}
+		}
 		t.cond.Broadcast()
 	}
 }
@@ -629,6 +638,10 @@ func (t *TCP) readPeer(fc *Conn) {
 		case FrameData, FrameEndPhase:
 			t.ingest(f)
 		default:
+			// Only the data plane flows worker↔worker; anything else on a
+			// peer link is a protocol violation worth failing the session
+			// over, not a frame to shrug off.
+			t.failConn(&ProtocolError{Kind: f.Kind, Where: "peer-link reader"})
 			return
 		}
 	}
@@ -971,7 +984,7 @@ func (t *TCP) Close() error {
 	}
 	t.mu.Lock()
 	ins := make([]*Conn, 0, len(t.peerIn))
-	for c := range t.peerIn {
+	for c := range t.peerIn { //bracevet:allow maporder teardown fan-out; closes are independent and order unobservable
 		ins = append(ins, c)
 	}
 	t.mu.Unlock()

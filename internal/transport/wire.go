@@ -312,6 +312,58 @@ const (
 	FrameRegister
 )
 
+// String names a frame kind for diagnostics. The switch is exhaustive by
+// construction; bracevet's framecase analyzer keeps it that way when new
+// kinds are added.
+func (k FrameKind) String() string {
+	switch k {
+	case FrameHello:
+		return "Hello"
+	case FrameAck:
+		return "Ack"
+	case FrameData:
+		return "Data"
+	case FrameEndPhase:
+		return "EndPhase"
+	case FrameFinal:
+		return "Final"
+	case FrameError:
+		return "Error"
+	case FrameStats:
+		return "Stats"
+	case FrameDirective:
+		return "Directive"
+	case FrameCheckpoint:
+		return "Checkpoint"
+	case FrameRestore:
+		return "Restore"
+	case FramePing:
+		return "Ping"
+	case FramePong:
+		return "Pong"
+	case FramePeerHello:
+		return "PeerHello"
+	case FrameRegister:
+		return "Register"
+	default:
+		return fmt.Sprintf("FrameKind(%d)", uint8(k))
+	}
+}
+
+// ProtocolError reports a frame kind arriving somewhere the wire protocol
+// says it cannot — a version skew or a new kind some reader loop was
+// never taught. Every FrameKind switch in the tree fails loudly with one
+// of these (or routes the frame onward) rather than silently dropping it;
+// bracevet's framecase analyzer enforces the pattern.
+type ProtocolError struct {
+	Kind  FrameKind
+	Where string // which loop saw the frame
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("transport: protocol violation: unexpected %v frame in %s", e.Kind, e.Where)
+}
+
 // Frame is the unit of the wire protocol: one gob-encoded, length-prefixed
 // record. Only the fields relevant to Kind are populated.
 type Frame struct {
